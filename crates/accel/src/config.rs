@@ -1,0 +1,143 @@
+//! Accelerator configuration: clocks, PE array shape, per-PE throughput.
+//!
+//! The paper's design instantiates 128, 128, and 32 GEMM processing
+//! elements for the three hidden layers (appendix, Table 6) and clocks the
+//! whole design at 120–140 MHz depending on precision and congestion. Each
+//! PE sustains a number of multiply–accumulates per cycle bounded by its
+//! DSP budget (14 DSPs per fp16 PE, 18 per fp32 PE) minus pipeline stalls;
+//! the effective rates below (10 MACs/cycle at fixed-16, 6 at fixed-32) are
+//! calibrated so the model lands within ~13 % of every FPGA throughput and
+//! latency figure in Table 2.
+
+use microrec_embedding::{ModelSpec, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Width (elements per cycle) of the feature-broadcast and result-gather
+/// pipeline sub-stages.
+pub const STREAM_WIDTH: u32 = 4;
+
+/// Configuration of the FPGA accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Kernel clock in Hz (Table 6: 120–140 MHz).
+    pub clock_hz: u64,
+    /// Arithmetic precision of the datapath.
+    pub precision: Precision,
+    /// Number of GEMM PEs assigned to each hidden layer.
+    pub pes_per_layer: Vec<u32>,
+    /// Effective multiply–accumulates per PE per cycle.
+    pub macs_per_pe_cycle: u32,
+}
+
+impl AccelConfig {
+    /// The paper's configuration for `model` at `precision`: PE counts
+    /// (128, 128, 32), clock from Table 6 (fp16 designs close timing at
+    /// 120 MHz; fp32 at 140 MHz, dropping to 135 MHz for the large model's
+    /// higher LUT congestion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` does not have exactly three hidden layers (the
+    /// paper's designs all do); use the struct literal for other shapes.
+    #[must_use]
+    pub fn for_model(model: &ModelSpec, precision: Precision) -> Self {
+        assert_eq!(
+            model.hidden.len(),
+            3,
+            "paper configuration assumes three hidden layers, got {}",
+            model.hidden.len()
+        );
+        let clock_hz = match precision {
+            Precision::Fixed16 => 120_000_000,
+            Precision::F32 | Precision::Fixed32 => {
+                if model.feature_len() > 512 {
+                    135_000_000
+                } else {
+                    140_000_000
+                }
+            }
+        };
+        AccelConfig {
+            clock_hz,
+            precision,
+            pes_per_layer: vec![128, 128, 32],
+            macs_per_pe_cycle: match precision {
+                Precision::Fixed16 => 10,
+                Precision::F32 | Precision::Fixed32 => 6,
+            },
+        }
+    }
+
+    /// A configuration for models with any number of hidden layers: the
+    /// paper's per-PE rates and clocks, 128 PEs per hidden layer except 32
+    /// on the last (mirroring the 128/128/32 split).
+    #[must_use]
+    pub fn generic(model: &ModelSpec, precision: Precision) -> Self {
+        let n = model.hidden.len().max(1);
+        let mut pes = vec![128u32; n];
+        pes[n - 1] = 32;
+        let clock_hz = match precision {
+            Precision::Fixed16 => 120_000_000,
+            Precision::F32 | Precision::Fixed32 => 135_000_000,
+        };
+        AccelConfig {
+            clock_hz,
+            precision,
+            pes_per_layer: pes,
+            macs_per_pe_cycle: match precision {
+                Precision::Fixed16 => 10,
+                Precision::F32 | Precision::Fixed32 => 6,
+            },
+        }
+    }
+
+    /// Total PE count across layers.
+    #[must_use]
+    pub fn total_pes(&self) -> u32 {
+        self.pes_per_layer.iter().sum()
+    }
+
+    /// Peak multiply–accumulate throughput (MACs per second).
+    #[must_use]
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        f64::from(self.total_pes()) * f64::from(self.macs_per_pe_cycle) * self.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clocks() {
+        let small = ModelSpec::small_production();
+        let large = ModelSpec::large_production();
+        assert_eq!(AccelConfig::for_model(&small, Precision::Fixed16).clock_hz, 120_000_000);
+        assert_eq!(AccelConfig::for_model(&small, Precision::Fixed32).clock_hz, 140_000_000);
+        assert_eq!(AccelConfig::for_model(&large, Precision::Fixed16).clock_hz, 120_000_000);
+        assert_eq!(AccelConfig::for_model(&large, Precision::Fixed32).clock_hz, 135_000_000);
+    }
+
+    #[test]
+    fn pe_array_matches_appendix() {
+        let cfg = AccelConfig::for_model(&ModelSpec::small_production(), Precision::Fixed16);
+        assert_eq!(cfg.pes_per_layer, vec![128, 128, 32]);
+        assert_eq!(cfg.total_pes(), 288);
+    }
+
+    #[test]
+    fn fp16_outruns_fp32() {
+        let small = ModelSpec::small_production();
+        let f16 = AccelConfig::for_model(&small, Precision::Fixed16);
+        let f32_ = AccelConfig::for_model(&small, Precision::Fixed32);
+        assert!(f16.peak_macs_per_sec() > f32_.peak_macs_per_sec());
+    }
+
+    #[test]
+    #[should_panic(expected = "three hidden layers")]
+    fn wrong_layer_count_panics() {
+        let mut model = ModelSpec::small_production();
+        model.hidden.push(64);
+        let _ = AccelConfig::for_model(&model, Precision::Fixed16);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for the accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when building accelerator models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// The PE configuration does not match the model's layer count.
+    ConfigMismatch {
+        /// Hidden layers in the model.
+        expected: usize,
+        /// PE groups in the configuration.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::ConfigMismatch { expected, actual } => write!(
+                f,
+                "configuration provides {actual} PE groups for {expected} hidden layers"
+            ),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AccelError::ConfigMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("2 PE groups"));
+        assert!(e.to_string().contains("3 hidden layers"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Event-driven simulation of the deep pipeline.
+//!
+//! The analytic [`Pipeline`] model answers steady-state questions (latency
+//! = Σ stages, throughput = 1 / bottleneck). This module *simulates* items
+//! flowing through the same stages — with arbitrary arrival times, finite
+//! inter-stage FIFOs (blocking-after-service, the behaviour of the BRAM
+//! FIFOs of §4.1), and optionally per-item stage times (e.g. embedding
+//! lookups whose latency depends on DRAM row-buffer state). The
+//! deterministic tandem-queue recurrence is exact:
+//!
+//! ```text
+//! D[i][k] = max( max(D[i][k-1], D[i-1][k]) + s[i][k],  D[i-B-1][k+1] )
+//! ```
+//!
+//! where `D[i][k]` is item *i*'s departure from stage *k*, `s` the service
+//! time, and `B` the FIFO capacity after the stage. The tests confirm the
+//! simulation degenerates to the analytic model for constant stage times —
+//! and diverges from it, correctly, when stage times vary.
+
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::Pipeline;
+
+/// Result of one pipeline flow simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Completion time of each item (absolute).
+    pub completions: Vec<SimTime>,
+    /// Per-item latency (completion − arrival).
+    pub latencies: Vec<SimTime>,
+}
+
+impl FlowReport {
+    /// Time the last item completes.
+    #[must_use]
+    pub fn makespan(&self) -> SimTime {
+        self.completions.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Sustained throughput over the whole run, in items per second.
+    #[must_use]
+    pub fn throughput_items_per_sec(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.len() as f64 / self.makespan().as_secs()
+    }
+
+    /// Largest per-item latency.
+    #[must_use]
+    pub fn max_latency(&self) -> SimTime {
+        self.latencies.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Mean per-item latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimTime {
+        if self.latencies.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.latencies.iter().copied().sum::<SimTime>() / self.latencies.len() as u64
+    }
+}
+
+/// Event-driven simulator over a [`Pipeline`]'s stages.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_accel::{AccelConfig, FlowSim, Pipeline};
+/// use microrec_embedding::{ModelSpec, Precision};
+/// use microrec_memsim::SimTime;
+///
+/// let model = ModelSpec::small_production();
+/// let cfg = AccelConfig::for_model(&model, Precision::Fixed16);
+/// let pipe = Pipeline::build(&model, &cfg, SimTime::from_ns(485.0))?;
+/// let report = FlowSim::new(&pipe, 2).run_saturated(100);
+/// // Exact agreement with the analytic model for deterministic stages:
+/// assert_eq!(report.makespan(), pipe.batch_latency(100));
+/// # Ok::<(), microrec_accel::AccelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSim {
+    stage_times: Vec<SimTime>,
+    fifo_capacity: usize,
+}
+
+impl FlowSim {
+    /// Creates a simulator for `pipeline` with `fifo_capacity` slots after
+    /// every stage (the paper uses BRAM FIFOs; 2 is a typical HLS depth).
+    #[must_use]
+    pub fn new(pipeline: &Pipeline, fifo_capacity: usize) -> Self {
+        FlowSim {
+            stage_times: pipeline.stages().iter().map(|s| s.time).collect(),
+            fifo_capacity,
+        }
+    }
+
+    /// Runs `n` items arriving at the given times (must be sorted
+    /// ascending) with constant per-stage service times.
+    #[must_use]
+    pub fn run(&self, arrivals: &[SimTime]) -> FlowReport {
+        self.run_with(arrivals, |_item, stage| self.stage_times[stage])
+    }
+
+    /// Runs with caller-supplied per-item stage times — `stage_time(item,
+    /// stage)` — enabling studies where e.g. the lookup stage varies with
+    /// DRAM row-buffer state.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        arrivals: &[SimTime],
+        stage_time: impl Fn(usize, usize) -> SimTime,
+    ) -> FlowReport {
+        let n = arrivals.len();
+        let k = self.stage_times.len();
+        if n == 0 || k == 0 {
+            return FlowReport { completions: Vec::new(), latencies: Vec::new() };
+        }
+        let b = self.fifo_capacity;
+        // departures[i][stage]; computed stage-major per item, with the
+        // blocking term patched in a relaxation sweep (the blocking
+        // dependency D[i][k] on D[i-B-1][k+1] only looks at *earlier*
+        // items, so one forward pass item-by-item is exact).
+        let mut departures = vec![vec![SimTime::ZERO; k]; n];
+        for i in 0..n {
+            for stage in 0..k {
+                let ready = if stage == 0 { arrivals[i] } else { departures[i][stage - 1] };
+                let stage_free =
+                    if i == 0 { SimTime::ZERO } else { departures[i - 1][stage] };
+                let mut depart = ready.max(stage_free) + stage_time(i, stage);
+                // Blocking after service: cannot vacate stage `stage` until
+                // item i-B-1 has left stage `stage+1`, freeing a FIFO slot.
+                if stage + 1 < k && i > b {
+                    depart = depart.max(departures[i - b - 1][stage + 1]);
+                }
+                departures[i][stage] = depart;
+            }
+        }
+        let completions: Vec<SimTime> = departures.iter().map(|d| d[k - 1]).collect();
+        let latencies = completions
+            .iter()
+            .zip(arrivals)
+            .map(|(&c, &a)| c.saturating_sub(a))
+            .collect();
+        FlowReport { completions, latencies }
+    }
+
+    /// Convenience: run `n` back-to-back items (all arriving at time 0 —
+    /// the saturated regime the paper's batch-latency numbers assume).
+    #[must_use]
+    pub fn run_saturated(&self, n: usize) -> FlowReport {
+        self.run(&vec![SimTime::ZERO; n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use microrec_embedding::{ModelSpec, Precision};
+
+    fn pipe() -> Pipeline {
+        let model = ModelSpec::small_production();
+        let cfg = AccelConfig::for_model(&model, Precision::Fixed16);
+        Pipeline::build(&model, &cfg, SimTime::from_ns(485.0)).unwrap()
+    }
+
+    #[test]
+    fn single_item_matches_analytic_latency() {
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        let report = sim.run_saturated(1);
+        assert_eq!(report.completions[0], p.latency());
+        assert_eq!(report.latencies[0], p.latency());
+    }
+
+    #[test]
+    fn saturated_throughput_matches_initiation_interval() {
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        let n = 500;
+        let report = sim.run_saturated(n);
+        // Makespan = fill + (n-1) * II exactly, for deterministic stages.
+        let expect = p.latency() + p.initiation_interval() * (n as u64 - 1);
+        assert_eq!(report.makespan(), expect);
+        assert_eq!(report.makespan(), p.batch_latency(n as u64));
+    }
+
+    #[test]
+    fn finite_fifos_do_not_slow_deterministic_pipelines() {
+        // Classic result: with deterministic service, blocking never binds
+        // beyond the bottleneck rate, for any FIFO depth >= 1.
+        let p = pipe();
+        let deep = FlowSim::new(&p, 64).run_saturated(200).makespan();
+        let shallow = FlowSim::new(&p, 1).run_saturated(200).makespan();
+        assert_eq!(deep, shallow);
+    }
+
+    #[test]
+    fn poisson_like_arrivals_add_no_queueing_below_capacity() {
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        // Arrivals slower than the II: every item sees an empty pipeline.
+        let gap = p.initiation_interval() * 3;
+        let arrivals: Vec<SimTime> = (0..50u64).map(|i| gap * i).collect();
+        let report = sim.run(&arrivals);
+        for lat in &report.latencies {
+            assert_eq!(*lat, p.latency(), "no queueing expected");
+        }
+    }
+
+    #[test]
+    fn variable_lookup_times_shift_the_bottleneck() {
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        let ii = p.initiation_interval();
+        // Make every lookup slower than the compute bottleneck: the lookup
+        // stage becomes the II.
+        let slow_lookup = ii * 2;
+        let report = sim.run_with(&vec![SimTime::ZERO; 100], |_i, stage| {
+            if stage == 0 {
+                slow_lookup
+            } else {
+                p.stages()[stage].time
+            }
+        });
+        let span = report.makespan();
+        let expect_tail = slow_lookup * 99;
+        assert!(span >= expect_tail, "lookup-bound: {span} >= {expect_tail}");
+    }
+
+    #[test]
+    fn mixed_fast_slow_lookups_average_out() {
+        // Alternate fast (row hit) and slow (row miss) lookups, all below
+        // the compute II: throughput must stay compute-bound.
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        let ii = p.initiation_interval();
+        let report = sim.run_with(&vec![SimTime::ZERO; 100], |i, stage| {
+            if stage == 0 {
+                if i % 2 == 0 {
+                    SimTime::from_ns(100.0)
+                } else {
+                    SimTime::from_ns(600.0)
+                }
+            } else {
+                p.stages()[stage].time
+            }
+        });
+        let expect = p.latency() + ii * 99;
+        // Allow the first-item fill difference.
+        let slack = SimTime::from_ns(600.0);
+        assert!(
+            report.makespan() <= expect + slack,
+            "compute-bound expected: {} vs {}",
+            report.makespan(),
+            expect
+        );
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let p = pipe();
+        let sim = FlowSim::new(&p, 2);
+        let report = sim.run(&[]);
+        assert!(report.completions.is_empty());
+        assert_eq!(report.makespan(), SimTime::ZERO);
+        assert_eq!(report.throughput_items_per_sec(), 0.0);
+        assert_eq!(report.mean_latency(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let p = pipe();
+        let report = FlowSim::new(&p, 2).run_saturated(10);
+        assert!(report.mean_latency() >= p.latency());
+        assert!(report.max_latency() >= report.mean_latency());
+        assert!(report.throughput_items_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Host→FPGA streaming model (the paper's footnote 2, measured).
+//!
+//! The authors could not stream input features from the host because
+//! "Vitis does not yet support streaming from the host server to a Xilinx
+//! U280", so they prototyped with features cached on-FPGA — all published
+//! numbers exclude the host link. This module models the missing stage (a
+//! PCIe DMA with per-transfer setup latency and sustained bandwidth) so
+//! the natural question — *would streaming change the results?* — gets an
+//! answer: an inference item's payload is a few hundred bytes of indices
+//! and dense features, so the link stage is orders of magnitude below the
+//! compute bottleneck.
+
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{Pipeline, Stage};
+
+/// Parameters of the host↔FPGA link.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_accel::HostLink;
+/// use microrec_embedding::ModelSpec;
+///
+/// let link = HostLink::pcie_gen3_x16();
+/// let model = ModelSpec::small_production();
+/// // 47 four-byte indices per item: the wire time is trivial.
+/// assert_eq!(HostLink::item_bytes(&model), 188);
+/// assert!(link.stage_time(&model).as_ns() < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostLink {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer (DMA descriptor) latency.
+    pub setup: SimTime,
+    /// Items aggregated per DMA transfer (1 = per-item streaming).
+    pub items_per_transfer: u32,
+}
+
+impl HostLink {
+    /// PCIe Gen3 x16 as on the U280: ~12 GB/s sustained, ~1 µs DMA setup.
+    #[must_use]
+    pub fn pcie_gen3_x16() -> Self {
+        HostLink {
+            bandwidth: 12.0e9,
+            setup: SimTime::from_us(1.0),
+            items_per_transfer: 64,
+        }
+    }
+
+    /// Input payload bytes of one inference item: one 4-byte index per
+    /// lookup plus the dense features (f32 each).
+    #[must_use]
+    pub fn item_bytes(model: &ModelSpec) -> u64 {
+        u64::from(model.lookups_per_item()) * 4 + u64::from(model.dense_dim) * 4
+    }
+
+    /// Effective per-item time of the link stage (setup amortized over the
+    /// transfer's items).
+    #[must_use]
+    pub fn stage_time(&self, model: &ModelSpec) -> SimTime {
+        let items = u64::from(self.items_per_transfer.max(1));
+        let bytes = Self::item_bytes(model) * items;
+        let wire = SimTime::from_ns(bytes as f64 / self.bandwidth * 1e9);
+        (self.setup + wire) / items
+    }
+
+    /// A copy of `pipeline` with the host-link stage prepended.
+    #[must_use]
+    pub fn attach(&self, pipeline: &Pipeline, model: &ModelSpec) -> Pipeline {
+        let mut stages = vec![Stage {
+            name: "host.stream".to_string(),
+            time: self.stage_time(model),
+        }];
+        stages.extend(pipeline.stages().iter().cloned());
+        Pipeline::from_stages(stages, pipeline.clock_hz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use microrec_embedding::Precision;
+
+    fn pipe(model: &ModelSpec) -> Pipeline {
+        let cfg = AccelConfig::for_model(model, Precision::Fixed16);
+        Pipeline::build(model, &cfg, SimTime::from_ns(485.0)).unwrap()
+    }
+
+    #[test]
+    fn item_payload_is_small() {
+        let small = ModelSpec::small_production();
+        // 47 indices x 4 bytes.
+        assert_eq!(HostLink::item_bytes(&small), 188);
+        let dlrm = ModelSpec::dlrm_rmc2(8, 16);
+        assert_eq!(HostLink::item_bytes(&dlrm), 8 * 4 * 4);
+    }
+
+    #[test]
+    fn streaming_does_not_change_the_bottleneck() {
+        // The question footnote 2 leaves open.
+        let model = ModelSpec::small_production();
+        let base = pipe(&model);
+        let with_link = HostLink::pcie_gen3_x16().attach(&base, &model);
+        assert_eq!(with_link.stages().len(), base.stages().len() + 1);
+        assert_eq!(with_link.stages()[0].name, "host.stream");
+        assert_eq!(
+            with_link.initiation_interval(),
+            base.initiation_interval(),
+            "PCIe streaming must not become the bottleneck"
+        );
+        // Latency grows by well under a microsecond per item.
+        let delta = with_link.latency() - base.latency();
+        assert!(delta.as_ns() < 1_000.0, "link adds {delta}");
+        assert!(with_link.bottleneck().contains("compute"));
+    }
+
+    #[test]
+    fn per_item_streaming_pays_full_setup() {
+        let model = ModelSpec::small_production();
+        let mut link = HostLink::pcie_gen3_x16();
+        link.items_per_transfer = 1;
+        // 1 us setup per item: now the link *is* near the II scale.
+        let t = link.stage_time(&model);
+        assert!(t.as_us() >= 1.0);
+        link.items_per_transfer = 64;
+        assert!(link.stage_time(&model) < t, "batched DMA amortizes setup");
+    }
+
+    #[test]
+    fn wire_time_scales_with_payload() {
+        let link = HostLink::pcie_gen3_x16();
+        let small = ModelSpec::dlrm_rmc2(8, 4);
+        let large = ModelSpec::dlrm_rmc2(12, 4);
+        assert!(link.stage_time(&large) > link.stage_time(&small));
+    }
+}

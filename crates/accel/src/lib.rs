@@ -1,0 +1,50 @@
+//! # microrec-accel
+//!
+//! Cycle-level model of the MicroRec FPGA accelerator (Jiang et al., MLSys
+//! 2021, §4): the deeply pipelined dataflow (embedding lookup feeding three
+//! FIFO-connected DNN stages, each split into broadcast / partial-GEMM /
+//! gather), the PE-array throughput model, and the resource-utilization
+//! estimator behind the appendix's Table 6.
+//!
+//! The model substitutes for the physical Alveo U280: stage times follow
+//! from cycle counts at the design's clock (Table 6 frequencies) and the
+//! per-PE MAC rates its DSP budget supports, calibrated to land within
+//! ~13 % of every FPGA latency/throughput figure in the paper's Table 2.
+//!
+//! ## Example
+//!
+//! ```
+//! use microrec_accel::{AccelConfig, Pipeline};
+//! use microrec_embedding::{ModelSpec, Precision};
+//! use microrec_memsim::SimTime;
+//!
+//! let model = ModelSpec::small_production();
+//! let config = AccelConfig::for_model(&model, Precision::Fixed16);
+//! let pipeline = Pipeline::build(&model, &config, SimTime::from_ns(485.0))?;
+//! println!(
+//!     "latency {}  throughput {:.0} items/s  bottleneck {}",
+//!     pipeline.latency(),
+//!     pipeline.throughput_items_per_sec(),
+//!     pipeline.bottleneck(),
+//! );
+//! # Ok::<(), microrec_accel::AccelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+mod flow;
+mod hostlink;
+mod pipeline;
+mod resources;
+
+pub use config::{AccelConfig, STREAM_WIDTH};
+pub use error::AccelError;
+pub use flow::{FlowReport, FlowSim};
+pub use hostlink::HostLink;
+pub use pipeline::{Pipeline, Stage};
+pub use resources::{
+    estimate_usage, DeviceCapacity, ResourceUsage, ResourceUtilization, U280_CAPACITY,
+};

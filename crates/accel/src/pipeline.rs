@@ -1,0 +1,358 @@
+//! The deeply pipelined dataflow model (§4.1, Figure 6).
+//!
+//! Items flow through the accelerator one by one: the embedding-lookup
+//! stage feeds three DNN computation stages, each internally split into
+//! feature broadcast, partial-GEMM compute, and result gathering, all
+//! connected by FIFOs. Because the stages overlap across items,
+//!
+//! * single-item latency = Σ stage times (fill the pipe once), and
+//! * steady-state throughput = 1 / max stage time (the initiation
+//!   interval) — which is why the paper's throughput "is not the
+//!   reciprocal of latency" (§5.3).
+
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AccelConfig, STREAM_WIDTH};
+use crate::error::AccelError;
+
+/// One named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Human-readable stage name, e.g. `"fc1.compute"`.
+    pub name: String,
+    /// Time one item occupies the stage.
+    pub time: SimTime,
+}
+
+/// The full pipeline of the accelerator for one model configuration.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_accel::{AccelConfig, Pipeline};
+/// use microrec_embedding::{ModelSpec, Precision};
+/// use microrec_memsim::SimTime;
+///
+/// let model = ModelSpec::small_production();
+/// let cfg = AccelConfig::for_model(&model, Precision::Fixed16);
+/// let pipe = Pipeline::build(&model, &cfg, SimTime::from_ns(485.0))?;
+/// // Paper Table 2: ~16.3 us single-item latency, ~3e5 items/s.
+/// assert!(pipe.latency().as_us() < 25.0);
+/// assert!(pipe.throughput_items_per_sec() > 2e5);
+/// # Ok::<(), microrec_accel::AccelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    clock_hz: u64,
+}
+
+impl Pipeline {
+    /// Builds the pipeline for `model` on `config`, with the embedding
+    /// lookup stage taking `lookup_time` per item (from the placement cost
+    /// model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::ConfigMismatch`] if the PE list does not match
+    /// the model's hidden layers.
+    pub fn build(
+        model: &ModelSpec,
+        config: &AccelConfig,
+        lookup_time: SimTime,
+    ) -> Result<Self, AccelError> {
+        if config.pes_per_layer.len() != model.hidden.len() {
+            return Err(AccelError::ConfigMismatch {
+                expected: model.hidden.len(),
+                actual: config.pes_per_layer.len(),
+            });
+        }
+        let hz = config.clock_hz;
+        let mut stages = vec![Stage { name: "embedding.lookup".to_string(), time: lookup_time }];
+        // The dense branch (Figure 1): a DLRM-style bottom MLP runs on a
+        // small dedicated PE group, concurrent with the lookup stage in the
+        // dataflow but modelled as its own pipeline stage.
+        if !model.bottom_hidden.is_empty() {
+            let mut macs = 0u64;
+            let mut prev = u64::from(model.dense_dim);
+            for &h in &model.bottom_hidden {
+                macs += prev * u64::from(h);
+                prev = u64::from(h);
+            }
+            // A dedicated 64-PE group keeps the dense branch off the
+            // critical path (it is tiny next to the top MLP).
+            let bottom_pes = 64u64 * u64::from(config.macs_per_pe_cycle);
+            stages.push(Stage {
+                name: "bottom.compute".to_string(),
+                time: SimTime::from_cycles(macs.div_ceil(bottom_pes), hz),
+            });
+        }
+        let mut in_dim = u64::from(model.feature_len());
+        for (i, (&h, &pes)) in model.hidden.iter().zip(&config.pes_per_layer).enumerate() {
+            let out_dim = u64::from(h);
+            let macs_per_cycle = u64::from(pes) * u64::from(config.macs_per_pe_cycle);
+            // Feature broadcast to the PEs.
+            let bcast = in_dim.div_ceil(u64::from(STREAM_WIDTH));
+            // Partial GEMM; the last stage also absorbs the single CTR
+            // output neuron.
+            let mut macs = in_dim * out_dim;
+            if i + 1 == model.hidden.len() {
+                macs += out_dim;
+            }
+            let compute = macs.div_ceil(macs_per_cycle);
+            // Result gathering from the PEs.
+            let gather = out_dim.div_ceil(u64::from(STREAM_WIDTH));
+            stages.push(Stage {
+                name: format!("fc{}.broadcast", i + 1),
+                time: SimTime::from_cycles(bcast, hz),
+            });
+            stages.push(Stage {
+                name: format!("fc{}.compute", i + 1),
+                time: SimTime::from_cycles(compute, hz),
+            });
+            stages.push(Stage {
+                name: format!("fc{}.gather", i + 1),
+                time: SimTime::from_cycles(gather, hz),
+            });
+            in_dim = out_dim;
+        }
+        Ok(Pipeline { stages, clock_hz: hz })
+    }
+
+    /// Assembles a pipeline from explicit stages (used to prepend or
+    /// append stages such as the host link).
+    #[must_use]
+    pub fn from_stages(stages: Vec<Stage>, clock_hz: u64) -> Self {
+        Pipeline { stages, clock_hz }
+    }
+
+    /// The stages in dataflow order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Kernel clock.
+    #[must_use]
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// End-to-end latency of a single item (sum of all stages).
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        self.stages.iter().map(|s| s.time).sum()
+    }
+
+    /// The initiation interval: the slowest (bottleneck) stage.
+    #[must_use]
+    pub fn initiation_interval(&self) -> SimTime {
+        self.stages.iter().map(|s| s.time).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Name of the bottleneck stage.
+    #[must_use]
+    pub fn bottleneck(&self) -> &str {
+        self.stages
+            .iter()
+            .max_by_key(|s| s.time)
+            .map(|s| s.name.as_str())
+            .unwrap_or("")
+    }
+
+    /// Steady-state throughput in items per second.
+    #[must_use]
+    pub fn throughput_items_per_sec(&self) -> f64 {
+        self.initiation_interval().throughput_per_sec()
+    }
+
+    /// Time to process a batch of `n` items: pipeline fill (the first
+    /// item's full latency) plus one initiation interval per further item.
+    /// This is the "batch latency ... of both the stable stages in the
+    /// middle of the pipeline as well as the time overhead of starting and
+    /// ending" the paper's Table 2 speedups are computed against.
+    #[must_use]
+    pub fn batch_latency(&self, n: u64) -> SimTime {
+        if n == 0 {
+            return SimTime::ZERO;
+        }
+        self.latency() + self.initiation_interval() * (n - 1)
+    }
+
+    /// Per-stage utilization: each stage's busy fraction at steady state
+    /// (stage time / initiation interval). The bottleneck reads 1.0; a
+    /// stage at 0.1 idles 90 % of the time — the slack Figure 7's
+    /// multi-round lookups consume.
+    #[must_use]
+    pub fn stage_utilization(&self) -> Vec<(String, f64)> {
+        let ii = self.initiation_interval();
+        if ii.is_zero() {
+            return self.stages.iter().map(|s| (s.name.clone(), 0.0)).collect();
+        }
+        self.stages
+            .iter()
+            .map(|s| (s.name.clone(), s.time.as_ns() / ii.as_ns()))
+            .collect()
+    }
+
+    /// A copy of this pipeline with the lookup stage repeated `rounds`
+    /// times (the Figure 7 robustness experiment: alternative model
+    /// architectures needing multiple rounds of embedding retrieval).
+    #[must_use]
+    pub fn with_lookup_rounds(&self, rounds: u32) -> Pipeline {
+        let mut p = self.clone();
+        for s in &mut p.stages {
+            if s.name == "embedding.lookup" {
+                s.time = s.time * u64::from(rounds.max(1));
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_embedding::Precision;
+
+    fn small_pipe(precision: Precision) -> Pipeline {
+        let model = ModelSpec::small_production();
+        let cfg = AccelConfig::for_model(&model, precision);
+        // Lookup time from the placement cost model (~485 ns, one round).
+        Pipeline::build(&model, &cfg, SimTime::from_ns(485.0)).unwrap()
+    }
+
+    fn large_pipe(precision: Precision) -> Pipeline {
+        let model = ModelSpec::large_production();
+        let cfg = AccelConfig::for_model(&model, precision);
+        Pipeline::build(&model, &cfg, SimTime::from_ns(1011.0)).unwrap()
+    }
+
+    #[track_caller]
+    fn assert_close(actual: f64, paper: f64, tol: f64, what: &str) {
+        let err = (actual - paper).abs() / paper;
+        assert!(err <= tol, "{what}: model {actual:.3e} vs paper {paper:.3e} ({:.1}%)", err * 100.0);
+    }
+
+    #[test]
+    fn stage_structure() {
+        let p = small_pipe(Precision::Fixed16);
+        // 1 lookup + 3 layers x 3 sub-stages.
+        assert_eq!(p.stages().len(), 10);
+        assert_eq!(p.stages()[0].name, "embedding.lookup");
+        assert_eq!(p.stages()[5].name, "fc2.compute");
+    }
+
+    #[test]
+    fn matches_paper_table2_small_model() {
+        // Paper: fp16 1.63e-2 ms latency, 3.05e5 items/s;
+        //        fp32 2.26e-2 ms latency, 1.81e5 items/s.
+        let p16 = small_pipe(Precision::Fixed16);
+        assert_close(p16.latency().as_us(), 16.3, 0.15, "small fp16 latency");
+        assert_close(p16.throughput_items_per_sec(), 3.05e5, 0.15, "small fp16 throughput");
+        let p32 = small_pipe(Precision::Fixed32);
+        assert_close(p32.latency().as_us(), 22.6, 0.15, "small fp32 latency");
+        assert_close(p32.throughput_items_per_sec(), 1.81e5, 0.15, "small fp32 throughput");
+    }
+
+    #[test]
+    fn matches_paper_table2_large_model() {
+        // Paper: fp16 2.26e-2 ms, 1.95e5 items/s; fp32 3.10e-2 ms, 1.22e5.
+        let p16 = large_pipe(Precision::Fixed16);
+        assert_close(p16.latency().as_us(), 22.6, 0.15, "large fp16 latency");
+        assert_close(p16.throughput_items_per_sec(), 1.95e5, 0.15, "large fp16 throughput");
+        let p32 = large_pipe(Precision::Fixed32);
+        assert_close(p32.latency().as_us(), 31.0, 0.15, "large fp32 latency");
+        assert_close(p32.throughput_items_per_sec(), 1.22e5, 0.15, "large fp32 throughput");
+    }
+
+    #[test]
+    fn latency_is_microseconds_not_milliseconds() {
+        // The headline claim: 3-4 orders of magnitude under the tens-of-ms
+        // SLA.
+        for p in [small_pipe(Precision::Fixed16), large_pipe(Precision::Fixed32)] {
+            assert!(p.latency().as_ms() < 0.05);
+        }
+    }
+
+    #[test]
+    fn throughput_is_not_reciprocal_of_latency() {
+        let p = small_pipe(Precision::Fixed16);
+        let reciprocal = 1.0 / p.latency().as_secs();
+        assert!(p.throughput_items_per_sec() > 2.0 * reciprocal);
+    }
+
+    #[test]
+    fn batch_latency_fills_then_streams() {
+        let p = small_pipe(Precision::Fixed16);
+        assert_eq!(p.batch_latency(0), SimTime::ZERO);
+        assert_eq!(p.batch_latency(1), p.latency());
+        let b10 = p.batch_latency(10);
+        assert_eq!(b10, p.latency() + p.initiation_interval() * 9);
+    }
+
+    #[test]
+    fn compute_bound_until_enough_lookup_rounds() {
+        // Figure 7: the small model tolerates ~6 rounds at fixed-16 before
+        // throughput starts to drop.
+        let p = small_pipe(Precision::Fixed16);
+        let base = p.throughput_items_per_sec();
+        let mut knee = 0;
+        for rounds in 1..=12 {
+            let t = p.with_lookup_rounds(rounds).throughput_items_per_sec();
+            if t < base * 0.999 {
+                knee = rounds;
+                break;
+            }
+        }
+        assert!(
+            (5..=9).contains(&knee),
+            "small fp16 should stay flat until ~6-7 rounds, knee at {knee}"
+        );
+        // Large model tolerates fewer rounds (paper: 4).
+        let p = large_pipe(Precision::Fixed16);
+        let base = p.throughput_items_per_sec();
+        let mut knee = 0;
+        for rounds in 1..=12 {
+            let t = p.with_lookup_rounds(rounds).throughput_items_per_sec();
+            if t < base * 0.999 {
+                knee = rounds;
+                break;
+            }
+        }
+        assert!((3..=6).contains(&knee), "large fp16 knee at {knee}");
+    }
+
+    #[test]
+    fn utilization_peaks_at_the_bottleneck() {
+        let p = small_pipe(Precision::Fixed16);
+        let util = p.stage_utilization();
+        assert_eq!(util.len(), p.stages().len());
+        let max = util.iter().map(|(_, u)| *u).fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-9, "bottleneck utilization must be 1.0");
+        let (name, _) = util.iter().find(|(_, u)| (*u - 1.0).abs() < 1e-9).unwrap();
+        assert_eq!(name, p.bottleneck());
+        // The lookup stage has slack (that Figure 7 consumes).
+        let (_, lookup_util) = &util[0];
+        assert!(*lookup_util < 0.25, "lookup utilization {lookup_util}");
+    }
+
+    #[test]
+    fn bottleneck_is_a_compute_stage() {
+        let p = small_pipe(Precision::Fixed16);
+        assert!(p.bottleneck().contains("compute"), "bottleneck = {}", p.bottleneck());
+    }
+
+    #[test]
+    fn config_mismatch_detected() {
+        let model = ModelSpec::small_production();
+        let mut cfg = AccelConfig::for_model(&model, Precision::Fixed16);
+        cfg.pes_per_layer.pop();
+        assert!(matches!(
+            Pipeline::build(&model, &cfg, SimTime::ZERO),
+            Err(AccelError::ConfigMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! The event-driven flow simulator against the analytic pipeline model,
+//! on randomized stage configurations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use microrec_accel::{AccelConfig, FlowSim, Pipeline};
+use microrec_embedding::{ModelSpec, Precision, TableSpec};
+use microrec_memsim::SimTime;
+
+/// Builds a pipeline with arbitrary-ish stage times by varying the model
+/// shape and lookup time.
+fn build_pipeline(feat: u32, h1: u32, h2: u32, lookup_ns: f64) -> Pipeline {
+    let tables = (feat / 4).max(1);
+    let model = ModelSpec::new(
+        "prop",
+        (0..tables).map(|i| TableSpec::new(format!("t{i}"), 100, 4)).collect(),
+        vec![h1, h2],
+        1,
+    );
+    let cfg = AccelConfig {
+        clock_hz: 120_000_000,
+        precision: Precision::Fixed16,
+        pes_per_layer: vec![16, 16],
+        macs_per_pe_cycle: 8,
+    };
+    Pipeline::build(&model, &cfg, SimTime::from_ns(lookup_ns)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulation and analysis agree exactly for deterministic stages.
+    #[test]
+    fn flow_matches_analytic(
+        feat in 4u32..256,
+        h1 in 8u32..512,
+        h2 in 8u32..512,
+        lookup_ns in 1.0f64..5_000.0,
+        n in 1usize..120,
+        fifo in 1usize..8,
+    ) {
+        let p = build_pipeline(feat, h1, h2, lookup_ns);
+        let sim = FlowSim::new(&p, fifo);
+        let report = sim.run_saturated(n);
+        prop_assert_eq!(report.completions[0], p.latency());
+        prop_assert_eq!(report.makespan(), p.batch_latency(n as u64));
+    }
+
+    /// Latencies are monotone in queue position under saturation.
+    #[test]
+    fn saturated_latency_monotone(n in 2usize..60) {
+        let p = build_pipeline(64, 128, 64, 400.0);
+        let report = FlowSim::new(&p, 2).run_saturated(n);
+        for w in report.latencies.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// Arrival jitter never reduces a completion below the saturated
+    /// schedule (work conservation).
+    #[test]
+    fn jittered_arrivals_complete_no_earlier(gaps in vec(0u64..10_000, 1..60)) {
+        let p = build_pipeline(64, 128, 64, 400.0);
+        let sim = FlowSim::new(&p, 2);
+        let mut t = SimTime::ZERO;
+        let arrivals: Vec<SimTime> = gaps
+            .iter()
+            .map(|&g| {
+                t += SimTime::from_ps(g);
+                t
+            })
+            .collect();
+        let jittered = sim.run(&arrivals);
+        let saturated = sim.run_saturated(arrivals.len());
+        for (j, s) in jittered.completions.iter().zip(&saturated.completions) {
+            prop_assert!(j >= s);
+        }
+    }
+}
+
+/// The flow simulator reproduces the Figure 7 knee: repeated-lookup
+/// pipelines stay compute-bound until the lookup stage dominates.
+#[test]
+fn flow_reproduces_figure7_knee() {
+    let model = ModelSpec::small_production();
+    let cfg = AccelConfig::for_model(&model, Precision::Fixed16);
+    let base = Pipeline::build(&model, &cfg, SimTime::from_ns(485.0)).unwrap();
+    let base_tp =
+        FlowSim::new(&base, 2).run_saturated(300).throughput_items_per_sec();
+    let mut knee = 0;
+    for rounds in 1..=12u32 {
+        let p = base.with_lookup_rounds(rounds);
+        let tp = FlowSim::new(&p, 2).run_saturated(300).throughput_items_per_sec();
+        if tp < base_tp * 0.99 {
+            knee = rounds;
+            break;
+        }
+    }
+    assert!((5..=9).contains(&knee), "event-driven knee at {knee}");
+}

@@ -1,0 +1,39 @@
+//! Cartesian product construction and index arithmetic.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_embedding::cartesian::{
+    materialize_product, merged_row_index, unmerged_row_indices,
+};
+use microrec_embedding::{EmbeddingTable, TableSpec};
+
+fn bench_index_math(c: &mut Criterion) {
+    let sizes = [380u64, 660];
+    let mut group = c.benchmark_group("cartesian_index");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("merged_row_index_pair", |b| {
+        b.iter(|| merged_row_index(black_box(&sizes), black_box(&[123, 456])).unwrap())
+    });
+    group.bench_function("unmerged_row_indices_pair", |b| {
+        b.iter(|| unmerged_row_indices(black_box(&sizes), black_box(123_456)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let a = EmbeddingTable::procedural(TableSpec::new("a", 380, 4), 1);
+    let b = EmbeddingTable::procedural(TableSpec::new("b", 660, 4), 2);
+    let mut group = c.benchmark_group("cartesian_materialize");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(380 * 660 * 8 * 4));
+    group.bench_function("product_380x660_dim8", |bench| {
+        bench.iter(|| materialize_product(black_box(&[&a, &b]), u64::MAX).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_math, bench_materialize);
+criterion_main!(benches);

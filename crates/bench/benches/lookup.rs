@@ -1,0 +1,51 @@
+//! Embedding lookups: catalog resolution, functional gathers, and the
+//! memory simulator's batch servicing.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_embedding::{Catalog, MergePlan, ModelSpec};
+use microrec_memsim::{HybridMemory, MemoryConfig, ReadRequest, BankId, MemoryKind};
+
+fn bench_catalog(c: &mut Criterion) {
+    let model = ModelSpec::small_production();
+    let catalog = Catalog::build(&model, &MergePlan::none(), 1).unwrap();
+    let merged_plan = MergePlan::pairs(&[(37, 46), (38, 45), (39, 44), (40, 43), (41, 42)]);
+    let merged = Catalog::build(&model, &merged_plan, 1).unwrap();
+    let indices: Vec<u64> = model.tables.iter().map(|t| t.rows / 2).collect();
+
+    let mut group = c.benchmark_group("catalog");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(model.num_tables() as u64));
+    group.bench_function("resolve_47_tables", |b| {
+        b.iter(|| catalog.resolve(black_box(&indices)).unwrap())
+    });
+    group.bench_function("resolve_merged_42", |b| {
+        b.iter(|| merged.resolve(black_box(&indices)).unwrap())
+    });
+    let mut out = vec![0.0f32; catalog.feature_len() as usize];
+    group.bench_function("gather_352_features", |b| {
+        b.iter(|| catalog.gather(black_box(&indices), &mut out).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_memsim(c: &mut Criterion) {
+    let mut mem = HybridMemory::new(MemoryConfig::u280());
+    let requests: Vec<ReadRequest> = (0..32)
+        .map(|i| ReadRequest::new(BankId::new(MemoryKind::Hbm, i), 64))
+        .collect();
+    let mut group = c.benchmark_group("memsim");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("parallel_read_32ch", |b| {
+        b.iter(|| mem.parallel_read(black_box(&requests)).unwrap())
+    });
+    group.bench_function("estimate_32ch", |b| {
+        b.iter(|| mem.estimate_parallel_read(black_box(&requests)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog, bench_memsim);
+criterion_main!(benches);

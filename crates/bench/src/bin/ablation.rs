@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * DRAM allocation strategy (paper's count-balanced round-robin vs
+//!   time-balanced LPT);
+//! * Cartesian merging on/off per strategy;
+//! * heuristic vs brute force on a downscaled instance;
+//! * embedding storage precision (32- vs 16-bit rows).
+
+use microrec_bench::print_table;
+use microrec_embedding::{ModelSpec, Precision, TableSpec};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{
+    brute_force_search, heuristic_search, optimality_gap, AllocStrategy, HeuristicOptions,
+};
+
+fn main() {
+    let config = MemoryConfig::u280();
+
+    // 1. Allocator strategy x merging.
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for strategy in [AllocStrategy::RoundRobin, AllocStrategy::Lpt] {
+            for allow_merge in [false, true] {
+                let out = heuristic_search(
+                    &model,
+                    &config,
+                    Precision::F32,
+                    &HeuristicOptions { strategy, allow_merge, ..Default::default() },
+                )
+                .expect("search");
+                rows.push(vec![
+                    model.name.clone(),
+                    format!("{strategy:?}"),
+                    if allow_merge { "merge" } else { "no-merge" }.to_string(),
+                    format!("{:.0} ns", out.cost.lookup_latency.as_ns()),
+                    out.cost.dram_rounds.to_string(),
+                    format!(
+                        "{:.2}%",
+                        (out.cost.storage_bytes as f64
+                            / model.total_bytes(Precision::F32) as f64
+                            - 1.0)
+                            * 100.0
+                    ),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Ablation A: DRAM allocation strategy x Cartesian merging",
+        &["Model", "Strategy", "Merging", "Lookup latency", "Rounds", "Storage overhead"],
+        &rows,
+    );
+    println!("\nReading: under the paper's rounds model (RoundRobin), merging buys");
+    println!("~25-40% lookup latency; a time-balancing allocator (LPT) flattens");
+    println!("channel times and shrinks the merging win - the benefit of Cartesian");
+    println!("products depends on the allocator being round-structured.");
+
+    // 2. Heuristic vs brute force on a downscaled instance.
+    let toy = ModelSpec::new(
+        "downscaled",
+        (0..9)
+            .map(|i| TableSpec::new(format!("t{i}"), 120 + 60 * i as u64, 4))
+            .collect(),
+        vec![64, 32],
+        1,
+    );
+    let mut cramped = MemoryConfig::fpga_without_hbm(4);
+    cramped.banks.retain(|b| b.id.kind.is_dram());
+    let brute = brute_force_search(&toy, &cramped, Precision::F32, AllocStrategy::RoundRobin)
+        .expect("brute");
+    let heur = heuristic_search(&toy, &cramped, Precision::F32, &HeuristicOptions::default())
+        .expect("heuristic");
+    print_table(
+        "Ablation B: heuristic vs brute force (9 tables, 4 DDR channels)",
+        &["Search", "Latency (ns)", "Solutions evaluated"],
+        &[
+            vec![
+                "brute force".into(),
+                format!("{:.0}", brute.cost.lookup_latency.as_ns()),
+                brute.evaluated.to_string(),
+            ],
+            vec![
+                "heuristic".into(),
+                format!("{:.0}", heur.cost.lookup_latency.as_ns()),
+                heur.evaluated.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nOptimality gap: {:.3}x with {}x fewer solutions evaluated.",
+        optimality_gap(&heur.cost, &brute.cost),
+        brute.evaluated / heur.evaluated.max(1)
+    );
+
+    // 3. Rule 2 ablation: pairs vs triples.
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for group_size in [2usize, 3] {
+            let out = heuristic_search(
+                &model,
+                &config,
+                Precision::F32,
+                &HeuristicOptions { group_size, ..Default::default() },
+            )
+            .expect("search");
+            rows.push(vec![
+                model.name.clone(),
+                format!("{group_size}-way"),
+                format!("{:.0} ns", out.cost.lookup_latency.as_ns()),
+                out.cost.dram_rounds.to_string(),
+                format!(
+                    "{:+.2}%",
+                    (out.cost.storage_bytes as f64
+                        / model.total_bytes(Precision::F32) as f64
+                        - 1.0)
+                        * 100.0
+                ),
+                out.plan.merge.groups.len().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation D: Cartesian group size (the paper's rule 2 fixes pairs)",
+        &["Model", "Products", "Lookup latency", "Rounds", "Storage overhead", "Groups"],
+        &rows,
+    );
+    println!("\nReading: 3-way products reach the same round count only by paying");
+    println!("multiplicatively more storage (rows multiply across all three members),");
+    println!("or fail to reach it at all - the measured justification for rule 2.");
+
+    // 4. Embedding storage precision.
+    let mut rows = Vec::new();
+    for storage in [Precision::F32, Precision::Fixed16] {
+        let out = heuristic_search(
+            &ModelSpec::small_production(),
+            &config,
+            storage,
+            &HeuristicOptions::default(),
+        )
+        .expect("search");
+        rows.push(vec![
+            storage.to_string(),
+            format!("{:.0} ns", out.cost.lookup_latency.as_ns()),
+            format!("{:.2} GB", out.cost.storage_bytes as f64 / 1e9),
+            out.cost.tables_on_chip.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation C: embedding storage precision (small model)",
+        &["Storage", "Lookup latency", "Total storage", "Tables on chip"],
+        &rows,
+    );
+    println!("\nReading: 16-bit rows halve both streaming time and storage, and");
+    println!("more tail tables fit the on-chip banks - an extension the paper");
+    println!("leaves on the table by keeping 32-bit elements in memory.");
+}

@@ -1,0 +1,70 @@
+//! Extension study: what would a smarter memory controller buy?
+//!
+//! The paper's HLS/Vitis AXI controller services one outstanding read per
+//! channel (its own Table 5 scales perfectly linearly in accesses per
+//! channel). Real DRAM channels have 16 internal banks whose activations
+//! can overlap under an FR-FCFS-style scheduler. This bench replays the
+//! production models' per-channel request streams under both disciplines.
+
+use microrec_bench::print_table;
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::{
+    schedule_channel, BankRequest, DetailedTiming, MemoryConfig, SchedulerPolicy,
+};
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+fn main() {
+    let timing = DetailedTiming::hbm2();
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for merge in [false, true] {
+            let out = heuristic_search(
+                &model,
+                &MemoryConfig::u280(),
+                Precision::F32,
+                &HeuristicOptions { allow_merge: merge, ..Default::default() },
+            )
+            .expect("placement");
+            // Build each DRAM channel's request stream (one read per table
+            // on that channel, spread over internal banks by table index).
+            let mut per_channel: std::collections::BTreeMap<_, Vec<BankRequest>> =
+                Default::default();
+            for (i, table) in out.plan.placed.iter().enumerate() {
+                let bank = table.banks[0];
+                if !bank.kind.is_dram() {
+                    continue;
+                }
+                per_channel.entry(bank).or_default().push(BankRequest {
+                    bank: i % 16,
+                    row: i as u64,
+                    bytes: table.row_bytes(Precision::F32),
+                });
+            }
+            let lookup = |policy| {
+                per_channel
+                    .values()
+                    .map(|reqs| schedule_channel(&timing, policy, reqs).makespan)
+                    .max()
+                    .expect("channels")
+            };
+            let serial = lookup(SchedulerPolicy::SerialAxi);
+            let parallel = lookup(SchedulerPolicy::BankParallel);
+            rows.push(vec![
+                format!("{} {}", model.name, if merge { "cartesian" } else { "no-merge" }),
+                format!("{:.0} ns", serial.as_ns()),
+                format!("{:.0} ns", parallel.as_ns()),
+                format!("{:.2}x", serial.as_ns() / parallel.as_ns()),
+            ]);
+        }
+    }
+    print_table(
+        "Lookup latency under the measured (serial AXI) vs a bank-parallel controller",
+        &["Configuration", "Serial AXI", "Bank-parallel", "Controller win"],
+        &rows,
+    );
+    println!("\nReading: a bank-parallel controller would flatten the multi-round");
+    println!("penalty the Cartesian products exist to remove — the data-structure");
+    println!("trick and the controller improvement attack the same serialization.");
+    println!("On the paper's actual (serial) controller, Cartesian merging is the");
+    println!("only lever; with a better controller both configurations converge.");
+}

@@ -1,0 +1,38 @@
+//! Regenerates the appendix cost estimation: AWS rental cost per million
+//! inferences, CPU server vs FPGA server.
+
+use microrec_bench::print_table;
+use microrec_core::{end_to_end_report, AwsPrices, CostReport};
+use microrec_embedding::{ModelSpec, Precision};
+
+fn main() {
+    let prices = AwsPrices::default();
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for precision in [Precision::Fixed16, Precision::Fixed32] {
+            let report =
+                end_to_end_report(&model, precision, &[2048]).expect("report");
+            let cost = CostReport::build(
+                report.cpu[0].items_per_sec,
+                report.fpga.items_per_sec,
+                prices,
+            );
+            rows.push(vec![
+                format!("{} {precision}", model.name),
+                format!("${:.4}", cost.cpu_usd_per_million),
+                format!("${:.4}", cost.fpga_usd_per_million),
+                format!("{:.1}x", cost.advantage()),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Appendix: cost per 1M inferences (CPU ${}/h vs FPGA ${}/h)",
+            prices.cpu_per_hour, prices.fpga_per_hour
+        ),
+        &["Config", "CPU", "FPGA", "FPGA advantage"],
+        &rows,
+    );
+    println!("\nPaper: 'Considering the 4~5x speedup using 32-bit fixed-points,");
+    println!("deploying FPGAs will be beneficial in the long-term.'");
+}

@@ -1,0 +1,91 @@
+//! Extension study: RecNMP-style hot-entry caching vs MicroRec's channel
+//! parallelism, under traffic of varying skew.
+//!
+//! Ke et al. 2020 (related work, §6) cache frequently-accessed embedding
+//! entries near memory. This bench drives the same Zipf query streams
+//! through (a) an entry cache in front of a *single* DRAM channel (the
+//! CPU-ish topology near-memory caching accelerates) and (b) MicroRec's
+//! 34-channel parallel lookup, and compares effective per-item lookup
+//! time.
+
+use microrec_bench::print_table;
+use microrec_core::MicroRec;
+use microrec_embedding::{Catalog, MergePlan, ModelSpec, Precision};
+use microrec_memsim::{
+    AddressedRead, BankId, CacheConfig, EntryCache, MemTiming, MemoryKind, SimTime,
+};
+use microrec_workload::{QueryGenConfig, QueryGenerator};
+
+fn main() {
+    let model = ModelSpec::small_production();
+    let catalog = Catalog::build(&model, &MergePlan::none(), 1).expect("catalog");
+    let queries = 2_000usize;
+    let dram = MemTiming::ddr4_server();
+    // Non-overlapping per-table base addresses.
+    let mut bases = Vec::with_capacity(catalog.physical_tables().len());
+    let mut cursor = 0u64;
+    for table in catalog.physical_tables() {
+        bases.push(cursor);
+        cursor += table.spec.bytes(Precision::F32);
+    }
+    let mut rows = Vec::new();
+
+    for (label, zipf) in [("uniform", 0.0), ("zipf-0.9", 0.9), ("zipf-1.2", 1.2)] {
+        // (a) Hot-entry cache in front of one DRAM channel.
+        let mut cache = EntryCache::new(CacheConfig::recnmp_1mb());
+        let mut gen = QueryGenerator::new(
+            &model,
+            QueryGenConfig { zipf_exponent: zipf, seed: 5 },
+        )
+        .expect("generator");
+        let mut cached_total = SimTime::ZERO;
+        let bank = BankId::new(MemoryKind::Ddr, 0);
+        for _ in 0..queries {
+            let q = gen.next_query();
+            for lookup in catalog.resolve(&q).expect("resolve") {
+                let table = &catalog.physical_tables()[lookup.table];
+                let bytes = table.row_bytes(Precision::F32);
+                let offset = bases[lookup.table] + lookup.row * u64::from(bytes);
+                let read = AddressedRead::new(bank, offset, bytes);
+                cached_total += match cache.access(&read) {
+                    Some(hit) => hit,
+                    None => dram.access_time(bytes),
+                };
+            }
+        }
+        let cached_mean = cached_total / queries as u64;
+
+        // (b) MicroRec's parallel lookup on the same stream.
+        let mut engine = MicroRec::builder(model.clone())
+            .precision(Precision::Fixed16)
+            .build()
+            .expect("engine");
+        let mut gen = QueryGenerator::new(
+            &model,
+            QueryGenConfig { zipf_exponent: zipf, seed: 5 },
+        )
+        .expect("generator");
+        let mut parallel_total = SimTime::ZERO;
+        for _ in 0..queries {
+            let q = gen.next_query();
+            parallel_total += engine.measure_lookup(&q).expect("lookup");
+        }
+        let parallel_mean = parallel_total / queries as u64;
+
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", cache.hit_rate() * 100.0),
+            format!("{:.2} us", cached_mean.as_us()),
+            format!("{:.2} us", parallel_mean.as_us()),
+            format!("{:.1}x", cached_mean.as_ns() / parallel_mean.as_ns()),
+        ]);
+    }
+    print_table(
+        "Hot-entry cache (1 channel + 1 MB LRU) vs MicroRec (34 channels)",
+        &["Traffic", "Cache hit rate", "Cached lookup", "MicroRec lookup", "MicroRec advantage"],
+        &rows,
+    );
+    println!("\nReading: near-memory caching needs skew to help and still leaves");
+    println!("the serial-channel floor; parallel channels cut lookup time for any");
+    println!("traffic — the architectural bet MicroRec makes over RecNMP.");
+}

@@ -1,0 +1,74 @@
+//! Extension study: DRAM row-buffer locality under skewed traffic.
+//!
+//! The paper's model charges every lookup a full row activation — correct
+//! for uniform traffic. Production traffic is Zipf-skewed, so an open-page
+//! policy occasionally hits an open row. This bench measures how much
+//! that locality is actually worth on the accelerator (spoiler: little —
+//! each bank interleaves lookups of *different* queries to the same table,
+//! so only immediate same-row repeats hit), feeding per-query lookup times
+//! into the event-driven pipeline simulator.
+
+use microrec_accel::FlowSim;
+use microrec_bench::print_table;
+use microrec_core::MicroRec;
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::{MemoryKind, RowPolicy, SimTime};
+use microrec_workload::{QueryGenConfig, QueryGenerator};
+
+fn main() {
+    let model = ModelSpec::small_production();
+    let queries = 2_000usize;
+    let mut rows = Vec::new();
+
+    for (label, zipf) in [("uniform", 0.0), ("zipf-0.9", 0.9), ("zipf-1.2", 1.2)] {
+        for policy in [RowPolicy::ClosedPage, RowPolicy::OpenPage] {
+            let mut engine = MicroRec::builder(model.clone())
+                .precision(Precision::Fixed16)
+                .build()
+                .expect("engine");
+            engine.set_row_policy(policy);
+            let mut gen = QueryGenerator::new(
+                &model,
+                QueryGenConfig { zipf_exponent: zipf, seed: 99 },
+            )
+            .expect("generator");
+
+            let mut lookup_times = Vec::with_capacity(queries);
+            for _ in 0..queries {
+                let q = gen.next_query();
+                lookup_times.push(engine.measure_lookup(&q).expect("lookup"));
+            }
+            let mean: SimTime =
+                lookup_times.iter().copied().sum::<SimTime>() / queries as u64;
+            let dram_hits = engine.memory().stats().by_kind(MemoryKind::Hbm).row_hit_rate()
+                .max(engine.memory().stats().by_kind(MemoryKind::Ddr).row_hit_rate());
+            // Feed the measured per-query lookup times into the event-driven
+            // pipeline: does locality move end-to-end throughput?
+            let sim = FlowSim::new(engine.pipeline(), 2);
+            let report = sim.run_with(&vec![SimTime::ZERO; queries], |item, stage| {
+                if stage == 0 {
+                    lookup_times[item]
+                } else {
+                    engine.pipeline().stages()[stage].time
+                }
+            });
+            rows.push(vec![
+                label.to_string(),
+                format!("{policy:?}"),
+                format!("{:.0} ns", mean.as_ns()),
+                format!("{:.1}%", dram_hits * 100.0),
+                format!("{:.0}k items/s", report.throughput_items_per_sec() / 1e3),
+            ]);
+        }
+    }
+    print_table(
+        "Row-buffer study: lookup time and end-to-end throughput by skew and policy",
+        &["Traffic", "Policy", "Mean lookup", "DRAM row-hit rate", "Pipeline throughput"],
+        &rows,
+    );
+    println!("\nReading: even heavy Zipf skew recovers only a small fraction of");
+    println!("lookups via open rows, because consecutive accesses on one channel");
+    println!("come from different queries and rows. The closed-page model the");
+    println!("paper (and our Table 3/4 numbers) assume is the right default;");
+    println!("MicroRec's win comes from channel parallelism, not locality.");
+}

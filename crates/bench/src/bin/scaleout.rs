@@ -1,0 +1,78 @@
+//! Extension study: multi-FPGA sharding and hybrid CPU+FPGA serving — the
+//! two scale-out directions the paper leaves as future work.
+
+use microrec_bench::print_table;
+use microrec_core::{
+    simulate_hybrid_serving, simulate_microrec_serving, HybridConfig, MicroRec,
+    MicroRecCluster,
+};
+use microrec_cpu::CpuTimingModel;
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::SimTime;
+use microrec_workload::PoissonArrivals;
+
+fn main() {
+    // Part 1 — table sharding across devices.
+    let model = ModelSpec::large_production();
+    let mut rows = Vec::new();
+    for budget_gb in [40u64, 16, 9] {
+        let cluster = MicroRecCluster::build(
+            &model,
+            budget_gb * 1_000_000_000,
+            Precision::Fixed16,
+            3,
+        )
+        .expect("cluster");
+        rows.push(vec![
+            format!("{budget_gb} GB/device"),
+            cluster.devices().to_string(),
+            format!("{:.2} us", cluster.lookup_latency().as_us()),
+            format!("{:.1} us", cluster.latency().as_us()),
+        ]);
+    }
+    print_table(
+        "Scale-out A: the 15 GB model sharded across shrinking devices",
+        &["Device budget", "Devices", "Cluster lookup", "End-to-end latency"],
+        &rows,
+    );
+    println!("\nReading: sharding costs one interconnect hop (~2 us) — an order of");
+    println!("magnitude above the on-card lookup but still far inside the SLA;");
+    println!("hundred-GB models remain serveable at microsecond-class latency.");
+
+    // Part 2 — hybrid CPU+FPGA routing under growing load.
+    let model = ModelSpec::small_production();
+    let engine =
+        MicroRec::builder(model.clone()).precision(Precision::Fixed16).build().expect("engine");
+    let cpu = CpuTimingModel::aws_16vcpu();
+    let sla = SimTime::from_ms(25.0);
+    let capacity = engine.throughput_items_per_sec();
+    let mut rows = Vec::new();
+    for load in [0.8f64, 1.0, 1.05, 1.1] {
+        let mut arrivals = PoissonArrivals::new(capacity * load, 11).expect("arrivals");
+        let trace = arrivals.take(100_000);
+        let fpga_only = simulate_microrec_serving(&engine, &trace, sla).expect("fpga");
+        let hybrid = simulate_hybrid_serving(
+            &engine,
+            &cpu,
+            &model,
+            &HybridConfig::default(),
+            &trace,
+            sla,
+        )
+        .expect("hybrid");
+        rows.push(vec![
+            format!("{:.0}%", load * 100.0),
+            format!("{:.1}%", fpga_only.sla_hit_rate * 100.0),
+            format!("{:.1}%", hybrid.combined.sla_hit_rate * 100.0),
+            format!("{:.1}%", hybrid.fpga_fraction * 100.0),
+        ]);
+    }
+    print_table(
+        "Scale-out B: SLA hit rate vs offered load (25 ms SLA, 100k queries)",
+        &["Load vs FPGA capacity", "FPGA only", "Hybrid", "Served on FPGA"],
+        &rows,
+    );
+    println!("\nReading: the accelerator alone collapses past 100% load (queues");
+    println!("grow without bound); a DeepRecSys-style router holds the SLA by");
+    println!("spilling the few percent of overflow to the batching CPU.");
+}

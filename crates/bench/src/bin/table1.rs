@@ -1,0 +1,26 @@
+//! Regenerates Table 1: specification of the production models.
+
+use microrec_bench::print_table;
+use microrec_embedding::{ModelSpec, Precision};
+
+fn main() {
+    let rows: Vec<Vec<String>> = [ModelSpec::small_production(), ModelSpec::large_production()]
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.num_tables().to_string(),
+                m.feature_len().to_string(),
+                format!("{:?}", m.hidden),
+                format!("{:.1} GB", m.total_bytes(Precision::F32) as f64 / 1e9),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: Specification of the production models",
+        &["Model", "Table Num", "Feat Len", "Hidden-Layer", "Size"],
+        &rows,
+    );
+    println!("\nPaper: Small 47 tables / 352 / (1024,512,256) / 1.3 GB");
+    println!("       Large 98 tables / 876 / (1024,512,256) / 15.1 GB");
+}

@@ -1,0 +1,96 @@
+//! Regenerates Table 2: end-to-end recommendation inference, CPU baseline
+//! (batch 1..2048) vs MicroRec (fp16/fp32).
+
+use microrec_bench::{fmt_speedup, print_table};
+use microrec_core::{end_to_end_report, EndToEndReport};
+use microrec_embedding::{ModelSpec, Precision};
+
+const BATCHES: [u64; 6] = [1, 64, 256, 512, 1024, 2048];
+
+/// Paper values: (model, precision) -> (fpga latency ms, items/s, speedups at BATCHES).
+struct PaperRow {
+    latency_ms: f64,
+    items_per_sec: f64,
+    speedups: [f64; 6],
+}
+
+fn paper_row(model: &str, precision: Precision) -> PaperRow {
+    match (model, precision) {
+        ("alibaba-small", Precision::Fixed16) => PaperRow {
+            latency_ms: 1.63e-2,
+            items_per_sec: 3.05e5,
+            speedups: [204.72, 24.27, 9.56, 6.59, 5.09, 4.19],
+        },
+        ("alibaba-small", _) => PaperRow {
+            latency_ms: 2.26e-2,
+            items_per_sec: 1.81e5,
+            speedups: [147.54, 14.58, 5.69, 3.91, 3.02, 2.48],
+        },
+        ("alibaba-large", Precision::Fixed16) => PaperRow {
+            latency_ms: 2.26e-2,
+            items_per_sec: 1.95e5,
+            speedups: [331.51, 29.56, 11.73, 7.96, 6.02, 5.41],
+        },
+        _ => PaperRow {
+            latency_ms: 3.10e-2,
+            items_per_sec: 1.22e5,
+            speedups: [241.54, 18.67, 7.36, 4.99, 3.77, 3.39],
+        },
+    }
+}
+
+fn print_model(report: &EndToEndReport, precision: Precision) {
+    let paper = paper_row(&report.model, precision);
+    let mut rows = Vec::new();
+    rows.push(
+        std::iter::once("Latency (ms)".to_string())
+            .chain(report.cpu.iter().map(|c| format!("{:.2}", c.latency.as_ms())))
+            .chain([format!("{:.2e}", report.fpga.latency.as_ms())])
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("Throughput (GOP/s)".to_string())
+            .chain(report.cpu.iter().map(|c| format!("{:.2}", c.ops_per_sec / 1e9)))
+            .chain([format!("{:.2}", report.fpga.ops_per_sec / 1e9)])
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("Throughput (items/s)".to_string())
+            .chain(report.cpu.iter().map(|c| format!("{:.2e}", c.items_per_sec)))
+            .chain([format!("{:.2e}", report.fpga.items_per_sec)])
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("Speedup (model)".to_string())
+            .chain(report.speedups().iter().map(|s| fmt_speedup(*s)))
+            .chain(["-".to_string()])
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("Speedup (paper)".to_string())
+            .chain(paper.speedups.iter().map(|s| fmt_speedup(*s)))
+            .chain(["-".to_string()])
+            .collect(),
+    );
+    let mut headers: Vec<String> = vec!["".into()];
+    headers.extend(BATCHES.iter().map(|b| format!("CPU B={b}")));
+    headers.push(format!("FPGA {precision}"));
+    print_table(&format!("Table 2: {} ({precision})", report.model), &headers, &rows);
+    println!(
+        "FPGA single-item latency: model {:.1} us vs paper {:.1} us; throughput model {:.2e} vs paper {:.2e} items/s",
+        report.fpga.latency.as_us(),
+        paper.latency_ms * 1000.0,
+        report.fpga.items_per_sec,
+        paper.items_per_sec,
+    );
+}
+
+fn main() {
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for precision in [Precision::Fixed16, Precision::Fixed32] {
+            let report =
+                end_to_end_report(&model, precision, &BATCHES).expect("report builds");
+            print_model(&report, precision);
+        }
+    }
+}

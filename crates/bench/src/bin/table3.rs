@@ -1,0 +1,56 @@
+//! Regenerates Table 3: benefit and overhead of Cartesian products.
+
+use microrec_bench::print_table;
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+fn main() {
+    let config = MemoryConfig::u280();
+    // Paper rows: (model, with_cartesian) ->
+    //   (tables, in-DRAM, rounds, storage %, latency %)
+    let paper = [
+        ("alibaba-small", false, 47, 39, 2, 100.0, 100.0),
+        ("alibaba-small", true, 42, 34, 1, 103.2, 59.2),
+        ("alibaba-large", false, 98, 82, 3, 100.0, 100.0),
+        ("alibaba-large", true, 84, 68, 2, 101.9, 72.1),
+    ];
+
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        let base = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions { allow_merge: false, ..Default::default() },
+        )
+        .expect("baseline placement");
+        let merged =
+            heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
+                .expect("merged placement");
+        let logical_bytes = model.total_bytes(Precision::F32) as f64;
+        for (label, with_cartesian, out) in
+            [("Without Cartesian", false, &base), ("With Cartesian", true, &merged)]
+        {
+            let storage_pct = out.cost.storage_bytes as f64 / logical_bytes * 100.0;
+            let latency_pct = out.cost.lookup_latency.as_ns()
+                / base.cost.lookup_latency.as_ns()
+                * 100.0;
+            let key = (model.name.as_str(), with_cartesian);
+            let p = paper.iter().find(|r| (r.0, r.1) == key).expect("paper row");
+            rows.push(vec![
+                format!("{} / {label}", model.name),
+                format!("{} (paper {})", out.plan.num_tables(), p.2),
+                format!("{} (paper {})", out.cost.tables_in_dram, p.3),
+                format!("{} (paper {})", out.cost.dram_rounds, p.4),
+                format!("{storage_pct:.1}% (paper {:.1}%)", p.5),
+                format!("{latency_pct:.1}% (paper {:.1}%)", p.6),
+            ]);
+        }
+    }
+    print_table(
+        "Table 3: Benefit and overhead of Cartesian products",
+        &["Configuration", "Table Num", "Tables in DRAM", "DRAM Rounds", "Storage", "Lookup Latency"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates Table 5: DLRM-RMC2 embedding lookup latency and speedup
+//! over Facebook's published baseline (8 and 12 tables, 4 lookups each,
+//! vector lengths 4..64).
+
+use microrec_bench::print_table;
+use microrec_cpu::facebook_rmc2_baseline_lookup;
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+fn main() {
+    let baseline = facebook_rmc2_baseline_lookup();
+    // Paper: (tables, dim) -> (lookup ns, speedup)
+    let paper = [
+        (8, 4, 334.5, 72.4),
+        (8, 8, 353.7, 68.4),
+        (8, 16, 411.6, 58.8),
+        (8, 32, 486.3, 49.7),
+        (8, 64, 648.4, 37.3),
+        (12, 4, 648.5, 37.3),
+        (12, 8, 707.4, 34.2),
+        (12, 16, 817.4, 29.6),
+        (12, 32, 972.7, 24.8),
+        (12, 64, 1296.9, 18.7),
+    ];
+
+    for tables in [8usize, 12] {
+        let mut rows = Vec::new();
+        for dim in [4u32, 8, 16, 32, 64] {
+            let model = ModelSpec::dlrm_rmc2(tables, dim);
+            // No Cartesian products, per the paper's Table 5 setup.
+            let out = heuristic_search(
+                &model,
+                &MemoryConfig::u280(),
+                Precision::F32,
+                &HeuristicOptions { allow_merge: false, ..Default::default() },
+            )
+            .expect("placement");
+            let lookup = out.cost.lookup_latency;
+            let speedup = baseline.as_ns() / lookup.as_ns();
+            let p = paper
+                .iter()
+                .find(|r| r.0 == tables && r.1 == dim)
+                .expect("paper row");
+            rows.push(vec![
+                dim.to_string(),
+                format!("{:.1} (paper {:.1})", lookup.as_ns(), p.2),
+                format!("{:.1}x (paper {:.1}x)", speedup, p.3),
+                out.cost.dram_rounds.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Table 5: {tables} tables x 4 lookups (DLRM-RMC2)"),
+            &["Vec len", "Lookup (ns)", "Speedup", "Rounds"],
+            &rows,
+        );
+    }
+    println!(
+        "\nBaseline: Facebook's published DLRM-RMC2 embedding time, {:.1} us (batch 256).",
+        baseline.as_us()
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 6 (appendix): FPGA frequency and resource
+//! utilization.
+
+use microrec_accel::{estimate_usage, AccelConfig, U280_CAPACITY};
+use microrec_bench::print_table;
+use microrec_embedding::{ModelSpec, Precision};
+
+fn main() {
+    // Paper: (model, precision) -> (freq MHz, bram, dsp, ff, lut, uram)
+    let paper = [
+        ("alibaba-small", Precision::Fixed16, 120, 1566, 4625, 683_641, 485_323, 642),
+        ("alibaba-small", Precision::Fixed32, 140, 1657, 5193, 764_067, 568_864, 770),
+        ("alibaba-large", Precision::Fixed16, 120, 1566, 4625, 691_042, 514_517, 642),
+        ("alibaba-large", Precision::Fixed32, 135, 1721, 5193, 777_527, 584_220, 770),
+    ];
+    let mut rows = Vec::new();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        for precision in [Precision::Fixed16, Precision::Fixed32] {
+            let cfg = AccelConfig::for_model(&model, precision);
+            let usage = estimate_usage(&model, &cfg);
+            let util = usage.utilization(&U280_CAPACITY);
+            let p = paper
+                .iter()
+                .find(|r| r.0 == model.name && r.1 == precision)
+                .expect("paper row");
+            rows.push(vec![
+                format!("{} {precision}", model.name),
+                format!("{} ({})", cfg.clock_hz / 1_000_000, p.2),
+                format!("{} ({})", usage.bram_18k, p.3),
+                format!("{} ({})", usage.dsp, p.4),
+                format!("{} ({})", usage.ff, p.5),
+                format!("{} ({})", usage.lut, p.6),
+                format!("{} ({})", usage.uram, p.7),
+                format!(
+                    "{:.0}/{:.0}/{:.0}/{:.0}/{:.0}%",
+                    util.bram_18k * 100.0,
+                    util.dsp * 100.0,
+                    util.ff * 100.0,
+                    util.lut * 100.0,
+                    util.uram * 100.0
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "Table 6: FPGA frequency & resource utilization — model (paper)",
+        &["Config", "MHz", "BRAM 18Kb", "DSP48E", "Flip-Flop", "LUT", "URAM", "Util B/D/F/L/U"],
+        &rows,
+    );
+}

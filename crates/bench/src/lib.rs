@@ -1,0 +1,86 @@
+//! # microrec-bench
+//!
+//! Benchmark harness for the MicroRec reproduction (Jiang et al., MLSys
+//! 2021). Each binary regenerates one table or figure of the paper,
+//! printing the paper's published values next to the model's output:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3` | Figure 3 — embedding layer share of CPU inference |
+//! | `table1` | Table 1 — model specifications |
+//! | `table2` | Table 2 — end-to-end CPU vs FPGA |
+//! | `table3` | Table 3 — Cartesian benefit and overhead |
+//! | `table4` | Table 4 — embedding layer CPU vs HBM vs HBM+Cartesian |
+//! | `table5` | Table 5 — DLRM-RMC2 lookup latency sweep |
+//! | `table6` | Table 6 — FPGA resource utilization |
+//! | `fig7`  | Figure 7 — throughput vs lookup rounds |
+//! | `cost`  | Appendix — AWS cost comparison |
+//! | `ablation` | Extra — allocator / merge / precision ablations |
+//!
+//! The Criterion benches (`cargo bench -p microrec-bench`) measure the
+//! *host-executed* substrate: real Cartesian merges, catalog gathers,
+//! blocked GEMM, and placement search.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a Markdown-style table: a header row, a separator, then rows.
+pub fn print_table<H: Display>(title: &str, headers: &[H], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let header_strings: Vec<String> = headers.iter().map(ToString::to_string).collect();
+    let mut widths: Vec<usize> = header_strings.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    println!("{}", fmt_row(&header_strings));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+#[must_use]
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats `model` vs `paper` with a deviation percentage.
+#[must_use]
+pub fn fmt_vs_paper(model: f64, paper: f64) -> String {
+    let dev = (model - paper) / paper * 100.0;
+    format!("{model:.3} (paper {paper:.3}, {dev:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_speedup(4.19), "4.19x");
+        let s = fmt_vs_paper(110.0, 100.0);
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_placement::AllocStrategy;
+
+/// Which model to operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelArg {
+    /// The smaller Alibaba production model.
+    Small,
+    /// The larger Alibaba production model.
+    Large,
+    /// A DLRM-RMC2 instance: `dlrm:<tables>x<dim>`.
+    Dlrm {
+        /// Number of tables.
+        tables: usize,
+        /// Embedding vector length.
+        dim: u32,
+    },
+}
+
+impl ModelArg {
+    /// Parses `small`, `large`, or `dlrm:<tables>x<dim>`.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "small" => Ok(ModelArg::Small),
+            "large" => Ok(ModelArg::Large),
+            other => {
+                let spec = other
+                    .strip_prefix("dlrm:")
+                    .ok_or_else(|| ArgError(format!("unknown model `{other}`")))?;
+                let (t, d) = spec
+                    .split_once('x')
+                    .ok_or_else(|| ArgError(format!("expected dlrm:<tables>x<dim>, got `{other}`")))?;
+                let tables = t
+                    .parse::<usize>()
+                    .map_err(|_| ArgError(format!("bad table count `{t}`")))?;
+                let dim =
+                    d.parse::<u32>().map_err(|_| ArgError(format!("bad dim `{d}`")))?;
+                if tables == 0 || dim == 0 {
+                    return Err(ArgError("tables and dim must be positive".into()));
+                }
+                Ok(ModelArg::Dlrm { tables, dim })
+            }
+        }
+    }
+
+    /// Builds the corresponding spec.
+    #[must_use]
+    pub fn to_spec(&self) -> ModelSpec {
+        match self {
+            ModelArg::Small => ModelSpec::small_production(),
+            ModelArg::Large => ModelSpec::large_production(),
+            ModelArg::Dlrm { tables, dim } => ModelSpec::dlrm_rmc2(*tables, *dim),
+        }
+    }
+}
+
+/// Parses a precision flag value.
+pub fn parse_precision(s: &str) -> Result<Precision, ArgError> {
+    match s {
+        "f32" => Ok(Precision::F32),
+        "fixed16" | "fp16" => Ok(Precision::Fixed16),
+        "fixed32" | "fp32" => Ok(Precision::Fixed32),
+        other => Err(ArgError(format!("unknown precision `{other}` (f32|fixed16|fixed32)"))),
+    }
+}
+
+/// Parses a strategy flag value.
+pub fn parse_strategy(s: &str) -> Result<AllocStrategy, ArgError> {
+    match s {
+        "roundrobin" | "rr" => Ok(AllocStrategy::RoundRobin),
+        "lpt" => Ok(AllocStrategy::Lpt),
+        other => Err(ArgError(format!("unknown strategy `{other}` (roundrobin|lpt)"))),
+    }
+}
+
+/// A parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// Supported subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run Algorithm 1 and print the placement.
+    Plan {
+        /// Target model.
+        model: ModelArg,
+        /// Disable Cartesian merging.
+        no_merge: bool,
+        /// DRAM allocation strategy.
+        strategy: AllocStrategy,
+        /// Print the per-bank table map.
+        verbose: bool,
+        /// Emit the full plan as JSON instead of a summary.
+        json: bool,
+    },
+    /// Run inferences and print CTRs plus engine statistics.
+    Predict {
+        /// Target model.
+        model: ModelArg,
+        /// Number of queries.
+        queries: usize,
+        /// Datapath precision.
+        precision: Precision,
+        /// Zipf skew of the query stream.
+        zipf: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Compare CPU baseline vs MicroRec at one batch size.
+    Compare {
+        /// Target model.
+        model: ModelArg,
+        /// CPU batch size.
+        batch: u64,
+        /// Datapath precision.
+        precision: Precision,
+    },
+    /// Explore the PE design space.
+    Explore {
+        /// Target model.
+        model: ModelArg,
+        /// Datapath precision.
+        precision: Precision,
+        /// How many top designs to print.
+        top: usize,
+    },
+    /// Simulate online serving under a Poisson load.
+    Serve {
+        /// Target model.
+        model: ModelArg,
+        /// Offered load in queries per second.
+        rate: f64,
+        /// Queries to simulate.
+        queries: usize,
+        /// SLA in milliseconds.
+        sla_ms: f64,
+        /// Also route overflow to the CPU baseline.
+        hybrid: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses the full argument vector (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(Cli { command: Command::Help });
+    };
+    let rest: Vec<&str> = it.collect();
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1).copied())
+    };
+    let has = |name: &str| rest.contains(&name);
+    let model = || -> Result<ModelArg, ArgError> {
+        ModelArg::parse(flag("--model").unwrap_or("small"))
+    };
+    let precision = || -> Result<Precision, ArgError> {
+        parse_precision(flag("--precision").unwrap_or("fixed16"))
+    };
+
+    let command = match cmd {
+        "plan" => Command::Plan {
+            model: model()?,
+            no_merge: has("--no-merge"),
+            strategy: parse_strategy(flag("--strategy").unwrap_or("roundrobin"))?,
+            verbose: has("--verbose") || has("-v"),
+            json: has("--json"),
+        },
+        "predict" => Command::Predict {
+            model: model()?,
+            queries: flag("--queries")
+                .unwrap_or("10")
+                .parse()
+                .map_err(|_| ArgError("bad --queries value".into()))?,
+            precision: precision()?,
+            zipf: flag("--zipf")
+                .unwrap_or("1.05")
+                .parse()
+                .map_err(|_| ArgError("bad --zipf value".into()))?,
+            seed: flag("--seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| ArgError("bad --seed value".into()))?,
+        },
+        "compare" => Command::Compare {
+            model: model()?,
+            batch: flag("--batch")
+                .unwrap_or("2048")
+                .parse()
+                .map_err(|_| ArgError("bad --batch value".into()))?,
+            precision: precision()?,
+        },
+        "explore" => Command::Explore {
+            model: model()?,
+            precision: precision()?,
+            top: flag("--top")
+                .unwrap_or("5")
+                .parse()
+                .map_err(|_| ArgError("bad --top value".into()))?,
+        },
+        "serve" => Command::Serve {
+            model: model()?,
+            rate: flag("--rate")
+                .unwrap_or("50000")
+                .parse()
+                .map_err(|_| ArgError("bad --rate value".into()))?,
+            queries: flag("--queries")
+                .unwrap_or("50000")
+                .parse()
+                .map_err(|_| ArgError("bad --queries value".into()))?,
+            sla_ms: flag("--sla-ms")
+                .unwrap_or("25")
+                .parse()
+                .map_err(|_| ArgError("bad --sla-ms value".into()))?,
+            hybrid: has("--hybrid"),
+        },
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
+    };
+    Ok(Cli { command })
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+microrec — MicroRec (MLSys 2021) reproduction CLI
+
+USAGE:
+  microrec plan    [--model small|large|dlrm:<t>x<d>] [--no-merge] [--strategy roundrobin|lpt] [-v] [--json]
+  microrec predict [--model ...] [--queries N] [--precision f32|fixed16|fixed32] [--zipf S] [--seed N]
+  microrec compare [--model ...] [--batch N] [--precision ...]
+  microrec explore [--model ...] [--precision ...] [--top N]
+  microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
+  microrec help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn model_arg_parsing() {
+        assert_eq!(ModelArg::parse("small").unwrap(), ModelArg::Small);
+        assert_eq!(ModelArg::parse("large").unwrap(), ModelArg::Large);
+        assert_eq!(
+            ModelArg::parse("dlrm:8x16").unwrap(),
+            ModelArg::Dlrm { tables: 8, dim: 16 }
+        );
+        assert!(ModelArg::parse("medium").is_err());
+        assert!(ModelArg::parse("dlrm:8").is_err());
+        assert!(ModelArg::parse("dlrm:0x4").is_err());
+        assert!(ModelArg::parse("dlrm:axb").is_err());
+    }
+
+    #[test]
+    fn model_arg_builds_specs() {
+        assert_eq!(ModelArg::Small.to_spec().num_tables(), 47);
+        assert_eq!(ModelArg::Dlrm { tables: 9, dim: 8 }.to_spec().num_tables(), 9);
+    }
+
+    #[test]
+    fn precision_and_strategy_parsing() {
+        assert_eq!(parse_precision("fp16").unwrap(), Precision::Fixed16);
+        assert_eq!(parse_precision("fixed32").unwrap(), Precision::Fixed32);
+        assert_eq!(parse_precision("f32").unwrap(), Precision::F32);
+        assert!(parse_precision("f64").is_err());
+        assert_eq!(parse_strategy("lpt").unwrap(), AllocStrategy::Lpt);
+        assert_eq!(parse_strategy("rr").unwrap(), AllocStrategy::RoundRobin);
+        assert!(parse_strategy("greedy").is_err());
+    }
+
+    #[test]
+    fn full_command_lines() {
+        let cli = parse(&argv("plan --model large --no-merge -v --json")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Plan {
+                model: ModelArg::Large,
+                no_merge: true,
+                strategy: AllocStrategy::RoundRobin,
+                verbose: true,
+                json: true
+            }
+        );
+        let cli = parse(&argv("predict --queries 5 --zipf 0.9 --seed 7")).unwrap();
+        match cli.command {
+            Command::Predict { queries, zipf, seed, .. } => {
+                assert_eq!(queries, 5);
+                assert_eq!(zipf, 0.9);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse(&argv("compare --model dlrm:12x64 --batch 256")).unwrap();
+        match cli.command {
+            Command::Compare { batch, model, .. } => {
+                assert_eq!(batch, 256);
+                assert_eq!(model, ModelArg::Dlrm { tables: 12, dim: 64 });
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_and_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap().command, Command::Help);
+        let cli = parse(&argv("explore")).unwrap();
+        match cli.command {
+            Command::Explore { top, model, precision } => {
+                assert_eq!(top, 5);
+                assert_eq!(model, ModelArg::Small);
+                assert_eq!(precision, Precision::Fixed16);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_command_parses() {
+        let cli = parse(&argv("serve --rate 80000 --sla-ms 10 --hybrid")).unwrap();
+        match cli.command {
+            Command::Serve { rate, sla_ms, hybrid, queries, .. } => {
+                assert_eq!(rate, 80_000.0);
+                assert_eq!(sla_ms, 10.0);
+                assert!(hybrid);
+                assert_eq!(queries, 50_000);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("predict --queries lots")).is_err());
+        assert!(parse(&argv("compare --batch -3")).is_err());
+        assert!(parse(&argv("plan --strategy quantum")).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Command implementations, returning their output as strings (testable).
+
+use std::fmt::Write as _;
+
+use microrec_core::{
+    best_fitting, explore_design_space, simulate_hybrid_serving, simulate_microrec_serving,
+    HybridConfig, MicroRec,
+};
+use microrec_cpu::CpuTimingModel;
+use microrec_embedding::Precision;
+use microrec_memsim::{MemoryConfig, SimTime};
+use microrec_placement::{heuristic_search, AllocStrategy, HeuristicOptions};
+use microrec_workload::{PoissonArrivals, QueryGenConfig, QueryGenerator};
+
+use crate::args::ModelArg;
+
+/// Boxed error shorthand.
+pub type CliResult = Result<String, Box<dyn std::error::Error>>;
+
+/// `microrec plan`.
+pub fn run_plan(
+    model: &ModelArg,
+    no_merge: bool,
+    strategy: AllocStrategy,
+    verbose: bool,
+    json: bool,
+) -> CliResult {
+    let spec = model.to_spec();
+    let out = heuristic_search(
+        &spec,
+        &MemoryConfig::u280(),
+        Precision::F32,
+        &HeuristicOptions { allow_merge: !no_merge, strategy, ..Default::default() },
+    )?;
+    if json {
+        return Ok(serde_json::to_string_pretty(&out.plan)? + "\n");
+    }
+    let mut s = String::new();
+    writeln!(s, "model: {} ({} logical tables)", spec.name, spec.num_tables())?;
+    writeln!(
+        s,
+        "plan:  {} physical tables ({} merged pairs), {} in DRAM, {} on chip",
+        out.plan.num_tables(),
+        out.plan.merge.groups.len(),
+        out.cost.tables_in_dram,
+        out.cost.tables_on_chip,
+    )?;
+    writeln!(
+        s,
+        "cost:  lookup {} | {} DRAM round(s) | storage {:.2} GB ({:+.2}% overhead)",
+        out.cost.lookup_latency,
+        out.cost.dram_rounds,
+        out.cost.storage_bytes as f64 / 1e9,
+        (out.cost.storage_bytes as f64 / spec.total_bytes(Precision::F32) as f64 - 1.0)
+            * 100.0,
+    )?;
+    writeln!(s, "search: {} solutions evaluated", out.evaluated)?;
+    if verbose {
+        writeln!(s, "\nbank map:")?;
+        for table in &out.plan.placed {
+            let banks: Vec<String> =
+                table.banks.iter().map(ToString::to_string).collect();
+            writeln!(
+                s,
+                "  {:<28} {:>12} rows x dim {:<3} -> {}",
+                table.spec.name,
+                table.spec.rows,
+                table.spec.dim,
+                banks.join(", ")
+            )?;
+        }
+    }
+    Ok(s)
+}
+
+/// `microrec predict`.
+pub fn run_predict(
+    model: &ModelArg,
+    queries: usize,
+    precision: Precision,
+    zipf: f64,
+    seed: u64,
+) -> CliResult {
+    let spec = model.to_spec();
+    let mut engine = MicroRec::builder(spec.clone()).precision(precision).seed(seed).build()?;
+    let mut gen =
+        QueryGenerator::new(&spec, QueryGenConfig { zipf_exponent: zipf, seed })?;
+    let mut s = String::new();
+    writeln!(s, "model: {} | precision {precision} | {queries} queries", spec.name)?;
+    for i in 0..queries {
+        let q = gen.next_query();
+        let ctr = engine.predict(&q)?;
+        writeln!(s, "  query {i:>3}: CTR {ctr:.4}")?;
+    }
+    let stats = engine.memory().stats().total();
+    writeln!(
+        s,
+        "memory: {} reads, {} bytes, busy {}",
+        stats.reads, stats.bytes, stats.busy
+    )?;
+    writeln!(
+        s,
+        "timing: {} per item, {:.0} items/s steady state",
+        engine.latency(),
+        engine.throughput_items_per_sec()
+    )?;
+    Ok(s)
+}
+
+/// `microrec compare`.
+pub fn run_compare(model: &ModelArg, batch: u64, precision: Precision) -> CliResult {
+    let spec = model.to_spec();
+    let engine = MicroRec::builder(spec.clone()).precision(precision).build()?;
+    let cpu = CpuTimingModel::aws_16vcpu();
+    let cpu_latency = cpu.total_time(&spec, batch);
+    let fpga_batch = engine.batch_latency(batch);
+    let mut s = String::new();
+    writeln!(s, "model: {} | batch {batch} | precision {precision}", spec.name)?;
+    writeln!(
+        s,
+        "CPU:      {:>12} for the batch | {:>10.0} items/s | {:.1} GOP/s",
+        cpu_latency.to_string(),
+        cpu.throughput_items_per_sec(&spec, batch),
+        cpu.throughput_ops_per_sec(&spec, batch) / 1e9,
+    )?;
+    writeln!(
+        s,
+        "MicroRec: {:>12} for the batch | {:>10.0} items/s | {:.1} GOP/s | {} per item",
+        fpga_batch.to_string(),
+        engine.throughput_items_per_sec(),
+        engine.throughput_ops_per_sec() / 1e9,
+        engine.latency(),
+    )?;
+    writeln!(s, "speedup:  {:.2}x", cpu_latency.as_ns() / fpga_batch.as_ns())?;
+    Ok(s)
+}
+
+/// `microrec explore`.
+pub fn run_explore(model: &ModelArg, precision: Precision, top: usize) -> CliResult {
+    let spec = model.to_spec();
+    let base = MicroRec::builder(spec.clone()).precision(precision).build()?;
+    let lookup = base.placement_cost().lookup_latency;
+    let points = explore_design_space(&spec, precision, lookup, 32, 512)?;
+    let mut fitting: Vec<_> = points.iter().filter(|p| p.fits).collect();
+    fitting.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{} {precision}: {} designs evaluated, {} fit the U280",
+        spec.name,
+        points.len(),
+        fitting.len()
+    )?;
+    for p in fitting.iter().take(top) {
+        writeln!(
+            s,
+            "  {:?} @ {} MHz -> {:.0}k items/s, {:.1} us",
+            p.config.pes_per_layer,
+            p.config.clock_hz / 1_000_000,
+            p.throughput / 1e3,
+            p.latency.as_us()
+        )?;
+    }
+    if let Some(best) = best_fitting(&points) {
+        writeln!(s, "best: {:?}", best.config.pes_per_layer)?;
+    }
+    Ok(s)
+}
+
+/// `microrec serve`.
+pub fn run_serve(
+    model: &ModelArg,
+    rate: f64,
+    queries: usize,
+    sla_ms: f64,
+    hybrid: bool,
+) -> CliResult {
+    let spec = model.to_spec();
+    let engine = MicroRec::builder(spec.clone()).build()?;
+    let sla = SimTime::from_ms(sla_ms);
+    let mut arrivals = PoissonArrivals::new(rate, 0xACCE55)?;
+    let trace = arrivals.take(queries);
+    let mut s = String::new();
+    writeln!(
+        s,
+        "model {} | {rate:.0} QPS offered vs {:.0} items/s capacity | SLA {sla_ms} ms",
+        spec.name,
+        engine.throughput_items_per_sec()
+    )?;
+    let fpga = simulate_microrec_serving(&engine, &trace, sla)?;
+    writeln!(
+        s,
+        "MicroRec only: p50 {} p99 {} SLA hit {:.2}%",
+        fpga.latency.p50,
+        fpga.latency.p99,
+        fpga.sla_hit_rate * 100.0
+    )?;
+    if hybrid {
+        let cpu = CpuTimingModel::aws_16vcpu();
+        let report = simulate_hybrid_serving(
+            &engine,
+            &cpu,
+            &spec,
+            &HybridConfig::default(),
+            &trace,
+            sla,
+        )?;
+        writeln!(
+            s,
+            "Hybrid:        p50 {} p99 {} SLA hit {:.2}% ({:.1}% on FPGA)",
+            report.combined.latency.p50,
+            report.combined.latency.p99,
+            report.combined.sla_hit_rate * 100.0,
+            report.fpga_fraction * 100.0
+        )?;
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_output_mentions_structure() {
+        let out =
+            run_plan(&ModelArg::Small, false, AllocStrategy::RoundRobin, false, false).unwrap();
+        assert!(out.contains("42 physical tables"), "{out}");
+        assert!(out.contains("1 DRAM round"), "{out}");
+        let out =
+            run_plan(&ModelArg::Small, true, AllocStrategy::RoundRobin, false, false).unwrap();
+        assert!(out.contains("47 physical tables"), "{out}");
+    }
+
+    #[test]
+    fn verbose_plan_lists_every_table() {
+        let out = run_plan(
+            &ModelArg::Dlrm { tables: 4, dim: 8 },
+            false,
+            AllocStrategy::RoundRobin,
+            true,
+            false,
+        )
+        .unwrap();
+        for i in 0..4 {
+            assert!(out.contains(&format!("rmc2_{i:02}_d8")), "{out}");
+        }
+    }
+
+    #[test]
+    fn json_plan_round_trips() {
+        let out = run_plan(
+            &ModelArg::Dlrm { tables: 4, dim: 8 },
+            false,
+            AllocStrategy::RoundRobin,
+            false,
+            true,
+        )
+        .unwrap();
+        let plan: microrec_placement::Plan = serde_json::from_str(&out).unwrap();
+        assert_eq!(plan.num_tables(), 4);
+        plan.validate(
+            &ModelArg::Dlrm { tables: 4, dim: 8 }.to_spec(),
+            &MemoryConfig::u280(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn predict_produces_ctrs() {
+        let out = run_predict(
+            &ModelArg::Dlrm { tables: 4, dim: 4 },
+            3,
+            Precision::Fixed32,
+            1.0,
+            9,
+        )
+        .unwrap();
+        assert_eq!(out.matches("CTR 0.").count(), 3, "{out}");
+        assert!(out.contains("memory:"), "{out}");
+    }
+
+    #[test]
+    fn compare_reports_speedup() {
+        let out = run_compare(&ModelArg::Small, 2048, Precision::Fixed16).unwrap();
+        assert!(out.contains("speedup:"), "{out}");
+        let x: f64 = out
+            .split("speedup:")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_end_matches("x\n")
+            .trim_end_matches('x')
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(x > 3.0, "speedup {x}");
+    }
+
+    #[test]
+    fn serve_reports_sla() {
+        let out = run_serve(&ModelArg::Dlrm { tables: 4, dim: 4 }, 10_000.0, 2_000, 25.0, true)
+            .unwrap();
+        assert!(out.contains("SLA hit"), "{out}");
+        assert!(out.contains("Hybrid"), "{out}");
+    }
+
+    #[test]
+    fn explore_lists_designs() {
+        let out = run_explore(&ModelArg::Small, Precision::Fixed16, 3).unwrap();
+        assert!(out.contains("best:"), "{out}");
+        assert!(out.contains("items/s"), "{out}");
+    }
+}

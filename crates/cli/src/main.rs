@@ -1,0 +1,57 @@
+//! `microrec` — command-line interface to the MicroRec reproduction.
+//!
+//! ```text
+//! microrec plan --model small -v
+//! microrec predict --model dlrm:8x16 --queries 5
+//! microrec compare --model large --batch 2048 --precision fixed32
+//! microrec explore --model small --top 5
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::{parse, Command, USAGE};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cli.command {
+        Command::Help => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Command::Plan { model, no_merge, strategy, verbose, json } => {
+            commands::run_plan(model, *no_merge, *strategy, *verbose, *json)
+        }
+        Command::Predict { model, queries, precision, zipf, seed } => {
+            commands::run_predict(model, *queries, *precision, *zipf, *seed)
+        }
+        Command::Compare { model, batch, precision } => {
+            commands::run_compare(model, *batch, *precision)
+        }
+        Command::Explore { model, precision, top } => {
+            commands::run_explore(model, *precision, *top)
+        }
+        Command::Serve { model, rate, queries, sla_ms, hybrid } => {
+            commands::run_serve(model, *rate, *queries, *sla_ms, *hybrid)
+        }
+    };
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

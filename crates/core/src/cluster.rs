@@ -1,0 +1,330 @@
+//! Multi-FPGA sharding for models beyond one card's memory.
+//!
+//! The U280 holds 40 GB of DRAM; §2.2 notes industrial models can reach
+//! "hundreds of gigabytes". The natural scale-out — which the paper leaves
+//! as future work — shards the *tables* across several cards: each card
+//! runs the lookup stage for its shard, partial feature vectors meet at an
+//! aggregator card that runs the top MLP, and the extra hop costs one
+//! inter-device transfer. Placement inside each shard still runs
+//! Algorithm 1, so Cartesian merging and round balancing work per card.
+
+use microrec_accel::{AccelConfig, Pipeline};
+use microrec_dnn::{Mlp, Q16, Q32};
+use microrec_embedding::{synthetic_dense_features, ModelSpec, Precision};
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{MicroRec, MicroRecBuilder};
+use crate::error::MicroRecError;
+
+/// Configuration of the inter-device hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// Sustained link bandwidth in bytes per second (e.g. 100 GbE ≈ 12e9).
+    pub bandwidth: f64,
+    /// Fixed per-message latency.
+    pub latency: SimTime,
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        // 100 GbE-class card-to-card link.
+        InterconnectConfig { bandwidth: 12.0e9, latency: SimTime::from_us(2.0) }
+    }
+}
+
+/// A table-sharded multi-device MicroRec deployment.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::MicroRecCluster;
+/// use microrec_embedding::{ModelSpec, Precision};
+///
+/// // The 15 GB production model across 9 GB devices.
+/// let mut cluster = MicroRecCluster::build(
+///     &ModelSpec::large_production(),
+///     9_000_000_000,
+///     Precision::Fixed16,
+///     7,
+/// )?;
+/// assert!(cluster.devices() >= 2);
+/// let query: Vec<u64> =
+///     cluster.shards().iter().flat_map(|s| s.model().tables.iter()).map(|t| t.rows / 2).collect();
+/// let ctr = cluster.predict(&query)?;
+/// assert!(ctr > 0.0 && ctr < 1.0);
+/// # Ok::<(), microrec_core::MicroRecError>(())
+/// ```
+#[derive(Debug)]
+pub struct MicroRecCluster {
+    model: ModelSpec,
+    shards: Vec<MicroRec>,
+    /// Logical-table span `[start, end)` of each shard.
+    spans: Vec<(usize, usize)>,
+    mlp: Mlp,
+    precision: Precision,
+    accel: AccelConfig,
+    interconnect: InterconnectConfig,
+}
+
+impl MicroRecCluster {
+    /// Builds a cluster for `model`, packing contiguous table runs of at
+    /// most `bytes_per_device` (storage precision f32) per card.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if any single table exceeds
+    /// `bytes_per_device` or a shard cannot be placed.
+    pub fn build(
+        model: &ModelSpec,
+        bytes_per_device: u64,
+        precision: Precision,
+        seed: u64,
+    ) -> Result<Self, MicroRecError> {
+        model.validate()?;
+        // Greedy contiguous partition.
+        let mut spans = Vec::new();
+        let mut start = 0usize;
+        let mut used = 0u64;
+        for (i, table) in model.tables.iter().enumerate() {
+            let bytes = table.bytes(Precision::F32);
+            if bytes > bytes_per_device {
+                return Err(MicroRecError::Placement(
+                    microrec_placement::PlacementError::Infeasible(format!(
+                        "table `{}` ({} bytes) exceeds a whole device",
+                        table.name, bytes
+                    )),
+                ));
+            }
+            if used + bytes > bytes_per_device && i > start {
+                spans.push((start, i));
+                start = i;
+                used = 0;
+            }
+            used += bytes;
+        }
+        spans.push((start, model.num_tables()));
+
+        let mut shards = Vec::with_capacity(spans.len());
+        for &(s, e) in &spans {
+            let mut sub = model.clone();
+            sub.name = format!("{}-shard{}", model.name, shards.len());
+            sub.tables = model.tables[s..e].to_vec();
+            // Shards carry no dense branch; the aggregator owns it.
+            sub.dense_dim = 0;
+            sub.bottom_hidden = Vec::new();
+            // Matching per-table seeds: the full model seeds table i with
+            // seed + i, so a shard starting at s uses seed + s.
+            let engine = MicroRecBuilder::new(sub)
+                .precision(precision)
+                .seed(seed.wrapping_add(s as u64))
+                .build()?;
+            shards.push(engine);
+        }
+        let mlp = Mlp::top_mlp(model.feature_len(), &model.hidden, seed ^ 0x5EED)?;
+        let accel = if model.hidden.len() == 3 {
+            AccelConfig::for_model(model, precision)
+        } else {
+            AccelConfig::generic(model, precision)
+        };
+        Ok(MicroRecCluster {
+            model: model.clone(),
+            shards,
+            spans,
+            mlp,
+            precision,
+            accel,
+            interconnect: InterconnectConfig::default(),
+        })
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines.
+    #[must_use]
+    pub fn shards(&self) -> &[MicroRec] {
+        &self.shards
+    }
+
+    /// Sets the inter-device link model.
+    pub fn set_interconnect(&mut self, interconnect: InterconnectConfig) {
+        self.interconnect = interconnect;
+    }
+
+    /// Lookup-stage latency of the cluster: the slowest shard plus the
+    /// feature transfer of every non-aggregator shard (they ship partial
+    /// feature vectors to shard 0 concurrently; the link serializes).
+    #[must_use]
+    pub fn lookup_latency(&self) -> SimTime {
+        let slowest = self
+            .shards
+            .iter()
+            .map(|s| s.placement_cost().lookup_latency)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let remote_bytes: u64 = self.spans[1..]
+            .iter()
+            .map(|&(s, e)| {
+                self.model.tables[s..e]
+                    .iter()
+                    .map(|t| u64::from(t.dim) * u64::from(self.precision.bytes()))
+                    .sum::<u64>()
+                    * u64::from(self.model.lookups_per_table)
+            })
+            .sum();
+        let wire = SimTime::from_ns(remote_bytes as f64 / self.interconnect.bandwidth * 1e9);
+        if self.shards.len() > 1 {
+            slowest + self.interconnect.latency + wire
+        } else {
+            slowest
+        }
+    }
+
+    /// End-to-end single-item latency: the aggregator runs the *full*
+    /// model's compute pipeline, fed by the cluster-wide lookup stage.
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        Pipeline::build(&self.model, &self.accel, self.lookup_latency())
+            .map(|p| p.latency())
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Functionally predicts a CTR across the shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn predict(&mut self, query: &[u64]) -> Result<f32, MicroRecError> {
+        let tables = self.model.num_tables();
+        let rounds = self.model.lookups_per_table as usize;
+        if query.len() != tables * rounds {
+            return Err(MicroRecError::Embedding(
+                microrec_embedding::EmbeddingError::ArityMismatch {
+                    expected: tables * rounds,
+                    actual: query.len(),
+                },
+            ));
+        }
+        let mut features = Vec::with_capacity(self.model.feature_len() as usize);
+        if self.model.dense_dim > 0 {
+            features.extend(synthetic_dense_features(query, self.model.dense_dim));
+        }
+        // Shards hold contiguous table runs; rebuild each shard's query in
+        // its local round-major layout, then splice features per round.
+        let mut per_round_parts: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.shards.len());
+        let spans = self.spans.clone();
+        for (shard, &(s, e)) in self.shards.iter_mut().zip(&spans) {
+            let width = e - s;
+            let mut sub_query = Vec::with_capacity(width * rounds);
+            for round in 0..rounds {
+                sub_query
+                    .extend_from_slice(&query[round * tables + s..round * tables + e]);
+            }
+            let flat = shard.gather_features(&sub_query)?;
+            let per_round: Vec<Vec<f32>> =
+                flat.chunks(flat.len() / rounds).map(<[f32]>::to_vec).collect();
+            per_round_parts.push(per_round);
+        }
+        for round in 0..rounds {
+            for part in &per_round_parts {
+                features.extend_from_slice(&part[round]);
+            }
+        }
+        let ctr = match self.precision {
+            Precision::Fixed16 => self.mlp.predict_ctr_quantized::<Q16>(&features)?,
+            Precision::Fixed32 => self.mlp.predict_ctr_quantized::<Q32>(&features)?,
+            Precision::F32 => self.mlp.predict_ctr(&features)?,
+        };
+        Ok(ctr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_cpu::CpuReferenceEngine;
+    use microrec_embedding::TableSpec;
+
+    #[test]
+    fn sharding_splits_by_capacity() {
+        // The large model (14.9 GB) across 8 GB devices -> >= 2 shards.
+        let model = ModelSpec::large_production();
+        let cluster =
+            MicroRecCluster::build(&model, 8 * 1_000_000_000, Precision::Fixed16, 3).unwrap();
+        assert!(cluster.devices() >= 2, "devices {}", cluster.devices());
+        let total: usize = cluster.shards().iter().map(|s| s.model().num_tables()).sum();
+        assert_eq!(total, 98);
+    }
+
+    #[test]
+    fn oversized_table_is_rejected() {
+        let model = ModelSpec::large_production();
+        assert!(MicroRecCluster::build(&model, 1_000_000_000, Precision::Fixed16, 3).is_err());
+    }
+
+    #[test]
+    fn cluster_matches_single_engine_predictions() {
+        // A model that fits one device, sharded anyway: predictions must
+        // match the monolithic reference exactly (same seeds, same MLP).
+        let model = ModelSpec::new(
+            "shardable",
+            (0..12)
+                .map(|i| TableSpec::new(format!("t{i}"), 1000 + 100 * i as u64, 8))
+                .collect(),
+            vec![64, 32],
+            1,
+        );
+        let seed = 17;
+        let reference = CpuReferenceEngine::build(&model, seed).unwrap();
+        // ~150 kB per device forces several shards (tables are 32-67 kB).
+        let mut cluster =
+            MicroRecCluster::build(&model, 150_000, Precision::F32, seed).unwrap();
+        assert!(cluster.devices() >= 3);
+        for k in 0..10u64 {
+            let q: Vec<u64> = (0..12).map(|j| (k * 101 + j * 13) % 1000).collect();
+            let a = cluster.predict(&q).unwrap();
+            let b = reference.predict(&q).unwrap();
+            assert!((a - b).abs() < 1e-6, "cluster {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn multi_lookup_models_shard_correctly() {
+        let model = ModelSpec::dlrm_rmc2(8, 8);
+        let seed = 4;
+        let reference = CpuReferenceEngine::build(&model, seed).unwrap();
+        let mut cluster =
+            MicroRecCluster::build(&model, 70_000_000, Precision::F32, seed).unwrap();
+        assert!(cluster.devices() >= 2);
+        let q: Vec<u64> = (0..32).map(|j| j * 7777).collect();
+        assert!((cluster.predict(&q).unwrap() - reference.predict(&q).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interconnect_costs_show_up_in_latency() {
+        let model = ModelSpec::large_production();
+        let cluster =
+            MicroRecCluster::build(&model, 8 * 1_000_000_000, Precision::Fixed16, 3).unwrap();
+        let single = MicroRec::builder(model).precision(Precision::Fixed16).build().unwrap();
+        assert!(cluster.lookup_latency() > single.placement_cost().lookup_latency);
+        // But the hop is microseconds: still far under the SLA.
+        assert!(cluster.latency().as_us() < 60.0);
+        assert!(cluster.latency() > single.latency());
+    }
+
+    #[test]
+    fn single_shard_cluster_adds_no_hop() {
+        let model = ModelSpec::dlrm_rmc2(4, 4);
+        let cluster =
+            MicroRecCluster::build(&model, u64::MAX, Precision::Fixed16, 1).unwrap();
+        assert_eq!(cluster.devices(), 1);
+        assert_eq!(
+            cluster.lookup_latency(),
+            cluster.shards()[0].placement_cost().lookup_latency
+        );
+    }
+}

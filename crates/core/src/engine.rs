@@ -1,0 +1,561 @@
+//! The MicroRec inference engine — the paper's primary contribution,
+//! assembled: Cartesian-merged tables placed across the hybrid memory by
+//! Algorithm 1, an item-by-item pipelined accelerator, and a fixed-point
+//! DNN datapath sharing weights with the `f32` reference.
+
+use microrec_accel::{estimate_usage, AccelConfig, Pipeline, ResourceUsage, U280_CAPACITY};
+use microrec_dnn::{Mlp, Q16, Q32};
+use microrec_embedding::{synthetic_dense_features, Catalog, ModelSpec, Precision};
+use microrec_memsim::{AddressedRead, HybridMemory, MemoryConfig, RowPolicy, SimTime};
+use microrec_placement::{heuristic_search, HeuristicOptions, Plan, PlanCost};
+
+use crate::error::MicroRecError;
+
+/// Builder for a [`MicroRec`] engine.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::MicroRec;
+/// use microrec_embedding::{ModelSpec, Precision};
+///
+/// let mut engine = MicroRec::builder(ModelSpec::dlrm_rmc2(8, 4))
+///     .precision(Precision::Fixed16)
+///     .seed(7)
+///     .build()?;
+/// let query = vec![42u64; 8 * 4];
+/// let ctr = engine.predict(&query)?;
+/// assert!(ctr > 0.0 && ctr < 1.0);
+/// # Ok::<(), microrec_core::MicroRecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicroRecBuilder {
+    model: ModelSpec,
+    memory: MemoryConfig,
+    precision: Precision,
+    storage_precision: Precision,
+    seed: u64,
+    options: HeuristicOptions,
+    accel: Option<AccelConfig>,
+}
+
+impl MicroRecBuilder {
+    /// Starts a builder for `model` with U280 memory, fixed-16 datapath
+    /// precision, 32-bit embedding storage (the paper keeps "the same
+    /// element data width of 32-bits" in memory for both precisions,
+    /// Table 4), and default search options.
+    #[must_use]
+    pub fn new(model: ModelSpec) -> Self {
+        MicroRecBuilder {
+            model,
+            memory: MemoryConfig::u280(),
+            precision: Precision::Fixed16,
+            storage_precision: Precision::F32,
+            seed: 0x00AC_CE55,
+            options: HeuristicOptions::default(),
+            accel: None,
+        }
+    }
+
+    /// Sets the memory platform.
+    #[must_use]
+    pub fn memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Sets the datapath precision.
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the embedding storage precision (default 32-bit, matching the
+    /// paper's memory layout for both datapath precisions).
+    #[must_use]
+    pub fn storage_precision(mut self, precision: Precision) -> Self {
+        self.storage_precision = precision;
+        self
+    }
+
+    /// Sets the RNG seed for table contents and weights.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets placement-search options (e.g. disabling Cartesian merging for
+    /// the HBM-only ablation).
+    #[must_use]
+    pub fn search_options(mut self, options: HeuristicOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the accelerator configuration (PE counts / clock).
+    #[must_use]
+    pub fn accel_config(mut self, accel: AccelConfig) -> Self {
+        self.accel = Some(accel);
+        self
+    }
+
+    /// Runs the placement search and assembles the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if the model is inconsistent, cannot be
+    /// placed, or the accelerator configuration does not fit it.
+    pub fn build(self) -> Result<MicroRec, MicroRecError> {
+        self.model.validate()?;
+        let outcome =
+            heuristic_search(&self.model, &self.memory, self.storage_precision, &self.options)?;
+        let plan = outcome.plan;
+        let cost = outcome.cost;
+
+        let mut memory = HybridMemory::new(self.memory);
+        plan.apply(&mut memory)?;
+        // Byte offset of every (table, replica) region, for addressed reads.
+        let mut region_offsets = Vec::with_capacity(plan.placed.len());
+        for table in &plan.placed {
+            let mut offsets = Vec::with_capacity(table.banks.len());
+            for (r, &bank) in table.banks.iter().enumerate() {
+                let label = if table.banks.len() > 1 {
+                    format!("{}#r{r}", table.spec.name)
+                } else {
+                    table.spec.name.clone()
+                };
+                offsets.push(memory.region_offset(bank, &label)?);
+            }
+            region_offsets.push(offsets);
+        }
+
+        let catalog = Catalog::build(&self.model, &plan.merge, self.seed)?;
+        let mlp = Mlp::top_mlp(self.model.feature_len(), &self.model.hidden, self.seed ^ 0x5EED)?;
+        let bottom = if self.model.has_bottom_mlp() {
+            Some(Mlp::bottom_mlp(
+                self.model.dense_dim,
+                &self.model.bottom_hidden,
+                self.seed ^ 0x5EED,
+            )?)
+        } else {
+            None
+        };
+        let accel = self.accel.unwrap_or_else(|| {
+            if self.model.hidden.len() == 3 {
+                AccelConfig::for_model(&self.model, self.precision)
+            } else {
+                AccelConfig::generic(&self.model, self.precision)
+            }
+        });
+        let pipeline = Pipeline::build(&self.model, &accel, cost.lookup_latency)?;
+
+        Ok(MicroRec {
+            model: self.model,
+            precision: self.precision,
+            plan,
+            cost,
+            memory,
+            region_offsets,
+            catalog,
+            mlp,
+            bottom,
+            accel,
+            pipeline,
+        })
+    }
+}
+
+/// The assembled MicroRec engine.
+#[derive(Debug, Clone)]
+pub struct MicroRec {
+    model: ModelSpec,
+    precision: Precision,
+    plan: Plan,
+    cost: PlanCost,
+    memory: HybridMemory,
+    region_offsets: Vec<Vec<u64>>,
+    catalog: Catalog,
+    mlp: Mlp,
+    bottom: Option<Mlp>,
+    accel: AccelConfig,
+    pipeline: Pipeline,
+}
+
+impl MicroRec {
+    /// Starts building an engine for `model`.
+    #[must_use]
+    pub fn builder(model: ModelSpec) -> MicroRecBuilder {
+        MicroRecBuilder::new(model)
+    }
+
+    /// The served model.
+    #[must_use]
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The chosen placement plan.
+    #[must_use]
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The plan's cost summary (lookup latency, rounds, storage).
+    #[must_use]
+    pub fn placement_cost(&self) -> &PlanCost {
+        &self.cost
+    }
+
+    /// The table catalog (logical→physical mapping).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pipeline timing model.
+    #[must_use]
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The accelerator configuration.
+    #[must_use]
+    pub fn accel_config(&self) -> &AccelConfig {
+        &self.accel
+    }
+
+    /// Datapath precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The hybrid memory with the plan applied (capacity ledger + access
+    /// statistics).
+    #[must_use]
+    pub fn memory(&self) -> &HybridMemory {
+        &self.memory
+    }
+
+    /// End-to-end single-item inference latency.
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        self.pipeline.latency()
+    }
+
+    /// Steady-state throughput in items per second.
+    #[must_use]
+    pub fn throughput_items_per_sec(&self) -> f64 {
+        self.pipeline.throughput_items_per_sec()
+    }
+
+    /// Operations per second (the paper's GOP/s metric).
+    #[must_use]
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        self.model.flops_per_item() as f64 * self.throughput_items_per_sec()
+    }
+
+    /// Time to process `n` items through the pipeline.
+    #[must_use]
+    pub fn batch_latency(&self, n: u64) -> SimTime {
+        self.pipeline.batch_latency(n)
+    }
+
+    /// Estimated FPGA resource usage (Table 6 model).
+    #[must_use]
+    pub fn resource_usage(&self) -> ResourceUsage {
+        estimate_usage(&self.model, &self.accel)
+    }
+
+    /// Whether the design fits the U280.
+    #[must_use]
+    pub fn fits_device(&self) -> bool {
+        self.resource_usage().fits(&U280_CAPACITY)
+    }
+
+    /// Functionally predicts the CTR for one query, driving the simulated
+    /// memory (statistics accumulate in [`MicroRec::memory`]) and the
+    /// fixed-point datapath.
+    ///
+    /// The query layout matches the CPU reference engine: round-major,
+    /// `lookups_per_table × num_tables` indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn predict(&mut self, query: &[u64]) -> Result<f32, MicroRecError> {
+        let features = self.gather_features(query)?;
+        let ctr = match self.precision {
+            Precision::Fixed16 => self.mlp.predict_ctr_quantized::<Q16>(&features)?,
+            Precision::Fixed32 => self.mlp.predict_ctr_quantized::<Q32>(&features)?,
+            Precision::F32 => self.mlp.predict_ctr(&features)?,
+        };
+        Ok(ctr)
+    }
+
+    /// Predicts CTRs for a batch of queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn predict_batch(&mut self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        queries.iter().map(|q| self.predict(q)).collect()
+    }
+
+    /// Gathers the (de-quantized) concatenated feature vector for a query,
+    /// issuing the physical reads against the simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn gather_features(&mut self, query: &[u64]) -> Result<Vec<f32>, MicroRecError> {
+        let tables = self.model.num_tables();
+        let rounds = self.model.lookups_per_table as usize;
+        if query.len() != tables * rounds {
+            return Err(MicroRecError::Embedding(
+                microrec_embedding::EmbeddingError::ArityMismatch {
+                    expected: tables * rounds,
+                    actual: query.len(),
+                },
+            ));
+        }
+        let mut features = Vec::with_capacity(self.model.feature_len() as usize);
+        // Dense path: the bottom MLP runs on the accelerator's datapath
+        // precision (its own small PE group, §Figure 1's dense branch).
+        if self.model.dense_dim > 0 {
+            let dense = synthetic_dense_features(query, self.model.dense_dim);
+            let mut processed = match &self.bottom {
+                Some(bottom) => match self.precision {
+                    Precision::Fixed16 => bottom
+                        .forward(&dense.iter().map(|&v| Q16::from_f32(v)).collect::<Vec<_>>())?
+                        .into_iter()
+                        .map(Q16::to_f32)
+                        .collect(),
+                    Precision::Fixed32 => bottom
+                        .forward(&dense.iter().map(|&v| Q32::from_f32(v)).collect::<Vec<_>>())?
+                        .into_iter()
+                        .map(Q32::to_f32)
+                        .collect(),
+                    Precision::F32 => bottom.forward(&dense)?,
+                },
+                None => dense,
+            };
+            features.append(&mut processed);
+        }
+        for round in 0..rounds {
+            let indices = &query[round * tables..(round + 1) * tables];
+            // Resolve to physical reads and drive the memory simulator
+            // with real byte addresses (so DRAM row-buffer state is
+            // modelled under the active page policy).
+            let lookups = self.catalog.resolve(indices)?;
+            let requests: Vec<AddressedRead> = lookups
+                .iter()
+                .map(|l| {
+                    let placed = &self.plan.placed[l.table];
+                    // Round-robin over replicas across lookup rounds.
+                    let replica = round % placed.banks.len();
+                    let bank = placed.banks[replica];
+                    let row_bytes = placed.row_bytes(self.plan.precision);
+                    let offset = self.region_offsets[l.table][replica]
+                        + l.row * u64::from(row_bytes);
+                    AddressedRead::new(bank, offset, row_bytes)
+                })
+                .collect();
+            self.memory.parallel_read_addressed(&requests)?;
+            // Functional gather (embedding values quantize losslessly per
+            // element relative to their stored precision).
+            let mut round_features = self.catalog.gather_vec(indices)?;
+            if self.precision == Precision::Fixed16 {
+                for v in &mut round_features {
+                    *v = Q16::from_f32(*v).to_f32();
+                }
+            } else if self.precision == Precision::Fixed32 {
+                for v in &mut round_features {
+                    *v = Q32::from_f32(*v).to_f32();
+                }
+            }
+            features.extend(round_features);
+        }
+        Ok(features)
+    }
+
+    /// Measures the lookup-stage time of one query against the simulated
+    /// memory (row-buffer state included), without running the MLP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn measure_lookup(&mut self, query: &[u64]) -> Result<SimTime, MicroRecError> {
+        let tables = self.model.num_tables();
+        let rounds = self.model.lookups_per_table as usize;
+        if query.len() != tables * rounds {
+            return Err(MicroRecError::Embedding(
+                microrec_embedding::EmbeddingError::ArityMismatch {
+                    expected: tables * rounds,
+                    actual: query.len(),
+                },
+            ));
+        }
+        let mut total = SimTime::ZERO;
+        for round in 0..rounds {
+            let indices = &query[round * tables..(round + 1) * tables];
+            let lookups = self.catalog.resolve(indices)?;
+            let requests: Vec<AddressedRead> = lookups
+                .iter()
+                .map(|l| {
+                    let placed = &self.plan.placed[l.table];
+                    let replica = round % placed.banks.len();
+                    let row_bytes = placed.row_bytes(self.plan.precision);
+                    let offset = self.region_offsets[l.table][replica]
+                        + l.row * u64::from(row_bytes);
+                    AddressedRead::new(placed.banks[replica], offset, row_bytes)
+                })
+                .collect();
+            total += self.memory.parallel_read_addressed(&requests)?.elapsed;
+        }
+        Ok(total)
+    }
+
+    /// Sets the DRAM page policy of the simulated memory (closed page by
+    /// default; open page lets Zipf-skewed traffic hit open rows).
+    pub fn set_row_policy(&mut self, policy: RowPolicy) {
+        self.memory.set_row_policy(policy);
+    }
+
+    /// Resets accumulated memory statistics.
+    pub fn reset_stats(&mut self) {
+        self.memory.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_cpu::CpuReferenceEngine;
+    use microrec_placement::AllocStrategy;
+
+    fn toy_engine(precision: Precision) -> MicroRec {
+        MicroRec::builder(ModelSpec::dlrm_rmc2(6, 8))
+            .precision(precision)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_engine() {
+        let e = toy_engine(Precision::Fixed16);
+        assert_eq!(e.model().num_tables(), 6);
+        assert!(e.fits_device());
+        assert!(e.latency().as_us() < 100.0);
+        assert!(e.throughput_items_per_sec() > 1e4);
+    }
+
+    #[test]
+    fn predictions_match_cpu_reference_within_quantization() {
+        let model = ModelSpec::dlrm_rmc2(6, 8);
+        let cpu = CpuReferenceEngine::build(&model, 11).unwrap();
+        let mut fpga16 = toy_engine(Precision::Fixed16);
+        let mut fpga32 = toy_engine(Precision::Fixed32);
+        for k in 0..20u64 {
+            let q: Vec<u64> = (0..24).map(|j| (k * 7919 + j * 104_729) % 500_000).collect();
+            let reference = cpu.predict(&q).unwrap();
+            let q16 = fpga16.predict(&q).unwrap();
+            let q32 = fpga32.predict(&q).unwrap();
+            assert!((reference - q32).abs() < 5e-3, "Q32 {q32} vs ref {reference}");
+            assert!((reference - q16).abs() < 0.2, "Q16 {q16} vs ref {reference}");
+            assert!(
+                (reference - q32).abs() <= (reference - q16).abs() + 1e-6,
+                "Q32 must be at least as close as Q16"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_drives_memory_statistics() {
+        let mut e = toy_engine(Precision::Fixed16);
+        assert_eq!(e.memory().stats().total().reads, 0);
+        let q = vec![0u64; 24];
+        e.predict(&q).unwrap();
+        // 6 physical tables x 4 rounds = 24 reads.
+        assert_eq!(e.memory().stats().total().reads, 24);
+        e.reset_stats();
+        assert_eq!(e.memory().stats().total().reads, 0);
+    }
+
+    #[test]
+    fn merged_engine_equals_unmerged_engine() {
+        // A cramped memory forces merging; predictions must not change.
+        let model = ModelSpec::new(
+            "cramped",
+            (0..6)
+                .map(|i| microrec_embedding::TableSpec::new(format!("t{i}"), 100 + i as u64, 4))
+                .collect(),
+            vec![64, 32],
+            1,
+        );
+        let mut few_channels = MemoryConfig::fpga_without_hbm(3);
+        few_channels.banks.retain(|b| b.id.kind.is_dram());
+        let accel = AccelConfig {
+            clock_hz: 120_000_000,
+            precision: Precision::Fixed32,
+            pes_per_layer: vec![16, 16],
+            macs_per_pe_cycle: 10,
+        };
+
+        let mut merged = MicroRec::builder(model.clone())
+            .memory(few_channels.clone())
+            .precision(Precision::Fixed32)
+            .seed(3)
+            .accel_config(accel.clone())
+            .build()
+            .unwrap();
+        assert!(merged.plan().merge.tables_eliminated() > 0, "expected merging");
+
+        let mut unmerged = MicroRec::builder(model)
+            .memory(few_channels)
+            .precision(Precision::Fixed32)
+            .seed(3)
+            .accel_config(accel)
+            .search_options(HeuristicOptions {
+                allow_merge: false,
+                strategy: AllocStrategy::RoundRobin,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+
+        for k in 0..30u64 {
+            let q: Vec<u64> = (0..6).map(|j| (k * 13 + j * 7) % 100).collect();
+            assert_eq!(
+                merged.predict(&q).unwrap(),
+                unmerged.predict(&q).unwrap(),
+                "merging must be invisible to predictions"
+            );
+        }
+        assert!(
+            merged.placement_cost().lookup_latency <= unmerged.placement_cost().lookup_latency
+        );
+    }
+
+    #[test]
+    fn malformed_query_rejected() {
+        let mut e = toy_engine(Precision::Fixed16);
+        assert!(e.predict(&[0u64; 23]).is_err());
+        let mut q = vec![0u64; 24];
+        q[3] = u64::MAX;
+        assert!(e.predict(&q).is_err());
+    }
+
+    #[test]
+    fn production_engine_builds_and_matches_table3() {
+        let e = MicroRec::builder(ModelSpec::small_production()).seed(5).build().unwrap();
+        assert_eq!(e.plan().num_tables(), 42);
+        assert_eq!(e.placement_cost().dram_rounds, 1);
+        // Memory ledger reflects the plan.
+        let allocated: u64 = e.memory().banks().map(|b| b.used()).sum();
+        assert_eq!(allocated, e.placement_cost().storage_bytes);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the MicroRec engine.
+
+use std::error::Error;
+use std::fmt;
+
+use microrec_accel::AccelError;
+use microrec_dnn::DnnError;
+use microrec_embedding::EmbeddingError;
+use microrec_memsim::MemsimError;
+use microrec_placement::PlacementError;
+
+/// Errors returned by the MicroRec engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MicroRecError {
+    /// Embedding-layer error.
+    Embedding(EmbeddingError),
+    /// Placement search/allocation error.
+    Placement(PlacementError),
+    /// Memory simulator error.
+    Memory(MemsimError),
+    /// DNN substrate error.
+    Dnn(DnnError),
+    /// Accelerator model error.
+    Accel(AccelError),
+}
+
+impl fmt::Display for MicroRecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroRecError::Embedding(e) => write!(f, "embedding error: {e}"),
+            MicroRecError::Placement(e) => write!(f, "placement error: {e}"),
+            MicroRecError::Memory(e) => write!(f, "memory error: {e}"),
+            MicroRecError::Dnn(e) => write!(f, "dnn error: {e}"),
+            MicroRecError::Accel(e) => write!(f, "accelerator error: {e}"),
+        }
+    }
+}
+
+impl Error for MicroRecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MicroRecError::Embedding(e) => Some(e),
+            MicroRecError::Placement(e) => Some(e),
+            MicroRecError::Memory(e) => Some(e),
+            MicroRecError::Dnn(e) => Some(e),
+            MicroRecError::Accel(e) => Some(e),
+        }
+    }
+}
+
+impl From<EmbeddingError> for MicroRecError {
+    fn from(e: EmbeddingError) -> Self {
+        MicroRecError::Embedding(e)
+    }
+}
+impl From<PlacementError> for MicroRecError {
+    fn from(e: PlacementError) -> Self {
+        MicroRecError::Placement(e)
+    }
+}
+impl From<MemsimError> for MicroRecError {
+    fn from(e: MemsimError) -> Self {
+        MicroRecError::Memory(e)
+    }
+}
+impl From<DnnError> for MicroRecError {
+    fn from(e: DnnError) -> Self {
+        MicroRecError::Dnn(e)
+    }
+}
+impl From<AccelError> for MicroRecError {
+    fn from(e: AccelError) -> Self {
+        MicroRecError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: MicroRecError = EmbeddingError::DegenerateProduct.into();
+        assert!(e.source().is_some());
+        let e: MicroRecError = DnnError::EmptyNetwork.into();
+        assert!(e.to_string().contains("dnn"));
+        let e: MicroRecError =
+            PlacementError::Infeasible("x".into()).into();
+        assert!(e.to_string().contains("placement"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Hybrid CPU+FPGA serving (DeepRecSys-style scheduling).
+//!
+//! Gupta et al. 2020a (§6's related work) maximize throughput under a
+//! latency constraint by splitting query streams between CPUs and
+//! accelerators. With both engines modelled here, the same idea is a small
+//! router: queries go to the MicroRec pipeline while its backlog stays
+//! bounded, and overflow spills to the batching CPU engine, which is happy
+//! to trade latency for throughput. The tests show the crossover the
+//! scheduling paper is about: below FPGA capacity the router sends
+//! everything to the accelerator; past it, the CPU absorbs the overflow
+//! and keeps the SLA hit rate from collapsing.
+
+use microrec_cpu::CpuTimingModel;
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+use microrec_workload::{simulate_batched_serving, LatencyStats, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::MicroRec;
+use crate::serve::ServingReport;
+
+/// Configuration of the hybrid router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Largest tolerated FPGA admission backlog before spilling to CPU.
+    pub backlog_limit: SimTime,
+    /// CPU batch size for spilled queries.
+    pub cpu_batch: usize,
+    /// CPU batch aggregation timeout.
+    pub cpu_max_wait: SimTime,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            backlog_limit: SimTime::from_ms(1.0),
+            cpu_batch: 256,
+            cpu_max_wait: SimTime::from_ms(10.0),
+        }
+    }
+}
+
+/// Outcome of a hybrid serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridReport {
+    /// Combined response-time summary.
+    pub combined: ServingReport,
+    /// Fraction of queries served by the FPGA.
+    pub fpga_fraction: f64,
+}
+
+/// Routes `arrivals` between `engine` (item-by-item pipeline) and the CPU
+/// baseline (batched), then summarizes against `sla`.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::{simulate_hybrid_serving, HybridConfig, MicroRec};
+/// use microrec_cpu::CpuTimingModel;
+/// use microrec_embedding::ModelSpec;
+/// use microrec_memsim::SimTime;
+/// use microrec_workload::PoissonArrivals;
+///
+/// let model = ModelSpec::dlrm_rmc2(4, 4);
+/// let engine = MicroRec::builder(model.clone()).build()?;
+/// let trace = PoissonArrivals::new(10_000.0, 1).unwrap().take(2_000);
+/// let report = simulate_hybrid_serving(
+///     &engine,
+///     &CpuTimingModel::aws_16vcpu(),
+///     &model,
+///     &HybridConfig::default(),
+///     &trace,
+///     SimTime::from_ms(25.0),
+/// ).unwrap();
+/// assert!(report.combined.sla_hit_rate > 0.99);
+/// # Ok::<(), microrec_core::MicroRecError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::NoSamples`] for an empty trace.
+pub fn simulate_hybrid_serving(
+    engine: &MicroRec,
+    cpu: &CpuTimingModel,
+    model: &ModelSpec,
+    config: &HybridConfig,
+    arrivals: &[SimTime],
+    sla: SimTime,
+) -> Result<HybridReport, WorkloadError> {
+    let ii = engine.pipeline().initiation_interval();
+    let fill = engine.latency();
+
+    let mut fpga_next_slot = SimTime::ZERO;
+    let mut fpga_latencies = Vec::new();
+    let mut cpu_arrivals = Vec::new();
+    for &arr in arrivals {
+        let start = arr.max(fpga_next_slot);
+        if start.saturating_sub(arr) <= config.backlog_limit {
+            fpga_next_slot = start + ii;
+            fpga_latencies.push((start + fill).saturating_sub(arr));
+        } else {
+            cpu_arrivals.push(arr);
+        }
+    }
+    let cpu_latencies = simulate_batched_serving(
+        &cpu_arrivals,
+        config.cpu_batch,
+        config.cpu_max_wait,
+        cpu.total_time(model, config.cpu_batch as u64),
+    );
+
+    let fpga_count = fpga_latencies.len();
+    let mut all = fpga_latencies;
+    all.extend(cpu_latencies);
+    let span = arrivals.last().copied().unwrap_or(SimTime::ZERO)
+        + all.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let combined = ServingReport {
+        latency: LatencyStats::from_samples(&all)?,
+        sla_hit_rate: LatencyStats::sla_hit_rate(&all, sla),
+        throughput: if span.is_zero() {
+            f64::INFINITY
+        } else {
+            all.len() as f64 / span.as_secs()
+        },
+    };
+    Ok(HybridReport { combined, fpga_fraction: fpga_count as f64 / arrivals.len() as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::simulate_microrec_serving;
+    use microrec_embedding::Precision;
+    use microrec_workload::PoissonArrivals;
+
+    fn setup() -> (MicroRec, CpuTimingModel, ModelSpec) {
+        let model = ModelSpec::small_production();
+        let engine =
+            MicroRec::builder(model.clone()).precision(Precision::Fixed16).build().unwrap();
+        (engine, CpuTimingModel::aws_16vcpu(), model)
+    }
+
+    #[test]
+    fn below_capacity_everything_goes_to_the_fpga() {
+        let (engine, cpu, model) = setup();
+        let rate = engine.throughput_items_per_sec() * 0.5;
+        let mut arrivals = PoissonArrivals::new(rate, 3).unwrap();
+        let trace = arrivals.take(10_000);
+        let report = simulate_hybrid_serving(
+            &engine,
+            &cpu,
+            &model,
+            &HybridConfig::default(),
+            &trace,
+            SimTime::from_ms(20.0),
+        )
+        .unwrap();
+        assert!(report.fpga_fraction > 0.999, "fraction {}", report.fpga_fraction);
+        assert!(report.combined.sla_hit_rate > 0.999);
+    }
+
+    #[test]
+    fn overload_spills_to_cpu_and_preserves_sla() {
+        let (engine, cpu, model) = setup();
+        // Offer 8% above the FPGA's capacity — a spill the CPU (batch 256:
+        // ~30k items/s under a 10 ms wait cap) can actually absorb. Much
+        // beyond that no single CPU server helps, which is DeepRecSys's
+        // own scaling argument for *fleets* of CPUs behind accelerators.
+        let rate = engine.throughput_items_per_sec() * 1.08;
+        let mut arrivals = PoissonArrivals::new(rate, 7).unwrap();
+        // Long enough for the saturated FPGA-only queue to blow the SLA.
+        let trace = arrivals.take(120_000);
+        let sla = SimTime::from_ms(25.0);
+
+        let fpga_only = simulate_microrec_serving(&engine, &trace, sla).unwrap();
+        let hybrid = simulate_hybrid_serving(
+            &engine,
+            &cpu,
+            &model,
+            &HybridConfig::default(),
+            &trace,
+            sla,
+        )
+        .unwrap();
+        assert!(
+            hybrid.fpga_fraction > 0.7 && hybrid.fpga_fraction < 0.999,
+            "overflow should spill: {}",
+            hybrid.fpga_fraction
+        );
+        assert!(
+            hybrid.combined.sla_hit_rate > fpga_only.sla_hit_rate,
+            "hybrid {} must beat saturated fpga-only {}",
+            hybrid.combined.sla_hit_rate,
+            fpga_only.sla_hit_rate
+        );
+        assert!(hybrid.combined.sla_hit_rate > 0.9, "{}", hybrid.combined.sla_hit_rate);
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let (engine, cpu, model) = setup();
+        assert!(matches!(
+            simulate_hybrid_serving(
+                &engine,
+                &cpu,
+                &model,
+                &HybridConfig::default(),
+                &[],
+                SimTime::from_ms(1.0)
+            ),
+            Err(WorkloadError::NoSamples)
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! A thread-safe engine pool for concurrent query serving.
+//!
+//! The functional [`MicroRec`] engine is stateful (memory statistics,
+//! row-buffer state), so it takes `&mut self` per prediction. A serving
+//! host wants many request threads; [`EnginePool`] holds N engine replicas
+//! behind `parking_lot` mutexes and hands each caller an uncontended one —
+//! the standard replica-pool pattern, with round-robin dispatch and
+//! aggregate statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use microrec_embedding::{ModelSpec, Precision};
+
+use crate::engine::{MicroRec, MicroRecBuilder};
+use crate::error::MicroRecError;
+
+/// A pool of identical engines for multi-threaded prediction.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::EnginePool;
+/// use microrec_embedding::{ModelSpec, Precision};
+///
+/// let pool = EnginePool::build(ModelSpec::dlrm_rmc2(4, 4), Precision::Fixed32, 2, 7)?;
+/// let ctr = pool.predict(&vec![3u64; 16])?;
+/// assert!(ctr > 0.0 && ctr < 1.0);
+/// # Ok::<(), microrec_core::MicroRecError>(())
+/// ```
+#[derive(Debug)]
+pub struct EnginePool {
+    engines: Vec<Mutex<MicroRec>>,
+    next: AtomicUsize,
+}
+
+impl EnginePool {
+    /// Builds `replicas` identical engines (same seed: identical tables and
+    /// weights, so every replica answers every query identically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if the engine cannot be built.
+    pub fn build(
+        model: ModelSpec,
+        precision: Precision,
+        replicas: usize,
+        seed: u64,
+    ) -> Result<Self, MicroRecError> {
+        let replicas = replicas.max(1);
+        let mut engines = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let engine = MicroRecBuilder::new(model.clone())
+                .precision(precision)
+                .seed(seed)
+                .build()?;
+            engines.push(Mutex::new(engine));
+        }
+        Ok(EnginePool { engines, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Predicts a CTR on the least-recently-dispatched replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn predict(&self, query: &[u64]) -> Result<f32, MicroRecError> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+        self.engines[idx].lock().predict(query)
+    }
+
+    /// Predicts a batch, spreading items over all replicas from the
+    /// calling thread's context (callers on different threads proceed
+    /// concurrently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn predict_batch(&self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        queries.iter().map(|q| self.predict(q)).collect()
+    }
+
+    /// Total simulated memory reads across all replicas.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.engines.iter().map(|e| e.lock().memory().stats().total().reads).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pool() -> Arc<EnginePool> {
+        Arc::new(
+            EnginePool::build(ModelSpec::dlrm_rmc2(4, 8), Precision::Fixed32, 3, 5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn replicas_answer_identically() {
+        let p = pool();
+        let q = vec![123u64; 16];
+        // Dispatch rotates through all replicas; answers must agree.
+        let first = p.predict(&q).unwrap();
+        for _ in 0..5 {
+            assert_eq!(p.predict(&q).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn concurrent_prediction_from_many_threads() {
+        let p = pool();
+        let queries_per_thread = 50;
+        let threads = 8;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let p = Arc::clone(&p);
+                handles.push(scope.spawn(move |_| {
+                    for k in 0..queries_per_thread {
+                        let q: Vec<u64> =
+                            (0..16).map(|j| ((t * 97 + k * 13 + j) % 500_000) as u64).collect();
+                        let ctr = p.predict(&q).unwrap();
+                        assert!(ctr > 0.0 && ctr < 1.0);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        // Every query drove 4 physical reads x 4 rounds.
+        assert_eq!(p.total_reads(), (threads * queries_per_thread * 16) as u64);
+    }
+
+    #[test]
+    fn pool_of_one_still_works() {
+        let p = EnginePool::build(ModelSpec::dlrm_rmc2(4, 4), Precision::Fixed16, 0, 1).unwrap();
+        assert_eq!(p.replicas(), 1, "replicas clamp to >= 1");
+        let out = p.predict_batch(&vec![vec![0u64; 16]; 4]).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+}

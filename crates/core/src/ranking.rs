@@ -1,0 +1,161 @@
+//! Ranking-quality metrics.
+//!
+//! CTR models exist to *rank* candidates (§2.1: "product candidates with
+//! the highest CTRs are recommended"). Absolute CTR error from
+//! quantization is therefore the wrong lens; what matters is whether the
+//! fixed-point engine ranks candidates like the `f32` reference. This
+//! module provides rank correlation (Kendall's τ) and top-k agreement so
+//! the precision ablation can be judged on recommendation quality.
+
+use serde::{Deserialize, Serialize};
+
+/// Indices of `scores` sorted by descending score (ties broken by index,
+/// so rankings are deterministic).
+#[must_use]
+pub fn rank_descending(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Kendall's τ-a between two score vectors over the same candidates
+/// (1 = identical order, −1 = reversed, 0 = unrelated).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn kendall_tau(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let prod = f64::from(da) * f64::from(db);
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Fraction of the reference's top-`k` candidates that also appear in the
+/// test ranking's top-`k`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn top_k_overlap(reference: &[f32], test: &[f32], k: usize) -> f64 {
+    assert_eq!(reference.len(), test.len(), "score vectors must align");
+    let k = k.min(reference.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let top_ref: Vec<usize> = rank_descending(reference).into_iter().take(k).collect();
+    let top_test: Vec<usize> = rank_descending(test).into_iter().take(k).collect();
+    let shared = top_ref.iter().filter(|i| top_test.contains(i)).count();
+    shared as f64 / k as f64
+}
+
+/// Summary of a ranking-fidelity comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingFidelity {
+    /// Kendall's τ between reference and test scores.
+    pub kendall_tau: f64,
+    /// Top-1 agreement (did the same candidate win?).
+    pub top1_match: bool,
+    /// Overlap of the top-10 sets.
+    pub top10_overlap: f64,
+}
+
+/// Compares a test engine's scores to the reference's.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn ranking_fidelity(reference: &[f32], test: &[f32]) -> RankingFidelity {
+    RankingFidelity {
+        kendall_tau: kendall_tau(reference, test),
+        top1_match: rank_descending(reference).first() == rank_descending(test).first(),
+        top10_overlap: top_k_overlap(reference, test, 10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MicroRec;
+    use microrec_cpu::CpuReferenceEngine;
+    use microrec_embedding::{ModelSpec, Precision};
+    use microrec_workload::{QueryGenConfig, QueryGenerator};
+
+    #[test]
+    fn rank_descending_is_stable() {
+        let scores = [0.1f32, 0.9, 0.5, 0.9];
+        assert_eq!(rank_descending(&scores), vec![1, 3, 2, 0]);
+        assert!(rank_descending(&[]).is_empty());
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let rev = [4.0f32, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+        assert_eq!(kendall_tau(&a[..1], &rev[..1]), 1.0);
+        // One swapped adjacent pair: tau = (5 - 1) / 6.
+        let swapped = [1.0f32, 3.0, 2.0, 4.0];
+        assert!((kendall_tau(&a, &swapped) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_overlap_counts_sets() {
+        let a = [0.9f32, 0.8, 0.7, 0.1];
+        let b = [0.9f32, 0.1, 0.8, 0.7];
+        assert_eq!(top_k_overlap(&a, &b, 1), 1.0);
+        assert!((top_k_overlap(&a, &b, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(top_k_overlap(&a, &b, 0), 1.0);
+        assert_eq!(top_k_overlap(&a, &b, 99), 1.0, "k clamps to n");
+    }
+
+    #[test]
+    fn quantized_engines_preserve_ranking() {
+        let model = ModelSpec::dlrm_rmc2(8, 16);
+        let cpu = CpuReferenceEngine::build(&model, 21).unwrap();
+        let mut q16 = MicroRec::builder(model.clone())
+            .precision(Precision::Fixed16)
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut q32 = MicroRec::builder(model.clone())
+            .precision(Precision::Fixed32)
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut gen = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
+        let candidates = gen.next_batch(24);
+        let reference: Vec<f32> =
+            candidates.iter().map(|q| cpu.predict(q).unwrap()).collect();
+        let s16: Vec<f32> = candidates.iter().map(|q| q16.predict(q).unwrap()).collect();
+        let s32: Vec<f32> = candidates.iter().map(|q| q32.predict(q).unwrap()).collect();
+
+        let f16 = ranking_fidelity(&reference, &s16);
+        let f32fid = ranking_fidelity(&reference, &s32);
+        assert!(f32fid.kendall_tau > 0.95, "fixed32 tau {}", f32fid.kendall_tau);
+        assert!(f16.kendall_tau > 0.6, "fixed16 tau {}", f16.kendall_tau);
+        assert!(f32fid.kendall_tau >= f16.kendall_tau - 1e-9);
+        assert!(f32fid.top10_overlap >= 0.9);
+    }
+}

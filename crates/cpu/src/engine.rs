@@ -1,0 +1,216 @@
+//! Functional CPU reference engine.
+//!
+//! Unlike [`CpuTimingModel`](crate::CpuTimingModel), which *predicts* the
+//! baseline's latency, this engine actually executes recommendation
+//! inference in `f32` on the host: gather the embeddings, run the top MLP.
+//! It serves as the numerical ground truth the accelerator's fixed-point
+//! results are compared against, and as the workload under the measured
+//! (Criterion) CPU benchmarks.
+
+use microrec_dnn::{Matrix, Mlp};
+use microrec_embedding::{
+    synthetic_dense_features, Catalog, EmbeddingError, MergePlan, ModelSpec,
+};
+
+use crate::error::CpuError;
+
+/// A batch of queries: one row-index vector per item.
+pub type QueryBatch = Vec<Vec<u64>>;
+
+/// The functional CPU engine: embedding catalog + top MLP.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_cpu::CpuReferenceEngine;
+/// use microrec_embedding::ModelSpec;
+///
+/// let model = ModelSpec::dlrm_rmc2(8, 4);
+/// let engine = CpuReferenceEngine::build(&model, 42)?;
+/// let query: Vec<u64> = vec![7; 8 * 4]; // 8 tables x 4 lookups each
+/// let ctr = engine.predict(&query)?;
+/// assert!(ctr > 0.0 && ctr < 1.0);
+/// # Ok::<(), microrec_cpu::CpuError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuReferenceEngine {
+    model: ModelSpec,
+    catalog: Catalog,
+    mlp: Mlp,
+    bottom: Option<Mlp>,
+}
+
+impl CpuReferenceEngine {
+    /// Builds the engine for `model` with procedural tables and Xavier
+    /// weights derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] if the model spec is inconsistent.
+    pub fn build(model: &ModelSpec, seed: u64) -> Result<Self, CpuError> {
+        model.validate()?;
+        let catalog = Catalog::build(model, &MergePlan::none(), seed)?;
+        let mlp = Mlp::top_mlp(model.feature_len(), &model.hidden, seed ^ 0x5EED)?;
+        let bottom = if model.has_bottom_mlp() {
+            Some(Mlp::bottom_mlp(model.dense_dim, &model.bottom_hidden, seed ^ 0x5EED)?)
+        } else {
+            None
+        };
+        Ok(CpuReferenceEngine { model: model.clone(), catalog, mlp, bottom })
+    }
+
+    /// The model this engine serves.
+    #[must_use]
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The embedding catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The top MLP (shared — the accelerator quantizes these same weights).
+    #[must_use]
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Gathers the concatenated feature vector for one query.
+    ///
+    /// A query supplies `lookups_per_table` indices for every table,
+    /// ordered round-major: all tables' first lookups, then all tables'
+    /// second lookups, and so on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for arity or range violations.
+    pub fn gather_features(&self, query: &[u64]) -> Result<Vec<f32>, CpuError> {
+        let tables = self.model.num_tables();
+        let rounds = self.model.lookups_per_table as usize;
+        if query.len() != tables * rounds {
+            return Err(CpuError::from(EmbeddingError::ArityMismatch {
+                expected: tables * rounds,
+                actual: query.len(),
+            }));
+        }
+        let mut features = Vec::with_capacity(self.model.feature_len() as usize);
+        // Dense path first: raw features, or the bottom MLP's activations
+        // (dense inputs are derived deterministically from the query so the
+        // accelerator path can reproduce them bit-for-bit).
+        if self.model.dense_dim > 0 {
+            let dense = synthetic_dense_features(query, self.model.dense_dim);
+            match &self.bottom {
+                Some(bottom) => features.extend(bottom.forward(&dense)?),
+                None => features.extend(dense),
+            }
+        }
+        for round in 0..rounds {
+            let indices = &query[round * tables..(round + 1) * tables];
+            features.extend(self.catalog.gather_vec(indices)?);
+        }
+        Ok(features)
+    }
+
+    /// Predicts the CTR for one query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for malformed queries.
+    pub fn predict(&self, query: &[u64]) -> Result<f32, CpuError> {
+        let features = self.gather_features(query)?;
+        Ok(self.mlp.predict_ctr(&features)?)
+    }
+
+    /// Predicts CTRs for a batch using the blocked-GEMM batched path (the
+    /// execution mode of the TensorFlow baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for malformed queries.
+    pub fn predict_batch(&self, batch: &QueryBatch) -> Result<Vec<f32>, CpuError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let feat_len = self.model.feature_len() as usize;
+        let mut inputs = Matrix::zeros(batch.len(), feat_len);
+        for (r, query) in batch.iter().enumerate() {
+            let features = self.gather_features(query)?;
+            let row_start = r * feat_len;
+            inputs.as_mut_slice()[row_start..row_start + feat_len].copy_from_slice(&features);
+        }
+        let out = self.mlp.forward_batch(&inputs)?;
+        Ok((0..batch.len()).map(|r| out.get(r, 0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_engine() -> CpuReferenceEngine {
+        CpuReferenceEngine::build(&ModelSpec::dlrm_rmc2(4, 8), 7).unwrap()
+    }
+
+    #[test]
+    fn predict_is_deterministic_probability() {
+        let e = toy_engine();
+        let q: Vec<u64> = (0..16).map(|i| i * 1000).collect();
+        let a = e.predict(&q).unwrap();
+        assert_eq!(a, e.predict(&q).unwrap());
+        assert!(a > 0.0 && a < 1.0);
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let e = toy_engine();
+        let q1: Vec<u64> = vec![1; 16];
+        let q2: Vec<u64> = vec![400_000; 16];
+        assert_ne!(e.predict(&q1).unwrap(), e.predict(&q2).unwrap());
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = toy_engine();
+        let batch: QueryBatch =
+            (0..8).map(|i| (0..16).map(|j| (i * 37 + j * 113) % 500_000).collect()).collect();
+        let batched = e.predict_batch(&batch).unwrap();
+        for (q, &b) in batch.iter().zip(&batched) {
+            let single = e.predict(q).unwrap();
+            assert!((single - b).abs() < 1e-4, "batch {b} vs single {single}");
+        }
+    }
+
+    #[test]
+    fn multi_lookup_rounds_are_distinct_features() {
+        // Changing only a second-round index must change the prediction.
+        let e = toy_engine();
+        let mut q: Vec<u64> = vec![5; 16];
+        let base = e.predict(&q).unwrap();
+        q[7] = 123_456; // round 1, table 3
+        assert_ne!(base, e.predict(&q).unwrap());
+    }
+
+    #[test]
+    fn malformed_queries_rejected() {
+        let e = toy_engine();
+        assert!(e.predict(&[0u64; 15]).is_err(), "wrong arity");
+        let mut q = vec![0u64; 16];
+        q[0] = u64::MAX;
+        assert!(e.predict(&q).is_err(), "out of range");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let e = toy_engine();
+        assert!(e.predict_batch(&Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn feature_vector_has_model_width() {
+        let e = toy_engine();
+        let q: Vec<u64> = vec![0; 16];
+        assert_eq!(e.gather_features(&q).unwrap().len(), 4 * 8 * 4);
+    }
+}

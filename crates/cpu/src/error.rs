@@ -1,0 +1,60 @@
+//! Error types for the CPU baseline.
+
+use std::error::Error;
+use std::fmt;
+
+use microrec_dnn::DnnError;
+use microrec_embedding::EmbeddingError;
+
+/// Errors returned by the CPU engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CpuError {
+    /// The embedding layer rejected an operation.
+    Embedding(EmbeddingError),
+    /// The DNN substrate rejected an operation.
+    Dnn(DnnError),
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Embedding(e) => write!(f, "embedding error: {e}"),
+            CpuError::Dnn(e) => write!(f, "dnn error: {e}"),
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::Embedding(e) => Some(e),
+            CpuError::Dnn(e) => Some(e),
+        }
+    }
+}
+
+impl From<EmbeddingError> for CpuError {
+    fn from(e: EmbeddingError) -> Self {
+        CpuError::Embedding(e)
+    }
+}
+
+impl From<DnnError> for CpuError {
+    fn from(e: DnnError) -> Self {
+        CpuError::Dnn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: CpuError = EmbeddingError::DegenerateProduct.into();
+        assert!(e.source().is_some());
+        let e: CpuError = DnnError::EmptyNetwork.into();
+        assert!(e.to_string().contains("no layers"));
+    }
+}

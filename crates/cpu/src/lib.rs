@@ -1,0 +1,35 @@
+//! # microrec-cpu
+//!
+//! The CPU baseline of the MicroRec reproduction (Jiang et al., MLSys
+//! 2021): a calibrated analytical timing model of the TensorFlow-Serving
+//! deployment the paper benchmarks against (16 vCPU, AVX2, 8-channel
+//! DDR4), plus a functional `f32` reference engine that really executes
+//! recommendation inference on the host and anchors numerical correctness.
+//!
+//! ## Example
+//!
+//! ```
+//! use microrec_cpu::CpuTimingModel;
+//! use microrec_embedding::ModelSpec;
+//!
+//! let model = ModelSpec::small_production();
+//! let cpu = CpuTimingModel::aws_16vcpu();
+//! // Paper Table 2: 28.18 ms at batch 2048.
+//! let t = cpu.total_time(&model, 2048);
+//! assert!((t.as_ms() - 28.18).abs() / 28.18 < 0.15);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod opgraph;
+mod timing_model;
+
+pub use engine::{CpuReferenceEngine, QueryBatch};
+pub use error::CpuError;
+pub use opgraph::{Op, OpGraph, OpKind};
+pub use timing_model::{
+    facebook_rmc2_baseline_lookup, CpuTimingModel, EMBEDDING_OP_TYPES,
+};

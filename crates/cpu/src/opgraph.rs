@@ -1,0 +1,362 @@
+//! A TensorFlow-Serving-style operator graph for recommendation inference.
+//!
+//! §2.3 of the paper observes that the embedding layer alone involves "37
+//! types of operators (e.g., slice and concatenation) and these operators
+//! are invoked many times during inference" — the framework overhead that
+//! dominates small-batch CPU latency. This module makes that concrete: it
+//! builds the operator graph a TF-style runtime would execute (per-table
+//! index-processing chains, gathers, concat, then MatMul/BiasAdd/activation
+//! chains), *functionally executes* it (matching the reference engine
+//! bit-for-bit), and counts operator invocations so the timing model's
+//! per-invocation constant has a mechanistic interpretation.
+
+use std::fmt;
+
+use microrec_dnn::{gemv, Mlp};
+use microrec_embedding::{Catalog, ModelSpec};
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CpuError;
+
+/// Operator kinds (a representative subset of the 37 the paper counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Input placeholder holding one table's lookup indices.
+    Placeholder,
+    /// Deduplicate indices (TF's embedding pipeline does this per table).
+    Unique,
+    /// Integer cast of indices.
+    Cast,
+    /// The actual table gather.
+    Gather,
+    /// Shape bookkeeping after the gather.
+    Reshape,
+    /// Add a batch dimension.
+    ExpandDims,
+    /// Strip padding from the gathered slice.
+    Slice,
+    /// Remove the singleton dimension again.
+    Squeeze,
+    /// Concatenate all table outputs into the feature vector.
+    Concat,
+    /// Dense layer matrix multiply.
+    MatMul,
+    /// Dense layer bias add.
+    BiasAdd,
+    /// ReLU activation.
+    Relu,
+    /// Output sigmoid.
+    Sigmoid,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One operator instance in the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// What the operator does.
+    pub kind: OpKind,
+    /// Indices of upstream ops whose outputs feed this one.
+    pub inputs: Vec<usize>,
+    /// Table index for `Placeholder`/`Gather`, layer index for
+    /// `MatMul`/`BiasAdd`; unused otherwise.
+    pub arg: usize,
+}
+
+/// A dataflow graph of operators in topological order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpGraph {
+    ops: Vec<Op>,
+}
+
+/// Intermediate values during interpretation.
+#[derive(Debug, Clone)]
+enum Value {
+    Indices(Vec<u64>),
+    Dense(Vec<f32>),
+}
+
+impl OpGraph {
+    /// Builds the embedding-layer subgraph for `model`: a 7-op chain per
+    /// table (placeholder → unique → cast → gather → reshape → slice →
+    /// squeeze) feeding one concat.
+    #[must_use]
+    pub fn embedding_layer(model: &ModelSpec) -> Self {
+        let mut ops = Vec::new();
+        let mut squeezed = Vec::new();
+        for t in 0..model.num_tables() {
+            let ph = ops.len();
+            ops.push(Op { kind: OpKind::Placeholder, inputs: vec![], arg: t });
+            let uq = ops.len();
+            ops.push(Op { kind: OpKind::Unique, inputs: vec![ph], arg: 0 });
+            let cast = ops.len();
+            ops.push(Op { kind: OpKind::Cast, inputs: vec![uq], arg: 0 });
+            let gather = ops.len();
+            ops.push(Op { kind: OpKind::Gather, inputs: vec![cast], arg: t });
+            let reshape = ops.len();
+            ops.push(Op { kind: OpKind::Reshape, inputs: vec![gather], arg: 0 });
+            let slice = ops.len();
+            ops.push(Op { kind: OpKind::Slice, inputs: vec![reshape], arg: 0 });
+            let squeeze = ops.len();
+            ops.push(Op { kind: OpKind::Squeeze, inputs: vec![slice], arg: 0 });
+            squeezed.push(squeeze);
+        }
+        ops.push(Op { kind: OpKind::Concat, inputs: squeezed, arg: 0 });
+        OpGraph { ops }
+    }
+
+    /// Builds the full inference graph: the embedding layer plus
+    /// MatMul/BiasAdd/ReLU chains per hidden layer and the sigmoid head.
+    #[must_use]
+    pub fn full_inference(model: &ModelSpec) -> Self {
+        let mut graph = Self::embedding_layer(model);
+        let mut prev = graph.ops.len() - 1; // the concat
+        let layer_count = model.hidden.len() + 1;
+        for layer in 0..layer_count {
+            let mm = graph.ops.len();
+            graph.ops.push(Op { kind: OpKind::MatMul, inputs: vec![prev], arg: layer });
+            let ba = graph.ops.len();
+            graph.ops.push(Op { kind: OpKind::BiasAdd, inputs: vec![mm], arg: layer });
+            let act = graph.ops.len();
+            if layer + 1 == layer_count {
+                graph.ops.push(Op { kind: OpKind::Sigmoid, inputs: vec![ba], arg: 0 });
+            } else {
+                graph.ops.push(Op { kind: OpKind::Relu, inputs: vec![ba], arg: 0 });
+            }
+            prev = act;
+        }
+        graph
+    }
+
+    /// The operators in topological order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total operator invocations per executed item.
+    #[must_use]
+    pub fn invocation_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of distinct operator kinds in the graph.
+    #[must_use]
+    pub fn distinct_kinds(&self) -> usize {
+        let mut kinds: Vec<OpKind> = self.ops.iter().map(|o| o.kind).collect();
+        kinds.sort_by_key(|k| format!("{k:?}"));
+        kinds.dedup();
+        kinds.len()
+    }
+
+    /// Framework overhead of one graph execution at `per_invocation` cost
+    /// per operator dispatch.
+    #[must_use]
+    pub fn dispatch_overhead(&self, per_invocation: SimTime) -> SimTime {
+        per_invocation * self.invocation_count() as u64
+    }
+
+    /// Functionally executes the graph for one query (one index per
+    /// logical table; single-lookup models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for malformed queries or a graph/model
+    /// mismatch.
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        mlp: &Mlp,
+        query: &[u64],
+    ) -> Result<Vec<f32>, CpuError> {
+        let mut values: Vec<Option<Value>> = vec![None; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let value = match op.kind {
+                OpKind::Placeholder => {
+                    let idx = *query.get(op.arg).ok_or(CpuError::Embedding(
+                        microrec_embedding::EmbeddingError::ArityMismatch {
+                            expected: catalog.logical_tables().len(),
+                            actual: query.len(),
+                        },
+                    ))?;
+                    Value::Indices(vec![idx])
+                }
+                OpKind::Unique | OpKind::Cast => {
+                    match &values[op.inputs[0]] {
+                        Some(Value::Indices(v)) => Value::Indices(v.clone()),
+                        _ => return Err(graph_error("index op fed a dense tensor")),
+                    }
+                }
+                OpKind::Gather => match &values[op.inputs[0]] {
+                    Some(Value::Indices(v)) => {
+                        let table = &catalog.logical_tables()[op.arg];
+                        let mut out = Vec::new();
+                        for &idx in v {
+                            out.extend(table.row(idx)?);
+                        }
+                        Value::Dense(out)
+                    }
+                    _ => return Err(graph_error("gather fed a dense tensor")),
+                },
+                OpKind::Reshape | OpKind::ExpandDims | OpKind::Slice | OpKind::Squeeze => {
+                    match &values[op.inputs[0]] {
+                        Some(Value::Dense(v)) => Value::Dense(v.clone()),
+                        _ => return Err(graph_error("shape op fed indices")),
+                    }
+                }
+                OpKind::Concat => {
+                    let mut out = Vec::new();
+                    for &input in &op.inputs {
+                        match &values[input] {
+                            Some(Value::Dense(v)) => out.extend_from_slice(v),
+                            _ => return Err(graph_error("concat fed indices")),
+                        }
+                    }
+                    Value::Dense(out)
+                }
+                OpKind::MatMul => match &values[op.inputs[0]] {
+                    Some(Value::Dense(x)) => {
+                        let layer = mlp
+                            .layers()
+                            .get(op.arg)
+                            .ok_or_else(|| graph_error("matmul layer out of range"))?;
+                        let mut y = vec![0.0f32; layer.output_dim()];
+                        gemv(layer.weights(), x, &mut y)?;
+                        Value::Dense(y)
+                    }
+                    _ => return Err(graph_error("matmul fed indices")),
+                },
+                OpKind::BiasAdd => match &values[op.inputs[0]] {
+                    Some(Value::Dense(x)) => {
+                        let layer = mlp
+                            .layers()
+                            .get(op.arg)
+                            .ok_or_else(|| graph_error("biasadd layer out of range"))?;
+                        Value::Dense(
+                            x.iter().zip(layer.bias()).map(|(v, b)| v + b).collect(),
+                        )
+                    }
+                    _ => return Err(graph_error("biasadd fed indices")),
+                },
+                OpKind::Relu => match &values[op.inputs[0]] {
+                    Some(Value::Dense(x)) => {
+                        Value::Dense(x.iter().map(|v| v.max(0.0)).collect())
+                    }
+                    _ => return Err(graph_error("relu fed indices")),
+                },
+                OpKind::Sigmoid => match &values[op.inputs[0]] {
+                    Some(Value::Dense(x)) => Value::Dense(
+                        x.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect(),
+                    ),
+                    _ => return Err(graph_error("sigmoid fed indices")),
+                },
+            };
+            values[i] = Some(value);
+        }
+        match values.pop().flatten() {
+            Some(Value::Dense(v)) => Ok(v),
+            _ => Err(graph_error("graph produced no dense output")),
+        }
+    }
+}
+
+fn graph_error(why: &str) -> CpuError {
+    CpuError::Dnn(microrec_dnn::DnnError::ShapeMismatch {
+        context: "op graph",
+        expected: 0,
+        actual: why.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CpuReferenceEngine;
+
+    fn model() -> ModelSpec {
+        let mut m = ModelSpec::dlrm_rmc2(6, 8);
+        m.lookups_per_table = 1; // the op graph models single-lookup chains
+        m
+    }
+
+    #[test]
+    fn embedding_graph_shape() {
+        let m = model();
+        let g = OpGraph::embedding_layer(&m);
+        // 7 ops per table + 1 concat.
+        assert_eq!(g.invocation_count(), 7 * 6 + 1);
+        assert_eq!(g.ops().last().unwrap().kind, OpKind::Concat);
+        assert!(g.distinct_kinds() >= 8);
+    }
+
+    #[test]
+    fn full_graph_adds_dnn_chains() {
+        let m = model();
+        let g = OpGraph::full_inference(&m);
+        // Embedding + (MatMul, BiasAdd, act) x 4 layers.
+        assert_eq!(g.invocation_count(), 7 * 6 + 1 + 3 * 4);
+        assert_eq!(g.ops().last().unwrap().kind, OpKind::Sigmoid);
+    }
+
+    #[test]
+    fn execution_matches_reference_engine() {
+        let m = model();
+        let engine = CpuReferenceEngine::build(&m, 77).unwrap();
+        let g = OpGraph::full_inference(&m);
+        for k in 0..10u64 {
+            let query: Vec<u64> = (0..6).map(|j| (k * 131 + j * 17) % 500_000).collect();
+            let graph_out =
+                g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
+            let reference = engine.predict(&query).unwrap();
+            assert!(
+                (graph_out[0] - reference).abs() < 1e-6,
+                "graph {} vs engine {reference}",
+                graph_out[0]
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_subgraph_matches_gather() {
+        let m = model();
+        let engine = CpuReferenceEngine::build(&m, 5).unwrap();
+        let g = OpGraph::embedding_layer(&m);
+        let query: Vec<u64> = (0..6).map(|j| j * 931).collect();
+        let graph_features =
+            g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
+        let direct = engine.catalog().gather_vec(&query).unwrap();
+        assert_eq!(graph_features, direct);
+    }
+
+    #[test]
+    fn dispatch_overhead_scales_with_tables() {
+        let small = OpGraph::embedding_layer(&ModelSpec::small_production());
+        let large = OpGraph::embedding_layer(&ModelSpec::large_production());
+        let per = SimTime::from_us(1.0);
+        assert!(large.dispatch_overhead(per) > small.dispatch_overhead(per));
+        assert_eq!(
+            small.dispatch_overhead(per),
+            SimTime::from_us((7 * 47 + 1) as f64)
+        );
+    }
+
+    #[test]
+    fn invocations_dwarf_kind_count() {
+        // The paper's point: few op *types*, many invocations.
+        let g = OpGraph::embedding_layer(&ModelSpec::small_production());
+        assert!(g.invocation_count() > 10 * g.distinct_kinds());
+    }
+
+    #[test]
+    fn short_query_is_rejected() {
+        let m = model();
+        let engine = CpuReferenceEngine::build(&m, 5).unwrap();
+        let g = OpGraph::full_inference(&m);
+        assert!(g.execute(engine.catalog(), engine.mlp(), &[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Calibrated timing model of the TensorFlow-Serving CPU baseline.
+//!
+//! The baseline of §5.1 (16 vCPU Xeon E5-2686 v4, AVX2, 128 GB / 8-channel
+//! DDR4) decomposes into three physically motivated terms, each calibrated
+//! against the paper's own measurements:
+//!
+//! 1. **Framework / operator-call overhead** — §2.3 observes the embedding
+//!    layer alone invokes 37 operator types many times; the measured
+//!    batch-1 embedding latencies (2.59 ms for 47 tables, 6.25 ms for 98)
+//!    resolve to ≈ 1.6 µs per (operator type × table) invocation, growing
+//!    ~1.4× once real batches make the tensors non-trivial.
+//! 2. **Random DRAM accesses** — the measured marginal cost per item
+//!    (≈ 4.4 µs for 47 lookups) matches the *serial* sum of per-lookup
+//!    DRAM latencies: TensorFlow's gather ops do not overlap the row
+//!    activations of different tables, which is precisely the bottleneck
+//!    MicroRec's 34 parallel channels remove.
+//! 3. **GEMM at batch-dependent efficiency** — AVX2 peak (8 cores × 2 FMA
+//!    × 8 lanes × 2 ops × 2.3 GHz ≈ 589 GFLOP/s) scaled by an efficiency
+//!    curve anchored at the paper's measured points (0.5 % at batch 1,
+//!    45 % at batch 2048).
+
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::{MemTiming, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Operator types involved in the embedding layer (§2.3).
+pub const EMBEDDING_OP_TYPES: u32 = 37;
+
+/// Timing model for the CPU baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTimingModel {
+    /// Time per (operator type × table) invocation at batch 1.
+    pub op_invocation: SimTime,
+    /// Multiplier on framework overhead once batches are non-trivial.
+    pub fw_batch_factor: f64,
+    /// DRAM timing of one server memory channel.
+    pub dram: MemTiming,
+    /// Peak dense FLOP/s of the machine.
+    pub peak_flops: f64,
+    /// `(batch, efficiency)` anchors of the GEMM efficiency curve,
+    /// ascending in batch.
+    pub efficiency_anchors: Vec<(u64, f64)>,
+}
+
+impl Default for CpuTimingModel {
+    fn default() -> Self {
+        Self::aws_16vcpu()
+    }
+}
+
+impl CpuTimingModel {
+    /// The paper's baseline server: AWS instance with a 16-vCPU Xeon
+    /// E5-2686 v4 at 2.3 GHz with AVX2 FMA and 8 DDR4 channels.
+    #[must_use]
+    pub fn aws_16vcpu() -> Self {
+        CpuTimingModel {
+            op_invocation: SimTime::from_ns(1600.0),
+            fw_batch_factor: 1.4,
+            dram: MemTiming::ddr4_server(),
+            // 8 physical cores x 2 FMA ports x 8 f32 lanes x 2 ops x 2.3 GHz.
+            peak_flops: 588.8e9,
+            // Efficiencies implied by the paper's Table 2/4 DNN times.
+            efficiency_anchors: vec![
+                (1, 0.0046),
+                (64, 0.143),
+                (256, 0.256),
+                (512, 0.34),
+                (1024, 0.40),
+                (2048, 0.453),
+                (8192, 0.47),
+            ],
+        }
+    }
+
+    /// Framework/operator overhead per batch for `model`.
+    #[must_use]
+    pub fn framework_overhead(&self, model: &ModelSpec, batch: u64) -> SimTime {
+        let invocations = u64::from(EMBEDDING_OP_TYPES) * model.num_tables() as u64;
+        let base = self.op_invocation * invocations;
+        // Overhead grows with tensor size up to batch ~64, then saturates.
+        let growth = 1.0 + (self.fw_batch_factor - 1.0) * (batch.min(64) as f64 - 1.0) / 63.0;
+        SimTime::from_ns(base.as_ns() * growth)
+    }
+
+    /// Memory time of one item's embedding lookups: the serial sum of
+    /// random accesses, one per logical lookup.
+    #[must_use]
+    pub fn lookup_time_per_item(&self, model: &ModelSpec) -> SimTime {
+        let per_table: SimTime = model
+            .tables
+            .iter()
+            .map(|t| self.dram.access_time(t.row_bytes(Precision::F32)))
+            .sum();
+        per_table * u64::from(model.lookups_per_table)
+    }
+
+    /// Embedding-layer latency for a whole batch (the paper's Table 4 CPU
+    /// rows).
+    #[must_use]
+    pub fn embedding_time(&self, model: &ModelSpec, batch: u64) -> SimTime {
+        self.framework_overhead(model, batch) + self.lookup_time_per_item(model) * batch
+    }
+
+    /// GEMM efficiency at `batch`, log-interpolated between anchors.
+    #[must_use]
+    pub fn gemm_efficiency(&self, batch: u64) -> f64 {
+        let batch = batch.max(1);
+        let anchors = &self.efficiency_anchors;
+        if batch <= anchors[0].0 {
+            return anchors[0].1;
+        }
+        for pair in anchors.windows(2) {
+            let (b0, e0) = pair[0];
+            let (b1, e1) = pair[1];
+            if batch <= b1 {
+                let t = ((batch as f64).ln() - (b0 as f64).ln())
+                    / ((b1 as f64).ln() - (b0 as f64).ln());
+                return e0 + t * (e1 - e0);
+            }
+        }
+        anchors.last().expect("non-empty anchors").1
+    }
+
+    /// Dense (top-MLP) latency for a whole batch.
+    #[must_use]
+    pub fn dnn_time(&self, model: &ModelSpec, batch: u64) -> SimTime {
+        let flops = model.flops_per_item() as f64 * batch as f64;
+        let eff = self.gemm_efficiency(batch);
+        SimTime::from_ns(flops / (self.peak_flops * eff) * 1e9)
+    }
+
+    /// End-to-end inference latency for a batch (Table 2 CPU rows).
+    #[must_use]
+    pub fn total_time(&self, model: &ModelSpec, batch: u64) -> SimTime {
+        self.embedding_time(model, batch) + self.dnn_time(model, batch)
+    }
+
+    /// Items per second at `batch`.
+    #[must_use]
+    pub fn throughput_items_per_sec(&self, model: &ModelSpec, batch: u64) -> f64 {
+        batch as f64 / self.total_time(model, batch).as_secs()
+    }
+
+    /// Operations per second at `batch` (the paper's GOP/s rows).
+    #[must_use]
+    pub fn throughput_ops_per_sec(&self, model: &ModelSpec, batch: u64) -> f64 {
+        model.flops_per_item() as f64 * batch as f64 / self.total_time(model, batch).as_secs()
+    }
+}
+
+/// Facebook's published DLRM-RMC2 baseline embedding-lookup latency
+/// (2-socket Broadwell, batch 256), against which Table 5 computes its
+/// speedups. The paper's speedup × latency products resolve to ≈ 24.2 µs
+/// for every configuration.
+#[must_use]
+pub fn facebook_rmc2_baseline_lookup() -> SimTime {
+    SimTime::from_us(24.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn assert_close_ms(actual: SimTime, paper_ms: f64, tol: f64, what: &str) {
+        let err = (actual.as_ms() - paper_ms).abs() / paper_ms;
+        assert!(
+            err <= tol,
+            "{what}: model {:.2} ms vs paper {paper_ms} ms ({:.1}%)",
+            actual.as_ms(),
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn embedding_times_match_table4_small() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let model = ModelSpec::small_production();
+        // Paper Table 4, smaller model CPU rows (ms).
+        for (batch, paper) in
+            [(1u64, 2.59), (64, 3.86), (256, 4.71), (512, 5.96), (1024, 8.39), (2048, 12.96)]
+        {
+            assert_close_ms(
+                m.embedding_time(&model, batch),
+                paper,
+                0.12,
+                &format!("small embedding B={batch}"),
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_times_match_table4_large() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let model = ModelSpec::large_production();
+        for (batch, paper) in
+            [(1u64, 6.25), (64, 8.05), (256, 10.92), (512, 13.67), (1024, 18.11), (2048, 31.25)]
+        {
+            assert_close_ms(
+                m.embedding_time(&model, batch),
+                paper,
+                0.18,
+                &format!("large embedding B={batch}"),
+            );
+        }
+    }
+
+    #[test]
+    fn total_times_match_table2_small() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let model = ModelSpec::small_production();
+        for (batch, paper) in
+            [(1u64, 3.34), (64, 5.41), (256, 8.15), (512, 11.15), (1024, 17.17), (2048, 28.18)]
+        {
+            assert_close_ms(
+                m.total_time(&model, batch),
+                paper,
+                0.15,
+                &format!("small total B={batch}"),
+            );
+        }
+    }
+
+    #[test]
+    fn total_times_match_table2_large() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let model = ModelSpec::large_production();
+        for (batch, paper) in
+            [(1u64, 7.48), (64, 10.23), (256, 15.62), (512, 21.06), (1024, 31.72), (2048, 56.98)]
+        {
+            assert_close_ms(
+                m.total_time(&model, batch),
+                paper,
+                0.18,
+                &format!("large total B={batch}"),
+            );
+        }
+    }
+
+    #[test]
+    fn gops_match_table2() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let small = ModelSpec::small_production();
+        let gops = m.throughput_ops_per_sec(&small, 2048) / 1e9;
+        // Paper: 147.65 GOP/s at B=2048.
+        assert!((gops - 147.65).abs() / 147.65 < 0.15, "small GOP/s {gops:.1}");
+        let large = ModelSpec::large_production();
+        let gops = m.throughput_ops_per_sec(&large, 2048) / 1e9;
+        // Paper: 111.89 GOP/s.
+        assert!((gops - 111.89).abs() / 111.89 < 0.18, "large GOP/s {gops:.1}");
+    }
+
+    #[test]
+    fn efficiency_curve_is_monotone_and_interpolates() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let mut prev = 0.0;
+        for b in [1u64, 2, 8, 64, 100, 256, 300, 512, 1024, 2048, 4096, 100_000] {
+            let e = m.gemm_efficiency(b);
+            assert!(e >= prev, "efficiency not monotone at {b}");
+            assert!(e > 0.0 && e < 1.0);
+            prev = e;
+        }
+        assert_eq!(m.gemm_efficiency(0), m.gemm_efficiency(1));
+        assert_eq!(m.gemm_efficiency(1_000_000), 0.47);
+    }
+
+    #[test]
+    fn framework_overhead_scales_with_tables() {
+        let m = CpuTimingModel::aws_16vcpu();
+        let small = ModelSpec::small_production();
+        let large = ModelSpec::large_production();
+        let ratio = m.framework_overhead(&large, 1).as_ns()
+            / m.framework_overhead(&small, 1).as_ns();
+        assert!((ratio - 98.0 / 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_requirement_context() {
+        // The paper's framing: CPU latencies are milliseconds, against an
+        // SLA of tens of milliseconds — batch 2048 on the large model
+        // already breaks a 50 ms SLA.
+        let m = CpuTimingModel::aws_16vcpu();
+        let large = ModelSpec::large_production();
+        assert!(m.total_time(&large, 2048).as_ms() > 50.0);
+        assert!(m.total_time(&large, 1).as_ms() > 1.0);
+    }
+
+    #[test]
+    fn facebook_baseline_constant() {
+        // Cross-check: Table 5's speedup x MicroRec-latency products all
+        // resolve to the same baseline, e.g. 334.5 ns x 72.4 = 24.2 us and
+        // 1296.9 ns x 18.7 = 24.3 us.
+        let t = facebook_rmc2_baseline_lookup();
+        assert!((t.as_us() - 334.5e-3 * 72.4).abs() < 0.1);
+        assert!((t.as_us() - 1296.9e-3 * 18.7).abs() < 0.15);
+    }
+}

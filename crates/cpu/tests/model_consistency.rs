@@ -1,0 +1,89 @@
+//! Cross-checks between the CPU timing model, the operator graph, and the
+//! functional reference engine.
+
+use microrec_cpu::{CpuReferenceEngine, CpuTimingModel, OpGraph, EMBEDDING_OP_TYPES};
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+
+#[test]
+fn op_graph_and_timing_model_agree_on_overhead_scaling() {
+    // Both express framework overhead as (invocations x per-op cost); the
+    // ratio between the two models must equal the table-count ratio.
+    let small = OpGraph::embedding_layer(&ModelSpec::small_production());
+    let large = OpGraph::embedding_layer(&ModelSpec::large_production());
+    let graph_ratio = large.invocation_count() as f64 / small.invocation_count() as f64;
+    let m = CpuTimingModel::aws_16vcpu();
+    let model_ratio = m
+        .framework_overhead(&ModelSpec::large_production(), 1)
+        .as_ns()
+        / m.framework_overhead(&ModelSpec::small_production(), 1).as_ns();
+    assert!((graph_ratio - model_ratio).abs() < 0.03, "{graph_ratio} vs {model_ratio}");
+}
+
+#[test]
+fn per_invocation_cost_is_physically_plausible() {
+    // Back out the per-dispatch cost the calibrated overhead implies for
+    // the op graph's invocation count: it should sit in the 1-100 us range
+    // typical of TF operator dispatch (the 37-type figure times ~1.6 us
+    // per type-instance resolves to ~8 us per actual dispatch here).
+    let model = ModelSpec::small_production();
+    let graph = OpGraph::embedding_layer(&model);
+    let overhead = CpuTimingModel::aws_16vcpu().framework_overhead(&model, 1);
+    let per_dispatch = overhead.as_us() / graph.invocation_count() as f64;
+    assert!(
+        (1.0..100.0).contains(&per_dispatch),
+        "per-dispatch {per_dispatch:.2} us"
+    );
+    // And the two accountings describe the same total.
+    let alt = SimTime::from_us(per_dispatch) * graph.invocation_count() as u64;
+    assert!((alt.as_ns() - overhead.as_ns()).abs() / overhead.as_ns() < 0.01);
+}
+
+#[test]
+fn embedding_fraction_shrinks_with_batch() {
+    // Figure 3's structure: the embedding layer dominates at B=1 and
+    // remains the majority at production batch sizes.
+    let m = CpuTimingModel::aws_16vcpu();
+    for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
+        let frac = |b: u64| {
+            m.embedding_time(&model, b).as_ns() / m.total_time(&model, b).as_ns()
+        };
+        assert!(frac(1) > 0.75, "{}: B=1 fraction {}", model.name, frac(1));
+        assert!(frac(2048) > 0.4, "{}: B=2048 fraction {}", model.name, frac(2048));
+        assert!(frac(1) > frac(2048));
+    }
+}
+
+#[test]
+fn throughput_saturates_with_batch() {
+    let m = CpuTimingModel::aws_16vcpu();
+    let model = ModelSpec::small_production();
+    let mut prev = 0.0;
+    for b in [1u64, 16, 64, 256, 1024, 2048, 8192] {
+        let tp = m.throughput_items_per_sec(&model, b);
+        assert!(tp >= prev, "throughput must grow with batch (B={b})");
+        prev = tp;
+    }
+    // But saturates: doubling from 2048 gains little.
+    let gain = m.throughput_items_per_sec(&model, 4096)
+        / m.throughput_items_per_sec(&model, 2048);
+    assert!(gain < 1.25, "gain {gain}");
+}
+
+#[test]
+fn reference_engine_consistency_across_models() {
+    for model in [ModelSpec::dlrm_rmc2(8, 4), ModelSpec::dlrm_rmc2(12, 64)] {
+        let engine = CpuReferenceEngine::build(&model, 3).unwrap();
+        let q: Vec<u64> = (0..model.lookups_per_item() as u64).map(|i| i * 999).collect();
+        let single = engine.predict(&q).unwrap();
+        let batched = engine.predict_batch(&vec![q.clone(); 3]).unwrap();
+        for b in batched {
+            assert!((b - single).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn op_types_constant_matches_paper() {
+    assert_eq!(EMBEDDING_OP_TYPES, 37, "§2.3: 37 operator types");
+}

@@ -1,0 +1,46 @@
+//! Error types for the DNN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by DNN operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A buffer or matrix had the wrong number of elements.
+    ShapeMismatch {
+        /// Which operation detected the mismatch.
+        context: &'static str,
+        /// Elements expected.
+        expected: usize,
+        /// Elements supplied.
+        actual: usize,
+    },
+    /// A model was built with no layers.
+    EmptyNetwork,
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { context, expected, actual } => {
+                write!(f, "{context}: expected {expected} elements, got {actual}")
+            }
+            DnnError::EmptyNetwork => write!(f, "network has no layers"),
+        }
+    }
+}
+
+impl Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DnnError::ShapeMismatch { context: "gemv", expected: 4, actual: 3 };
+        assert!(e.to_string().contains("gemv"));
+        assert!(DnnError::EmptyNetwork.to_string().contains("no layers"));
+    }
+}

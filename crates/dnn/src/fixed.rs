@@ -1,0 +1,335 @@
+//! Q-format fixed-point arithmetic.
+//!
+//! The paper's accelerator computes in 16-bit and 32-bit fixed point (its
+//! "fp16"/"fp32" configurations, Table 2). This module provides the two
+//! formats as saturating newtypes:
+//!
+//! * [`Q16`] — Q2.13: 1 sign bit, 2 integer bits, 13 fraction bits
+//!   (range ±4, resolution ≈ 1.2e-4) — sized for a network whose
+//!   activations and logits live in [-4, 4], as the paper's CTR models do.
+//! * [`Q32`] — Q8.23: 1 sign bit, 8 integer bits, 23 fraction bits
+//!   (range ±256, resolution ≈ 1.2e-7).
+//!
+//! Both saturate on overflow (the behaviour of a DSP datapath with
+//! saturation logic) and round to nearest on conversion from `f32`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_fixed {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $repr:ty, $wide:ty, $frac:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Number of fraction bits.
+            pub const FRAC_BITS: u32 = $frac;
+            /// Smallest positive increment.
+            pub const EPSILON: $name = $name(1);
+            /// Largest representable value.
+            pub const MAX: $name = $name(<$repr>::MAX);
+            /// Smallest (most negative) representable value.
+            pub const MIN: $name = $name(<$repr>::MIN);
+            /// Zero.
+            pub const ZERO: $name = $name(0);
+            /// One.
+            pub const ONE: $name = $name(1 << $frac);
+
+            /// Creates a value from its raw two's-complement representation.
+            #[must_use]
+            pub const fn from_raw(raw: $repr) -> Self {
+                $name(raw)
+            }
+
+            /// The raw two's-complement representation.
+            #[must_use]
+            pub const fn to_raw(self) -> $repr {
+                self.0
+            }
+
+            /// Converts from `f32`, rounding to nearest and saturating.
+            #[must_use]
+            pub fn from_f32(v: f32) -> Self {
+                if v.is_nan() {
+                    return $name(0);
+                }
+                let scaled = (v as f64 * f64::from((1u32 << $frac) as f64)).round();
+                if scaled >= <$repr>::MAX as f64 {
+                    $name(<$repr>::MAX)
+                } else if scaled <= <$repr>::MIN as f64 {
+                    $name(<$repr>::MIN)
+                } else {
+                    $name(scaled as $repr)
+                }
+            }
+
+            /// Converts to `f32` (exact: the mantissa always fits).
+            #[must_use]
+            pub fn to_f32(self) -> f32 {
+                self.0 as f32 / (1u32 << $frac) as f32
+            }
+
+            /// Saturating addition.
+            #[must_use]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                $name(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating multiplication (full-width intermediate, then
+            /// truncation of the extra fraction bits).
+            #[must_use]
+            pub fn saturating_mul(self, rhs: Self) -> Self {
+                let wide = (self.0 as $wide) * (rhs.0 as $wide);
+                let shifted = wide >> $frac;
+                if shifted > <$repr>::MAX as $wide {
+                    $name(<$repr>::MAX)
+                } else if shifted < <$repr>::MIN as $wide {
+                    $name(<$repr>::MIN)
+                } else {
+                    $name(shifted as $repr)
+                }
+            }
+
+            /// Clamps negative values to zero (ReLU).
+            #[must_use]
+            pub fn relu(self) -> Self {
+                if self.0 < 0 {
+                    $name(0)
+                } else {
+                    self
+                }
+            }
+
+            /// Absolute quantization error of representing `v`.
+            #[must_use]
+            pub fn quantization_error(v: f32) -> f32 {
+                (Self::from_f32(v).to_f32() - v).abs()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                self.saturating_add(rhs)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+        }
+
+        impl Mul for $name {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                self.saturating_mul(rhs)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(self.0.saturating_neg())
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, Add::add)
+            }
+        }
+
+        impl From<$name> for f32 {
+            fn from(v: $name) -> f32 {
+                v.to_f32()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+    };
+}
+
+define_fixed!(
+    /// 16-bit Q2.13 fixed point — the accelerator's "fp16" configuration.
+    Q16, i16, i32, 13
+);
+define_fixed!(
+    /// 32-bit Q8.23 fixed point — the accelerator's "fp32" configuration.
+    Q32, i32, i64, 23
+);
+
+/// A numeric type the quantized datapath can compute in.
+///
+/// Implemented by [`Q16`], [`Q32`], and `f32` (the reference path), letting
+/// the same layer code run at every precision the paper evaluates.
+pub trait FixedNum:
+    Copy + Add<Output = Self> + Mul<Output = Self> + Sum + PartialOrd + fmt::Debug
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Converts from `f32` (rounding/saturating as the format requires).
+    fn from_f32(v: f32) -> Self;
+    /// Converts to `f32`.
+    fn to_f32(self) -> f32;
+    /// ReLU.
+    fn relu(self) -> Self;
+}
+
+impl FixedNum for Q16 {
+    const ZERO: Self = Q16::ZERO;
+    fn from_f32(v: f32) -> Self {
+        Q16::from_f32(v)
+    }
+    fn to_f32(self) -> f32 {
+        Q16::to_f32(self)
+    }
+    fn relu(self) -> Self {
+        Q16::relu(self)
+    }
+}
+
+impl FixedNum for Q32 {
+    const ZERO: Self = Q32::ZERO;
+    fn from_f32(v: f32) -> Self {
+        Q32::from_f32(v)
+    }
+    fn to_f32(self) -> f32 {
+        Q32::to_f32(self)
+    }
+    fn relu(self) -> Self {
+        Q32::relu(self)
+    }
+}
+
+impl FixedNum for f32 {
+    const ZERO: Self = 0.0;
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    fn to_f32(self) -> f32 {
+        self
+    }
+    fn relu(self) -> Self {
+        self.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q16_round_trips_within_half_ulp() {
+        for v in [-1.0f32, -0.5, 0.0, 0.25, 0.123, 0.9961, 1.0, 3.5] {
+            let err = Q16::quantization_error(v);
+            assert!(err <= 0.5 / 8192.0 + 1e-9, "Q16 error {err} for {v}");
+        }
+    }
+
+    #[test]
+    fn q32_round_trips_within_half_ulp() {
+        for v in [-1.0f32, 0.0, 0.123_456, 100.5, -250.0] {
+            let err = Q32::quantization_error(v);
+            assert!(err <= 0.5 / 8_388_608.0 + 1e-5, "Q32 error {err} for {v}");
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Q16::ONE.to_f32(), 1.0);
+        assert_eq!(Q32::ONE.to_f32(), 1.0);
+        assert_eq!(Q16::ZERO.to_f32(), 0.0);
+        assert!((Q16::EPSILON.to_f32() - 1.0 / 8_192.0).abs() < 1e-9);
+        assert!((Q32::EPSILON.to_f32() - 1.0 / 8_388_608.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_matches_f32_for_small_values() {
+        let a = Q32::from_f32(0.5);
+        let b = Q32::from_f32(-0.25);
+        assert!((a * b).to_f32() + 0.125 < 1e-4);
+        let a = Q16::from_f32(1.5);
+        let b = Q16::from_f32(2.0);
+        assert!(((a * b).to_f32() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn addition_saturates_instead_of_wrapping() {
+        let big = Q16::from_f32(3.9);
+        let sum = big + big;
+        assert_eq!(sum, Q16::MAX);
+        let neg = Q16::from_f32(-3.9);
+        assert_eq!(neg + neg, Q16::MIN);
+    }
+
+    #[test]
+    fn multiplication_saturates() {
+        let big = Q16::from_f32(3.0);
+        assert_eq!(big * big, Q16::MAX);
+        let big = Q32::from_f32(200.0);
+        assert_eq!(big * big, Q32::MAX);
+        assert_eq!(big * (-big), Q32::MIN);
+    }
+
+    #[test]
+    fn from_f32_saturates_and_handles_nan() {
+        assert_eq!(Q16::from_f32(1e9), Q16::MAX);
+        assert_eq!(Q16::from_f32(-1e9), Q16::MIN);
+        assert_eq!(Q16::from_f32(f32::NAN), Q16::ZERO);
+        assert_eq!(Q32::from_f32(f32::INFINITY), Q32::MAX);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Q16::from_f32(-3.0).relu(), Q16::ZERO);
+        assert_eq!(Q16::from_f32(3.0).relu(), Q16::from_f32(3.0));
+        assert_eq!(FixedNum::relu(-2.5f32), 0.0);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Q32 = (0..10).map(|_| Q32::from_f32(0.1)).sum();
+        assert!((total.to_f32() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_and_conversion_traits() {
+        assert_eq!(Q16::from_f32(1.5).to_string(), "1.5");
+        let f: f32 = Q32::from_f32(2.25).into();
+        assert_eq!(f, 2.25);
+    }
+
+    #[test]
+    fn neg_behaves() {
+        assert_eq!((-Q16::ONE).to_f32(), -1.0);
+        assert_eq!(-Q16::MIN, Q16::MAX, "negating MIN saturates to MAX");
+    }
+
+    #[test]
+    fn q16_is_coarser_than_q32() {
+        let v = 0.123_456_7f32;
+        assert!(Q16::quantization_error(v) > Q32::quantization_error(v));
+    }
+}

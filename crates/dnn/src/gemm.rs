@@ -1,0 +1,203 @@
+//! GEMM / GEMV kernels.
+//!
+//! The accelerator's compute stages and the CPU baseline both reduce to
+//! dense matrix–vector and matrix–matrix products. A cache-blocked `f32`
+//! GEMM is provided for the measured (host) path, plus a generic kernel
+//! over [`FixedNum`] so the same code runs the accelerator's Q-format
+//! datapaths.
+
+use crate::error::DnnError;
+use crate::fixed::FixedNum;
+use crate::tensor::Matrix;
+
+/// Block edge for the cache-blocked GEMM.
+const BLOCK: usize = 64;
+
+/// `y = W · x` for a row-major `W` (`out × in`), generic over precision.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if `x` or `y` disagree with `W`'s
+/// shape.
+pub fn gemv<T: FixedNum>(
+    weights: &Matrix,
+    x: &[T],
+    y: &mut [T],
+) -> Result<(), DnnError> {
+    if x.len() != weights.cols() {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemv input",
+            expected: weights.cols(),
+            actual: x.len(),
+        });
+    }
+    if y.len() != weights.rows() {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemv output",
+            expected: weights.rows(),
+            actual: y.len(),
+        });
+    }
+    for (r, slot) in y.iter_mut().enumerate() {
+        let row = weights.row(r);
+        let mut acc = T::ZERO;
+        for (w, &xi) in row.iter().zip(x) {
+            acc = acc + T::from_f32(*w) * xi;
+        }
+        *slot = acc;
+    }
+    Ok(())
+}
+
+/// `C = A · B` with a naive triple loop (reference kernel).
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if inner dimensions disagree.
+pub fn gemm_naive(a: &Matrix, b: &Matrix) -> Result<Matrix, DnnError> {
+    if a.cols() != b.rows() {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemm inner dimension",
+            expected: a.cols(),
+            actual: b.rows(),
+        });
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a.get(i, k);
+            for j in 0..b.cols() {
+                let v = c.get(i, j) + aik * b.get(k, j);
+                c.set(i, j, v);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A · B` with cache blocking — the kernel used by the measured CPU
+/// path and the Criterion GEMM benches.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if inner dimensions disagree.
+pub fn gemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix, DnnError> {
+    if a.cols() != b.rows() {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemm inner dimension",
+            expected: a.cols(),
+            actual: b.rows(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = vec![0.0f32; m * n];
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    for i0 in (0..m).step_by(BLOCK) {
+        for k0 in (0..k).step_by(BLOCK) {
+            for j0 in (0..n).step_by(BLOCK) {
+                let i_end = (i0 + BLOCK).min(m);
+                let k_end = (k0 + BLOCK).min(k);
+                let j_end = (j0 + BLOCK).min(n);
+                for i in i0..i_end {
+                    for kk in k0..k_end {
+                        let aik = a_s[i * k + kk];
+                        let brow = &b_s[kk * n + j0..kk * n + j_end];
+                        let crow = &mut c[i * n + j0..i * n + j_end];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(m, n, c)
+}
+
+/// Multiply–accumulate operation count of a GEMM (2·m·k·n, the convention
+/// behind the paper's GOP/s numbers).
+#[must_use]
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Q16, Q32};
+
+    fn det_matrix(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            // Small deterministic values in [-0.5, 0.5).
+            let v = ((r * 31 + c * 17) as f32 * seed).sin();
+            v * 0.5
+        })
+    }
+
+    #[test]
+    fn gemv_matches_manual_dot() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let x = [1.0f32, 0.5, -1.0];
+        let mut y = [0.0f32; 2];
+        gemv(&w, &x, &mut y).unwrap();
+        assert_eq!(y, [1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn gemv_shape_errors() {
+        let w = Matrix::zeros(2, 3);
+        let mut y = [0.0f32; 2];
+        assert!(gemv(&w, &[0.0; 4], &mut y).is_err());
+        let mut y3 = [0.0f32; 3];
+        assert!(gemv(&w, &[0.0; 3], &mut y3).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = det_matrix(70, 65, 0.37);
+        let b = det_matrix(65, 130, 0.73);
+        let c1 = gemm_naive(&a, &b).unwrap();
+        let c2 = gemm_blocked(&a, &b).unwrap();
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(gemm_naive(&a, &b).is_err());
+        assert!(gemm_blocked(&a, &b).is_err());
+    }
+
+    #[test]
+    fn fixed_point_gemv_tracks_f32() {
+        let w = det_matrix(16, 32, 0.11);
+        let x_f: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.3).cos() * 0.5).collect();
+
+        let mut y_f = vec![0.0f32; 16];
+        gemv(&w, &x_f, &mut y_f).unwrap();
+
+        let x_q: Vec<Q32> = x_f.iter().map(|&v| Q32::from_f32(v)).collect();
+        let mut y_q = vec![Q32::ZERO; 16];
+        gemv(&w, &x_q, &mut y_q).unwrap();
+        for (f, q) in y_f.iter().zip(&y_q) {
+            assert!((f - q.to_f32()).abs() < 1e-2, "Q32 {f} vs {}", q.to_f32());
+        }
+
+        let x_q: Vec<Q16> = x_f.iter().map(|&v| Q16::from_f32(v)).collect();
+        let mut y_q = vec![Q16::ZERO; 16];
+        gemv(&w, &x_q, &mut y_q).unwrap();
+        for (f, q) in y_f.iter().zip(&y_q) {
+            assert!((f - q.to_f32()).abs() < 0.3, "Q16 {f} vs {}", q.to_f32());
+        }
+    }
+
+    #[test]
+    fn flops_convention() {
+        // The small production model's first layer: 352 x 1024.
+        assert_eq!(gemm_flops(1, 352, 1024), 720_896);
+    }
+}

@@ -1,0 +1,167 @@
+//! Feature interaction operations.
+//!
+//! §2.1 lists the interaction choices deep recommendation models make
+//! before the top MLP: "concatenation, weighted sum, and element-wise
+//! multiplication". The paper's production models concatenate (and so do
+//! the engines here); the other two are provided as building blocks for
+//! alternative model families, with the same shape discipline the FPGA
+//! dataflow would impose (equal-dim inputs for the reducing ops).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+
+/// How embedding vectors (and the dense branch) are combined into the top
+/// MLP's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FeatureInteraction {
+    /// Concatenate all vectors (the production models' choice; output
+    /// width = Σ dims).
+    #[default]
+    Concat,
+    /// Weighted sum of equal-dim vectors (output width = dim).
+    WeightedSum,
+    /// Element-wise product of equal-dim vectors (output width = dim).
+    ElementwiseMul,
+}
+
+/// Concatenates `vectors` (any dims).
+#[must_use]
+pub fn concat(vectors: &[&[f32]]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(vectors.iter().map(|v| v.len()).sum());
+    for v in vectors {
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Weighted sum `Σ wᵢ·vᵢ` of equal-dim vectors.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if dims disagree or weights don't
+/// match the vector count.
+pub fn weighted_sum(vectors: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>, DnnError> {
+    if vectors.len() != weights.len() {
+        return Err(DnnError::ShapeMismatch {
+            context: "weighted_sum weights",
+            expected: vectors.len(),
+            actual: weights.len(),
+        });
+    }
+    let dim = vectors.first().map_or(0, |v| v.len());
+    let mut out = vec![0.0f32; dim];
+    for (v, &w) in vectors.iter().zip(weights) {
+        if v.len() != dim {
+            return Err(DnnError::ShapeMismatch {
+                context: "weighted_sum dims",
+                expected: dim,
+                actual: v.len(),
+            });
+        }
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += w * x;
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise product of equal-dim vectors.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if dims disagree.
+pub fn elementwise_mul(vectors: &[&[f32]]) -> Result<Vec<f32>, DnnError> {
+    let dim = vectors.first().map_or(0, |v| v.len());
+    let mut out = vec![1.0f32; dim];
+    for v in vectors {
+        if v.len() != dim {
+            return Err(DnnError::ShapeMismatch {
+                context: "elementwise_mul dims",
+                expected: dim,
+                actual: v.len(),
+            });
+        }
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o *= x;
+        }
+    }
+    Ok(out)
+}
+
+impl FeatureInteraction {
+    /// Output width for inputs of width `dim` each, `count` of them.
+    #[must_use]
+    pub fn output_dim(self, dim: usize, count: usize) -> usize {
+        match self {
+            FeatureInteraction::Concat => dim * count,
+            FeatureInteraction::WeightedSum | FeatureInteraction::ElementwiseMul => dim,
+        }
+    }
+
+    /// Applies the interaction with unit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if the reducing interactions see
+    /// unequal dims.
+    pub fn apply(self, vectors: &[&[f32]]) -> Result<Vec<f32>, DnnError> {
+        match self {
+            FeatureInteraction::Concat => Ok(concat(vectors)),
+            FeatureInteraction::WeightedSum => {
+                weighted_sum(vectors, &vec![1.0; vectors.len()])
+            }
+            FeatureInteraction::ElementwiseMul => elementwise_mul(vectors),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_any_dims() {
+        let out = concat(&[&[1.0, 2.0], &[3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(concat(&[]).is_empty());
+    }
+
+    #[test]
+    fn weighted_sum_math() {
+        let out = weighted_sum(&[&[1.0, 2.0], &[10.0, 20.0]], &[0.5, 0.1]).unwrap();
+        assert_eq!(out, vec![1.5, 3.0]);
+        assert!(weighted_sum(&[&[1.0], &[1.0, 2.0]], &[1.0, 1.0]).is_err());
+        assert!(weighted_sum(&[&[1.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_mul_math() {
+        let out = elementwise_mul(&[&[2.0, 3.0], &[4.0, 0.5]]).unwrap();
+        assert_eq!(out, vec![8.0, 1.5]);
+        assert!(elementwise_mul(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(elementwise_mul(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn interaction_dims_and_apply() {
+        assert_eq!(FeatureInteraction::Concat.output_dim(4, 8), 32);
+        assert_eq!(FeatureInteraction::WeightedSum.output_dim(4, 8), 4);
+        assert_eq!(FeatureInteraction::ElementwiseMul.output_dim(4, 8), 4);
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(
+            FeatureInteraction::Concat.apply(&[&a, &b]).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(
+            FeatureInteraction::WeightedSum.apply(&[&a, &b]).unwrap(),
+            vec![4.0, 6.0]
+        );
+        assert_eq!(
+            FeatureInteraction::ElementwiseMul.apply(&[&a, &b]).unwrap(),
+            vec![3.0, 8.0]
+        );
+        assert_eq!(FeatureInteraction::default(), FeatureInteraction::Concat);
+    }
+}

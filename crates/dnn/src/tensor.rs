@@ -1,0 +1,182 @@
+//! A minimal row-major matrix type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+
+/// A dense row-major `f32` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_dnn::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+/// assert_eq!(m.get(0, 2), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, DnnError> {
+        if data.len() != rows * cols {
+            return Err(DnnError::ShapeMismatch {
+                context: "Matrix::from_vec",
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole backing buffer, row-major.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 2, |r, c| (10 * r + c) as f32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(2, 1), 21.0);
+        assert_eq!(m.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 5]),
+            Err(DnnError::ShapeMismatch { expected: 4, actual: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn set_and_mutate() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 7.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        m.as_mut_slice()[0] = -3.0;
+        assert_eq!(m.get(0, 0), -3.0);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.get(2, 1), m.get(1, 2));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_index_panics() {
+        let _ = Matrix::zeros(1, 1).get(0, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the embedding substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by embedding-table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmbeddingError {
+    /// A row index was outside a table.
+    IndexOutOfRange {
+        /// Name of the table.
+        table: String,
+        /// Offending row index.
+        index: u64,
+        /// Number of rows in the table.
+        rows: u64,
+    },
+    /// A query supplied the wrong number of indices for the model.
+    ArityMismatch {
+        /// Indices expected (one per sparse feature / logical table).
+        expected: usize,
+        /// Indices supplied.
+        actual: usize,
+    },
+    /// An output buffer had the wrong length.
+    BufferSizeMismatch {
+        /// Required length in elements.
+        expected: usize,
+        /// Supplied length in elements.
+        actual: usize,
+    },
+    /// Materializing a table (e.g. a Cartesian product) would exceed the
+    /// configured size limit.
+    TooLargeToMaterialize {
+        /// Name of the table.
+        table: String,
+        /// Bytes the materialization would need.
+        bytes: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A Cartesian product was requested over fewer than two tables.
+    DegenerateProduct,
+    /// A merge plan referenced a logical table that does not exist or used
+    /// one twice.
+    InvalidMergePlan(String),
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::IndexOutOfRange { table, index, rows } => {
+                write!(f, "index {index} out of range for table `{table}` with {rows} rows")
+            }
+            EmbeddingError::ArityMismatch { expected, actual } => {
+                write!(f, "query supplied {actual} indices, model expects {expected}")
+            }
+            EmbeddingError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "output buffer holds {actual} elements, {expected} required")
+            }
+            EmbeddingError::TooLargeToMaterialize { table, bytes, limit } => write!(
+                f,
+                "materializing `{table}` needs {bytes} bytes, over the {limit}-byte limit"
+            ),
+            EmbeddingError::DegenerateProduct => {
+                write!(f, "a cartesian product needs at least two source tables")
+            }
+            EmbeddingError::InvalidMergePlan(why) => write!(f, "invalid merge plan: {why}"),
+        }
+    }
+}
+
+impl Error for EmbeddingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EmbeddingError::IndexOutOfRange { table: "user_id".into(), index: 10, rows: 5 };
+        assert!(e.to_string().contains("user_id"));
+        assert!(e.to_string().contains("10"));
+        let e = EmbeddingError::ArityMismatch { expected: 47, actual: 3 };
+        assert!(e.to_string().contains("47"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<EmbeddingError>();
+    }
+}

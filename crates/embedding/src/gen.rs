@@ -1,0 +1,191 @@
+//! Synthetic model families.
+//!
+//! The two production presets reproduce the paper's exact models; this
+//! module generates *families* of production-like models around them, for
+//! scaling studies (how do lookup latency, rounds, and the Cartesian win
+//! move as table count grows?) and for randomized testing. Generated
+//! models keep the §2.2 shape: a few giant id tables holding most bytes, a
+//! mid tier, and a long tail of tiny tables — with exact control over
+//! table count and concatenated feature length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::EmbeddingError;
+use crate::spec::{ModelSpec, TableSpec};
+
+/// Configuration of a synthetic production-like model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticModelConfig {
+    /// Model name.
+    pub name: String,
+    /// Number of embedding tables (≥ 4).
+    pub tables: usize,
+    /// Approximate total storage in bytes at f32 (the generator lands
+    /// within a few percent).
+    pub target_bytes: u64,
+    /// Hidden layer widths.
+    pub hidden: Vec<u32>,
+    /// Lookups per table per inference.
+    pub lookups_per_table: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticModelConfig {
+    fn default() -> Self {
+        SyntheticModelConfig {
+            name: "synthetic".to_string(),
+            tables: 47,
+            target_bytes: 1_300_000_000,
+            hidden: vec![1024, 512, 256],
+            lookups_per_table: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a production-like [`ModelSpec`] from `config`.
+///
+/// Tier structure: ~5 % of tables are "giants" (dim 32–64) absorbing ~85 %
+/// of the byte budget, ~25 % are mid tables (dim 8–16), and the remaining
+/// ~70 % form the dim-4 tail with row counts log-uniform in 60–5 000.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::InvalidMergePlan`] if `config.tables < 4` or
+/// the byte budget is too small to give every table at least one row.
+pub fn synthetic_model(config: &SyntheticModelConfig) -> Result<ModelSpec, EmbeddingError> {
+    if config.tables < 4 {
+        return Err(EmbeddingError::InvalidMergePlan(
+            "synthetic models need at least 4 tables".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_giant = (config.tables / 20).max(1);
+    let n_mid = (config.tables / 4).max(1);
+    let n_tail = config.tables - n_giant - n_mid;
+
+    let mut tables = Vec::with_capacity(config.tables);
+
+    // Tail first (cheap, fixed dims) so we know the giants' byte budget.
+    let mut spent = 0u64;
+    for i in 0..n_tail {
+        let rows = log_uniform(&mut rng, 60, 5_000);
+        let spec = TableSpec::new(format!("{}_tail{i:03}_d4", config.name), rows, 4);
+        spent += spec.bytes(crate::precision::Precision::F32);
+        tables.push(spec);
+    }
+    for i in 0..n_mid {
+        let dim = if rng.gen_bool(0.5) { 8 } else { 16 };
+        let rows = log_uniform(&mut rng, 5_000, 500_000);
+        let spec = TableSpec::new(format!("{}_mid{i:03}_d{dim}", config.name), rows, dim);
+        spent += spec.bytes(crate::precision::Precision::F32);
+        tables.push(spec);
+    }
+    let remaining = config.target_bytes.saturating_sub(spent);
+    if remaining / (n_giant as u64) < 256 {
+        return Err(EmbeddingError::InvalidMergePlan(
+            "byte budget too small for the giant tier".into(),
+        ));
+    }
+    // Split the remaining budget over the giants with a 2:1 skew.
+    let mut weights: Vec<f64> = (0..n_giant).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total_w;
+    }
+    for (i, w) in weights.iter().enumerate() {
+        let dim = if rng.gen_bool(0.5) { 32 } else { 64 };
+        let bytes = (remaining as f64 * w) as u64;
+        let rows = (bytes / (u64::from(dim) * 4)).max(1);
+        tables.push(TableSpec::new(format!("{}_big{i:02}_d{dim}", config.name), rows, dim));
+    }
+
+    let model = ModelSpec::new(
+        config.name.clone(),
+        tables,
+        config.hidden.clone(),
+        config.lookups_per_table,
+    );
+    model.validate()?;
+    Ok(model)
+}
+
+/// A log-uniform sample in `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    (rng.gen_range(llo..lhi).exp() as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+
+    #[test]
+    fn default_config_resembles_small_production() {
+        let model = synthetic_model(&SyntheticModelConfig::default()).unwrap();
+        assert_eq!(model.num_tables(), 47);
+        let bytes = model.total_bytes(Precision::F32) as f64;
+        let target = 1.3e9;
+        assert!((bytes - target).abs() / target < 0.1, "total {bytes:.2e}");
+        // Tier skew: the biggest table dominates.
+        let biggest =
+            model.tables.iter().map(|t| t.bytes(Precision::F32)).max().unwrap() as f64;
+        assert!(biggest / bytes > 0.3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_model(&SyntheticModelConfig::default()).unwrap();
+        let b = synthetic_model(&SyntheticModelConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let c = synthetic_model(&SyntheticModelConfig {
+            seed: 8,
+            ..SyntheticModelConfig::default()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn table_count_scales() {
+        for tables in [8usize, 20, 100, 200] {
+            let model = synthetic_model(&SyntheticModelConfig {
+                tables,
+                target_bytes: 2_000_000_000,
+                ..SyntheticModelConfig::default()
+            })
+            .unwrap();
+            assert_eq!(model.num_tables(), tables);
+            model.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(synthetic_model(&SyntheticModelConfig {
+            tables: 3,
+            ..SyntheticModelConfig::default()
+        })
+        .is_err());
+        assert!(synthetic_model(&SyntheticModelConfig {
+            target_bytes: 0,
+            ..SyntheticModelConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn generated_models_place_on_u280_shapes() {
+        // The tail must contain genuinely tiny tables (on-chip candidates).
+        let model = synthetic_model(&SyntheticModelConfig::default()).unwrap();
+        let tiny = model
+            .tables
+            .iter()
+            .filter(|t| t.bytes(Precision::F32) <= 4 * 1024)
+            .count();
+        assert!(tiny >= 3, "expected several on-chip-sized tables, got {tiny}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Element precisions used for storage and arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of embedding elements and DNN arithmetic.
+///
+/// The paper evaluates the accelerator at 16-bit and 32-bit fixed point
+/// (Table 2) while the CPU baseline and embedding storage use 32-bit floats
+/// (Table 4 notes "the same element data width of 32-bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 single precision (CPU baseline, reference path).
+    F32,
+    /// 16-bit fixed point (FPGA `fp16` configuration in the paper's tables).
+    Fixed16,
+    /// 32-bit fixed point (FPGA `fp32` configuration).
+    Fixed32,
+}
+
+impl Precision {
+    /// Bytes per element.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Precision::Fixed16 => 2,
+            Precision::F32 | Precision::Fixed32 => 4,
+        }
+    }
+
+    /// Bits per element.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Whether this is a fixed-point format.
+    #[must_use]
+    pub const fn is_fixed_point(self) -> bool {
+        matches!(self, Precision::Fixed16 | Precision::Fixed32)
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::F32 => "f32",
+            Precision::Fixed16 => "fixed16",
+            Precision::Fixed32 => "fixed32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::Fixed16.bytes(), 2);
+        assert_eq!(Precision::Fixed32.bytes(), 4);
+        assert_eq!(Precision::Fixed16.bits(), 16);
+    }
+
+    #[test]
+    fn fixed_point_predicate() {
+        assert!(!Precision::F32.is_fixed_point());
+        assert!(Precision::Fixed16.is_fixed_point());
+        assert!(Precision::Fixed32.is_fixed_point());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Precision::Fixed16.to_string(), "fixed16");
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the embedding substrate: multi-way merges,
+//! production-scale catalogs, and materialized/procedural equivalence.
+
+use microrec_embedding::cartesian::{materialize_product, merged_row_index};
+use microrec_embedding::{
+    synthetic_model, Catalog, EmbeddingTable, MergePlan, ModelSpec, Precision,
+    SyntheticModelConfig, TableSpec,
+};
+
+#[test]
+fn three_way_merge_group_is_transparent() {
+    let tables: Vec<EmbeddingTable> = (0..5)
+        .map(|i| {
+            EmbeddingTable::procedural(TableSpec::new(format!("t{i}"), 4 + i, 2 + i as u32), i)
+        })
+        .collect();
+    let plan = MergePlan { groups: vec![vec![0, 2, 4]] };
+    let merged = Catalog::from_tables(tables.clone(), &plan).unwrap();
+    let unmerged = Catalog::from_tables(tables, &MergePlan::none()).unwrap();
+    assert_eq!(merged.physical_tables().len(), 3);
+    for indices in [[0u64, 0, 0, 0, 0], [3, 4, 5, 6, 7], [1, 2, 3, 4, 5]] {
+        assert_eq!(
+            merged.gather_vec(&indices).unwrap(),
+            unmerged.gather_vec(&indices).unwrap()
+        );
+    }
+    // Resolution count drops by two.
+    assert_eq!(merged.resolve(&[0; 5]).unwrap().len(), 3);
+}
+
+#[test]
+fn production_catalog_resolves_at_scale() {
+    let model = ModelSpec::large_production();
+    let catalog = Catalog::build(&model, &MergePlan::none(), 9).unwrap();
+    // The 30M-row giant is procedural: row reads at extreme indices work.
+    let indices: Vec<u64> = model.tables.iter().map(|t| t.rows - 1).collect();
+    let features = catalog.gather_vec(&indices).unwrap();
+    assert_eq!(features.len(), 876);
+    assert!(features.iter().all(|v| (-1.0..1.0).contains(v)));
+}
+
+#[test]
+fn merged_index_agrees_with_materialized_product_at_scale() {
+    // A realistic merge-candidate pair from the small model.
+    let a = EmbeddingTable::procedural(TableSpec::new("cand00", 660, 4), 1);
+    let b = EmbeddingTable::procedural(TableSpec::new("cand09", 380, 4), 2);
+    let product = materialize_product(&[&a, &b], u64::MAX).unwrap();
+    assert_eq!(product.rows(), 660 * 380);
+    for (i, j) in [(0u64, 0u64), (659, 379), (123, 77), (400, 200)] {
+        let merged = merged_row_index(&[660, 380], &[i, j]).unwrap();
+        let mut expect = a.row(i).unwrap();
+        expect.extend(b.row(j).unwrap());
+        assert_eq!(product.row(merged).unwrap(), expect);
+    }
+}
+
+#[test]
+fn materialized_tables_can_back_a_catalog() {
+    let spec = TableSpec::new("m", 10, 3);
+    let values: Vec<f32> = (0..30).map(|i| i as f32 / 30.0).collect();
+    let table = EmbeddingTable::materialized(spec, values).unwrap();
+    let other = EmbeddingTable::procedural(TableSpec::new("p", 5, 2), 3);
+    let catalog = Catalog::from_tables(vec![table, other], &MergePlan::none()).unwrap();
+    let out = catalog.gather_vec(&[2, 1]).unwrap();
+    assert_eq!(&out[..3], &[6.0 / 30.0, 7.0 / 30.0, 8.0 / 30.0]);
+}
+
+#[test]
+fn synthetic_models_build_catalogs() {
+    let model = synthetic_model(&SyntheticModelConfig {
+        tables: 30,
+        target_bytes: 50_000_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let catalog = Catalog::build(&model, &MergePlan::none(), 4).unwrap();
+    let indices: Vec<u64> = model.tables.iter().map(|t| t.rows / 2).collect();
+    let features = catalog.gather_vec(&indices).unwrap();
+    assert_eq!(features.len() as u32, model.feature_len() / model.lookups_per_table);
+}
+
+#[test]
+fn storage_factor_matches_hand_computation_on_production_plan() {
+    let model = ModelSpec::small_production();
+    // Merge the 5 candidate pairs (the cand** tables sit at indices
+    // 29..=38 in the preset's declaration order).
+    let pairs = [(38usize, 29usize), (37, 30), (36, 31), (35, 32), (34, 33)];
+    let plan = MergePlan::pairs(&pairs);
+    let catalog = Catalog::build(&model, &plan, 0).unwrap();
+    let factor = catalog.storage_factor(Precision::F32);
+    assert!((1.02..1.05).contains(&factor), "storage factor {factor}");
+}
+
+#[test]
+fn error_paths_are_consistent_between_merged_and_unmerged() {
+    let model = ModelSpec::dlrm_rmc2(4, 4);
+    let unmerged = Catalog::build(&model, &MergePlan::none(), 0).unwrap();
+    let merged = Catalog::build(&model, &MergePlan::pairs(&[(0, 1)]), 0).unwrap();
+    let bad = [0u64, 0, 0, u64::MAX];
+    assert!(unmerged.resolve(&bad).is_err());
+    assert!(merged.resolve(&bad).is_err());
+    assert!(unmerged.gather_vec(&bad).is_err());
+    assert!(merged.gather_vec(&bad).is_err());
+}

@@ -1,0 +1,335 @@
+//! Memory banks: the independently addressable units of the hybrid memory.
+//!
+//! A *bank* is the serialization unit of the simulator: two accesses to the
+//! same bank are serviced one after the other, while accesses to different
+//! banks proceed in parallel. On the U280 each HBM pseudo-channel, each DDR4
+//! channel, and each on-chip BRAM/URAM block used for embeddings is one bank.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MemsimError;
+use crate::time::SimTime;
+use crate::timing::MemTiming;
+
+/// The memory technology a bank belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    // Declaration order is fastest-to-slowest for a short read, so the
+    // derived `Ord` sorts on-chip banks before DRAM.
+    /// On-chip block RAM bank.
+    Bram,
+    /// On-chip ultra RAM bank.
+    Uram,
+    /// High-bandwidth memory pseudo-channel (U280: 32 × 256 MB).
+    Hbm,
+    /// Off-chip DDR4 channel (U280: 2 × 16 GB).
+    Ddr,
+}
+
+impl MemoryKind {
+    /// All kinds, ordered from fastest to slowest for a short read.
+    pub const ALL: [MemoryKind; 4] =
+        [MemoryKind::Bram, MemoryKind::Uram, MemoryKind::Hbm, MemoryKind::Ddr];
+
+    /// Whether this kind lives on the FPGA die (no DRAM access needed).
+    #[must_use]
+    pub const fn is_on_chip(self) -> bool {
+        matches!(self, MemoryKind::Bram | MemoryKind::Uram)
+    }
+
+    /// Whether this kind is off-chip DRAM (HBM or DDR).
+    #[must_use]
+    pub const fn is_dram(self) -> bool {
+        !self.is_on_chip()
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryKind::Hbm => "HBM",
+            MemoryKind::Ddr => "DDR",
+            MemoryKind::Bram => "BRAM",
+            MemoryKind::Uram => "URAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of one bank: a technology plus an index within it.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_memsim::{BankId, MemoryKind};
+///
+/// let b = BankId::new(MemoryKind::Hbm, 7);
+/// assert_eq!(b.to_string(), "HBM[7]");
+/// assert!(b.kind.is_dram());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId {
+    /// Technology of the bank.
+    pub kind: MemoryKind,
+    /// Index within the technology (e.g. HBM pseudo-channel number).
+    pub index: u16,
+}
+
+impl BankId {
+    /// Creates a bank id.
+    #[must_use]
+    pub const fn new(kind: MemoryKind, index: u16) -> Self {
+        BankId { kind, index }
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind, self.index)
+    }
+}
+
+/// A named allocation inside a bank (e.g. one embedding table).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Caller-chosen label, typically the table name.
+    pub label: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Byte offset of the region inside the bank (assigned first-fit).
+    pub offset: u64,
+}
+
+/// One memory bank: capacity ledger plus timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    id: BankId,
+    capacity: u64,
+    timing: MemTiming,
+    regions: Vec<Region>,
+}
+
+impl Bank {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new(id: BankId, capacity: u64, timing: MemTiming) -> Self {
+        Bank { id, capacity, timing, regions: Vec::new() }
+    }
+
+    /// This bank's identifier.
+    #[must_use]
+    pub fn id(&self) -> BankId {
+        self.id
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Bytes still free.
+    #[must_use]
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Timing parameters of this bank's technology.
+    #[must_use]
+    pub fn timing(&self) -> &MemTiming {
+        &self.timing
+    }
+
+    /// The regions allocated in this bank, in allocation order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Allocates `bytes` under `label`, placing the region at the first
+    /// byte offset where it fits (first-fit, so released holes are reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsimError::CapacityExceeded`] if no hole is large
+    /// enough.
+    pub fn alloc(&mut self, label: impl Into<String>, bytes: u64) -> Result<(), MemsimError> {
+        let offset = self.first_fit(bytes).ok_or(MemsimError::CapacityExceeded {
+            bank: self.id,
+            requested: bytes,
+            available: self.free(),
+        })?;
+        self.regions.push(Region { label: label.into(), bytes, offset });
+        Ok(())
+    }
+
+    /// First byte offset where a `bytes`-sized region fits, or `None`.
+    fn first_fit(&self, bytes: u64) -> Option<u64> {
+        let mut occupied: Vec<(u64, u64)> =
+            self.regions.iter().map(|r| (r.offset, r.offset + r.bytes)).collect();
+        occupied.sort_unstable();
+        let mut cursor = 0u64;
+        for (start, end) in occupied {
+            if start.saturating_sub(cursor) >= bytes {
+                return Some(cursor);
+            }
+            cursor = cursor.max(end);
+        }
+        if self.capacity.saturating_sub(cursor) >= bytes {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// The region named `label`, if present.
+    #[must_use]
+    pub fn region(&self, label: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.label == label)
+    }
+
+    /// Releases the region named `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsimError::UnknownRegion`] if no such region exists.
+    pub fn release(&mut self, label: &str) -> Result<Region, MemsimError> {
+        match self.regions.iter().position(|r| r.label == label) {
+            Some(pos) => Ok(self.regions.remove(pos)),
+            None => {
+                Err(MemsimError::UnknownRegion { bank: self.id, label: label.to_string() })
+            }
+        }
+    }
+
+    /// Removes all regions, returning the bank to empty.
+    pub fn clear(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Time to service one random read of `bytes` from this bank.
+    #[must_use]
+    pub fn read_time(&self, bytes: u32) -> SimTime {
+        self.timing.access_time(bytes)
+    }
+
+    /// Time to service a back-to-back sequence of random reads.
+    ///
+    /// Reads on the same bank serialize; this is the in-order sum, which is
+    /// exactly the "two tables on one channel need two access rounds"
+    /// behaviour §3.3 describes.
+    #[must_use]
+    pub fn serial_read_time<I: IntoIterator<Item = u32>>(&self, reads: I) -> SimTime {
+        reads.into_iter().map(|b| self.read_time(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_bank() -> Bank {
+        Bank::new(BankId::new(MemoryKind::Hbm, 0), 1024, MemTiming::hbm2_vitis())
+    }
+
+    #[test]
+    fn alloc_and_release_update_ledger() {
+        let mut b = test_bank();
+        b.alloc("t0", 600).unwrap();
+        assert_eq!(b.used(), 600);
+        assert_eq!(b.free(), 424);
+        b.alloc("t1", 424).unwrap();
+        assert_eq!(b.free(), 0);
+        let r = b.release("t0").unwrap();
+        assert_eq!(r.bytes, 600);
+        assert_eq!(b.free(), 600);
+    }
+
+    #[test]
+    fn over_allocation_is_rejected_with_details() {
+        let mut b = test_bank();
+        b.alloc("big", 1000).unwrap();
+        let err = b.alloc("too-big", 100).unwrap_err();
+        assert_eq!(
+            err,
+            MemsimError::CapacityExceeded { bank: b.id(), requested: 100, available: 24 }
+        );
+        // The failed allocation must not change the ledger.
+        assert_eq!(b.used(), 1000);
+    }
+
+    #[test]
+    fn release_unknown_region_errors() {
+        let mut b = test_bank();
+        assert!(matches!(b.release("nope"), Err(MemsimError::UnknownRegion { .. })));
+    }
+
+    #[test]
+    fn serial_reads_sum() {
+        let b = test_bank();
+        let one = b.read_time(32);
+        let two = b.serial_read_time([32, 32]);
+        assert_eq!(two, one * 2);
+    }
+
+    #[test]
+    fn first_fit_reuses_released_holes() {
+        let mut b = test_bank();
+        b.alloc("a", 300).unwrap();
+        b.alloc("b", 400).unwrap();
+        b.alloc("c", 300).unwrap();
+        assert_eq!(b.region("b").unwrap().offset, 300);
+        b.release("b").unwrap();
+        // A smaller region lands in b's hole; a bigger one would not fit.
+        b.alloc("d", 350).unwrap();
+        assert_eq!(b.region("d").unwrap().offset, 300);
+        assert!(b.alloc("e", 100).is_err(), "only 24 + 50 fragmented bytes remain");
+    }
+
+    #[test]
+    fn offsets_never_overlap() {
+        let mut b = test_bank();
+        for i in 0..8 {
+            b.alloc(format!("r{i}"), 100).unwrap();
+        }
+        let mut spans: Vec<(u64, u64)> =
+            b.regions().iter().map(|r| (r.offset, r.offset + r.bytes)).collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "regions overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn clear_empties_bank() {
+        let mut b = test_bank();
+        b.alloc("t0", 10).unwrap();
+        b.alloc("t1", 10).unwrap();
+        b.clear();
+        assert_eq!(b.used(), 0);
+        assert!(b.regions().is_empty());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(MemoryKind::Bram.is_on_chip());
+        assert!(MemoryKind::Uram.is_on_chip());
+        assert!(MemoryKind::Hbm.is_dram());
+        assert!(MemoryKind::Ddr.is_dram());
+    }
+
+    #[test]
+    fn bank_id_ordering_groups_by_kind() {
+        let a = BankId::new(MemoryKind::Bram, 5);
+        let b = BankId::new(MemoryKind::Hbm, 0);
+        assert!(a < b, "BRAM sorts before HBM");
+    }
+}

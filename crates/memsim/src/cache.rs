@@ -1,0 +1,259 @@
+//! A hot-entry cache model (RecNMP-style memory-side caching).
+//!
+//! Ke et al. 2020 (cited in §6) attack the same lookup bottleneck as
+//! MicroRec by caching frequently-accessed embedding *entries* near
+//! memory. This module models such a cache — set-associative with LRU
+//! replacement, keyed by `(bank, row offset)` — so the reproduction can
+//! *measure* how the two approaches compare under skewed traffic: caching
+//! helps exactly as much as the traffic is skewed, while channel
+//! parallelism helps unconditionally (the `rowbuffer` bench tells the
+//! story).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::BankId;
+use crate::rowstate::AddressedRead;
+use crate::time::SimTime;
+
+/// Configuration of the hot-entry cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Bytes per cached entry (one embedding vector slot).
+    pub entry_bytes: u32,
+    /// Latency of a cache hit.
+    pub hit_latency: SimTime,
+}
+
+impl CacheConfig {
+    /// A 1 MB, 4-way cache of 64-byte entries with SRAM hit latency —
+    /// roughly RecNMP's per-rank cache budget.
+    #[must_use]
+    pub fn recnmp_1mb() -> Self {
+        CacheConfig {
+            sets: 4096,
+            ways: 4,
+            entry_bytes: 64,
+            hit_latency: SimTime::from_ns(10.0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * u64::from(self.entry_bytes)
+    }
+}
+
+/// One cache line's tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Tag {
+    bank: BankId,
+    block: u64,
+    /// Monotonic use counter for LRU.
+    last_use: u64,
+}
+
+/// A set-associative LRU cache over embedding entries.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_memsim::{AddressedRead, BankId, CacheConfig, EntryCache, MemoryKind};
+///
+/// let mut cache = EntryCache::new(CacheConfig::recnmp_1mb());
+/// let read = AddressedRead::new(BankId::new(MemoryKind::Ddr, 0), 4096, 64);
+/// assert!(cache.access(&read).is_none(), "cold miss fills the line");
+/// assert!(cache.access(&read).is_some(), "hot entry hits");
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntryCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Tag>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EntryCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        EntryCache {
+            config,
+            sets: vec![Vec::new(); config.sets.max(1)],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Looks up (and on miss, fills) the entry backing `read`. Returns
+    /// `Some(hit_latency)` on a hit, `None` on a miss (caller pays DRAM).
+    pub fn access(&mut self, read: &AddressedRead) -> Option<SimTime> {
+        self.clock += 1;
+        let block = read.offset / u64::from(self.config.entry_bytes.max(1));
+        let set_idx = ((block ^ (u64::from(read.bank.index) << 40)
+            ^ ((read.bank.kind as u64) << 56))
+            % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(tag) = set.iter_mut().find(|t| t.bank == read.bank && t.block == block) {
+            tag.last_use = self.clock;
+            self.hits += 1;
+            return Some(self.config.hit_latency);
+        }
+        self.misses += 1;
+        // Fill with LRU eviction.
+        if set.len() >= self.config.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            set.remove(lru);
+        }
+        set.push(Tag { bank: read.bank, block, last_use: self.clock });
+        None
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::MemoryKind;
+
+    fn read(bank: u16, offset: u64) -> AddressedRead {
+        AddressedRead::new(BankId::new(MemoryKind::Hbm, bank), offset, 16)
+    }
+
+    fn tiny_cache(sets: usize, ways: usize) -> EntryCache {
+        EntryCache::new(CacheConfig {
+            sets,
+            ways,
+            entry_bytes: 64,
+            hit_latency: SimTime::from_ns(10.0),
+        })
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny_cache(16, 2);
+        assert!(c.access(&read(0, 128)).is_none(), "cold miss");
+        assert!(c.access(&read(0, 128)).is_some(), "warm hit");
+        // Same 64-byte block, different byte offset: still a hit.
+        assert!(c.access(&read(0, 160)).is_some());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_banks_do_not_alias() {
+        let mut c = tiny_cache(16, 2);
+        c.access(&read(0, 0));
+        assert!(c.access(&read(1, 0)).is_none(), "other bank is a different entry");
+        assert!(c.access(&read(0, 0)).is_some());
+        assert!(c.access(&read(1, 0)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        // One set, two ways.
+        let mut c = tiny_cache(1, 2);
+        c.access(&read(0, 0)); // A miss+fill
+        c.access(&read(0, 64)); // B miss+fill
+        c.access(&read(0, 0)); // A hit (B is now LRU)
+        c.access(&read(0, 128)); // C miss, evicts B
+        assert!(c.access(&read(0, 0)).is_some(), "A survived");
+        assert!(c.access(&read(0, 64)).is_none(), "B was evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny_cache(4, 2); // 8 entries
+        for round in 0..3 {
+            for i in 0..64u64 {
+                let hit = c.access(&read(0, i * 64)).is_some();
+                if round == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        assert!(c.hit_rate() < 0.1, "thrash hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn skewed_stream_gets_high_hit_rate() {
+        let mut c = EntryCache::new(CacheConfig::recnmp_1mb());
+        // 90% of accesses to 100 hot entries, 10% to a huge tail.
+        for i in 0..10_000u64 {
+            let offset = if i % 10 != 0 {
+                (i % 100) * 64
+            } else {
+                1_000_000 + i * 6400
+            };
+            c.access(&read((i % 4) as u16, offset));
+        }
+        assert!(c.hit_rate() > 0.8, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny_cache(4, 2);
+        c.access(&read(0, 0));
+        c.access(&read(0, 0));
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(c.access(&read(0, 0)).is_none(), "cold after reset");
+    }
+
+    #[test]
+    fn capacity_math() {
+        let cfg = CacheConfig::recnmp_1mb();
+        assert_eq!(cfg.capacity(), 4096 * 4 * 64);
+    }
+}

@@ -1,0 +1,211 @@
+//! Memory system configurations.
+//!
+//! A [`MemoryConfig`] lists every bank of a platform together with its
+//! capacity and timing. Presets are provided for the two platforms the paper
+//! evaluates: the Xilinx Alveo U280 accelerator card and a conventional
+//! 8-channel CPU server.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::{Bank, BankId, MemoryKind};
+use crate::timing::MemTiming;
+
+/// Specification of one bank within a [`MemoryConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankSpec {
+    /// The bank's identity.
+    pub id: BankId,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Timing parameters.
+    pub timing: MemTiming,
+}
+
+/// A full memory-system description.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_memsim::{MemoryConfig, MemoryKind};
+///
+/// let u280 = MemoryConfig::u280();
+/// assert_eq!(u280.banks_of_kind(MemoryKind::Hbm).count(), 32);
+/// assert_eq!(u280.banks_of_kind(MemoryKind::Ddr).count(), 2);
+/// assert!(u280.dram_channel_count() == 34);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Platform label, e.g. `"Alveo U280"`.
+    pub name: String,
+    /// Every bank of the platform.
+    pub banks: Vec<BankSpec>,
+}
+
+/// Bytes in one mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+/// Bytes in one gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+impl MemoryConfig {
+    /// The Xilinx Alveo U280 used by the paper: 32 HBM2 pseudo-channels of
+    /// 256 MB, 2 DDR4 channels of 16 GB, and a slice of on-chip memory
+    /// reserved for embedding tables (the rest of BRAM/URAM belongs to the
+    /// DNN compute units).
+    ///
+    /// The on-chip slice is modelled as 16 BRAM banks of 4 KiB (two 18 Kbit
+    /// BRAM blocks each). Table 6 of the paper shows BRAM at 78–85 % and
+    /// URAM at 66–80 % utilisation, almost all of it consumed by the DNN
+    /// compute units and their FIFOs — only a sliver remains for embedding
+    /// caching, which is why the paper caches just the 8 (small model) / 16
+    /// (large model) tiniest tables on chip (Table 3).
+    #[must_use]
+    pub fn u280() -> Self {
+        let mut banks = Vec::new();
+        for i in 0..32u16 {
+            banks.push(BankSpec {
+                id: BankId::new(MemoryKind::Hbm, i),
+                capacity: 256 * MIB,
+                timing: MemTiming::hbm2_vitis(),
+            });
+        }
+        for i in 0..2u16 {
+            banks.push(BankSpec {
+                id: BankId::new(MemoryKind::Ddr, i),
+                capacity: 16 * GIB,
+                timing: MemTiming::ddr4_vitis(),
+            });
+        }
+        for i in 0..16u16 {
+            banks.push(BankSpec {
+                id: BankId::new(MemoryKind::Bram, i),
+                capacity: 4 * 1024,
+                timing: MemTiming::onchip_fpga(),
+            });
+        }
+        MemoryConfig { name: "Alveo U280".to_string(), banks }
+    }
+
+    /// The CPU baseline server: 128 GB of DDR4 across 8 channels
+    /// (16 vCPU AWS instance, §5.1).
+    #[must_use]
+    pub fn cpu_server() -> Self {
+        let banks = (0..8u16)
+            .map(|i| BankSpec {
+                id: BankId::new(MemoryKind::Ddr, i),
+                capacity: 16 * GIB,
+                timing: MemTiming::ddr4_server(),
+            })
+            .collect();
+        MemoryConfig { name: "CPU server (8-ch DDR4)".to_string(), banks }
+    }
+
+    /// A generic FPGA without HBM (for the "works on any FPGA" claim of
+    /// §3.4.2): `ddr_channels` DDR4 channels of 16 GB plus the same on-chip
+    /// slice as [`MemoryConfig::u280`].
+    #[must_use]
+    pub fn fpga_without_hbm(ddr_channels: u16) -> Self {
+        let mut banks: Vec<BankSpec> = (0..ddr_channels)
+            .map(|i| BankSpec {
+                id: BankId::new(MemoryKind::Ddr, i),
+                capacity: 16 * GIB,
+                timing: MemTiming::ddr4_vitis(),
+            })
+            .collect();
+        for i in 0..16u16 {
+            banks.push(BankSpec {
+                id: BankId::new(MemoryKind::Bram, i),
+                capacity: 4 * 1024,
+                timing: MemTiming::onchip_fpga(),
+            });
+        }
+        MemoryConfig { name: format!("FPGA ({ddr_channels}-ch DDR4, no HBM)"), banks }
+    }
+
+    /// Iterates over banks of one technology.
+    pub fn banks_of_kind(&self, kind: MemoryKind) -> impl Iterator<Item = &BankSpec> {
+        self.banks.iter().filter(move |b| b.id.kind == kind)
+    }
+
+    /// Number of off-chip DRAM channels (HBM pseudo-channels + DDR
+    /// channels); 34 on the U280.
+    #[must_use]
+    pub fn dram_channel_count(&self) -> usize {
+        self.banks.iter().filter(|b| b.id.kind.is_dram()).count()
+    }
+
+    /// Number of on-chip banks reserved for embeddings.
+    #[must_use]
+    pub fn onchip_bank_count(&self) -> usize {
+        self.banks.iter().filter(|b| b.id.kind.is_on_chip()).count()
+    }
+
+    /// Total capacity of one technology in bytes.
+    #[must_use]
+    pub fn capacity_of_kind(&self, kind: MemoryKind) -> u64 {
+        self.banks_of_kind(kind).map(|b| b.capacity).sum()
+    }
+
+    /// Instantiates the (empty) banks described by this configuration.
+    #[must_use]
+    pub fn build_banks(&self) -> Vec<Bank> {
+        self.banks.iter().map(|s| Bank::new(s.id, s.capacity, s.timing.clone())).collect()
+    }
+
+    /// Looks up the spec of one bank.
+    #[must_use]
+    pub fn bank_spec(&self, id: BankId) -> Option<&BankSpec> {
+        self.banks.iter().find(|b| b.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_matches_paper_platform() {
+        let c = MemoryConfig::u280();
+        assert_eq!(c.banks_of_kind(MemoryKind::Hbm).count(), 32);
+        assert_eq!(c.banks_of_kind(MemoryKind::Ddr).count(), 2);
+        assert_eq!(c.dram_channel_count(), 34);
+        // 8 GB HBM, 32 GB DDR.
+        assert_eq!(c.capacity_of_kind(MemoryKind::Hbm), 8 * GIB);
+        assert_eq!(c.capacity_of_kind(MemoryKind::Ddr), 32 * GIB);
+        assert_eq!(c.onchip_bank_count(), 16);
+    }
+
+    #[test]
+    fn cpu_server_has_8_channels_128_gb() {
+        let c = MemoryConfig::cpu_server();
+        assert_eq!(c.dram_channel_count(), 8);
+        assert_eq!(c.capacity_of_kind(MemoryKind::Ddr), 128 * GIB);
+        assert_eq!(c.onchip_bank_count(), 0);
+    }
+
+    #[test]
+    fn no_hbm_preset_is_hbm_free() {
+        let c = MemoryConfig::fpga_without_hbm(2);
+        assert_eq!(c.banks_of_kind(MemoryKind::Hbm).count(), 0);
+        assert_eq!(c.dram_channel_count(), 2);
+        assert!(c.onchip_bank_count() > 0);
+    }
+
+    #[test]
+    fn build_banks_are_empty_and_match_specs() {
+        let c = MemoryConfig::u280();
+        let banks = c.build_banks();
+        assert_eq!(banks.len(), c.banks.len());
+        for (bank, spec) in banks.iter().zip(&c.banks) {
+            assert_eq!(bank.id(), spec.id);
+            assert_eq!(bank.capacity(), spec.capacity);
+            assert_eq!(bank.used(), 0);
+        }
+    }
+
+    #[test]
+    fn bank_spec_lookup() {
+        let c = MemoryConfig::u280();
+        assert!(c.bank_spec(BankId::new(MemoryKind::Hbm, 31)).is_some());
+        assert!(c.bank_spec(BankId::new(MemoryKind::Hbm, 32)).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the memory simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bank::BankId;
+
+/// Errors returned by [`HybridMemory`](crate::HybridMemory) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemsimError {
+    /// An allocation would exceed the capacity of a bank.
+    CapacityExceeded {
+        /// The bank the allocation targeted.
+        bank: BankId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available in the bank.
+        available: u64,
+    },
+    /// An operation referenced a bank that does not exist in the
+    /// configuration.
+    UnknownBank(BankId),
+    /// A region label was not found in the bank it was claimed to live in.
+    UnknownRegion {
+        /// The bank searched.
+        bank: BankId,
+        /// The missing region label.
+        label: String,
+    },
+}
+
+impl fmt::Display for MemsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemsimError::CapacityExceeded { bank, requested, available } => write!(
+                f,
+                "allocation of {requested} bytes exceeds bank {bank} (only {available} available)"
+            ),
+            MemsimError::UnknownBank(bank) => write!(f, "unknown memory bank {bank}"),
+            MemsimError::UnknownRegion { bank, label } => {
+                write!(f, "region `{label}` not found in bank {bank}")
+            }
+        }
+    }
+}
+
+impl Error for MemsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::MemoryKind;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MemsimError::CapacityExceeded {
+            bank: BankId::new(MemoryKind::Hbm, 3),
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100 bytes"));
+        assert!(s.contains("HBM[3]"));
+        let e = MemsimError::UnknownBank(BankId::new(MemoryKind::Ddr, 0));
+        assert!(e.to_string().contains("DDR[0]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemsimError>();
+    }
+}

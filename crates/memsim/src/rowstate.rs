@@ -1,0 +1,175 @@
+//! DRAM row-buffer state and page policies.
+//!
+//! The base cost model charges every embedding read a full row activation
+//! — the right default for the *random* access patterns recommendation
+//! inference produces (§2.2 cites Ke et al.'s high miss rates). Real DRAM
+//! keeps the last-activated row latched in each bank's row buffer, so
+//! *skewed* traffic (hot users/items under a Zipf law) occasionally hits
+//! an open row and skips the activation. This module adds that state so
+//! the engine can quantify how much locality CPU-style caching could ever
+//! recover — and why MicroRec's parallelism wins regardless.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::BankId;
+use crate::time::SimTime;
+use crate::timing::MemTiming;
+
+/// DRAM page (row-buffer) management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Close the row after every access: every read pays the activation.
+    /// This is the conservative default matching the paper's model.
+    #[default]
+    ClosedPage,
+    /// Leave the row open: consecutive reads to the same row hit the
+    /// buffer and pay only the column access + burst.
+    OpenPage,
+}
+
+/// A read with an explicit byte address inside its bank (needed for
+/// row-buffer modelling; the plain [`ReadRequest`](crate::ReadRequest)
+/// carries only a size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddressedRead {
+    /// Target bank.
+    pub bank: BankId,
+    /// Byte offset of the first byte inside the bank.
+    pub offset: u64,
+    /// Payload size in bytes.
+    pub bytes: u32,
+}
+
+impl AddressedRead {
+    /// Creates an addressed read.
+    #[must_use]
+    pub const fn new(bank: BankId, offset: u64, bytes: u32) -> Self {
+        AddressedRead { bank, offset, bytes }
+    }
+
+    /// The DRAM row this read starts in, under `timing`'s row size.
+    /// Returns `None` for row-less technologies (on-chip).
+    #[must_use]
+    pub fn row(&self, timing: &MemTiming) -> Option<u64> {
+        if timing.row_bytes == 0 {
+            None
+        } else {
+            Some(self.offset / u64::from(timing.row_bytes))
+        }
+    }
+}
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RowState {
+    open_row: Option<u64>,
+}
+
+impl RowState {
+    /// A bank with no open row.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Services one read under `policy`, returning its latency and whether
+    /// it hit the open row.
+    pub fn service(
+        &mut self,
+        read: &AddressedRead,
+        timing: &MemTiming,
+        policy: RowPolicy,
+    ) -> (SimTime, bool) {
+        let row = read.row(timing);
+        let hit = match (policy, row, self.open_row) {
+            (RowPolicy::OpenPage, Some(r), Some(open)) => r == open,
+            _ => false,
+        };
+        let t = if hit {
+            timing.access_time_row_hit(read.bytes)
+        } else {
+            timing.access_time(read.bytes)
+        };
+        self.open_row = match policy {
+            RowPolicy::OpenPage => row,
+            RowPolicy::ClosedPage => None,
+        };
+        (t, hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::MemoryKind;
+
+    fn hbm0() -> BankId {
+        BankId::new(MemoryKind::Hbm, 0)
+    }
+
+    #[test]
+    fn row_math() {
+        let t = MemTiming::hbm2_vitis(); // 1024-byte rows
+        let r = AddressedRead::new(hbm0(), 2048, 64);
+        assert_eq!(r.row(&t), Some(2));
+        let r = AddressedRead::new(hbm0(), 1023, 64);
+        assert_eq!(r.row(&t), Some(0));
+        let ocm = MemTiming::onchip_fpga();
+        assert_eq!(r.row(&ocm), None);
+    }
+
+    #[test]
+    fn closed_page_never_hits() {
+        let t = MemTiming::hbm2_vitis();
+        let mut state = RowState::new();
+        let read = AddressedRead::new(hbm0(), 0, 64);
+        for _ in 0..3 {
+            let (lat, hit) = state.service(&read, &t, RowPolicy::ClosedPage);
+            assert!(!hit);
+            assert_eq!(lat, t.access_time(64));
+        }
+        assert_eq!(state.open_row(), None);
+    }
+
+    #[test]
+    fn open_page_hits_repeated_row() {
+        let t = MemTiming::hbm2_vitis();
+        let mut state = RowState::new();
+        let read = AddressedRead::new(hbm0(), 512, 64);
+        let (first, hit) = state.service(&read, &t, RowPolicy::OpenPage);
+        assert!(!hit, "cold buffer misses");
+        let (second, hit) = state.service(&read, &t, RowPolicy::OpenPage);
+        assert!(hit, "same row hits");
+        assert!(second < first);
+        assert_eq!(second, t.access_time_row_hit(64));
+    }
+
+    #[test]
+    fn open_page_misses_on_row_change() {
+        let t = MemTiming::hbm2_vitis();
+        let mut state = RowState::new();
+        state.service(&AddressedRead::new(hbm0(), 0, 64), &t, RowPolicy::OpenPage);
+        let (lat, hit) =
+            state.service(&AddressedRead::new(hbm0(), 4096, 64), &t, RowPolicy::OpenPage);
+        assert!(!hit);
+        assert_eq!(lat, t.access_time(64));
+        assert_eq!(state.open_row(), Some(4));
+    }
+
+    #[test]
+    fn onchip_never_tracks_rows() {
+        let t = MemTiming::onchip_fpga();
+        let mut state = RowState::new();
+        let read = AddressedRead::new(BankId::new(MemoryKind::Bram, 0), 0, 16);
+        let (_, hit) = state.service(&read, &t, RowPolicy::OpenPage);
+        assert!(!hit);
+        let (_, hit) = state.service(&read, &t, RowPolicy::OpenPage);
+        assert!(!hit, "row-less memory cannot hit");
+    }
+}

@@ -1,0 +1,267 @@
+//! Request-level DRAM channel scheduling.
+//!
+//! The calibrated channel model ([`MemTiming`]) treats each access as a
+//! blocking `base + burst` — which is exactly how the Vitis-generated AXI
+//! controller behaves (the paper's own Table 5 shows perfect 2× scaling
+//! from 1 to 2 accesses per channel, i.e. zero overlap). Real DRAM could
+//! do better: a channel has multiple *internal* banks, and an FR-FCFS
+//! scheduler overlaps one bank's row activation with another's data burst,
+//! serializing only on the shared data bus (and the tFAW activation
+//! window).
+//!
+//! This module models that machinery so the gap is measurable: how much
+//! lookup latency would a smarter memory controller buy MicroRec? (See the
+//! `controller` bench — the answer informs the paper's "future work" of
+//! faster lookups more than any data-structure change.)
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// JEDEC-style timing parameters of one channel's internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetailedTiming {
+    /// Row activate to column command (tRCD).
+    pub t_rcd: SimTime,
+    /// Column command to first data (tCL / CAS latency).
+    pub t_cas: SimTime,
+    /// Precharge (tRP) — charged on every access (closed-page).
+    pub t_rp: SimTime,
+    /// DRAM data-bus time per 32 bytes (one burst).
+    pub t_burst32: SimTime,
+    /// Narrow AXI front-end streaming time per 32 bytes (the 32-bit port
+    /// of the paper's appendix; dominates the serial controller's burst).
+    pub t_axi32: SimTime,
+    /// Minimum spacing of four activations (tFAW).
+    pub t_faw: SimTime,
+    /// Controller front-end latency added to every request.
+    pub t_controller: SimTime,
+    /// Internal banks per channel.
+    pub banks: usize,
+}
+
+impl DetailedTiming {
+    /// HBM2 pseudo-channel internals: the same end-to-end single-access
+    /// latency as [`MemTiming::hbm2_vitis`](crate::MemTiming::hbm2_vitis)
+    /// (318 ns base), decomposed into controller + tRCD + tCL + tRP, with
+    /// 16 internal banks.
+    #[must_use]
+    pub fn hbm2() -> Self {
+        DetailedTiming {
+            t_rcd: SimTime::from_ns(14.0),
+            t_cas: SimTime::from_ns(14.0),
+            t_rp: SimTime::from_ns(14.0),
+            // HBM2 pseudo-channel: 8 bytes x 2 Gbps = 16 GB/s => 2 ns/32 B.
+            t_burst32: SimTime::from_ns(2.0),
+            // 32-bit AXI at 192 MHz (the calibrated coarse slope).
+            t_axi32: SimTime::from_ns(41.66),
+            t_faw: SimTime::from_ns(30.0),
+            // The Vitis controller round trip dominates the measured 318 ns.
+            t_controller: SimTime::from_ns(290.0),
+            banks: 16,
+        }
+    }
+
+    /// Latency of one isolated access of `bytes` through the serial AXI
+    /// front end (matches the calibrated coarse model).
+    #[must_use]
+    pub fn single_access(&self, bytes: u32) -> SimTime {
+        self.t_controller + self.t_rcd + self.t_cas + self.axi_time(bytes)
+    }
+
+    /// DRAM data-bus occupancy of `bytes`.
+    #[must_use]
+    pub fn burst_time(&self, bytes: u32) -> SimTime {
+        let bursts = u64::from(bytes.div_ceil(32).max(1));
+        self.t_burst32 * bursts
+    }
+
+    /// Narrow-AXI streaming time of `bytes` (fractional 32-byte beats
+    /// resolve at 4-byte granularity).
+    #[must_use]
+    pub fn axi_time(&self, bytes: u32) -> SimTime {
+        SimTime::from_ps(
+            (u128::from(self.t_axi32.as_ps()) * u128::from(bytes.max(1)) / 32) as u64,
+        )
+    }
+}
+
+/// One request to the scheduler: which internal bank/row, how many bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankRequest {
+    /// Internal bank index (`< DetailedTiming::banks`).
+    pub bank: usize,
+    /// Row within the bank (same row back-to-back would row-hit; the
+    /// scheduler here is closed-page, so rows only matter for reporting).
+    pub row: u64,
+    /// Payload size.
+    pub bytes: u32,
+}
+
+/// Outcome of scheduling a request stream on one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Completion time of each request, in submission order.
+    pub completions: Vec<SimTime>,
+    /// Time the last request completes.
+    pub makespan: SimTime,
+}
+
+/// Scheduling discipline of the channel front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// One outstanding request at a time — the blocking AXI-master
+    /// behaviour of the paper's HLS controller (and of this crate's coarse
+    /// model).
+    #[default]
+    SerialAxi,
+    /// Bank-parallel: overlap different banks' activations, serialize on
+    /// the data bus and the tFAW window.
+    BankParallel,
+}
+
+/// Schedules `requests` (all to one channel, issued simultaneously) and
+/// returns per-request completions.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_memsim::{schedule_channel, BankRequest, DetailedTiming, SchedulerPolicy};
+///
+/// let timing = DetailedTiming::hbm2();
+/// let reqs: Vec<BankRequest> =
+///     (0..4).map(|i| BankRequest { bank: i, row: 0, bytes: 64 }).collect();
+/// let serial = schedule_channel(&timing, SchedulerPolicy::SerialAxi, &reqs);
+/// let parallel = schedule_channel(&timing, SchedulerPolicy::BankParallel, &reqs);
+/// assert!(parallel.makespan < serial.makespan);
+/// ```
+#[must_use]
+pub fn schedule_channel(
+    timing: &DetailedTiming,
+    policy: SchedulerPolicy,
+    requests: &[BankRequest],
+) -> ScheduleResult {
+    let mut completions = Vec::with_capacity(requests.len());
+    match policy {
+        SchedulerPolicy::SerialAxi => {
+            let mut t = SimTime::ZERO;
+            for req in requests {
+                t += timing.single_access(req.bytes);
+                completions.push(t);
+            }
+        }
+        SchedulerPolicy::BankParallel => {
+            let mut bank_free = vec![SimTime::ZERO; timing.banks.max(1)];
+            let mut bus_free = SimTime::ZERO;
+            let mut recent_activates: Vec<SimTime> = Vec::new();
+            for req in requests {
+                let bank = req.bank % timing.banks.max(1);
+                // tFAW: at most 4 activations per rolling window.
+                let faw_gate = if recent_activates.len() >= 4 {
+                    recent_activates[recent_activates.len() - 4] + timing.t_faw
+                } else {
+                    SimTime::ZERO
+                };
+                let activate_at = bank_free[bank].max(faw_gate);
+                recent_activates.push(activate_at);
+                let data_ready = activate_at + timing.t_rcd + timing.t_cas;
+                let burst_start = data_ready.max(bus_free);
+                let done = burst_start + timing.burst_time(req.bytes);
+                bus_free = done;
+                bank_free[bank] = done + timing.t_rp;
+                completions.push(timing.t_controller + done);
+            }
+        }
+    }
+    let makespan = completions.iter().copied().max().unwrap_or(SimTime::ZERO);
+    ScheduleResult { completions, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::MemTiming;
+
+    fn reqs(n: usize, bytes: u32) -> Vec<BankRequest> {
+        (0..n).map(|i| BankRequest { bank: i, row: i as u64 * 7, bytes }).collect()
+    }
+
+    #[test]
+    fn single_access_matches_coarse_model() {
+        let detailed = DetailedTiming::hbm2();
+        let coarse = MemTiming::hbm2_vitis();
+        for bytes in [16u32, 32, 64, 128, 256] {
+            let d = detailed.single_access(bytes).as_ns();
+            let c = coarse.access_time(bytes).as_ns();
+            assert!(
+                (d - c).abs() / c < 0.02,
+                "detailed {d:.0} vs coarse {c:.0} at {bytes} B"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_axi_scales_linearly() {
+        // The paper's Table 5 observation: 2 accesses take 2x one access.
+        let t = DetailedTiming::hbm2();
+        let one = schedule_channel(&t, SchedulerPolicy::SerialAxi, &reqs(1, 64)).makespan;
+        let two = schedule_channel(&t, SchedulerPolicy::SerialAxi, &reqs(2, 64)).makespan;
+        let four = schedule_channel(&t, SchedulerPolicy::SerialAxi, &reqs(4, 64)).makespan;
+        assert_eq!(two, one * 2);
+        assert_eq!(four, one * 4);
+    }
+
+    #[test]
+    fn bank_parallel_overlaps_distinct_banks() {
+        let t = DetailedTiming::hbm2();
+        let serial = schedule_channel(&t, SchedulerPolicy::SerialAxi, &reqs(4, 64)).makespan;
+        let parallel =
+            schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(4, 64)).makespan;
+        assert!(
+            parallel.as_ns() < serial.as_ns() * 0.5,
+            "bank parallelism should at least halve 4-deep service: {parallel} vs {serial}"
+        );
+        // But not below the controller + one activation + four bus bursts.
+        let floor = t.t_controller + t.t_rcd + t.t_cas + t.burst_time(64) * 4;
+        assert!(parallel >= floor, "{parallel} vs floor {floor}");
+    }
+
+    #[test]
+    fn same_bank_requests_still_serialize() {
+        let t = DetailedTiming::hbm2();
+        let same_bank: Vec<BankRequest> =
+            (0..4).map(|i| BankRequest { bank: 0, row: i, bytes: 64 }).collect();
+        let parallel =
+            schedule_channel(&t, SchedulerPolicy::BankParallel, &same_bank).makespan;
+        let spread = schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(4, 64)).makespan;
+        assert!(parallel > spread, "bank conflicts must cost: {parallel} vs {spread}");
+    }
+
+    #[test]
+    fn faw_limits_activation_bursts() {
+        let mut t = DetailedTiming::hbm2();
+        t.t_faw = SimTime::from_us(1.0); // absurdly strict window
+        let gated = schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(8, 32)).makespan;
+        let relaxed = {
+            let mut t2 = t.clone();
+            t2.t_faw = SimTime::ZERO;
+            schedule_channel(&t2, SchedulerPolicy::BankParallel, &reqs(8, 32)).makespan
+        };
+        assert!(gated > relaxed, "tFAW must gate: {gated} vs {relaxed}");
+    }
+
+    #[test]
+    fn completions_are_monotone_and_empty_is_empty() {
+        let t = DetailedTiming::hbm2();
+        for policy in [SchedulerPolicy::SerialAxi, SchedulerPolicy::BankParallel] {
+            let result = schedule_channel(&t, policy, &reqs(6, 48));
+            for w in result.completions.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            assert_eq!(result.makespan, *result.completions.last().unwrap());
+            let empty = schedule_channel(&t, policy, &[]);
+            assert!(empty.completions.is_empty());
+            assert_eq!(empty.makespan, SimTime::ZERO);
+        }
+    }
+}

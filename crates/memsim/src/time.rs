@@ -1,0 +1,317 @@
+//! Simulated time.
+//!
+//! All timing in the simulator is expressed as an integer number of
+//! picoseconds wrapped in [`SimTime`]. Integer picoseconds keep the model
+//! fully deterministic (no floating-point accumulation error) while still
+//! resolving sub-nanosecond quantities such as a single clock cycle at
+//! 450 MHz (≈ 2222 ps).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, stored as integer picoseconds.
+///
+/// `SimTime` is used both for instants (time since simulation start) and for
+/// durations; the simulator never needs a distinct instant type.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_memsim::SimTime;
+///
+/// let activate = SimTime::from_ns(45.0);
+/// let burst = SimTime::from_ns(13.3);
+/// let total = activate + burst;
+/// assert!((total.as_ns() - 58.3).abs() < 1e-9);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a `SimTime` from raw picoseconds.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a `SimTime` from nanoseconds.
+    ///
+    /// Fractional nanoseconds are preserved down to picosecond resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[must_use]
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "SimTime requires finite ns >= 0, got {ns}");
+        SimTime((ns * 1_000.0).round() as u64)
+    }
+
+    /// Creates a `SimTime` from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    #[must_use]
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1_000.0)
+    }
+
+    /// Creates a `SimTime` from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    #[must_use]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1_000_000.0)
+    }
+
+    /// Creates a `SimTime` covering `cycles` periods of a clock running at
+    /// `hz` hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[must_use]
+    pub fn from_cycles(cycles: u64, hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be positive");
+        // ps = cycles * 1e12 / hz, computed in u128 to avoid overflow.
+        let ps = (u128::from(cycles) * 1_000_000_000_000u128) / u128::from(hz);
+        SimTime(ps as u64)
+    }
+
+    /// Raw picoseconds.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) nanoseconds.
+    #[must_use]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span in (fractional) microseconds.
+    #[must_use]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This span in (fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// This span in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Returns `true` if this span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub const fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Events per second if one event takes `self`.
+    ///
+    /// Returns `f64::INFINITY` for a zero span.
+    #[must_use]
+    pub fn throughput_per_sec(self) -> f64 {
+        if self.is_zero() {
+            f64::INFINITY
+        } else {
+            1e12 / self.0 as f64
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow in add"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`SimTime::saturating_sub`] when the operands
+    /// may be unordered.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow in sub"))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow in mul"))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.as_ns();
+        if ns < 1_000.0 {
+            write!(f, "{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            write!(f, "{:.3} us", self.as_us())
+        } else {
+            write!(f, "{:.3} ms", self.as_ms())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ns(123.456);
+        assert_eq!(t.as_ps(), 123_456);
+        assert!((t.as_ns() - 123.456).abs() < 1e-9);
+        assert!((t.as_us() - 0.123456).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_cycles_matches_period() {
+        // 100 cycles at 250 MHz = 400 ns.
+        let t = SimTime::from_cycles(100, 250_000_000);
+        assert_eq!(t.as_ps(), 400_000);
+    }
+
+    #[test]
+    fn from_cycles_sub_ns_resolution() {
+        // One cycle at 450 MHz is 2222 ps; integer division truncates.
+        let t = SimTime::from_cycles(1, 450_000_000);
+        assert_eq!(t.as_ps(), 2_222);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_ns(10.0);
+        let b = SimTime::from_ns(4.0);
+        assert_eq!((a + b).as_ps(), 14_000);
+        assert_eq!((a - b).as_ps(), 6_000);
+        assert_eq!((a * 3).as_ps(), 30_000);
+        assert_eq!((a / 2).as_ps(), 5_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_ns(f64::from(i))).sum();
+        assert_eq!(total, SimTime::from_ns(10.0));
+        assert!(SimTime::from_ns(1.0) < SimTime::from_ns(2.0));
+        assert_eq!(SimTime::from_ns(1.0).max(SimTime::from_ns(2.0)), SimTime::from_ns(2.0));
+        assert_eq!(SimTime::from_ns(1.0).min(SimTime::from_ns(2.0)), SimTime::from_ns(1.0));
+    }
+
+    #[test]
+    fn throughput_of_one_microsecond_event() {
+        let t = SimTime::from_us(1.0);
+        assert!((t.throughput_per_sec() - 1e6).abs() < 1e-3);
+        assert_eq!(SimTime::ZERO.throughput_per_sec(), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(500.0)), "500.0 ns");
+        assert_eq!(format!("{}", SimTime::from_us(2.5)), "2.500 us");
+        assert_eq!(format!("{}", SimTime::from_ms(1.5)), "1.500 ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ns(1.0) - SimTime::from_ns(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ns")]
+    fn negative_ns_panics() {
+        let _ = SimTime::from_ns(-1.0);
+    }
+}

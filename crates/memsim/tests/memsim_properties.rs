@@ -1,0 +1,129 @@
+//! Property-based tests for the memory simulator's core invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use microrec_memsim::{
+    AddressedRead, BankId, HybridMemory, MemTiming, MemoryConfig, MemoryKind, ReadRequest,
+    RowPolicy, SimTime,
+};
+
+fn timings() -> Vec<MemTiming> {
+    vec![
+        MemTiming::hbm2_vitis(),
+        MemTiming::ddr4_vitis(),
+        MemTiming::ddr4_server(),
+        MemTiming::onchip_fpga(),
+    ]
+}
+
+proptest! {
+    /// Access time is monotone in payload size for every technology.
+    #[test]
+    fn access_time_monotone(a in 1u32..100_000, b in 1u32..100_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for t in timings() {
+            prop_assert!(t.access_time(lo) <= t.access_time(hi), "{}", t.label);
+            prop_assert!(t.access_time_row_hit(lo) <= t.access_time_row_hit(hi));
+            prop_assert!(t.access_time_row_hit(hi) < t.access_time(hi));
+        }
+    }
+
+    /// A batch's elapsed time equals the maximum per-bank serial time and
+    /// never exceeds the sum of all access times.
+    #[test]
+    fn batch_elapsed_is_bank_maximum(
+        picks in vec((0u16..34, 4u32..512), 1..40),
+    ) {
+        let mut mem = HybridMemory::new(MemoryConfig::u280());
+        let requests: Vec<ReadRequest> = picks
+            .iter()
+            .map(|&(bank, bytes)| {
+                let id = if bank < 32 {
+                    BankId::new(MemoryKind::Hbm, bank)
+                } else {
+                    BankId::new(MemoryKind::Ddr, bank - 32)
+                };
+                ReadRequest::new(id, bytes)
+            })
+            .collect();
+        let timing = mem.parallel_read(&requests).unwrap();
+        // Recompute per-bank serial sums independently.
+        let mut per_bank: std::collections::BTreeMap<BankId, SimTime> = Default::default();
+        let mut total = SimTime::ZERO;
+        for r in &requests {
+            let t = mem.bank(r.bank).unwrap().read_time(r.bytes);
+            *per_bank.entry(r.bank).or_insert(SimTime::ZERO) += t;
+            total += t;
+        }
+        let max = per_bank.values().copied().max().unwrap();
+        prop_assert_eq!(timing.elapsed, max);
+        prop_assert!(timing.elapsed <= total);
+        prop_assert_eq!(timing.total_busy, total);
+    }
+
+    /// First-fit allocation never overlaps regions and respects capacity,
+    /// for arbitrary interleavings of allocs and releases.
+    #[test]
+    fn allocator_never_overlaps(ops in vec((0u8..3, 1u64..3000), 1..60)) {
+        let mut mem = HybridMemory::new(MemoryConfig::u280());
+        let bank = BankId::new(MemoryKind::Bram, 0); // 4 KiB, fills quickly
+        let mut live: Vec<String> = Vec::new();
+        let mut counter = 0usize;
+        for (op, size) in ops {
+            if op == 0 || live.is_empty() {
+                let label = format!("r{counter}");
+                counter += 1;
+                if mem.alloc(bank, label.clone(), size).is_ok() {
+                    live.push(label);
+                }
+            } else {
+                let label = live.remove(live.len() / 2);
+                mem.release(bank, &label).unwrap();
+            }
+            let b = mem.bank(bank).unwrap();
+            prop_assert!(b.used() <= b.capacity());
+            let mut spans: Vec<(u64, u64)> =
+                b.regions().iter().map(|r| (r.offset, r.offset + r.bytes)).collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+            }
+            for (_, end) in &spans {
+                prop_assert!(*end <= b.capacity());
+            }
+        }
+    }
+
+    /// Under the open-page policy, per-read latency never exceeds the
+    /// closed-page latency, and hits happen exactly on repeated rows.
+    #[test]
+    fn open_page_is_never_slower(
+        offsets in vec(0u64..8192, 2..30),
+    ) {
+        let mut open = HybridMemory::new(MemoryConfig::u280());
+        open.set_row_policy(RowPolicy::OpenPage);
+        let mut closed = HybridMemory::new(MemoryConfig::u280());
+        let bank = BankId::new(MemoryKind::Hbm, 0);
+        let reads: Vec<AddressedRead> =
+            offsets.iter().map(|&o| AddressedRead::new(bank, o, 32)).collect();
+        let t_open = open.parallel_read_addressed(&reads).unwrap();
+        let t_closed = closed.parallel_read_addressed(&reads).unwrap();
+        prop_assert!(t_open.elapsed <= t_closed.elapsed);
+        // Count expected hits: consecutive reads in the same 1024-byte row.
+        let rows: Vec<u64> = offsets.iter().map(|o| o / 1024).collect();
+        let expected_hits = rows.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        prop_assert_eq!(open.stats().bank(bank).unwrap().row_hits, expected_hits);
+        prop_assert_eq!(closed.stats().bank(bank).unwrap().row_hits, 0);
+    }
+
+    /// SimTime cycle conversions agree with frequency math.
+    #[test]
+    fn cycles_scale_linearly(cycles in 0u64..1_000_000, hz in 1_000_000u64..1_000_000_000) {
+        let one = SimTime::from_cycles(1, hz);
+        let many = SimTime::from_cycles(cycles, hz);
+        // Within rounding of integer picoseconds per cycle.
+        let err = (many.as_ps() as i128 - (one.as_ps() as i128 * cycles as i128)).abs();
+        prop_assert!(err <= cycles as i128, "error {err} over {cycles} cycles");
+    }
+}

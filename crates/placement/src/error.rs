@@ -1,0 +1,77 @@
+//! Error types for table combination and allocation.
+
+use std::error::Error;
+use std::fmt;
+
+use microrec_embedding::EmbeddingError;
+use microrec_memsim::MemsimError;
+
+/// Errors returned by placement search and plan application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The underlying memory simulator rejected an operation.
+    Memory(MemsimError),
+    /// The embedding layer rejected an operation.
+    Embedding(EmbeddingError),
+    /// No valid placement exists (e.g. a table exceeds every bank).
+    Infeasible(String),
+    /// A plan failed validation.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Memory(e) => write!(f, "memory error: {e}"),
+            PlacementError::Embedding(e) => write!(f, "embedding error: {e}"),
+            PlacementError::Infeasible(why) => write!(f, "no feasible placement: {why}"),
+            PlacementError::InvalidPlan(why) => write!(f, "invalid plan: {why}"),
+        }
+    }
+}
+
+impl Error for PlacementError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlacementError::Memory(e) => Some(e),
+            PlacementError::Embedding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemsimError> for PlacementError {
+    fn from(e: MemsimError) -> Self {
+        PlacementError::Memory(e)
+    }
+}
+
+impl From<EmbeddingError> for PlacementError {
+    fn from(e: EmbeddingError) -> Self {
+        PlacementError::Embedding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_memsim::{BankId, MemoryKind};
+
+    #[test]
+    fn wraps_sources() {
+        let inner = MemsimError::UnknownBank(BankId::new(MemoryKind::Hbm, 0));
+        let e: PlacementError = inner.clone().into();
+        assert!(e.to_string().contains("HBM[0]"));
+        assert!(e.source().is_some());
+        let e: PlacementError = EmbeddingError::DegenerateProduct.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn infeasible_has_no_source() {
+        let e = PlacementError::Infeasible("table bigger than any bank".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bigger"));
+    }
+}

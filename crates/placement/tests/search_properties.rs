@@ -1,0 +1,170 @@
+//! Property and integration tests for placement search on generated
+//! production-like models.
+
+use proptest::prelude::*;
+
+use microrec_embedding::{synthetic_model, Precision, SyntheticModelConfig};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{
+    allocate_with, brute_force_search, heuristic_search, optimality_gap, refine_plan,
+    AllocStrategy, HeuristicOptions,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The heuristic produces valid, never-regressing plans on random
+    /// production-like models of 8-60 tables.
+    #[test]
+    fn heuristic_on_synthetic_models(
+        tables in 8usize..60,
+        seed in any::<u64>(),
+    ) {
+        let model = synthetic_model(&SyntheticModelConfig {
+            tables,
+            target_bytes: 800_000_000,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let config = MemoryConfig::u280();
+        let base = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions { allow_merge: false, ..Default::default() },
+        )
+        .unwrap();
+        let best = heuristic_search(&model, &config, Precision::F32, &Default::default())
+            .unwrap();
+        best.plan.validate(&model, &config).unwrap();
+        prop_assert!(best.cost.lookup_latency <= base.cost.lookup_latency);
+        prop_assert!(best.cost.dram_rounds <= base.cost.dram_rounds);
+    }
+
+    /// Refinement never regresses and always validates, whichever
+    /// strategy produced the starting plan.
+    #[test]
+    fn refinement_is_safe(
+        tables in 6usize..30,
+        seed in any::<u64>(),
+        lpt in any::<bool>(),
+    ) {
+        let model = synthetic_model(&SyntheticModelConfig {
+            tables,
+            target_bytes: 200_000_000,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let config = MemoryConfig::u280();
+        let strategy = if lpt { AllocStrategy::Lpt } else { AllocStrategy::RoundRobin };
+        let plan = allocate_with(
+            &model,
+            &microrec_embedding::MergePlan::none(),
+            &config,
+            Precision::F32,
+            strategy,
+        )
+        .unwrap();
+        let out = refine_plan(&plan, &model, &config, 4);
+        out.plan.validate(&model, &config).unwrap();
+        prop_assert!(out.after.lookup_latency <= out.before.lookup_latency);
+    }
+}
+
+/// The heuristic stays near brute-force optimal across a deterministic
+/// sweep of small instances (stronger than the unit test's spot checks).
+#[test]
+fn heuristic_optimality_sweep() {
+    let mut config = MemoryConfig::fpga_without_hbm(3);
+    config.banks.retain(|b| b.id.kind.is_dram());
+    let mut worst_gap: f64 = 1.0;
+    for seed in 0..12u64 {
+        let model = synthetic_model(&SyntheticModelConfig {
+            name: format!("sweep{seed}"),
+            tables: 7,
+            target_bytes: 40_000_000,
+            hidden: vec![32],
+            lookups_per_table: 1,
+            seed,
+        })
+        .unwrap();
+        let brute =
+            brute_force_search(&model, &config, Precision::F32, AllocStrategy::RoundRobin)
+                .unwrap();
+        let heur =
+            heuristic_search(&model, &config, Precision::F32, &Default::default()).unwrap();
+        let gap = optimality_gap(&heur.cost, &brute.cost);
+        worst_gap = worst_gap.max(gap);
+        assert!(heur.evaluated * 20 < brute.evaluated.max(100));
+    }
+    assert!(
+        worst_gap <= 1.35,
+        "heuristic should stay near-optimal, worst gap {worst_gap:.3}"
+    );
+}
+
+/// LPT never yields a worse makespan than round-robin on identical
+/// instances (it optimizes exactly that metric).
+#[test]
+fn lpt_dominates_round_robin_on_makespan() {
+    for seed in 0..8u64 {
+        let model = synthetic_model(&SyntheticModelConfig {
+            tables: 40,
+            target_bytes: 500_000_000,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let config = MemoryConfig::u280();
+        let rr = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions {
+                strategy: AllocStrategy::RoundRobin,
+                allow_merge: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lpt = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions {
+                strategy: AllocStrategy::Lpt,
+                allow_merge: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            lpt.cost.lookup_latency <= rr.cost.lookup_latency,
+            "seed {seed}: lpt {} vs rr {}",
+            lpt.cost.lookup_latency,
+            rr.cost.lookup_latency
+        );
+    }
+}
+
+/// Multi-way groups place and validate.
+#[test]
+fn three_way_groups_allocate() {
+    let model = synthetic_model(&SyntheticModelConfig {
+        tables: 12,
+        target_bytes: 20_000_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let config = MemoryConfig::u280();
+    let out = heuristic_search(
+        &model,
+        &config,
+        Precision::F32,
+        &HeuristicOptions { group_size: 3, ..Default::default() },
+    )
+    .unwrap();
+    out.plan.validate(&model, &config).unwrap();
+}

@@ -1,0 +1,273 @@
+//! Query arrival processes and SLA accounting.
+//!
+//! Online recommendation serving must answer within "tens of milliseconds"
+//! (§1); CPU engines therefore aggregate queries into batches, trading
+//! latency for throughput, while MicroRec serves item by item (§4.1). This
+//! module generates Poisson arrival streams and computes the waiting time
+//! a batching engine adds — the quantity the paper's latency argument
+//! turns on.
+
+use microrec_memsim::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkloadError;
+
+/// A Poisson arrival process.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    exp: Exp<f64>,
+    rng: StdRng,
+    now: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_sec` mean arrivals per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for a non-positive rate.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Result<Self, WorkloadError> {
+        if rate_per_sec <= 0.0 || !rate_per_sec.is_finite() {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "arrival rate must be positive and finite, got {rate_per_sec}"
+            )));
+        }
+        Ok(PoissonArrivals {
+            exp: Exp::new(rate_per_sec).expect("validated rate"),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// The next arrival instant.
+    pub fn next_arrival(&mut self) -> SimTime {
+        let gap_secs = self.exp.sample(&mut self.rng);
+        self.now += SimTime::from_ns(gap_secs * 1e9);
+        self.now
+    }
+
+    /// The next `n` arrival instants.
+    pub fn take(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+/// Latency percentiles of a set of response times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub mean: SimTime,
+    /// Median (p50).
+    pub p50: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NoSamples`] for an empty slice.
+    pub fn from_samples(samples: &[SimTime]) -> Result<Self, WorkloadError> {
+        if samples.is_empty() {
+            return Err(WorkloadError::NoSamples);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: SimTime = sorted.iter().copied().sum();
+        let pick = |q: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        Ok(LatencyStats {
+            mean: total / sorted.len() as u64,
+            p50: pick(0.5),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Fraction of samples meeting `sla`.
+    #[must_use]
+    pub fn sla_hit_rate(samples: &[SimTime], sla: SimTime) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        samples.iter().filter(|&&s| s <= sla).count() as f64 / samples.len() as f64
+    }
+}
+
+/// Simulates a batching server: queries queue until `batch_size` are
+/// available (or `max_wait` passes), then the whole batch is served in
+/// `service_time`. Returns per-query response times (wait + service).
+///
+/// This is the CPU serving discipline the paper argues against: at batch
+/// 2048 the *aggregation wait alone* dwarfs the SLA.
+#[must_use]
+pub fn simulate_batched_serving(
+    arrivals: &[SimTime],
+    batch_size: usize,
+    max_wait: SimTime,
+    service_time: SimTime,
+) -> Vec<SimTime> {
+    let mut latencies = Vec::with_capacity(arrivals.len());
+    let mut server_free = SimTime::ZERO;
+    let mut i = 0usize;
+    while i < arrivals.len() {
+        let end = (i + batch_size.max(1)).min(arrivals.len());
+        // The batch closes when full or when the first query has waited
+        // max_wait, whichever is earlier.
+        let full_at = arrivals[end - 1];
+        let timeout_at = arrivals[i] + max_wait;
+        let close_at = if end - i == batch_size { full_at.min(timeout_at) } else { timeout_at };
+        // Serve (possibly after the previous batch finishes).
+        let start = close_at.max(server_free);
+        let done = start + service_time;
+        server_free = done;
+        let served_end = if close_at == timeout_at {
+            // Only queries that arrived before the batch closed are in it.
+            let mut e = i;
+            while e < end && arrivals[e] <= close_at {
+                e += 1;
+            }
+            e.max(i + 1)
+        } else {
+            end
+        };
+        for &arr in &arrivals[i..served_end] {
+            latencies.push(done.saturating_sub(arr));
+        }
+        i = served_end;
+    }
+    latencies
+}
+
+/// Simulates item-by-item pipelined serving (MicroRec's discipline): each
+/// query enters the pipeline as soon as the initiation interval allows and
+/// completes `pipeline_latency` later.
+#[must_use]
+pub fn simulate_pipelined_serving(
+    arrivals: &[SimTime],
+    initiation_interval: SimTime,
+    pipeline_latency: SimTime,
+) -> Vec<SimTime> {
+    let mut latencies = Vec::with_capacity(arrivals.len());
+    let mut next_slot = SimTime::ZERO;
+    for &arr in arrivals {
+        let start = arr.max(next_slot);
+        next_slot = start + initiation_interval;
+        let done = start + pipeline_latency;
+        latencies.push(done.saturating_sub(arr));
+    }
+    latencies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut p = PoissonArrivals::new(10_000.0, 3).unwrap();
+        let arrivals = p.take(20_000);
+        let span = arrivals.last().unwrap().as_secs();
+        let rate = arrivals.len() as f64 / span;
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.05, "rate {rate:.0}");
+        // Strictly increasing.
+        for w in arrivals.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn bad_rate_rejected() {
+        assert!(PoissonArrivals::new(0.0, 0).is_err());
+        assert!(PoissonArrivals::new(-5.0, 0).is_err());
+        assert!(PoissonArrivals::new(f64::INFINITY, 0).is_err());
+    }
+
+    #[test]
+    fn latency_stats_ordering() {
+        let samples: Vec<SimTime> = (1..=100).map(|i| SimTime::from_us(f64::from(i))).collect();
+        let stats = LatencyStats::from_samples(&samples).unwrap();
+        assert!(stats.p50 <= stats.p99);
+        assert!(stats.p99 <= stats.max);
+        assert_eq!(stats.max, SimTime::from_us(100.0));
+        assert!((stats.mean.as_us() - 50.5).abs() < 0.01);
+        assert!(LatencyStats::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn sla_hit_rate_counts() {
+        let samples = vec![SimTime::from_ms(1.0), SimTime::from_ms(5.0), SimTime::from_ms(100.0)];
+        let rate = LatencyStats::sla_hit_rate(&samples, SimTime::from_ms(10.0));
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_adds_aggregation_wait() {
+        // 10k QPS, batch 64: the first query of each batch waits for ~63
+        // inter-arrival gaps (~6.3 ms) before service even starts.
+        let mut p = PoissonArrivals::new(10_000.0, 1).unwrap();
+        let arrivals = p.take(2_000);
+        let batched = simulate_batched_serving(
+            &arrivals,
+            64,
+            SimTime::from_ms(50.0),
+            SimTime::from_ms(5.0),
+        );
+        let stats = LatencyStats::from_samples(&batched).unwrap();
+        assert!(stats.mean.as_ms() > 5.0, "mean {} must exceed service time", stats.mean);
+
+        let pipelined = simulate_pipelined_serving(
+            &arrivals,
+            SimTime::from_us(3.4),
+            SimTime::from_us(16.3),
+        );
+        let pstats = LatencyStats::from_samples(&pipelined).unwrap();
+        assert!(
+            pstats.p99.as_ms() < 0.1,
+            "pipelined p99 {} should be microseconds",
+            pstats.p99
+        );
+        assert!(pstats.p99 < stats.p50);
+    }
+
+    #[test]
+    fn batch_timeout_bounds_wait() {
+        // Trickle traffic (100 QPS) with batch 2048: the timeout must close
+        // batches long before they fill.
+        let mut p = PoissonArrivals::new(100.0, 5).unwrap();
+        let arrivals = p.take(300);
+        let lat = simulate_batched_serving(
+            &arrivals,
+            2048,
+            SimTime::from_ms(20.0),
+            SimTime::from_ms(28.0),
+        );
+        assert_eq!(lat.len(), 300);
+        let stats = LatencyStats::from_samples(&lat).unwrap();
+        // Wait <= 20 ms + service 28 ms + queueing.
+        assert!(stats.p50.as_ms() < 120.0, "p50 {}", stats.p50);
+    }
+
+    #[test]
+    fn pipelined_keeps_up_at_rate_below_capacity() {
+        let mut p = PoissonArrivals::new(100_000.0, 9).unwrap();
+        let arrivals = p.take(5_000);
+        // II 3.4 us supports ~294k items/s > 100k offered.
+        let lat = simulate_pipelined_serving(
+            &arrivals,
+            SimTime::from_us(3.4),
+            SimTime::from_us(16.3),
+        );
+        let stats = LatencyStats::from_samples(&lat).unwrap();
+        assert!(stats.p99.as_us() < 200.0, "p99 {}", stats.p99);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error types for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by workload generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generator was configured with invalid parameters.
+    InvalidConfig(String),
+    /// Statistics were requested over an empty sample set.
+    NoSamples,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig(why) => write!(f, "invalid workload config: {why}"),
+            WorkloadError::NoSamples => write!(f, "no latency samples to summarize"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WorkloadError::InvalidConfig("bad rate".into()).to_string().contains("bad rate"));
+        assert!(WorkloadError::NoSamples.to_string().contains("samples"));
+    }
+}

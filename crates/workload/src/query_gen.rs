@@ -1,0 +1,198 @@
+//! Query generation: sparse-feature index sampling.
+//!
+//! Production recommendation traffic is heavily skewed — a few hot users,
+//! items and categories dominate (this is what makes memory-side caching
+//! viable in RecNMP, cited in §6, and what keeps CPU caches thrashing on
+//! the long tail). Queries here sample each table's index from a Zipfian
+//! distribution with configurable skew; `s = 0` recovers uniform traffic.
+
+use microrec_embedding::ModelSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkloadError;
+
+/// Configuration of the query generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryGenConfig {
+    /// Zipf exponent (`0.0` = uniform; production traces are typically
+    /// 0.9–1.2).
+    pub zipf_exponent: f64,
+    /// RNG seed; equal seeds give identical query streams.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig { zipf_exponent: 1.05, seed: 0x4D1C_20EC }
+    }
+}
+
+/// A reproducible stream of queries for one model.
+///
+/// Each query carries `lookups_per_table` indices per table, round-major
+/// (matching [`CpuReferenceEngine::predict`]'s layout).
+///
+/// [`CpuReferenceEngine::predict`]: https://docs.rs/microrec-cpu
+///
+/// # Examples
+///
+/// ```
+/// use microrec_embedding::ModelSpec;
+/// use microrec_workload::{QueryGenConfig, QueryGenerator};
+///
+/// let model = ModelSpec::dlrm_rmc2(8, 16);
+/// let mut generator = QueryGenerator::new(&model, QueryGenConfig::default())?;
+/// let query = generator.next_query();
+/// assert_eq!(query.len(), 8 * 4);
+/// # Ok::<(), microrec_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    rows: Vec<u64>,
+    lookups_per_table: u32,
+    zipf_exponent: f64,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for a negative or
+    /// non-finite Zipf exponent.
+    pub fn new(model: &ModelSpec, config: QueryGenConfig) -> Result<Self, WorkloadError> {
+        if !config.zipf_exponent.is_finite() || config.zipf_exponent < 0.0 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "zipf exponent must be finite and >= 0, got {}",
+                config.zipf_exponent
+            )));
+        }
+        Ok(QueryGenerator {
+            rows: model.tables.iter().map(|t| t.rows).collect(),
+            lookups_per_table: model.lookups_per_table,
+            zipf_exponent: config.zipf_exponent,
+            rng: StdRng::seed_from_u64(config.seed),
+        })
+    }
+
+    /// Samples one index in `[0, rows)`.
+    fn sample_index(&mut self, rows: u64) -> u64 {
+        if rows <= 1 {
+            return 0;
+        }
+        if self.zipf_exponent == 0.0 {
+            return self.rng.gen_range(0..rows);
+        }
+        // Zipf ranks are 1-based and f64-valued; rank 1 (hottest) -> 0.
+        let zipf = Zipf::new(rows, self.zipf_exponent).expect("validated parameters");
+        (zipf.sample(&mut self.rng) as u64).saturating_sub(1).min(rows - 1)
+    }
+
+    /// Generates the next query (round-major index layout).
+    pub fn next_query(&mut self) -> Vec<u64> {
+        let tables = self.rows.len();
+        let mut q = Vec::with_capacity(tables * self.lookups_per_table as usize);
+        for _round in 0..self.lookups_per_table {
+            for t in 0..tables {
+                let rows = self.rows[t];
+                q.push(self.sample_index(rows));
+            }
+        }
+        q
+    }
+
+    /// Generates a batch of `n` queries.
+    pub fn next_batch(&mut self, n: usize) -> Vec<Vec<u64>> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelSpec {
+        ModelSpec::dlrm_rmc2(4, 8)
+    }
+
+    #[test]
+    fn queries_have_correct_shape_and_range() {
+        let m = model();
+        let mut g = QueryGenerator::new(&m, QueryGenConfig::default()).unwrap();
+        for _ in 0..100 {
+            let q = g.next_query();
+            assert_eq!(q.len(), 16);
+            for (i, &idx) in q.iter().enumerate() {
+                let rows = m.tables[i % 4].rows;
+                assert!(idx < rows, "index {idx} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let m = model();
+        let mut a = QueryGenerator::new(&m, QueryGenConfig::default()).unwrap();
+        let mut b = QueryGenerator::new(&m, QueryGenConfig::default()).unwrap();
+        assert_eq!(a.next_batch(10), b.next_batch(10));
+        let mut c =
+            QueryGenerator::new(&m, QueryGenConfig { seed: 9, ..Default::default() }).unwrap();
+        assert_ne!(a.next_batch(10), c.next_batch(10));
+    }
+
+    #[test]
+    fn zipf_skews_toward_hot_indices() {
+        let m = model();
+        let cfg = QueryGenConfig { zipf_exponent: 1.2, seed: 1 };
+        let mut g = QueryGenerator::new(&m, cfg).unwrap();
+        let mut hot = 0usize;
+        let n = 2_000;
+        for _ in 0..n {
+            let q = g.next_query();
+            // Count how often table 0's first lookup hits the top-10 ids.
+            if q[0] < 10 {
+                hot += 1;
+            }
+        }
+        // Under uniform sampling of 500k rows this would be ~0.
+        assert!(hot > n / 10, "only {hot}/{n} hot hits under Zipf");
+    }
+
+    #[test]
+    fn uniform_mode_covers_the_range() {
+        let m = model();
+        let cfg = QueryGenConfig { zipf_exponent: 0.0, seed: 2 };
+        let mut g = QueryGenerator::new(&m, cfg).unwrap();
+        let max = (0..500).map(|_| g.next_query()[0]).max().unwrap();
+        assert!(max > 250_000, "uniform sampling should reach high ids, max {max}");
+    }
+
+    #[test]
+    fn invalid_exponent_rejected() {
+        let m = model();
+        assert!(QueryGenerator::new(
+            &m,
+            QueryGenConfig { zipf_exponent: f64::NAN, seed: 0 }
+        )
+        .is_err());
+        assert!(QueryGenerator::new(
+            &m,
+            QueryGenConfig { zipf_exponent: -1.0, seed: 0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_row_tables_always_index_zero() {
+        let mut m = model();
+        for t in &mut m.tables {
+            t.rows = 1;
+        }
+        let mut g = QueryGenerator::new(&m, QueryGenConfig::default()).unwrap();
+        assert!(g.next_query().iter().all(|&i| i == 0));
+    }
+}

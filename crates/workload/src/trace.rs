@@ -1,0 +1,179 @@
+//! Request traces: queries with arrival times, as one replayable object.
+//!
+//! A trace freezes a workload (for replay across engines, serialization
+//! into fixtures, or splitting across serving tiers) so comparisons are
+//! apples-to-apples: the CPU baseline, the MicroRec engine, and the hybrid
+//! router can all be driven by the *same* trace.
+
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::PoissonArrivals;
+use crate::error::WorkloadError;
+use crate::query_gen::{QueryGenConfig, QueryGenerator};
+
+/// A fixed sequence of timestamped queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    arrivals: Vec<SimTime>,
+    queries: Vec<Vec<u64>>,
+}
+
+impl RequestTrace {
+    /// Builds a trace of `n` Zipf-sampled queries under Poisson arrivals at
+    /// `rate_per_sec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for bad rates or query
+    /// configs.
+    pub fn generate(
+        model: &ModelSpec,
+        rate_per_sec: f64,
+        n: usize,
+        config: QueryGenConfig,
+    ) -> Result<Self, WorkloadError> {
+        let mut arrivals = PoissonArrivals::new(rate_per_sec, config.seed)?;
+        let mut queries = QueryGenerator::new(model, config)?;
+        Ok(RequestTrace { arrivals: arrivals.take(n), queries: queries.next_batch(n) })
+    }
+
+    /// Builds a trace from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] if lengths disagree or
+    /// arrivals are not sorted.
+    pub fn from_parts(
+        arrivals: Vec<SimTime>,
+        queries: Vec<Vec<u64>>,
+    ) -> Result<Self, WorkloadError> {
+        if arrivals.len() != queries.len() {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "{} arrivals vs {} queries",
+                arrivals.len(),
+                queries.len()
+            )));
+        }
+        if arrivals.windows(2).any(|w| w[1] < w[0]) {
+            return Err(WorkloadError::InvalidConfig("arrivals must be sorted".into()));
+        }
+        Ok(RequestTrace { arrivals, queries })
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Arrival instants, sorted ascending.
+    #[must_use]
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// The queries, aligned with [`RequestTrace::arrivals`].
+    #[must_use]
+    pub fn queries(&self) -> &[Vec<u64>] {
+        &self.queries
+    }
+
+    /// Mean offered rate over the trace span, in queries per second.
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        match self.arrivals.last() {
+            Some(last) if !last.is_zero() => self.len() as f64 / last.as_secs(),
+            _ => 0.0,
+        }
+    }
+
+    /// Iterates over `(arrival, query)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &[u64])> {
+        self.arrivals.iter().copied().zip(self.queries.iter().map(Vec::as_slice))
+    }
+
+    /// Splits the trace at request index `at` (prefix keeps `[0, at)`).
+    #[must_use]
+    pub fn split_at(&self, at: usize) -> (RequestTrace, RequestTrace) {
+        let at = at.min(self.len());
+        (
+            RequestTrace {
+                arrivals: self.arrivals[..at].to_vec(),
+                queries: self.queries[..at].to_vec(),
+            },
+            RequestTrace {
+                arrivals: self.arrivals[at..].to_vec(),
+                queries: self.queries[at..].to_vec(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelSpec {
+        ModelSpec::dlrm_rmc2(4, 4)
+    }
+
+    #[test]
+    fn generate_produces_aligned_parts() {
+        let trace =
+            RequestTrace::generate(&model(), 10_000.0, 500, QueryGenConfig::default()).unwrap();
+        assert_eq!(trace.len(), 500);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.arrivals().len(), trace.queries().len());
+        let rate = trace.offered_rate();
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.25, "rate {rate}");
+        for (arr, q) in trace.iter() {
+            assert!(arr > SimTime::ZERO);
+            assert_eq!(q.len(), 16);
+        }
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = RequestTrace::generate(&model(), 1_000.0, 50, QueryGenConfig::default()).unwrap();
+        let b = RequestTrace::generate(&model(), 1_000.0, 50, QueryGenConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let ok = RequestTrace::from_parts(
+            vec![SimTime::from_us(1.0), SimTime::from_us(2.0)],
+            vec![vec![1], vec![2]],
+        );
+        assert!(ok.is_ok());
+        assert!(RequestTrace::from_parts(vec![SimTime::ZERO], vec![]).is_err());
+        assert!(RequestTrace::from_parts(
+            vec![SimTime::from_us(2.0), SimTime::from_us(1.0)],
+            vec![vec![1], vec![2]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn split_preserves_everything() {
+        let trace =
+            RequestTrace::generate(&model(), 5_000.0, 100, QueryGenConfig::default()).unwrap();
+        let (head, tail) = trace.split_at(30);
+        assert_eq!(head.len(), 30);
+        assert_eq!(tail.len(), 70);
+        assert_eq!(head.queries()[29], trace.queries()[29]);
+        assert_eq!(tail.queries()[0], trace.queries()[30]);
+        let (all, none) = trace.split_at(1_000);
+        assert_eq!(all.len(), 100);
+        assert!(none.is_empty());
+        assert_eq!(none.offered_rate(), 0.0);
+    }
+}

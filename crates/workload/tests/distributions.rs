@@ -1,0 +1,106 @@
+//! Statistical sanity of the workload generators.
+
+use microrec_embedding::ModelSpec;
+use microrec_memsim::SimTime;
+use microrec_workload::{
+    simulate_batched_serving, simulate_pipelined_serving, LatencyStats, PoissonArrivals,
+    QueryGenConfig, QueryGenerator,
+};
+
+#[test]
+fn zipf_rank_frequency_is_ordered() {
+    // Rank-1 indices must be sampled more often than rank-10, which beat
+    // rank-100, etc.
+    let model = ModelSpec::dlrm_rmc2(1, 4);
+    let mut gen = QueryGenerator::new(
+        &model,
+        QueryGenConfig { zipf_exponent: 1.0, seed: 31 },
+    )
+    .unwrap();
+    let mut counts = [0usize; 3]; // buckets: [0..10), [10..100), [100..1000)
+    let n = 30_000;
+    for _ in 0..n {
+        let idx = gen.next_query()[0];
+        if idx < 10 {
+            counts[0] += 1;
+        } else if idx < 100 {
+            counts[1] += 1;
+        } else if idx < 1000 {
+            counts[2] += 1;
+        }
+    }
+    // Under Zipf(1), each decade carries roughly equal mass; each bucket
+    // must be populated and the head must not vanish.
+    assert!(counts[0] > n / 20, "head bucket {counts:?}");
+    assert!(counts[1] > n / 20, "mid bucket {counts:?}");
+    assert!(counts[2] > n / 20, "tail bucket {counts:?}");
+}
+
+#[test]
+fn zipf_skew_monotone_in_exponent() {
+    let model = ModelSpec::dlrm_rmc2(1, 4);
+    let mut head_rates = Vec::new();
+    for s in [0.5f64, 0.9, 1.3] {
+        let mut gen =
+            QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: s, seed: 7 }).unwrap();
+        let hits = (0..5_000).filter(|_| gen.next_query()[0] < 10).count();
+        head_rates.push(hits);
+    }
+    assert!(
+        head_rates[0] < head_rates[1] && head_rates[1] < head_rates[2],
+        "head rates {head_rates:?} must grow with skew"
+    );
+}
+
+#[test]
+fn poisson_interarrival_cv_is_near_one() {
+    // Exponential gaps have coefficient of variation 1.
+    let mut p = PoissonArrivals::new(1e6, 13).unwrap();
+    let arrivals = p.take(20_000);
+    let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]).as_ns()).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+}
+
+#[test]
+fn batched_serving_conserves_queries() {
+    let mut p = PoissonArrivals::new(20_000.0, 17).unwrap();
+    let arrivals = p.take(3_333);
+    for batch in [1usize, 7, 64, 1000] {
+        let lat = simulate_batched_serving(
+            &arrivals,
+            batch,
+            SimTime::from_ms(5.0),
+            SimTime::from_ms(2.0),
+        );
+        assert_eq!(lat.len(), arrivals.len(), "batch {batch} lost queries");
+        assert!(lat.iter().all(|l| *l >= SimTime::from_ms(2.0)), "service floor");
+    }
+}
+
+#[test]
+fn pipelined_latency_floor_is_pipeline_latency() {
+    let mut p = PoissonArrivals::new(1_000.0, 23).unwrap();
+    let arrivals = p.take(500);
+    let lat = simulate_pipelined_serving(
+        &arrivals,
+        SimTime::from_us(3.0),
+        SimTime::from_us(17.0),
+    );
+    let stats = LatencyStats::from_samples(&lat).unwrap();
+    assert_eq!(stats.p50, SimTime::from_us(17.0), "light load: everyone sees the floor");
+}
+
+#[test]
+fn batch_one_equals_pipelined_with_service_ii() {
+    // Degenerate check: batch size 1 with service time S behaves like a
+    // pipeline whose fill and II are both S.
+    let mut p = PoissonArrivals::new(100.0, 29).unwrap();
+    let arrivals = p.take(200);
+    let s = SimTime::from_ms(1.0);
+    let a = simulate_batched_serving(&arrivals, 1, SimTime::from_ms(1000.0), s);
+    let b = simulate_pipelined_serving(&arrivals, s, s);
+    assert_eq!(a, b);
+}

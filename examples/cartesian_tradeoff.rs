@@ -1,0 +1,49 @@
+//! Cartesian trade-off sweep: how lookup latency and storage overhead move
+//! as more table pairs are merged (the §3.3 trade-off behind Table 3).
+//!
+//! Run with: `cargo run --example cartesian_tradeoff`
+
+use microrec_embedding::{ModelSpec, Precision};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelSpec::small_production();
+    let config = MemoryConfig::u280();
+    let base_bytes = model.total_bytes(Precision::F32) as f64;
+
+    println!("{}: lookup latency vs merged pairs\n", model.name);
+    println!("{:>6} {:>10} {:>8} {:>10} {:>9}", "pairs", "latency", "rounds", "storage", "tables");
+    let mut best: Option<(usize, f64)> = None;
+    for max_candidates in (0..=20).step_by(2) {
+        let out = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions {
+                max_candidates: Some(max_candidates),
+                allow_merge: max_candidates > 0,
+                ..Default::default()
+            },
+        )?;
+        let pairs = out.plan.merge.groups.len();
+        let storage_pct = out.cost.storage_bytes as f64 / base_bytes * 100.0;
+        println!(
+            "{:>6} {:>10} {:>8} {:>9.1}% {:>9}",
+            pairs,
+            out.cost.lookup_latency.to_string(),
+            out.cost.dram_rounds,
+            storage_pct,
+            out.plan.num_tables()
+        );
+        let lat = out.cost.lookup_latency.as_ns();
+        if best.is_none_or(|(_, b)| lat < b) {
+            best = Some((pairs, lat));
+        }
+    }
+    if let Some((pairs, lat)) = best {
+        println!("\nknee: {pairs} merged pairs reach {lat:.0} ns — more merging only adds");
+        println!("storage, fewer leaves a second DRAM round (the paper's 5-pair optimum).");
+    }
+    Ok(())
+}

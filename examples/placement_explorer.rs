@@ -1,0 +1,82 @@
+//! Placement explorer: watch Algorithm 1 work — compare no-merge, the
+//! heuristic, and brute force on a downscaled model, then print the chosen
+//! bank map for the production model.
+//!
+//! Run with: `cargo run --example placement_explorer`
+
+use microrec_embedding::{ModelSpec, Precision, TableSpec};
+use microrec_memsim::{MemoryConfig, MemoryKind};
+use microrec_placement::{
+    brute_force_search, heuristic_search, optimality_gap, AllocStrategy, HeuristicOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A downscaled instance small enough for exhaustive search: 8 tables,
+    // 3 DRAM channels.
+    let toy = ModelSpec::new(
+        "toy",
+        (0..8)
+            .map(|i| TableSpec::new(format!("t{i}"), 150 + 80 * i as u64, 4))
+            .collect(),
+        vec![64],
+        1,
+    );
+    let mut cramped = MemoryConfig::fpga_without_hbm(3);
+    cramped.banks.retain(|b| b.id.kind.is_dram());
+
+    let none = heuristic_search(
+        &toy,
+        &cramped,
+        Precision::F32,
+        &HeuristicOptions { allow_merge: false, ..Default::default() },
+    )?;
+    let heur = heuristic_search(&toy, &cramped, Precision::F32, &HeuristicOptions::default())?;
+    let brute = brute_force_search(&toy, &cramped, Precision::F32, AllocStrategy::RoundRobin)?;
+    println!("downscaled instance (8 tables on 3 channels):");
+    println!(
+        "  no merging : {} ({} rounds)",
+        none.cost.lookup_latency, none.cost.dram_rounds
+    );
+    println!(
+        "  heuristic  : {} ({} rounds, {} pairs, {} solutions tried)",
+        heur.cost.lookup_latency,
+        heur.cost.dram_rounds,
+        heur.plan.merge.groups.len(),
+        heur.evaluated
+    );
+    println!(
+        "  brute force: {} ({} solutions tried) -> heuristic gap {:.3}x",
+        brute.cost.lookup_latency,
+        brute.evaluated,
+        optimality_gap(&heur.cost, &brute.cost)
+    );
+
+    // The real thing: the small production model on the U280.
+    let model = ModelSpec::small_production();
+    let out =
+        heuristic_search(&model, &MemoryConfig::u280(), Precision::F32, &Default::default())?;
+    println!("\n{} on the U280:", model.name);
+    println!(
+        "  {} physical tables, lookup {}, storage {:.2}% of baseline",
+        out.plan.num_tables(),
+        out.cost.lookup_latency,
+        out.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64 * 100.0
+    );
+    println!("  merged pairs:");
+    for group in &out.plan.merge.groups {
+        let names: Vec<&str> =
+            group.iter().map(|&i| model.tables[i].name.as_str()).collect();
+        println!("    {}", names.join(" x "));
+    }
+    for kind in [MemoryKind::Bram, MemoryKind::Ddr] {
+        let tables: Vec<&str> = out
+            .plan
+            .placed
+            .iter()
+            .filter(|t| t.banks[0].kind == kind)
+            .map(|t| t.spec.name.as_str())
+            .collect();
+        println!("  {kind}: {} tables: {}", tables.len(), tables.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Scaling study: how MicroRec's lookup latency, DRAM rounds, and the
+//! Cartesian-product benefit move as the model's table count grows — on
+//! synthetic production-like model families (§2.2's size skew at every
+//! scale).
+//!
+//! Run with: `cargo run --example scaling_study`
+
+use microrec_embedding::{synthetic_model, Precision, SyntheticModelConfig};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::u280();
+    println!(
+        "{:>7} {:>9} {:>7} {:>11} {:>7} {:>9} {:>9}",
+        "tables", "no-merge", "rounds", "cartesian", "rounds", "benefit", "overhead"
+    );
+    for tables in [20usize, 34, 47, 68, 98, 140, 200] {
+        let model = synthetic_model(&SyntheticModelConfig {
+            name: format!("scale{tables}"),
+            tables,
+            target_bytes: 2_000_000_000,
+            hidden: vec![1024, 512, 256],
+            lookups_per_table: 1,
+            seed: 42,
+        })?;
+        let base = heuristic_search(
+            &model,
+            &config,
+            Precision::F32,
+            &HeuristicOptions { allow_merge: false, ..Default::default() },
+        )?;
+        let merged =
+            heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())?;
+        let benefit = base.cost.lookup_latency.as_ns() / merged.cost.lookup_latency.as_ns();
+        let overhead = (merged.cost.storage_bytes as f64
+            / model.total_bytes(Precision::F32) as f64
+            - 1.0)
+            * 100.0;
+        println!(
+            "{:>7} {:>7.0}ns {:>7} {:>9.0}ns {:>7} {:>8.2}x {:>8.2}%",
+            tables,
+            base.cost.lookup_latency.as_ns(),
+            base.cost.dram_rounds,
+            merged.cost.lookup_latency.as_ns(),
+            merged.cost.dram_rounds,
+            benefit,
+            overhead
+        );
+    }
+    println!("\nReading: below 34 tables (the channel count) merging buys nothing —");
+    println!("every table already has its own channel. The benefit is largest just");
+    println!("past a round boundary (47 tables: 1.7x, eliminating a nearly-empty");
+    println!("second round) and vanishes at exact multiples of 34 (68 tables: a");
+    println!("whole round of pairs would be needed). Storage overhead rises as");
+    println!("merging digs deeper into the size distribution — the §3.3 trade-off");
+    println!("at every scale.");
+    Ok(())
+}

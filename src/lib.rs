@@ -1,0 +1,16 @@
+//! # microrec-repro
+//!
+//! Umbrella crate of the MicroRec reproduction (Jiang et al., *MicroRec:
+//! Efficient Recommendation Inference by Hardware and Data Structure
+//! Solutions*, MLSys 2021). Re-exports every sub-crate under one roof so
+//! the examples and integration tests read naturally; library users can
+//! equally depend on the individual `microrec-*` crates.
+
+pub use microrec_accel as accel;
+pub use microrec_core as core_engine;
+pub use microrec_cpu as cpu;
+pub use microrec_dnn as dnn;
+pub use microrec_embedding as embedding;
+pub use microrec_memsim as memsim;
+pub use microrec_placement as placement;
+pub use microrec_workload as workload;

@@ -1,0 +1,91 @@
+//! End-to-end tests of the DLRM-style bottom-MLP model family (Figure 1's
+//! dense branch — Facebook's variant, which the paper's own production
+//! models omit but its benchmark comparisons reference).
+
+use microrec_core::MicroRec;
+use microrec_cpu::CpuReferenceEngine;
+use microrec_embedding::{synthetic_dense_features, ModelSpec, Precision};
+use microrec_workload::{QueryGenConfig, QueryGenerator};
+
+#[test]
+fn spec_shape_accounting() {
+    let model = ModelSpec::dlrm_with_bottom(8, 16);
+    model.validate().unwrap();
+    assert!(model.has_bottom_mlp());
+    assert_eq!(model.dense_output_dim(), 64);
+    // 8 tables x dim 16 x 4 lookups + bottom output 64.
+    assert_eq!(model.feature_len(), 8 * 16 * 4 + 64);
+    // Bottom MLP flops are counted.
+    let plain = ModelSpec::dlrm_rmc2(8, 16);
+    assert!(model.flops_per_item() > plain.flops_per_item());
+}
+
+#[test]
+fn validation_rejects_bottom_without_dense() {
+    let mut model = ModelSpec::dlrm_with_bottom(4, 8);
+    model.dense_dim = 0;
+    assert!(model.validate().is_err());
+}
+
+#[test]
+fn dense_features_are_deterministic_and_query_sensitive() {
+    let q1 = vec![1u64, 2, 3];
+    let q2 = vec![1u64, 2, 4];
+    assert_eq!(synthetic_dense_features(&q1, 13), synthetic_dense_features(&q1, 13));
+    assert_ne!(synthetic_dense_features(&q1, 13), synthetic_dense_features(&q2, 13));
+    assert_eq!(synthetic_dense_features(&q1, 13).len(), 13);
+    for v in synthetic_dense_features(&q1, 13) {
+        assert!((-1.0..1.0).contains(&v));
+    }
+}
+
+#[test]
+fn engines_agree_with_bottom_mlp() {
+    let model = ModelSpec::dlrm_with_bottom(6, 8);
+    let cpu = CpuReferenceEngine::build(&model, 77).unwrap();
+    let mut fpga = MicroRec::builder(model.clone())
+        .precision(Precision::Fixed32)
+        .seed(77)
+        .build()
+        .unwrap();
+    let mut gen = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
+    for q in gen.next_batch(15) {
+        let reference = cpu.predict(&q).unwrap();
+        let quantized = fpga.predict(&q).unwrap();
+        assert!(
+            (reference - quantized).abs() < 2e-2,
+            "bottom-MLP engines disagree: {quantized} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn bottom_stage_appears_in_pipeline_without_hurting_throughput() {
+    let model = ModelSpec::dlrm_with_bottom(8, 16);
+    let engine = MicroRec::builder(model.clone()).seed(3).build().unwrap();
+    let names: Vec<&str> =
+        engine.pipeline().stages().iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"bottom.compute"), "{names:?}");
+    // The (512,256,64) bottom stack over 13 features is tiny next to the
+    // top MLP: it must not become the initiation interval.
+    assert!(engine.pipeline().bottleneck() != "bottom.compute");
+
+    let plain = MicroRec::builder(ModelSpec::dlrm_rmc2(8, 16)).seed(3).build().unwrap();
+    assert!(
+        engine.latency() > plain.latency(),
+        "bottom stage adds latency"
+    );
+}
+
+#[test]
+fn dense_path_changes_predictions() {
+    // Two queries with identical sparse rows except one index must differ
+    // through the dense path as well (dense features derive from the whole
+    // query).
+    let model = ModelSpec::dlrm_with_bottom(4, 8);
+    let cpu = CpuReferenceEngine::build(&model, 5).unwrap();
+    let q1 = vec![10u64; 16];
+    let mut q2 = q1.clone();
+    q2[15] = 11;
+    assert_ne!(cpu.predict(&q1).unwrap(), cpu.predict(&q2).unwrap());
+}

@@ -1,0 +1,92 @@
+//! Serde round-trip tests: specs, plans, and reports survive JSON
+//! serialization unchanged (the CLI's `--json` output and any downstream
+//! tooling depend on this).
+
+use microrec_embedding::{MergePlan, ModelSpec, Precision, TableSpec};
+use microrec_memsim::{BankId, MemoryConfig, MemoryKind, SimTime};
+use microrec_placement::{allocate, Plan};
+
+#[test]
+fn model_specs_round_trip() {
+    for model in [
+        ModelSpec::small_production(),
+        ModelSpec::large_production(),
+        ModelSpec::dlrm_rmc2(8, 16),
+        ModelSpec::dlrm_with_bottom(8, 16),
+    ] {
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}
+
+#[test]
+fn old_specs_without_bottom_field_still_parse() {
+    // `bottom_hidden` was added later with #[serde(default)]: JSON written
+    // before the field existed must still load.
+    let json = r#"{
+        "name": "legacy",
+        "tables": [{"name": "t0", "rows": 100, "dim": 4}],
+        "dense_dim": 0,
+        "hidden": [16],
+        "lookups_per_table": 1
+    }"#;
+    let model: ModelSpec = serde_json::from_str(json).unwrap();
+    assert!(!model.has_bottom_mlp());
+    model.validate().unwrap();
+}
+
+#[test]
+fn plans_round_trip_and_stay_valid() {
+    let model = ModelSpec::new(
+        "rt",
+        (0..6).map(|i| TableSpec::new(format!("t{i}"), 500 + i as u64, 8)).collect(),
+        vec![16],
+        1,
+    );
+    let config = MemoryConfig::u280();
+    let plan = allocate(
+        &model,
+        &MergePlan::pairs(&[(0, 1)]),
+        &config,
+        Precision::F32,
+    )
+    .unwrap();
+    let json = serde_json::to_string_pretty(&plan).unwrap();
+    let back: Plan = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+    back.validate(&model, &config).unwrap();
+    // Costs agree after the round trip.
+    assert_eq!(plan.cost(&config, 1), back.cost(&config, 1));
+}
+
+#[test]
+fn memory_config_round_trips() {
+    for config in [
+        MemoryConfig::u280(),
+        MemoryConfig::cpu_server(),
+        MemoryConfig::fpga_without_hbm(2),
+    ] {
+        let json = serde_json::to_string(&config).unwrap();
+        let back: MemoryConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}
+
+#[test]
+fn simtime_serializes_as_integer_picoseconds() {
+    let t = SimTime::from_ns(123.456);
+    let json = serde_json::to_string(&t).unwrap();
+    assert_eq!(json, "123456");
+    let back: SimTime = serde_json::from_str(&json).unwrap();
+    assert_eq!(t, back);
+}
+
+#[test]
+fn bank_ids_are_stable_identifiers() {
+    let id = BankId::new(MemoryKind::Hbm, 31);
+    let json = serde_json::to_string(&id).unwrap();
+    let back: BankId = serde_json::from_str(&json).unwrap();
+    assert_eq!(id, back);
+    assert!(json.contains("Hbm"), "{json}");
+}
