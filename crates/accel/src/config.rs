@@ -10,14 +10,13 @@
 //! latency figure in Table 2.
 
 use microrec_embedding::{ModelSpec, Precision};
-use serde::{Deserialize, Serialize};
 
 /// Width (elements per cycle) of the feature-broadcast and result-gather
 /// pipeline sub-stages.
 pub const STREAM_WIDTH: u32 = 4;
 
 /// Configuration of the FPGA accelerator instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccelConfig {
     /// Kernel clock in Hz (Table 6: 120–140 MHz).
     pub clock_hz: u64,

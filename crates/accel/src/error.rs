@@ -19,10 +19,9 @@ pub enum AccelError {
 impl fmt::Display for AccelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AccelError::ConfigMismatch { expected, actual } => write!(
-                f,
-                "configuration provides {actual} PE groups for {expected} hidden layers"
-            ),
+            AccelError::ConfigMismatch { expected, actual } => {
+                write!(f, "configuration provides {actual} PE groups for {expected} hidden layers")
+            }
         }
     }
 }

@@ -18,12 +18,11 @@
 //! and diverges from it, correctly, when stage times vary.
 
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::pipeline::Pipeline;
 
 /// Result of one pipeline flow simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
     /// Completion time of each item (absolute).
     pub completions: Vec<SimTime>,
@@ -91,10 +90,7 @@ impl FlowSim {
     /// every stage (the paper uses BRAM FIFOs; 2 is a typical HLS depth).
     #[must_use]
     pub fn new(pipeline: &Pipeline, fifo_capacity: usize) -> Self {
-        FlowSim {
-            stage_times: pipeline.stages().iter().map(|s| s.time).collect(),
-            fifo_capacity,
-        }
+        FlowSim { stage_times: pipeline.stages().iter().map(|s| s.time).collect(), fifo_capacity }
     }
 
     /// Runs `n` items arriving at the given times (must be sorted
@@ -127,8 +123,7 @@ impl FlowSim {
         for i in 0..n {
             for stage in 0..k {
                 let ready = if stage == 0 { arrivals[i] } else { departures[i][stage - 1] };
-                let stage_free =
-                    if i == 0 { SimTime::ZERO } else { departures[i - 1][stage] };
+                let stage_free = if i == 0 { SimTime::ZERO } else { departures[i - 1][stage] };
                 let mut depart = ready.max(stage_free) + stage_time(i, stage);
                 // Blocking after service: cannot vacate stage `stage` until
                 // item i-B-1 has left stage `stage+1`, freeing a FIFO slot.
@@ -139,11 +134,8 @@ impl FlowSim {
             }
         }
         let completions: Vec<SimTime> = departures.iter().map(|d| d[k - 1]).collect();
-        let latencies = completions
-            .iter()
-            .zip(arrivals)
-            .map(|(&c, &a)| c.saturating_sub(a))
-            .collect();
+        let latencies =
+            completions.iter().zip(arrivals).map(|(&c, &a)| c.saturating_sub(a)).collect();
         FlowReport { completions, latencies }
     }
 

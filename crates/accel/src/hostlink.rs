@@ -12,7 +12,6 @@
 
 use microrec_embedding::ModelSpec;
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::pipeline::{Pipeline, Stage};
 
@@ -30,7 +29,7 @@ use crate::pipeline::{Pipeline, Stage};
 /// assert_eq!(HostLink::item_bytes(&model), 188);
 /// assert!(link.stage_time(&model).as_ns() < 100.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostLink {
     /// Sustained bandwidth in bytes per second.
     pub bandwidth: f64,
@@ -44,11 +43,7 @@ impl HostLink {
     /// PCIe Gen3 x16 as on the U280: ~12 GB/s sustained, ~1 µs DMA setup.
     #[must_use]
     pub fn pcie_gen3_x16() -> Self {
-        HostLink {
-            bandwidth: 12.0e9,
-            setup: SimTime::from_us(1.0),
-            items_per_transfer: 64,
-        }
+        HostLink { bandwidth: 12.0e9, setup: SimTime::from_us(1.0), items_per_transfer: 64 }
     }
 
     /// Input payload bytes of one inference item: one 4-byte index per
@@ -71,10 +66,8 @@ impl HostLink {
     /// A copy of `pipeline` with the host-link stage prepended.
     #[must_use]
     pub fn attach(&self, pipeline: &Pipeline, model: &ModelSpec) -> Pipeline {
-        let mut stages = vec![Stage {
-            name: "host.stream".to_string(),
-            time: self.stage_time(model),
-        }];
+        let mut stages =
+            vec![Stage { name: "host.stream".to_string(), time: self.stage_time(model) }];
         stages.extend(pipeline.stages().iter().cloned());
         Pipeline::from_stages(stages, pipeline.clock_hz())
     }

@@ -12,13 +12,12 @@
 
 use microrec_embedding::ModelSpec;
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::config::{AccelConfig, STREAM_WIDTH};
 use crate::error::AccelError;
 
 /// One named pipeline stage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// Human-readable stage name, e.g. `"fc1.compute"`.
     pub name: String,
@@ -43,7 +42,7 @@ pub struct Stage {
 /// assert!(pipe.throughput_items_per_sec() > 2e5);
 /// # Ok::<(), microrec_accel::AccelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     stages: Vec<Stage>,
     clock_hz: u64,
@@ -155,11 +154,7 @@ impl Pipeline {
     /// Name of the bottleneck stage.
     #[must_use]
     pub fn bottleneck(&self) -> &str {
-        self.stages
-            .iter()
-            .max_by_key(|s| s.time)
-            .map(|s| s.name.as_str())
-            .unwrap_or("")
+        self.stages.iter().max_by_key(|s| s.time).map(|s| s.name.as_str()).unwrap_or("")
     }
 
     /// Steady-state throughput in items per second.
@@ -191,10 +186,7 @@ impl Pipeline {
         if ii.is_zero() {
             return self.stages.iter().map(|s| (s.name.clone(), 0.0)).collect();
         }
-        self.stages
-            .iter()
-            .map(|s| (s.name.clone(), s.time.as_ns() / ii.as_ns()))
-            .collect()
+        self.stages.iter().map(|s| (s.name.clone(), s.time.as_ns() / ii.as_ns())).collect()
     }
 
     /// A copy of this pipeline with the lookup stage repeated `rounds`
@@ -233,7 +225,11 @@ mod tests {
     #[track_caller]
     fn assert_close(actual: f64, paper: f64, tol: f64, what: &str) {
         let err = (actual - paper).abs() / paper;
-        assert!(err <= tol, "{what}: model {actual:.3e} vs paper {paper:.3e} ({:.1}%)", err * 100.0);
+        assert!(
+            err <= tol,
+            "{what}: model {actual:.3e} vs paper {paper:.3e} ({:.1}%)",
+            err * 100.0
+        );
     }
 
     #[test]

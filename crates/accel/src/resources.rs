@@ -8,13 +8,12 @@
 //! so design-space exploration (more PEs vs. clock) stays resource-aware.
 
 use microrec_embedding::{ModelSpec, Precision};
-use serde::{Deserialize, Serialize};
 
 use crate::config::AccelConfig;
 
 /// U280 totals per resource (from the device data sheet; the percentages
 /// in Table 6 resolve against these).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceCapacity {
     /// 18 Kbit BRAM slices.
     pub bram_18k: u32,
@@ -33,7 +32,7 @@ pub const U280_CAPACITY: DeviceCapacity =
     DeviceCapacity { bram_18k: 2016, dsp: 9024, ff: 2_607_360, lut: 1_303_680, uram: 960 };
 
 /// Estimated resource usage of one accelerator instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceUsage {
     /// 18 Kbit BRAM slices.
     pub bram_18k: u32,
@@ -72,7 +71,7 @@ impl ResourceUsage {
 }
 
 /// Fractional utilization per resource.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceUtilization {
     /// BRAM fraction used.
     pub bram_18k: f64,
@@ -95,7 +94,7 @@ impl ResourceUtilization {
 }
 
 /// Per-PE and base coefficients for one precision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Coefficients {
     bram_per_pe: f64,
     dsp_per_pe: f64,
@@ -171,10 +170,42 @@ mod tests {
     fn matches_paper_table6() {
         // (model, precision, bram, dsp, ff, lut, uram)
         let cases = [
-            (ModelSpec::small_production(), Precision::Fixed16, 1_566, 4_625, 683_641, 485_323, 642),
-            (ModelSpec::small_production(), Precision::Fixed32, 1_657, 5_193, 764_067, 568_864, 770),
-            (ModelSpec::large_production(), Precision::Fixed16, 1_566, 4_625, 691_042, 514_517, 642),
-            (ModelSpec::large_production(), Precision::Fixed32, 1_721, 5_193, 777_527, 584_220, 770),
+            (
+                ModelSpec::small_production(),
+                Precision::Fixed16,
+                1_566,
+                4_625,
+                683_641,
+                485_323,
+                642,
+            ),
+            (
+                ModelSpec::small_production(),
+                Precision::Fixed32,
+                1_657,
+                5_193,
+                764_067,
+                568_864,
+                770,
+            ),
+            (
+                ModelSpec::large_production(),
+                Precision::Fixed16,
+                1_566,
+                4_625,
+                691_042,
+                514_517,
+                642,
+            ),
+            (
+                ModelSpec::large_production(),
+                Precision::Fixed32,
+                1_721,
+                5_193,
+                777_527,
+                584_220,
+                770,
+            ),
         ];
         for (model, precision, bram, dsp, ff, lut, uram) in cases {
             let cfg = AccelConfig::for_model(&model, precision);

@@ -1,8 +1,7 @@
 //! The event-driven flow simulator against the analytic pipeline model,
-//! on randomized stage configurations.
+//! on randomized stage configurations (seeded RNG, reproducible).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use microrec_rng::Rng;
 
 use microrec_accel::{AccelConfig, FlowSim, Pipeline};
 use microrec_embedding::{ModelSpec, Precision, TableSpec};
@@ -27,54 +26,59 @@ fn build_pipeline(feat: u32, h1: u32, h2: u32, lookup_ns: f64) -> Pipeline {
     Pipeline::build(&model, &cfg, SimTime::from_ns(lookup_ns)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Simulation and analysis agree exactly for deterministic stages.
-    #[test]
-    fn flow_matches_analytic(
-        feat in 4u32..256,
-        h1 in 8u32..512,
-        h2 in 8u32..512,
-        lookup_ns in 1.0f64..5_000.0,
-        n in 1usize..120,
-        fifo in 1usize..8,
-    ) {
+/// Simulation and analysis agree exactly for deterministic stages.
+#[test]
+fn flow_matches_analytic() {
+    let mut rng = Rng::seed_from_u64(0xF10A);
+    for _ in 0..48 {
+        let feat = rng.gen_range_u64(4, 256) as u32;
+        let h1 = rng.gen_range_u64(8, 512) as u32;
+        let h2 = rng.gen_range_u64(8, 512) as u32;
+        let lookup_ns = rng.gen_range_f64(1.0, 5_000.0);
+        let n = rng.gen_range_usize(1, 120);
+        let fifo = rng.gen_range_usize(1, 8);
         let p = build_pipeline(feat, h1, h2, lookup_ns);
         let sim = FlowSim::new(&p, fifo);
         let report = sim.run_saturated(n);
-        prop_assert_eq!(report.completions[0], p.latency());
-        prop_assert_eq!(report.makespan(), p.batch_latency(n as u64));
+        assert_eq!(report.completions[0], p.latency());
+        assert_eq!(report.makespan(), p.batch_latency(n as u64));
     }
+}
 
-    /// Latencies are monotone in queue position under saturation.
-    #[test]
-    fn saturated_latency_monotone(n in 2usize..60) {
-        let p = build_pipeline(64, 128, 64, 400.0);
+/// Latencies are monotone in queue position under saturation.
+#[test]
+fn saturated_latency_monotone() {
+    let mut rng = Rng::seed_from_u64(0x5A70);
+    let p = build_pipeline(64, 128, 64, 400.0);
+    for _ in 0..16 {
+        let n = rng.gen_range_usize(2, 60);
         let report = FlowSim::new(&p, 2).run_saturated(n);
         for w in report.latencies.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
     }
+}
 
-    /// Arrival jitter never reduces a completion below the saturated
-    /// schedule (work conservation).
-    #[test]
-    fn jittered_arrivals_complete_no_earlier(gaps in vec(0u64..10_000, 1..60)) {
-        let p = build_pipeline(64, 128, 64, 400.0);
-        let sim = FlowSim::new(&p, 2);
+/// Arrival jitter never reduces a completion below the saturated schedule
+/// (work conservation).
+#[test]
+fn jittered_arrivals_complete_no_earlier() {
+    let mut rng = Rng::seed_from_u64(0x717E);
+    let p = build_pipeline(64, 128, 64, 400.0);
+    let sim = FlowSim::new(&p, 2);
+    for _ in 0..24 {
+        let count = rng.gen_range_usize(1, 60);
         let mut t = SimTime::ZERO;
-        let arrivals: Vec<SimTime> = gaps
-            .iter()
-            .map(|&g| {
-                t += SimTime::from_ps(g);
+        let arrivals: Vec<SimTime> = (0..count)
+            .map(|_| {
+                t += SimTime::from_ps(rng.gen_range_u64(0, 10_000));
                 t
             })
             .collect();
         let jittered = sim.run(&arrivals);
         let saturated = sim.run_saturated(arrivals.len());
         for (j, s) in jittered.completions.iter().zip(&saturated.completions) {
-            prop_assert!(j >= s);
+            assert!(j >= s);
         }
     }
 }
@@ -86,8 +90,7 @@ fn flow_reproduces_figure7_knee() {
     let model = ModelSpec::small_production();
     let cfg = AccelConfig::for_model(&model, Precision::Fixed16);
     let base = Pipeline::build(&model, &cfg, SimTime::from_ns(485.0)).unwrap();
-    let base_tp =
-        FlowSim::new(&base, 2).run_saturated(300).throughput_items_per_sec();
+    let base_tp = FlowSim::new(&base, 2).run_saturated(300).throughput_items_per_sec();
     let mut knee = 0;
     for rounds in 1..=12u32 {
         let p = base.with_lookup_rounds(rounds);

@@ -2,10 +2,8 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use microrec_embedding::cartesian::{
-    materialize_product, merged_row_index, unmerged_row_indices,
-};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_embedding::cartesian::{materialize_product, merged_row_index, unmerged_row_indices};
 use microrec_embedding::{EmbeddingTable, TableSpec};
 
 fn bench_index_math(c: &mut Criterion) {

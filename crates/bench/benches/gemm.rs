@@ -2,8 +2,10 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use microrec_dnn::{gemm_blocked, gemm_flops, gemm_naive, gemv, Matrix, Q16, Q32};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_dnn::{
+    gemm_blocked, gemm_flops, gemm_naive, gemm_packed, gemv, Matrix, PackedB, Q16, Q32,
+};
 
 fn matrices(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
     let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) as f32 * 0.01).sin() * 0.5);
@@ -20,6 +22,13 @@ fn bench_gemm(c: &mut Criterion) {
     let (a, b) = matrices(m, k, n);
     group.bench_function("blocked_64x1024x512", |bench| {
         bench.iter(|| gemm_blocked(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.throughput(Throughput::Elements(gemm_flops(m, k, n)));
+    let packed: PackedB<f32> = PackedB::pack(&b);
+    let mut out = vec![0.0f32; m * n];
+    group.bench_function("packed_64x1024x512", |bench| {
+        bench
+            .iter(|| gemm_packed(black_box(a.as_slice()), m, black_box(&packed), &mut out).unwrap())
     });
     let (a2, b2) = matrices(16, 256, 256);
     group.throughput(Throughput::Elements(gemm_flops(16, 256, 256)));

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use microrec_core::MicroRec;
 use microrec_cpu::CpuReferenceEngine;
 use microrec_embedding::{ModelSpec, Precision};
@@ -12,11 +12,8 @@ use microrec_workload::{QueryGenConfig, QueryGenerator};
 fn bench_inference(c: &mut Criterion) {
     let model = ModelSpec::dlrm_rmc2(8, 16);
     let cpu = CpuReferenceEngine::build(&model, 3).unwrap();
-    let mut fpga = MicroRec::builder(model.clone())
-        .precision(Precision::Fixed16)
-        .seed(3)
-        .build()
-        .unwrap();
+    let mut fpga =
+        MicroRec::builder(model.clone()).precision(Precision::Fixed16).seed(3).build().unwrap();
     let mut gen = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
     let query = gen.next_query();
     let batch = gen.next_batch(64);

@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use microrec_embedding::{Catalog, MergePlan, ModelSpec};
-use microrec_memsim::{HybridMemory, MemoryConfig, ReadRequest, BankId, MemoryKind};
+use microrec_memsim::{BankId, HybridMemory, MemoryConfig, MemoryKind, ReadRequest};
 
 fn bench_catalog(c: &mut Criterion) {
     let model = ModelSpec::small_production();
@@ -32,9 +32,8 @@ fn bench_catalog(c: &mut Criterion) {
 
 fn bench_memsim(c: &mut Criterion) {
     let mut mem = HybridMemory::new(MemoryConfig::u280());
-    let requests: Vec<ReadRequest> = (0..32)
-        .map(|i| ReadRequest::new(BankId::new(MemoryKind::Hbm, i), 64))
-        .collect();
+    let requests: Vec<ReadRequest> =
+        (0..32).map(|i| ReadRequest::new(BankId::new(MemoryKind::Hbm, i), 64)).collect();
     let mut group = c.benchmark_group("memsim");
     group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
     group.throughput(Throughput::Elements(32));

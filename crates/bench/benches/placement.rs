@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use microrec_embedding::{ModelSpec, Precision, TableSpec};
 use microrec_memsim::MemoryConfig;
 use microrec_placement::{

@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use microrec_accel::{AccelConfig, FlowSim, Pipeline};
+use microrec_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use microrec_cpu::{CpuReferenceEngine, OpGraph};
 use microrec_dnn::QuantizedMlp;
 use microrec_embedding::{ModelSpec, Precision};
@@ -37,9 +37,7 @@ fn bench_quantized_mlp(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantized_mlp");
     group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
     group.throughput(Throughput::Elements(1));
-    group.bench_function("int8_forward", |b| {
-        b.iter(|| q8.predict_ctr(black_box(&x)).unwrap())
-    });
+    group.bench_function("int8_forward", |b| b.iter(|| q8.predict_ctr(black_box(&x)).unwrap()));
     group.bench_function("f32_forward", |b| {
         b.iter(|| engine.mlp().predict_ctr(black_box(&x)).unwrap())
     });
@@ -85,11 +83,5 @@ fn bench_entry_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_flow_sim,
-    bench_quantized_mlp,
-    bench_opgraph,
-    bench_entry_cache
-);
+criterion_group!(benches, bench_flow_sim, bench_quantized_mlp, bench_opgraph, bench_entry_cache);
 criterion_main!(benches);

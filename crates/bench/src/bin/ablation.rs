@@ -36,8 +36,7 @@ fn main() {
                     out.cost.dram_rounds.to_string(),
                     format!(
                         "{:.2}%",
-                        (out.cost.storage_bytes as f64
-                            / model.total_bytes(Precision::F32) as f64
+                        (out.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64
                             - 1.0)
                             * 100.0
                     ),
@@ -58,9 +57,7 @@ fn main() {
     // 2. Heuristic vs brute force on a downscaled instance.
     let toy = ModelSpec::new(
         "downscaled",
-        (0..9)
-            .map(|i| TableSpec::new(format!("t{i}"), 120 + 60 * i as u64, 4))
-            .collect(),
+        (0..9).map(|i| TableSpec::new(format!("t{i}"), 120 + 60 * i as u64, 4)).collect(),
         vec![64, 32],
         1,
     );
@@ -110,8 +107,7 @@ fn main() {
                 out.cost.dram_rounds.to_string(),
                 format!(
                     "{:+.2}%",
-                    (out.cost.storage_bytes as f64
-                        / model.total_bytes(Precision::F32) as f64
+                    (out.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64
                         - 1.0)
                         * 100.0
                 ),

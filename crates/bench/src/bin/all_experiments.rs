@@ -6,8 +6,21 @@
 use std::process::Command;
 
 const BINS: &[&str] = &[
-    "table1", "fig3", "table2", "table3", "table4", "table5", "table6", "fig7", "cost",
-    "ablation", "rowbuffer", "hotcache", "controller", "design_space", "scaleout",
+    "table1",
+    "fig3",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig7",
+    "cost",
+    "ablation",
+    "rowbuffer",
+    "hotcache",
+    "controller",
+    "design_space",
+    "scaleout",
 ];
 
 fn main() {

@@ -10,13 +10,9 @@ fn main() {
     let mut rows = Vec::new();
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
         for precision in [Precision::Fixed16, Precision::Fixed32] {
-            let report =
-                end_to_end_report(&model, precision, &[2048]).expect("report");
-            let cost = CostReport::build(
-                report.cpu[0].items_per_sec,
-                report.fpga.items_per_sec,
-                prices,
-            );
+            let report = end_to_end_report(&model, precision, &[2048]).expect("report");
+            let cost =
+                CostReport::build(report.cpu[0].items_per_sec, report.fpga.items_per_sec, prices);
             rows.push(vec![
                 format!("{} {precision}", model.name),
                 format!("${:.4}", cost.cpu_usd_per_million),

@@ -9,9 +9,8 @@ use microrec_memsim::SimTime;
 fn main() {
     let model = ModelSpec::small_production();
     for precision in [Precision::Fixed16, Precision::Fixed32] {
-        let points =
-            explore_design_space(&model, precision, SimTime::from_ns(485.0), 32, 512)
-                .expect("sweep");
+        let points = explore_design_space(&model, precision, SimTime::from_ns(485.0), 32, 512)
+            .expect("sweep");
         let mut fitting: Vec<_> = points.iter().filter(|p| p.fits).collect();
         fitting.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
         let rows: Vec<Vec<String>> = fitting

@@ -10,10 +10,8 @@ fn main() {
     let mut knees = Vec::new();
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
         for precision in [Precision::Fixed16, Precision::Fixed32] {
-            let engine = MicroRec::builder(model.clone())
-                .precision(precision)
-                .build()
-                .expect("engine");
+            let engine =
+                MicroRec::builder(model.clone()).precision(precision).build().expect("engine");
             let pipe = engine.pipeline();
             let base = pipe.throughput_items_per_sec();
             let mut knee = None;

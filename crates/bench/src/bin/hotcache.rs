@@ -33,11 +33,8 @@ fn main() {
     for (label, zipf) in [("uniform", 0.0), ("zipf-0.9", 0.9), ("zipf-1.2", 1.2)] {
         // (a) Hot-entry cache in front of one DRAM channel.
         let mut cache = EntryCache::new(CacheConfig::recnmp_1mb());
-        let mut gen = QueryGenerator::new(
-            &model,
-            QueryGenConfig { zipf_exponent: zipf, seed: 5 },
-        )
-        .expect("generator");
+        let mut gen = QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: zipf, seed: 5 })
+            .expect("generator");
         let mut cached_total = SimTime::ZERO;
         let bank = BankId::new(MemoryKind::Ddr, 0);
         for _ in 0..queries {
@@ -56,15 +53,10 @@ fn main() {
         let cached_mean = cached_total / queries as u64;
 
         // (b) MicroRec's parallel lookup on the same stream.
-        let mut engine = MicroRec::builder(model.clone())
-            .precision(Precision::Fixed16)
-            .build()
-            .expect("engine");
-        let mut gen = QueryGenerator::new(
-            &model,
-            QueryGenConfig { zipf_exponent: zipf, seed: 5 },
-        )
-        .expect("generator");
+        let mut engine =
+            MicroRec::builder(model.clone()).precision(Precision::Fixed16).build().expect("engine");
+        let mut gen = QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: zipf, seed: 5 })
+            .expect("generator");
         let mut parallel_total = SimTime::ZERO;
         for _ in 0..queries {
             let q = gen.next_query();

@@ -27,20 +27,21 @@ fn main() {
                 .build()
                 .expect("engine");
             engine.set_row_policy(policy);
-            let mut gen = QueryGenerator::new(
-                &model,
-                QueryGenConfig { zipf_exponent: zipf, seed: 99 },
-            )
-            .expect("generator");
+            let mut gen =
+                QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: zipf, seed: 99 })
+                    .expect("generator");
 
             let mut lookup_times = Vec::with_capacity(queries);
             for _ in 0..queries {
                 let q = gen.next_query();
                 lookup_times.push(engine.measure_lookup(&q).expect("lookup"));
             }
-            let mean: SimTime =
-                lookup_times.iter().copied().sum::<SimTime>() / queries as u64;
-            let dram_hits = engine.memory().stats().by_kind(MemoryKind::Hbm).row_hit_rate()
+            let mean: SimTime = lookup_times.iter().copied().sum::<SimTime>() / queries as u64;
+            let dram_hits = engine
+                .memory()
+                .stats()
+                .by_kind(MemoryKind::Hbm)
+                .row_hit_rate()
                 .max(engine.memory().stats().by_kind(MemoryKind::Ddr).row_hit_rate());
             // Feed the measured per-query lookup times into the event-driven
             // pipeline: does locality move end-to-end throughput?

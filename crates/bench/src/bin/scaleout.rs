@@ -3,8 +3,7 @@
 
 use microrec_bench::print_table;
 use microrec_core::{
-    simulate_hybrid_serving, simulate_microrec_serving, HybridConfig, MicroRec,
-    MicroRecCluster,
+    simulate_hybrid_serving, simulate_microrec_serving, HybridConfig, MicroRec, MicroRecCluster,
 };
 use microrec_cpu::CpuTimingModel;
 use microrec_embedding::{ModelSpec, Precision};
@@ -16,13 +15,9 @@ fn main() {
     let model = ModelSpec::large_production();
     let mut rows = Vec::new();
     for budget_gb in [40u64, 16, 9] {
-        let cluster = MicroRecCluster::build(
-            &model,
-            budget_gb * 1_000_000_000,
-            Precision::Fixed16,
-            3,
-        )
-        .expect("cluster");
+        let cluster =
+            MicroRecCluster::build(&model, budget_gb * 1_000_000_000, Precision::Fixed16, 3)
+                .expect("cluster");
         rows.push(vec![
             format!("{budget_gb} GB/device"),
             cluster.devices().to_string(),
@@ -51,15 +46,9 @@ fn main() {
         let mut arrivals = PoissonArrivals::new(capacity * load, 11).expect("arrivals");
         let trace = arrivals.take(100_000);
         let fpga_only = simulate_microrec_serving(&engine, &trace, sla).expect("fpga");
-        let hybrid = simulate_hybrid_serving(
-            &engine,
-            &cpu,
-            &model,
-            &HybridConfig::default(),
-            &trace,
-            sla,
-        )
-        .expect("hybrid");
+        let hybrid =
+            simulate_hybrid_serving(&engine, &cpu, &model, &HybridConfig::default(), &trace, sla)
+                .expect("hybrid");
         rows.push(vec![
             format!("{:.0}%", load * 100.0),
             format!("{:.1}%", fpga_only.sla_hit_rate * 100.0),

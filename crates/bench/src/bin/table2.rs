@@ -88,8 +88,7 @@ fn print_model(report: &EndToEndReport, precision: Precision) {
 fn main() {
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
         for precision in [Precision::Fixed16, Precision::Fixed32] {
-            let report =
-                end_to_end_report(&model, precision, &BATCHES).expect("report builds");
+            let report = end_to_end_report(&model, precision, &BATCHES).expect("report builds");
             print_model(&report, precision);
         }
     }

@@ -33,9 +33,8 @@ fn main() {
             [("Without Cartesian", false, &base), ("With Cartesian", true, &merged)]
         {
             let storage_pct = out.cost.storage_bytes as f64 / logical_bytes * 100.0;
-            let latency_pct = out.cost.lookup_latency.as_ns()
-                / base.cost.lookup_latency.as_ns()
-                * 100.0;
+            let latency_pct =
+                out.cost.lookup_latency.as_ns() / base.cost.lookup_latency.as_ns() * 100.0;
             let key = (model.name.as_str(), with_cartesian);
             let p = paper.iter().find(|r| (r.0, r.1) == key).expect("paper row");
             rows.push(vec![
@@ -50,7 +49,14 @@ fn main() {
     }
     print_table(
         "Table 3: Benefit and overhead of Cartesian products",
-        &["Configuration", "Table Num", "Tables in DRAM", "DRAM Rounds", "Storage", "Lookup Latency"],
+        &[
+            "Configuration",
+            "Table Num",
+            "Tables in DRAM",
+            "DRAM Rounds",
+            "Storage",
+            "Lookup Latency",
+        ],
         &rows,
     );
 }

@@ -12,10 +12,8 @@ const BATCHES: [u64; 6] = [1, 64, 256, 512, 1024, 2048];
 fn main() {
     let cpu = CpuTimingModel::aws_16vcpu();
     // Paper: (model) -> (hbm-only us, hbm+cartesian us, speedups at B=2048)
-    let paper = [
-        ("alibaba-small", 0.774, 0.458, 8.17, 13.82),
-        ("alibaba-large", 2.26, 1.63, 11.07, 14.70),
-    ];
+    let paper =
+        [("alibaba-small", 0.774, 0.458, 8.17, 13.82), ("alibaba-large", 2.26, 1.63, 11.07, 14.70)];
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
         let merged = MicroRec::builder(model.clone()).build().expect("merged engine");
         let unmerged = MicroRec::builder(model.clone())

@@ -38,10 +38,7 @@ fn main() {
             .expect("placement");
             let lookup = out.cost.lookup_latency;
             let speedup = baseline.as_ns() / lookup.as_ns();
-            let p = paper
-                .iter()
-                .find(|r| r.0 == tables && r.1 == dim)
-                .expect("paper row");
+            let p = paper.iter().find(|r| r.0 == tables && r.1 == dim).expect("paper row");
             rows.push(vec![
                 dim.to_string(),
                 format!("{:.1} (paper {:.1})", lookup.as_ns(), p.2),

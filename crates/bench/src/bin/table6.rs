@@ -19,10 +19,8 @@ fn main() {
             let cfg = AccelConfig::for_model(&model, precision);
             let usage = estimate_usage(&model, &cfg);
             let util = usage.utilization(&U280_CAPACITY);
-            let p = paper
-                .iter()
-                .find(|r| r.0 == model.name && r.1 == precision)
-                .expect("paper row");
+            let p =
+                paper.iter().find(|r| r.0 == model.name && r.1 == precision).expect("paper row");
             rows.push(vec![
                 format!("{} {precision}", model.name),
                 format!("{} ({})", cfg.clock_hz / 1_000_000, p.2),

@@ -1,0 +1,101 @@
+//! Measures host-side serving throughput of the batched fast path on
+//! DLRM-RMC2: `predict_batch(64)` against 64 sequential `predict` calls,
+//! verifying bit-identical outputs, and prints a single-line JSON record
+//! (committed as `BENCH_throughput.json`).
+//!
+//! Run with `cargo run --release --bin throughput`.
+
+use std::time::Instant;
+
+use microrec_core::MicroRec;
+use microrec_embedding::ModelSpec;
+
+const BATCH: usize = 64;
+const ITERS: usize = 100;
+const WARMUP: usize = 10;
+
+fn build(model: &ModelSpec) -> MicroRec {
+    MicroRec::builder(model.clone()).seed(42).build().expect("engine")
+}
+
+fn make_queries(model: &ModelSpec) -> Vec<Vec<u64>> {
+    let lookups = model.lookups_per_table as u64;
+    (0..BATCH)
+        .map(|q| {
+            model
+                .tables
+                .iter()
+                .enumerate()
+                .flat_map(|(t, spec)| {
+                    (0..lookups).map(move |l| {
+                        ((q as u64 * 131 + t as u64 * 31 + l * 17 + 7) * 2_654_435_761) % spec.rows
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let model = ModelSpec::dlrm_rmc2(8, 16);
+    let queries = make_queries(&model);
+
+    // Bit-identity: batched outputs equal sequential outputs exactly.
+    let mut seq_engine = build(&model);
+    let mut batch_engine = build(&model);
+    let expected: Vec<f32> =
+        queries.iter().map(|q| seq_engine.predict(q).expect("predict")).collect();
+    let got = batch_engine.predict_batch(&queries).expect("predict_batch");
+    let bit_identical = expected.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "batched outputs diverged from sequential");
+
+    // Sequential baseline: 64 predict() calls per round.
+    let mut engine = build(&model);
+    for _ in 0..WARMUP {
+        for q in &queries {
+            engine.predict(q).expect("predict");
+        }
+    }
+    let mut seq_times = Vec::with_capacity(ITERS);
+    let seq_start = Instant::now();
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        for q in &queries {
+            engine.predict(q).expect("predict");
+        }
+        seq_times.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let seq_qps = (BATCH * ITERS) as f64 / seq_start.elapsed().as_secs_f64();
+
+    // Batched fast path: one predict_batch(64) per round.
+    let mut engine = build(&model);
+    for _ in 0..WARMUP {
+        engine.predict_batch(&queries).expect("predict_batch");
+    }
+    let mut batch_times = Vec::with_capacity(ITERS);
+    let batch_start = Instant::now();
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        engine.predict_batch(&queries).expect("predict_batch");
+        batch_times.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let qps = (BATCH * ITERS) as f64 / batch_start.elapsed().as_secs_f64();
+
+    batch_times.sort_by(f64::total_cmp);
+    seq_times.sort_by(f64::total_cmp);
+    let p50 = percentile(&batch_times, 0.50);
+    let p99 = percentile(&batch_times, 0.99);
+    let speedup = qps / seq_qps;
+
+    println!(
+        "{{\"qps\": {qps:.1}, \"p50_us\": {p50:.2}, \"p99_us\": {p99:.2}, \"batch\": {BATCH}, \
+         \"seq_qps\": {seq_qps:.1}, \"seq_p50_us\": {:.2}, \"speedup\": {speedup:.2}, \
+         \"bit_identical\": {bit_identical}}}",
+        percentile(&seq_times, 0.50),
+    );
+}

@@ -1,0 +1,236 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! Criterion-compatible surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! It calibrates an iteration count per sample, warms up, takes a fixed
+//! number of wall-clock samples, and reports the median time per
+//! iteration plus throughput when one was declared. The numbers are
+//! honest medians, not Criterion's full bootstrap analysis — good enough
+//! to compare kernels in this repo without external crates.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Top-level harness handle; one per benchmark binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_secs(3),
+            warm_up: Duration::from_secs(1),
+            samples: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Declared work per iteration, used to derive a rate from the measured
+/// time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration (FLOPs, lookups, ...).
+    Elements(u64),
+    /// Bytes moved per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the total measurement budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time run before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the number of wall-clock samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares the work performed by one iteration of the next
+    /// benchmarks, enabling a throughput line in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: calibrate, warm up, sample, report.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: how many iterations fit in one sample slot?
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let slot = self.measurement.div_f64(self.samples as f64);
+        let iters = (slot.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+        // Warm up.
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+        }
+
+        // Sample.
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let lo = times[0];
+        let hi = times[times.len() - 1];
+
+        print!(
+            "{}/{id:<28} time: [{} {} {}]",
+            self.name,
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            print!("  thrpt: {}{unit}", fmt_rate(count as f64 / median));
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (separator line, mirrors Criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.3} ")
+    }
+}
+
+/// Collects benchmark functions into a single runner function, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_a_trivial_bench() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_function("add", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64) + black_box(2u64))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_covers_all_scales() {
+        assert!(fmt_time(2.0).ends_with('s'));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("us"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_rate(2e9).starts_with("2.000 G"));
+        assert!(fmt_rate(2e6).starts_with("2.000 M"));
+        assert!(fmt_rate(2e3).starts_with("2.000 K"));
+        assert!(fmt_rate(2.0).starts_with("2.000"));
+    }
+}

@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::fmt::Display;
 
 /// Prints a Markdown-style table: a header row, a separator, then rows.
@@ -36,11 +38,8 @@ pub fn print_table<H: Display>(title: &str, headers: &[H], rows: &[Vec<String>])
         }
     }
     let fmt_row = |cells: &[String]| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         format!("| {} |", padded.join(" | "))
     };
     println!("{}", fmt_row(&header_strings));

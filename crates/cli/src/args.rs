@@ -31,14 +31,12 @@ impl ModelArg {
                 let spec = other
                     .strip_prefix("dlrm:")
                     .ok_or_else(|| ArgError(format!("unknown model `{other}`")))?;
-                let (t, d) = spec
-                    .split_once('x')
-                    .ok_or_else(|| ArgError(format!("expected dlrm:<tables>x<dim>, got `{other}`")))?;
-                let tables = t
-                    .parse::<usize>()
-                    .map_err(|_| ArgError(format!("bad table count `{t}`")))?;
-                let dim =
-                    d.parse::<u32>().map_err(|_| ArgError(format!("bad dim `{d}`")))?;
+                let (t, d) = spec.split_once('x').ok_or_else(|| {
+                    ArgError(format!("expected dlrm:<tables>x<dim>, got `{other}`"))
+                })?;
+                let tables =
+                    t.parse::<usize>().map_err(|_| ArgError(format!("bad table count `{t}`")))?;
+                let dim = d.parse::<u32>().map_err(|_| ArgError(format!("bad dim `{d}`")))?;
                 if tables == 0 || dim == 0 {
                     return Err(ArgError("tables and dim must be positive".into()));
                 }
@@ -171,9 +169,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
         rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1).copied())
     };
     let has = |name: &str| rest.contains(&name);
-    let model = || -> Result<ModelArg, ArgError> {
-        ModelArg::parse(flag("--model").unwrap_or("small"))
-    };
+    let model =
+        || -> Result<ModelArg, ArgError> { ModelArg::parse(flag("--model").unwrap_or("small")) };
     let precision = || -> Result<Precision, ArgError> {
         parse_precision(flag("--precision").unwrap_or("fixed16"))
     };
@@ -265,10 +262,7 @@ mod tests {
     fn model_arg_parsing() {
         assert_eq!(ModelArg::parse("small").unwrap(), ModelArg::Small);
         assert_eq!(ModelArg::parse("large").unwrap(), ModelArg::Large);
-        assert_eq!(
-            ModelArg::parse("dlrm:8x16").unwrap(),
-            ModelArg::Dlrm { tables: 8, dim: 16 }
-        );
+        assert_eq!(ModelArg::parse("dlrm:8x16").unwrap(), ModelArg::Dlrm { tables: 8, dim: 16 });
         assert!(ModelArg::parse("medium").is_err());
         assert!(ModelArg::parse("dlrm:8").is_err());
         assert!(ModelArg::parse("dlrm:0x4").is_err());

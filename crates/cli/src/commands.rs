@@ -33,7 +33,7 @@ pub fn run_plan(
         &HeuristicOptions { allow_merge: !no_merge, strategy, ..Default::default() },
     )?;
     if json {
-        return Ok(serde_json::to_string_pretty(&out.plan)? + "\n");
+        return Ok(microrec_json::to_string_pretty(&out.plan) + "\n");
     }
     let mut s = String::new();
     writeln!(s, "model: {} ({} logical tables)", spec.name, spec.num_tables())?;
@@ -51,15 +51,13 @@ pub fn run_plan(
         out.cost.lookup_latency,
         out.cost.dram_rounds,
         out.cost.storage_bytes as f64 / 1e9,
-        (out.cost.storage_bytes as f64 / spec.total_bytes(Precision::F32) as f64 - 1.0)
-            * 100.0,
+        (out.cost.storage_bytes as f64 / spec.total_bytes(Precision::F32) as f64 - 1.0) * 100.0,
     )?;
     writeln!(s, "search: {} solutions evaluated", out.evaluated)?;
     if verbose {
         writeln!(s, "\nbank map:")?;
         for table in &out.plan.placed {
-            let banks: Vec<String> =
-                table.banks.iter().map(ToString::to_string).collect();
+            let banks: Vec<String> = table.banks.iter().map(ToString::to_string).collect();
             writeln!(
                 s,
                 "  {:<28} {:>12} rows x dim {:<3} -> {}",
@@ -83,8 +81,7 @@ pub fn run_predict(
 ) -> CliResult {
     let spec = model.to_spec();
     let mut engine = MicroRec::builder(spec.clone()).precision(precision).seed(seed).build()?;
-    let mut gen =
-        QueryGenerator::new(&spec, QueryGenConfig { zipf_exponent: zipf, seed })?;
+    let mut gen = QueryGenerator::new(&spec, QueryGenConfig { zipf_exponent: zipf, seed })?;
     let mut s = String::new();
     writeln!(s, "model: {} | precision {precision} | {queries} queries", spec.name)?;
     for i in 0..queries {
@@ -93,11 +90,7 @@ pub fn run_predict(
         writeln!(s, "  query {i:>3}: CTR {ctr:.4}")?;
     }
     let stats = engine.memory().stats().total();
-    writeln!(
-        s,
-        "memory: {} reads, {} bytes, busy {}",
-        stats.reads, stats.bytes, stats.busy
-    )?;
+    writeln!(s, "memory: {} reads, {} bytes, busy {}", stats.reads, stats.bytes, stats.busy)?;
     writeln!(
         s,
         "timing: {} per item, {:.0} items/s steady state",
@@ -197,14 +190,8 @@ pub fn run_serve(
     )?;
     if hybrid {
         let cpu = CpuTimingModel::aws_16vcpu();
-        let report = simulate_hybrid_serving(
-            &engine,
-            &cpu,
-            &spec,
-            &HybridConfig::default(),
-            &trace,
-            sla,
-        )?;
+        let report =
+            simulate_hybrid_serving(&engine, &cpu, &spec, &HybridConfig::default(), &trace, sla)?;
         writeln!(
             s,
             "Hybrid:        p50 {} p99 {} SLA hit {:.2}% ({:.1}% on FPGA)",
@@ -257,25 +244,16 @@ mod tests {
             true,
         )
         .unwrap();
-        let plan: microrec_placement::Plan = serde_json::from_str(&out).unwrap();
+        let plan: microrec_placement::Plan = microrec_json::from_str(&out).unwrap();
         assert_eq!(plan.num_tables(), 4);
-        plan.validate(
-            &ModelArg::Dlrm { tables: 4, dim: 8 }.to_spec(),
-            &MemoryConfig::u280(),
-        )
-        .unwrap();
+        plan.validate(&ModelArg::Dlrm { tables: 4, dim: 8 }.to_spec(), &MemoryConfig::u280())
+            .unwrap();
     }
 
     #[test]
     fn predict_produces_ctrs() {
-        let out = run_predict(
-            &ModelArg::Dlrm { tables: 4, dim: 4 },
-            3,
-            Precision::Fixed32,
-            1.0,
-            9,
-        )
-        .unwrap();
+        let out = run_predict(&ModelArg::Dlrm { tables: 4, dim: 4 }, 3, Precision::Fixed32, 1.0, 9)
+            .unwrap();
         assert_eq!(out.matches("CTR 0.").count(), 3, "{out}");
         assert!(out.contains("memory:"), "{out}");
     }
@@ -299,8 +277,8 @@ mod tests {
 
     #[test]
     fn serve_reports_sla() {
-        let out = run_serve(&ModelArg::Dlrm { tables: 4, dim: 4 }, 10_000.0, 2_000, 25.0, true)
-            .unwrap();
+        let out =
+            run_serve(&ModelArg::Dlrm { tables: 4, dim: 4 }, 10_000.0, 2_000, 25.0, true).unwrap();
         assert!(out.contains("SLA hit"), "{out}");
         assert!(out.contains("Hybrid"), "{out}");
     }

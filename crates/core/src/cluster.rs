@@ -12,13 +12,12 @@ use microrec_accel::{AccelConfig, Pipeline};
 use microrec_dnn::{Mlp, Q16, Q32};
 use microrec_embedding::{synthetic_dense_features, ModelSpec, Precision};
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::engine::{MicroRec, MicroRecBuilder};
 use crate::error::MicroRecError;
 
 /// Configuration of the inter-device hop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterconnectConfig {
     /// Sustained link bandwidth in bytes per second (e.g. 100 GbE ≈ 12e9).
     pub bandwidth: f64,
@@ -221,8 +220,7 @@ impl MicroRecCluster {
             let width = e - s;
             let mut sub_query = Vec::with_capacity(width * rounds);
             for round in 0..rounds {
-                sub_query
-                    .extend_from_slice(&query[round * tables + s..round * tables + e]);
+                sub_query.extend_from_slice(&query[round * tables + s..round * tables + e]);
             }
             let flat = shard.gather_features(&sub_query)?;
             let per_round: Vec<Vec<f32>> =
@@ -272,17 +270,14 @@ mod tests {
         // match the monolithic reference exactly (same seeds, same MLP).
         let model = ModelSpec::new(
             "shardable",
-            (0..12)
-                .map(|i| TableSpec::new(format!("t{i}"), 1000 + 100 * i as u64, 8))
-                .collect(),
+            (0..12).map(|i| TableSpec::new(format!("t{i}"), 1000 + 100 * i as u64, 8)).collect(),
             vec![64, 32],
             1,
         );
         let seed = 17;
         let reference = CpuReferenceEngine::build(&model, seed).unwrap();
         // ~150 kB per device forces several shards (tables are 32-67 kB).
-        let mut cluster =
-            MicroRecCluster::build(&model, 150_000, Precision::F32, seed).unwrap();
+        let mut cluster = MicroRecCluster::build(&model, 150_000, Precision::F32, seed).unwrap();
         assert!(cluster.devices() >= 3);
         for k in 0..10u64 {
             let q: Vec<u64> = (0..12).map(|j| (k * 101 + j * 13) % 1000).collect();
@@ -297,8 +292,7 @@ mod tests {
         let model = ModelSpec::dlrm_rmc2(8, 8);
         let seed = 4;
         let reference = CpuReferenceEngine::build(&model, seed).unwrap();
-        let mut cluster =
-            MicroRecCluster::build(&model, 70_000_000, Precision::F32, seed).unwrap();
+        let mut cluster = MicroRecCluster::build(&model, 70_000_000, Precision::F32, seed).unwrap();
         assert!(cluster.devices() >= 2);
         let q: Vec<u64> = (0..32).map(|j| j * 7777).collect();
         assert!((cluster.predict(&q).unwrap() - reference.predict(&q).unwrap()).abs() < 1e-6);
@@ -319,12 +313,8 @@ mod tests {
     #[test]
     fn single_shard_cluster_adds_no_hop() {
         let model = ModelSpec::dlrm_rmc2(4, 4);
-        let cluster =
-            MicroRecCluster::build(&model, u64::MAX, Precision::Fixed16, 1).unwrap();
+        let cluster = MicroRecCluster::build(&model, u64::MAX, Precision::Fixed16, 1).unwrap();
         assert_eq!(cluster.devices(), 1);
-        assert_eq!(
-            cluster.lookup_latency(),
-            cluster.shards()[0].placement_cost().lookup_latency
-        );
+        assert_eq!(cluster.lookup_latency(), cluster.shards()[0].placement_cost().lookup_latency);
     }
 }

@@ -85,8 +85,7 @@ mod tests {
         assert!(e.source().is_some());
         let e: MicroRecError = DnnError::EmptyNetwork.into();
         assert!(e.to_string().contains("dnn"));
-        let e: MicroRecError =
-            PlacementError::Infeasible("x".into()).into();
+        let e: MicroRecError = PlacementError::Infeasible("x".into()).into();
         assert!(e.to_string().contains("placement"));
     }
 }

@@ -10,12 +10,11 @@
 use microrec_accel::{estimate_usage, AccelConfig, Pipeline, ResourceUsage, U280_CAPACITY};
 use microrec_embedding::{ModelSpec, Precision};
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::error::MicroRecError;
 
 /// One evaluated accelerator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// The configuration (PE counts + derated clock).
     pub config: AccelConfig,
@@ -107,10 +106,7 @@ pub fn explore_design_space(
 /// The highest-throughput design that fits, if any.
 #[must_use]
 pub fn best_fitting(points: &[DesignPoint]) -> Option<&DesignPoint> {
-    points
-        .iter()
-        .filter(|p| p.fits)
-        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+    points.iter().filter(|p| p.fits).max_by(|a, b| a.throughput.total_cmp(&b.throughput))
 }
 
 #[cfg(test)]
@@ -176,13 +172,6 @@ mod tests {
     fn wrong_layer_count_is_rejected() {
         let mut model = ModelSpec::small_production();
         model.hidden.pop();
-        assert!(explore_design_space(
-            &model,
-            Precision::Fixed16,
-            SimTime::ZERO,
-            32,
-            64
-        )
-        .is_err());
+        assert!(explore_design_space(&model, Precision::Fixed16, SimTime::ZERO, 32, 64).is_err());
     }
 }

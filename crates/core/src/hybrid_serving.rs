@@ -14,13 +14,12 @@ use microrec_cpu::CpuTimingModel;
 use microrec_embedding::ModelSpec;
 use microrec_memsim::SimTime;
 use microrec_workload::{simulate_batched_serving, LatencyStats, WorkloadError};
-use serde::{Deserialize, Serialize};
 
 use crate::engine::MicroRec;
 use crate::serve::ServingReport;
 
 /// Configuration of the hybrid router.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HybridConfig {
     /// Largest tolerated FPGA admission backlog before spilling to CPU.
     pub backlog_limit: SimTime,
@@ -41,7 +40,7 @@ impl Default for HybridConfig {
 }
 
 /// Outcome of a hybrid serving simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HybridReport {
     /// Combined response-time summary.
     pub combined: ServingReport,
@@ -117,11 +116,7 @@ pub fn simulate_hybrid_serving(
     let combined = ServingReport {
         latency: LatencyStats::from_samples(&all)?,
         sla_hit_rate: LatencyStats::sla_hit_rate(&all, sla),
-        throughput: if span.is_zero() {
-            f64::INFINITY
-        } else {
-            all.len() as f64 / span.as_secs()
-        },
+        throughput: if span.is_zero() { f64::INFINITY } else { all.len() as f64 / span.as_secs() },
     };
     Ok(HybridReport { combined, fpga_fraction: fpga_count as f64 / arrivals.len() as f64 })
 }
@@ -173,15 +168,9 @@ mod tests {
         let sla = SimTime::from_ms(25.0);
 
         let fpga_only = simulate_microrec_serving(&engine, &trace, sla).unwrap();
-        let hybrid = simulate_hybrid_serving(
-            &engine,
-            &cpu,
-            &model,
-            &HybridConfig::default(),
-            &trace,
-            sla,
-        )
-        .unwrap();
+        let hybrid =
+            simulate_hybrid_serving(&engine, &cpu, &model, &HybridConfig::default(), &trace, sla)
+                .unwrap();
         assert!(
             hybrid.fpga_fraction > 0.7 && hybrid.fpga_fraction < 0.999,
             "overflow should spill: {}",

@@ -50,8 +50,7 @@ pub use explore::{best_fitting, derated_clock, explore_design_space, DesignPoint
 pub use hybrid_serving::{simulate_hybrid_serving, HybridConfig, HybridReport};
 pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
-pub use serve::{simulate_cpu_serving, simulate_microrec_serving, ServingReport};
 pub use report::{
-    end_to_end_report, AwsPrices, CostReport, CpuPoint, EmbeddingReport, EndToEndReport,
-    FpgaPoint,
+    end_to_end_report, AwsPrices, CostReport, CpuPoint, EmbeddingReport, EndToEndReport, FpgaPoint,
 };
+pub use serve::{simulate_cpu_serving, simulate_microrec_serving, ServingReport};

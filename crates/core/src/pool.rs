@@ -3,13 +3,13 @@
 //! The functional [`MicroRec`] engine is stateful (memory statistics,
 //! row-buffer state), so it takes `&mut self` per prediction. A serving
 //! host wants many request threads; [`EnginePool`] holds N engine replicas
-//! behind `parking_lot` mutexes and hands each caller an uncontended one —
-//! the standard replica-pool pattern, with round-robin dispatch and
-//! aggregate statistics.
+//! behind mutexes and hands each caller an *uncontended* one: dispatch
+//! first try-locks every replica (starting from a rotating hint so load
+//! spreads evenly) and only blocks when all replicas are busy. Batches are
+//! sharded across replicas so a single caller drives the whole pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use microrec_embedding::{ModelSpec, Precision};
 
@@ -35,6 +35,14 @@ pub struct EnginePool {
     next: AtomicUsize,
 }
 
+/// Recovers the engine even if a previous holder panicked mid-predict:
+/// engine state stays consistent per query, so poisoning is benign here.
+fn relock<'a>(
+    guard: Result<MutexGuard<'a, MicroRec>, std::sync::PoisonError<MutexGuard<'a, MicroRec>>>,
+) -> MutexGuard<'a, MicroRec> {
+    guard.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl EnginePool {
     /// Builds `replicas` identical engines (same seed: identical tables and
     /// weights, so every replica answers every query identically).
@@ -51,10 +59,8 @@ impl EnginePool {
         let replicas = replicas.max(1);
         let mut engines = Vec::with_capacity(replicas);
         for _ in 0..replicas {
-            let engine = MicroRecBuilder::new(model.clone())
-                .precision(precision)
-                .seed(seed)
-                .build()?;
+            let engine =
+                MicroRecBuilder::new(model.clone()).precision(precision).seed(seed).build()?;
             engines.push(Mutex::new(engine));
         }
         Ok(EnginePool { engines, next: AtomicUsize::new(0) })
@@ -66,31 +72,55 @@ impl EnginePool {
         self.engines.len()
     }
 
-    /// Predicts a CTR on the least-recently-dispatched replica.
+    /// Acquires an uncontended replica if any is free (work stealing),
+    /// falling back to a blocking lock on the rotation hint otherwise.
+    fn acquire(&self) -> MutexGuard<'_, MicroRec> {
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+        for probe in 0..self.engines.len() {
+            let idx = (start + probe) % self.engines.len();
+            match self.engines[idx].try_lock() {
+                Ok(guard) => return guard,
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => return poisoned.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {}
+            }
+        }
+        // All replicas busy: queue on the hinted one.
+        relock(self.engines[start].lock())
+    }
+
+    /// Predicts a CTR on the first uncontended replica (try-lock scan),
+    /// blocking only when every replica is busy.
     ///
     /// # Errors
     ///
     /// Returns [`MicroRecError`] for malformed queries.
     pub fn predict(&self, query: &[u64]) -> Result<f32, MicroRecError> {
-        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.engines.len();
-        self.engines[idx].lock().predict(query)
+        self.acquire().predict(query)
     }
 
-    /// Predicts a batch, spreading items over all replicas from the
-    /// calling thread's context (callers on different threads proceed
-    /// concurrently).
+    /// Predicts a batch by sharding it into contiguous per-replica chunks
+    /// served in parallel, each through the engine's batched fast path.
+    /// Results come back in query order and are bit-identical to
+    /// [`EnginePool::predict`] called per item.
     ///
     /// # Errors
     ///
     /// Returns [`MicroRecError`] for malformed queries.
     pub fn predict_batch(&self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
-        queries.iter().map(|q| self.predict(q)).collect()
+        let shards = microrec_par::par_chunks(queries.len(), self.engines.len(), |_, range| {
+            self.acquire().predict_batch(&queries[range])
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
     }
 
     /// Total simulated memory reads across all replicas.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.engines.iter().map(|e| e.lock().memory().stats().total().reads).sum()
+        self.engines.iter().map(|e| relock(e.lock()).memory().stats().total().reads).sum()
     }
 }
 
@@ -100,9 +130,7 @@ mod tests {
     use std::sync::Arc;
 
     fn pool() -> Arc<EnginePool> {
-        Arc::new(
-            EnginePool::build(ModelSpec::dlrm_rmc2(4, 8), Precision::Fixed32, 3, 5).unwrap(),
-        )
+        Arc::new(EnginePool::build(ModelSpec::dlrm_rmc2(4, 8), Precision::Fixed32, 3, 5).unwrap())
     }
 
     #[test]
@@ -121,11 +149,11 @@ mod tests {
         let p = pool();
         let queries_per_thread = 50;
         let threads = 8;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let p = Arc::clone(&p);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     for k in 0..queries_per_thread {
                         let q: Vec<u64> =
                             (0..16).map(|j| ((t * 97 + k * 13 + j) % 500_000) as u64).collect();
@@ -137,8 +165,7 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-        })
-        .unwrap();
+        });
         // Every query drove 4 physical reads x 4 rounds.
         assert_eq!(p.total_reads(), (threads * queries_per_thread * 16) as u64);
     }
@@ -149,5 +176,51 @@ mod tests {
         assert_eq!(p.replicas(), 1, "replicas clamp to >= 1");
         let out = p.predict_batch(&vec![vec![0u64; 16]; 4]).unwrap();
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn contended_mixed_traffic_stays_bit_identical() {
+        // Many threads hammer the pool with interleaved single and batched
+        // requests; every answer must match the uncontended ground truth.
+        let p = pool();
+        let queries: Vec<Vec<u64>> = (0..32)
+            .map(|i| (0..16).map(|j| ((i * 131 + j * 17) % 500_000) as u64).collect())
+            .collect();
+        let expected: Vec<u32> = queries.iter().map(|q| p.predict(q).unwrap().to_bits()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let p = Arc::clone(&p);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..10 {
+                        if (t + round) % 2 == 0 {
+                            let got = p.predict_batch(queries).unwrap();
+                            for (g, e) in got.iter().zip(expected) {
+                                assert_eq!(g.to_bits(), *e);
+                            }
+                        } else {
+                            for (q, e) in queries.iter().zip(expected) {
+                                assert_eq!(p.predict(q).unwrap().to_bits(), *e);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sharded_batch_matches_item_by_item() {
+        let p = pool();
+        let queries: Vec<Vec<u64>> = (0..23)
+            .map(|i| (0..16).map(|j| ((i * 31 + j * 7) % 500_000) as u64).collect())
+            .collect();
+        let singles: Vec<f32> = queries.iter().map(|q| p.predict(q).unwrap()).collect();
+        let batched = p.predict_batch(&queries).unwrap();
+        assert_eq!(batched.len(), singles.len());
+        for (b, s) in batched.iter().zip(&singles) {
+            assert_eq!(b.to_bits(), s.to_bits(), "batch result drifted");
+        }
     }
 }

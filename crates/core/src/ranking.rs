@@ -7,8 +7,6 @@
 //! module provides rank correlation (Kendall's τ) and top-k agreement so
 //! the precision ablation can be judged on recommendation quality.
 
-use serde::{Deserialize, Serialize};
-
 /// Indices of `scores` sorted by descending score (ties broken by index,
 /// so rankings are deterministic).
 #[must_use]
@@ -69,7 +67,7 @@ pub fn top_k_overlap(reference: &[f32], test: &[f32], k: usize) -> f64 {
 }
 
 /// Summary of a ranking-fidelity comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankingFidelity {
     /// Kendall's τ between reference and test scores.
     pub kendall_tau: f64,
@@ -146,8 +144,7 @@ mod tests {
             .unwrap();
         let mut gen = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
         let candidates = gen.next_batch(24);
-        let reference: Vec<f32> =
-            candidates.iter().map(|q| cpu.predict(q).unwrap()).collect();
+        let reference: Vec<f32> = candidates.iter().map(|q| cpu.predict(q).unwrap()).collect();
         let s16: Vec<f32> = candidates.iter().map(|q| q16.predict(q).unwrap()).collect();
         let s32: Vec<f32> = candidates.iter().map(|q| q32.predict(q).unwrap()).collect();
 

@@ -14,13 +14,12 @@
 use microrec_cpu::CpuTimingModel;
 use microrec_embedding::{ModelSpec, Precision};
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
 
 /// One CPU operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuPoint {
     /// Batch size.
     pub batch: u64,
@@ -33,7 +32,7 @@ pub struct CpuPoint {
 }
 
 /// One FPGA operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaPoint {
     /// Datapath precision.
     pub precision: Precision,
@@ -46,7 +45,7 @@ pub struct FpgaPoint {
 }
 
 /// End-to-end comparison for one model (Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EndToEndReport {
     /// Model name.
     pub model: String,
@@ -79,14 +78,8 @@ impl EndToEndReport {
             items_per_sec: engine.throughput_items_per_sec(),
             ops_per_sec: engine.throughput_ops_per_sec(),
         };
-        let fpga_batch_latency =
-            batches.iter().map(|&b| engine.batch_latency(b)).collect();
-        EndToEndReport {
-            model: model.name.clone(),
-            cpu: cpu_points,
-            fpga,
-            fpga_batch_latency,
-        }
+        let fpga_batch_latency = batches.iter().map(|&b| engine.batch_latency(b)).collect();
+        EndToEndReport { model: model.name.clone(), cpu: cpu_points, fpga, fpga_batch_latency }
     }
 
     /// Speedup of the FPGA over the CPU at each batch size (the paper's
@@ -102,7 +95,7 @@ impl EndToEndReport {
 }
 
 /// Embedding-layer comparison for one model (Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingReport {
     /// Model name.
     pub model: String,
@@ -147,7 +140,7 @@ impl EmbeddingReport {
 }
 
 /// AWS rental prices of the appendix cost comparison (USD per hour).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AwsPrices {
     /// The CPU server (16 vCPU).
     pub cpu_per_hour: f64,
@@ -163,7 +156,7 @@ impl Default for AwsPrices {
 }
 
 /// Cost-efficiency comparison (appendix).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostReport {
     /// USD per million inferences on the CPU server.
     pub cpu_usd_per_million: f64,
@@ -175,9 +168,7 @@ impl CostReport {
     /// Computes cost per million inferences from throughputs.
     #[must_use]
     pub fn build(cpu_items_per_sec: f64, fpga_items_per_sec: f64, prices: AwsPrices) -> Self {
-        let per_million = |price_per_hour: f64, rate: f64| {
-            price_per_hour / 3600.0 / rate * 1e6
-        };
+        let per_million = |price_per_hour: f64, rate: f64| price_per_hour / 3600.0 / rate * 1e6;
         CostReport {
             cpu_usd_per_million: per_million(prices.cpu_per_hour, cpu_items_per_sec),
             fpga_usd_per_million: per_million(prices.fpga_per_hour, fpga_items_per_sec),
@@ -213,12 +204,9 @@ mod tests {
 
     #[test]
     fn table2_speedup_small_fp16_matches_paper() {
-        let report = end_to_end_report(
-            &ModelSpec::small_production(),
-            Precision::Fixed16,
-            &BATCHES,
-        )
-        .unwrap();
+        let report =
+            end_to_end_report(&ModelSpec::small_production(), Precision::Fixed16, &BATCHES)
+                .unwrap();
         let speedups = report.speedups();
         // Paper: 204.72x at B=1 down to 4.19x at B=2048.
         let b1 = speedups[0];
@@ -233,12 +221,9 @@ mod tests {
 
     #[test]
     fn table2_speedup_large_fp32_matches_paper() {
-        let report = end_to_end_report(
-            &ModelSpec::large_production(),
-            Precision::Fixed32,
-            &BATCHES,
-        )
-        .unwrap();
+        let report =
+            end_to_end_report(&ModelSpec::large_production(), Precision::Fixed32, &BATCHES)
+                .unwrap();
         let speedups = report.speedups();
         // Paper: 241.54x at B=1, 3.39x at B=2048.
         assert!((120.0..420.0).contains(&speedups[0]), "B=1 speedup {:.1}", speedups[0]);
@@ -261,12 +246,8 @@ mod tests {
     fn cost_report_matches_appendix_conclusion() {
         // Appendix: 4-5x speedup at fixed-32 with a cheaper instance =>
         // clear long-term benefit.
-        let report = end_to_end_report(
-            &ModelSpec::small_production(),
-            Precision::Fixed32,
-            &[2048],
-        )
-        .unwrap();
+        let report =
+            end_to_end_report(&ModelSpec::small_production(), Precision::Fixed32, &[2048]).unwrap();
         let cost = CostReport::build(
             report.cpu[0].items_per_sec,
             report.fpga.items_per_sec,
@@ -278,12 +259,8 @@ mod tests {
 
     #[test]
     fn cpu_points_are_self_consistent() {
-        let report = end_to_end_report(
-            &ModelSpec::small_production(),
-            Precision::Fixed16,
-            &[256],
-        )
-        .unwrap();
+        let report =
+            end_to_end_report(&ModelSpec::small_production(), Precision::Fixed16, &[256]).unwrap();
         let p = report.cpu[0];
         let implied = p.batch as f64 / p.latency.as_secs();
         assert!((implied - p.items_per_sec).abs() / p.items_per_sec < 1e-9);

@@ -12,12 +12,11 @@ use microrec_cpu::CpuTimingModel;
 use microrec_embedding::ModelSpec;
 use microrec_memsim::SimTime;
 use microrec_workload::{simulate_batched_serving, LatencyStats, WorkloadError};
-use serde::{Deserialize, Serialize};
 
 use crate::engine::MicroRec;
 
 /// Response-time summary of one serving simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingReport {
     /// Latency percentiles.
     pub latency: LatencyStats,
@@ -27,7 +26,11 @@ pub struct ServingReport {
     pub throughput: f64,
 }
 
-fn report(latencies: &[SimTime], span: SimTime, sla: SimTime) -> Result<ServingReport, WorkloadError> {
+fn report(
+    latencies: &[SimTime],
+    span: SimTime,
+    sla: SimTime,
+) -> Result<ServingReport, WorkloadError> {
     Ok(ServingReport {
         latency: LatencyStats::from_samples(latencies)?,
         sla_hit_rate: LatencyStats::sla_hit_rate(latencies, sla),
@@ -93,11 +96,9 @@ mod tests {
         let trace = arrivals.take(10_000);
         let sla = SimTime::from_ms(20.0);
 
-        let fpga =
-            simulate_microrec_serving(&engine, &trace, sla).unwrap();
+        let fpga = simulate_microrec_serving(&engine, &trace, sla).unwrap();
         let cpu_report =
-            simulate_cpu_serving(&model, &cpu, 2048, SimTime::from_ms(15.0), &trace, sla)
-                .unwrap();
+            simulate_cpu_serving(&model, &cpu, 2048, SimTime::from_ms(15.0), &trace, sla).unwrap();
         assert!(fpga.sla_hit_rate > 0.999, "fpga hit {}", fpga.sla_hit_rate);
         assert!(fpga.latency.p99 < cpu_report.latency.p50);
         assert!(fpga.latency.p99.as_us() < 100.0);

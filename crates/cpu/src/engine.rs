@@ -8,9 +8,7 @@
 //! (Criterion) CPU benchmarks.
 
 use microrec_dnn::{Matrix, Mlp};
-use microrec_embedding::{
-    synthetic_dense_features, Catalog, EmbeddingError, MergePlan, ModelSpec,
-};
+use microrec_embedding::{synthetic_dense_features, Catalog, EmbeddingError, MergePlan, ModelSpec};
 
 use crate::error::CpuError;
 

@@ -30,6 +30,4 @@ mod timing_model;
 pub use engine::{CpuReferenceEngine, QueryBatch};
 pub use error::CpuError;
 pub use opgraph::{Op, OpGraph, OpKind};
-pub use timing_model::{
-    facebook_rmc2_baseline_lookup, CpuTimingModel, EMBEDDING_OP_TYPES,
-};
+pub use timing_model::{facebook_rmc2_baseline_lookup, CpuTimingModel, EMBEDDING_OP_TYPES};

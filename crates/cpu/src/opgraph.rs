@@ -15,12 +15,11 @@ use std::fmt;
 use microrec_dnn::{gemv, Mlp};
 use microrec_embedding::{Catalog, ModelSpec};
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::error::CpuError;
 
 /// Operator kinds (a representative subset of the 37 the paper counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Input placeholder holding one table's lookup indices.
     Placeholder,
@@ -57,7 +56,7 @@ impl fmt::Display for OpKind {
 }
 
 /// One operator instance in the graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Op {
     /// What the operator does.
     pub kind: OpKind,
@@ -69,7 +68,7 @@ pub struct Op {
 }
 
 /// A dataflow graph of operators in topological order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpGraph {
     ops: Vec<Op>,
 }
@@ -186,12 +185,10 @@ impl OpGraph {
                     ))?;
                     Value::Indices(vec![idx])
                 }
-                OpKind::Unique | OpKind::Cast => {
-                    match &values[op.inputs[0]] {
-                        Some(Value::Indices(v)) => Value::Indices(v.clone()),
-                        _ => return Err(graph_error("index op fed a dense tensor")),
-                    }
-                }
+                OpKind::Unique | OpKind::Cast => match &values[op.inputs[0]] {
+                    Some(Value::Indices(v)) => Value::Indices(v.clone()),
+                    _ => return Err(graph_error("index op fed a dense tensor")),
+                },
                 OpKind::Gather => match &values[op.inputs[0]] {
                     Some(Value::Indices(v)) => {
                         let table = &catalog.logical_tables()[op.arg];
@@ -237,22 +234,18 @@ impl OpGraph {
                             .layers()
                             .get(op.arg)
                             .ok_or_else(|| graph_error("biasadd layer out of range"))?;
-                        Value::Dense(
-                            x.iter().zip(layer.bias()).map(|(v, b)| v + b).collect(),
-                        )
+                        Value::Dense(x.iter().zip(layer.bias()).map(|(v, b)| v + b).collect())
                     }
                     _ => return Err(graph_error("biasadd fed indices")),
                 },
                 OpKind::Relu => match &values[op.inputs[0]] {
-                    Some(Value::Dense(x)) => {
-                        Value::Dense(x.iter().map(|v| v.max(0.0)).collect())
-                    }
+                    Some(Value::Dense(x)) => Value::Dense(x.iter().map(|v| v.max(0.0)).collect()),
                     _ => return Err(graph_error("relu fed indices")),
                 },
                 OpKind::Sigmoid => match &values[op.inputs[0]] {
-                    Some(Value::Dense(x)) => Value::Dense(
-                        x.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect(),
-                    ),
+                    Some(Value::Dense(x)) => {
+                        Value::Dense(x.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect())
+                    }
                     _ => return Err(graph_error("sigmoid fed indices")),
                 },
             };
@@ -310,8 +303,7 @@ mod tests {
         let g = OpGraph::full_inference(&m);
         for k in 0..10u64 {
             let query: Vec<u64> = (0..6).map(|j| (k * 131 + j * 17) % 500_000).collect();
-            let graph_out =
-                g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
+            let graph_out = g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
             let reference = engine.predict(&query).unwrap();
             assert!(
                 (graph_out[0] - reference).abs() < 1e-6,
@@ -327,8 +319,7 @@ mod tests {
         let engine = CpuReferenceEngine::build(&m, 5).unwrap();
         let g = OpGraph::embedding_layer(&m);
         let query: Vec<u64> = (0..6).map(|j| j * 931).collect();
-        let graph_features =
-            g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
+        let graph_features = g.execute(engine.catalog(), engine.mlp(), &query).unwrap();
         let direct = engine.catalog().gather_vec(&query).unwrap();
         assert_eq!(graph_features, direct);
     }
@@ -339,10 +330,7 @@ mod tests {
         let large = OpGraph::embedding_layer(&ModelSpec::large_production());
         let per = SimTime::from_us(1.0);
         assert!(large.dispatch_overhead(per) > small.dispatch_overhead(per));
-        assert_eq!(
-            small.dispatch_overhead(per),
-            SimTime::from_us((7 * 47 + 1) as f64)
-        );
+        assert_eq!(small.dispatch_overhead(per), SimTime::from_us((7 * 47 + 1) as f64));
     }
 
     #[test]

@@ -21,13 +21,12 @@
 
 use microrec_embedding::{ModelSpec, Precision};
 use microrec_memsim::{MemTiming, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Operator types involved in the embedding layer (§2.3).
 pub const EMBEDDING_OP_TYPES: u32 = 37;
 
 /// Timing model for the CPU baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuTimingModel {
     /// Time per (operator type × table) invocation at batch 1.
     pub op_invocation: SimTime,
@@ -86,11 +85,8 @@ impl CpuTimingModel {
     /// random accesses, one per logical lookup.
     #[must_use]
     pub fn lookup_time_per_item(&self, model: &ModelSpec) -> SimTime {
-        let per_table: SimTime = model
-            .tables
-            .iter()
-            .map(|t| self.dram.access_time(t.row_bytes(Precision::F32)))
-            .sum();
+        let per_table: SimTime =
+            model.tables.iter().map(|t| self.dram.access_time(t.row_bytes(Precision::F32))).sum();
         per_table * u64::from(model.lookups_per_table)
     }
 
@@ -269,8 +265,8 @@ mod tests {
         let m = CpuTimingModel::aws_16vcpu();
         let small = ModelSpec::small_production();
         let large = ModelSpec::large_production();
-        let ratio = m.framework_overhead(&large, 1).as_ns()
-            / m.framework_overhead(&small, 1).as_ns();
+        let ratio =
+            m.framework_overhead(&large, 1).as_ns() / m.framework_overhead(&small, 1).as_ns();
         assert!((ratio - 98.0 / 47.0).abs() < 1e-9);
     }
 

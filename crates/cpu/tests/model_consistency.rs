@@ -13,9 +13,7 @@ fn op_graph_and_timing_model_agree_on_overhead_scaling() {
     let large = OpGraph::embedding_layer(&ModelSpec::large_production());
     let graph_ratio = large.invocation_count() as f64 / small.invocation_count() as f64;
     let m = CpuTimingModel::aws_16vcpu();
-    let model_ratio = m
-        .framework_overhead(&ModelSpec::large_production(), 1)
-        .as_ns()
+    let model_ratio = m.framework_overhead(&ModelSpec::large_production(), 1).as_ns()
         / m.framework_overhead(&ModelSpec::small_production(), 1).as_ns();
     assert!((graph_ratio - model_ratio).abs() < 0.03, "{graph_ratio} vs {model_ratio}");
 }
@@ -30,10 +28,7 @@ fn per_invocation_cost_is_physically_plausible() {
     let graph = OpGraph::embedding_layer(&model);
     let overhead = CpuTimingModel::aws_16vcpu().framework_overhead(&model, 1);
     let per_dispatch = overhead.as_us() / graph.invocation_count() as f64;
-    assert!(
-        (1.0..100.0).contains(&per_dispatch),
-        "per-dispatch {per_dispatch:.2} us"
-    );
+    assert!((1.0..100.0).contains(&per_dispatch), "per-dispatch {per_dispatch:.2} us");
     // And the two accountings describe the same total.
     let alt = SimTime::from_us(per_dispatch) * graph.invocation_count() as u64;
     assert!((alt.as_ns() - overhead.as_ns()).abs() / overhead.as_ns() < 0.01);
@@ -45,9 +40,7 @@ fn embedding_fraction_shrinks_with_batch() {
     // remains the majority at production batch sizes.
     let m = CpuTimingModel::aws_16vcpu();
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
-        let frac = |b: u64| {
-            m.embedding_time(&model, b).as_ns() / m.total_time(&model, b).as_ns()
-        };
+        let frac = |b: u64| m.embedding_time(&model, b).as_ns() / m.total_time(&model, b).as_ns();
         assert!(frac(1) > 0.75, "{}: B=1 fraction {}", model.name, frac(1));
         assert!(frac(2048) > 0.4, "{}: B=2048 fraction {}", model.name, frac(2048));
         assert!(frac(1) > frac(2048));
@@ -65,8 +58,7 @@ fn throughput_saturates_with_batch() {
         prev = tp;
     }
     // But saturates: doubling from 2048 gains little.
-    let gain = m.throughput_items_per_sec(&model, 4096)
-        / m.throughput_items_per_sec(&model, 2048);
+    let gain = m.throughput_items_per_sec(&model, 4096) / m.throughput_items_per_sec(&model, 2048);
     assert!(gain < 1.25, "gain {gain}");
 }
 

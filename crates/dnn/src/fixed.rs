@@ -17,8 +17,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! define_fixed {
     (
         $(#[$doc:meta])*
@@ -27,7 +25,6 @@ macro_rules! define_fixed {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name($repr);
 

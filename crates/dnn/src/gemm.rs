@@ -1,10 +1,16 @@
 //! GEMM / GEMV kernels.
 //!
 //! The accelerator's compute stages and the CPU baseline both reduce to
-//! dense matrix–vector and matrix–matrix products. A cache-blocked `f32`
-//! GEMM is provided for the measured (host) path, plus a generic kernel
-//! over [`FixedNum`] so the same code runs the accelerator's Q-format
-//! datapaths.
+//! dense matrix–vector and matrix–matrix products. Three kernels are
+//! provided: a naive triple loop (the correctness oracle), a cache-blocked
+//! `f32` GEMM, and a packed kernel ([`PackedB`] + [`gemm_packed`]) whose B
+//! operand is pre-transposed once so every inner product runs over two
+//! contiguous slices — the kernel behind the batched inference fast path.
+//!
+//! All precision-generic kernels accumulate through one shared [`dot`]
+//! routine (4 independent lanes, combined pairwise), so the single-item
+//! GEMV path and the batched packed path produce **bit-identical** results
+//! at every precision — the property `MicroRec::predict_batch` relies on.
 
 use crate::error::DnnError;
 use crate::fixed::FixedNum;
@@ -13,17 +19,68 @@ use crate::tensor::Matrix;
 /// Block edge for the cache-blocked GEMM.
 const BLOCK: usize = 64;
 
+/// Below this many multiply–accumulates the blocked kernel's loop overhead
+/// outweighs its cache wins and [`gemm_auto`] picks the naive loop.
+const AUTO_NAIVE_MACS: usize = 32 * 32 * 32;
+
+/// Inner product of two equal-length slices with 4 unrolled accumulator
+/// lanes, combined pairwise (`(l0+l1)+(l2+l3)`), remainder appended last.
+///
+/// Every kernel in this module funnels through this routine (or its
+/// weight-quantizing twin [`dot_quantizing`], which has the identical lane
+/// structure), which is what makes batched and single-item inference
+/// bit-identical: same element products, same summation order.
+#[inline]
+pub fn dot<T: FixedNum>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [T::ZERO; 4];
+    let quads = a.len() / 4;
+    for i in 0..quads {
+        let j = i * 4;
+        lanes[0] = lanes[0] + a[j] * b[j];
+        lanes[1] = lanes[1] + a[j + 1] * b[j + 1];
+        lanes[2] = lanes[2] + a[j + 2] * b[j + 2];
+        lanes[3] = lanes[3] + a[j + 3] * b[j + 3];
+    }
+    let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for j in quads * 4..a.len() {
+        sum = sum + a[j] * b[j];
+    }
+    sum
+}
+
+/// [`dot`] with `f32` weights quantized element-wise on the fly.
+///
+/// `T::from_f32(w) * x` yields the same `T` value whether the weight was
+/// converted here or pre-converted during packing, and the lane structure
+/// matches [`dot`] exactly — so GEMV over master weights and the packed
+/// kernel over pre-quantized weights agree bit for bit.
+#[inline]
+pub fn dot_quantizing<T: FixedNum>(w: &[f32], x: &[T]) -> T {
+    debug_assert_eq!(w.len(), x.len());
+    let mut lanes = [T::ZERO; 4];
+    let quads = w.len() / 4;
+    for i in 0..quads {
+        let j = i * 4;
+        lanes[0] = lanes[0] + T::from_f32(w[j]) * x[j];
+        lanes[1] = lanes[1] + T::from_f32(w[j + 1]) * x[j + 1];
+        lanes[2] = lanes[2] + T::from_f32(w[j + 2]) * x[j + 2];
+        lanes[3] = lanes[3] + T::from_f32(w[j + 3]) * x[j + 3];
+    }
+    let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for j in quads * 4..w.len() {
+        sum = sum + T::from_f32(w[j]) * x[j];
+    }
+    sum
+}
+
 /// `y = W · x` for a row-major `W` (`out × in`), generic over precision.
 ///
 /// # Errors
 ///
 /// Returns [`DnnError::ShapeMismatch`] if `x` or `y` disagree with `W`'s
 /// shape.
-pub fn gemv<T: FixedNum>(
-    weights: &Matrix,
-    x: &[T],
-    y: &mut [T],
-) -> Result<(), DnnError> {
+pub fn gemv<T: FixedNum>(weights: &Matrix, x: &[T], y: &mut [T]) -> Result<(), DnnError> {
     if x.len() != weights.cols() {
         return Err(DnnError::ShapeMismatch {
             context: "gemv input",
@@ -39,17 +96,12 @@ pub fn gemv<T: FixedNum>(
         });
     }
     for (r, slot) in y.iter_mut().enumerate() {
-        let row = weights.row(r);
-        let mut acc = T::ZERO;
-        for (w, &xi) in row.iter().zip(x) {
-            acc = acc + T::from_f32(*w) * xi;
-        }
-        *slot = acc;
+        *slot = dot_quantizing(weights.row(r), x);
     }
     Ok(())
 }
 
-/// `C = A · B` with a naive triple loop (reference kernel).
+/// `C = A · B` with a naive loop over whole rows (reference kernel).
 ///
 /// # Errors
 ///
@@ -62,21 +114,25 @@ pub fn gemm_naive(a: &Matrix, b: &Matrix) -> Result<Matrix, DnnError> {
             actual: b.rows(),
         });
     }
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        for k in 0..a.cols() {
-            let aik = a.get(i, k);
-            for j in 0..b.cols() {
-                let v = c.get(i, j) + aik * b.get(k, j);
-                c.set(i, j, v);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = vec![0.0f32; m * n];
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    for i in 0..m {
+        let arow = &a_s[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &b_s[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
             }
         }
     }
-    Ok(c)
+    Matrix::from_vec(m, n, c)
 }
 
 /// `C = A · B` with cache blocking — the kernel used by the measured CPU
-/// path and the Criterion GEMM benches.
+/// path and the GEMM benches.
 ///
 /// # Errors
 ///
@@ -113,6 +169,118 @@ pub fn gemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix, DnnError> {
         }
     }
     Matrix::from_vec(m, n, c)
+}
+
+/// `C = A · B`, choosing [`gemm_naive`] for small shapes (where the blocked
+/// kernel's bookkeeping dominates) and [`gemm_blocked`] otherwise.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if inner dimensions disagree.
+pub fn gemm_auto(a: &Matrix, b: &Matrix) -> Result<Matrix, DnnError> {
+    if a.rows() * a.cols() * b.cols() <= AUTO_NAIVE_MACS {
+        gemm_naive(a, b)
+    } else {
+        gemm_blocked(a, b)
+    }
+}
+
+/// The B operand of [`gemm_packed`], pre-transposed to column-major and
+/// pre-quantized to `T` so each output element is a contiguous-slice dot
+/// product with no per-MAC conversion.
+///
+/// Packing costs one pass over B; amortize it by packing once per layer
+/// and reusing across batches (what `PackedMlp` does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB<T> {
+    k: usize,
+    n: usize,
+    /// Column `j` of B stored contiguously at `data[j*k .. (j+1)*k]`.
+    data: Vec<T>,
+}
+
+impl<T: FixedNum> PackedB<T> {
+    /// Packs a row-major `B` (`k × n`).
+    #[must_use]
+    pub fn pack(b: &Matrix) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let b_s = b.as_slice();
+        let mut data = Vec::with_capacity(k * n);
+        for j in 0..n {
+            for kk in 0..k {
+                data.push(T::from_f32(b_s[kk * n + j]));
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Packs from `Bᵀ` (`n × k`, row-major) — a straight copy, since a
+    /// row-major transpose *is* the packed layout. Dense-layer weight
+    /// matrices (`out × in`) are exactly this shape.
+    #[must_use]
+    pub fn from_transposed(bt: &Matrix) -> Self {
+        let (n, k) = (bt.rows(), bt.cols());
+        let data = bt.as_slice().iter().map(|&w| T::from_f32(w)).collect();
+        PackedB { k, n, data }
+    }
+
+    /// Inner dimension `k` (rows of B).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension `n` (columns of B).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The packed column `j` as a contiguous slice of length `k`.
+    #[must_use]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.k..(j + 1) * self.k]
+    }
+}
+
+/// `C = A · B` over a pre-packed B, writing into caller-provided scratch
+/// (`c`, length `m·n`) — no allocation on the hot path.
+///
+/// `a` is row-major `m × k`. Each `C[i][j]` is [`dot`] over two contiguous
+/// slices, so results match [`gemv`] over the master weights bit for bit.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if `a` or `c` disagree with the
+/// packed shape.
+pub fn gemm_packed<T: FixedNum>(
+    a: &[T],
+    m: usize,
+    b: &PackedB<T>,
+    c: &mut [T],
+) -> Result<(), DnnError> {
+    if a.len() != m * b.k {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemm_packed input",
+            expected: m * b.k,
+            actual: a.len(),
+        });
+    }
+    if c.len() != m * b.n {
+        return Err(DnnError::ShapeMismatch {
+            context: "gemm_packed output",
+            expected: m * b.n,
+            actual: c.len(),
+        });
+    }
+    for i in 0..m {
+        let arow = &a[i * b.k..(i + 1) * b.k];
+        let crow = &mut c[i * b.n..(i + 1) * b.n];
+        for (j, slot) in crow.iter_mut().enumerate() {
+            *slot = dot(arow, b.col(j));
+        }
+    }
+    Ok(())
 }
 
 /// Multiply–accumulate operation count of a GEMM (2·m·k·n, the convention
@@ -165,11 +333,86 @@ mod tests {
     }
 
     #[test]
+    fn auto_matches_naive_at_both_scales() {
+        for (m, k, n) in [(4usize, 8usize, 4usize), (70, 65, 130)] {
+            let a = det_matrix(m, k, 0.37);
+            let b = det_matrix(k, n, 0.73);
+            let c1 = gemm_naive(&a, &b).unwrap();
+            let c2 = gemm_auto(&a, &b).unwrap();
+            for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_gemv_bit_for_bit() {
+        // The packed kernel and GEMV must agree *exactly*, not within a
+        // tolerance: predict_batch's bit-identical guarantee rests on it.
+        let w = det_matrix(33, 50, 0.19); // odd shapes exercise remainders
+        let packed_f: PackedB<f32> = PackedB::from_transposed(&w);
+        let packed_q16: PackedB<Q16> = PackedB::from_transposed(&w);
+        let packed_q32: PackedB<Q32> = PackedB::from_transposed(&w);
+        for batch in [1usize, 3, 8] {
+            let x_f: Vec<f32> = (0..batch * 50).map(|i| ((i as f32) * 0.23).cos() * 0.4).collect();
+
+            let mut c = vec![0.0f32; batch * 33];
+            gemm_packed(&x_f, batch, &packed_f, &mut c).unwrap();
+            for item in 0..batch {
+                let mut y = vec![0.0f32; 33];
+                gemv(&w, &x_f[item * 50..(item + 1) * 50], &mut y).unwrap();
+                for (a, b) in c[item * 33..(item + 1) * 33].iter().zip(&y) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "f32 batch {batch}");
+                }
+            }
+
+            let x_q: Vec<Q16> = x_f.iter().map(|&v| Q16::from_f32(v)).collect();
+            let mut c = vec![Q16::ZERO; batch * 33];
+            gemm_packed(&x_q, batch, &packed_q16, &mut c).unwrap();
+            for item in 0..batch {
+                let mut y = vec![Q16::ZERO; 33];
+                gemv(&w, &x_q[item * 50..(item + 1) * 50], &mut y).unwrap();
+                assert_eq!(&c[item * 33..(item + 1) * 33], &y[..], "Q16 batch {batch}");
+            }
+
+            let x_q: Vec<Q32> = x_f.iter().map(|&v| Q32::from_f32(v)).collect();
+            let mut c = vec![Q32::ZERO; batch * 33];
+            gemm_packed(&x_q, batch, &packed_q32, &mut c).unwrap();
+            for item in 0..batch {
+                let mut y = vec![Q32::ZERO; 33];
+                gemv(&w, &x_q[item * 50..(item + 1) * 50], &mut y).unwrap();
+                assert_eq!(&c[item * 33..(item + 1) * 33], &y[..], "Q32 batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_and_from_transposed_agree() {
+        let b = det_matrix(20, 13, 0.41);
+        let packed: PackedB<f32> = PackedB::pack(&b);
+        let packed_t: PackedB<f32> = PackedB::from_transposed(&b.transposed());
+        assert_eq!(packed, packed_t);
+        assert_eq!(packed.k(), 20);
+        assert_eq!(packed.n(), 13);
+        assert_eq!(packed.col(5)[3], b.get(3, 5));
+    }
+
+    #[test]
+    fn packed_shape_errors() {
+        let b: PackedB<f32> = PackedB::pack(&Matrix::zeros(4, 3));
+        let mut c = vec![0.0f32; 6];
+        assert!(gemm_packed(&[0.0f32; 7], 2, &b, &mut c).is_err());
+        let mut short = vec![0.0f32; 5];
+        assert!(gemm_packed(&[0.0f32; 8], 2, &b, &mut short).is_err());
+    }
+
+    #[test]
     fn gemm_rejects_bad_shapes() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         assert!(gemm_naive(&a, &b).is_err());
         assert!(gemm_blocked(&a, &b).is_err());
+        assert!(gemm_auto(&a, &b).is_err());
     }
 
     #[test]

@@ -7,13 +7,11 @@
 //! alternative model families, with the same shape discipline the FPGA
 //! dataflow would impose (equal-dim inputs for the reducing ops).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DnnError;
 
 /// How embedding vectors (and the dense branch) are combined into the top
 /// MLP's input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FeatureInteraction {
     /// Concatenate all vectors (the production models' choice; output
     /// width = Σ dims).
@@ -108,9 +106,7 @@ impl FeatureInteraction {
     pub fn apply(self, vectors: &[&[f32]]) -> Result<Vec<f32>, DnnError> {
         match self {
             FeatureInteraction::Concat => Ok(concat(vectors)),
-            FeatureInteraction::WeightedSum => {
-                weighted_sum(vectors, &vec![1.0; vectors.len()])
-            }
+            FeatureInteraction::WeightedSum => weighted_sum(vectors, &vec![1.0; vectors.len()]),
             FeatureInteraction::ElementwiseMul => elementwise_mul(vectors),
         }
     }
@@ -150,18 +146,9 @@ mod tests {
         assert_eq!(FeatureInteraction::ElementwiseMul.output_dim(4, 8), 4);
         let a = [1.0f32, 2.0];
         let b = [3.0f32, 4.0];
-        assert_eq!(
-            FeatureInteraction::Concat.apply(&[&a, &b]).unwrap(),
-            vec![1.0, 2.0, 3.0, 4.0]
-        );
-        assert_eq!(
-            FeatureInteraction::WeightedSum.apply(&[&a, &b]).unwrap(),
-            vec![4.0, 6.0]
-        );
-        assert_eq!(
-            FeatureInteraction::ElementwiseMul.apply(&[&a, &b]).unwrap(),
-            vec![3.0, 8.0]
-        );
+        assert_eq!(FeatureInteraction::Concat.apply(&[&a, &b]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(FeatureInteraction::WeightedSum.apply(&[&a, &b]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(FeatureInteraction::ElementwiseMul.apply(&[&a, &b]).unwrap(), vec![3.0, 8.0]);
         assert_eq!(FeatureInteraction::default(), FeatureInteraction::Concat);
     }
 }

@@ -1,8 +1,6 @@
 //! Dense (fully connected) layers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use microrec_rng::Rng;
 
 use crate::error::DnnError;
 use crate::fixed::FixedNum;
@@ -10,7 +8,7 @@ use crate::gemm::gemv;
 use crate::tensor::Matrix;
 
 /// Activation applied after a dense layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
@@ -37,7 +35,7 @@ impl Activation {
 /// The weights are stored in `f32`; quantized forward passes convert on the
 /// fly (matching the accelerator, which keeps a quantized copy of the same
 /// master weights in on-chip memory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayer {
     weights: Matrix,
     bias: Vec<f32>,
@@ -66,11 +64,10 @@ impl DenseLayer {
     /// seed.
     #[must_use]
     pub fn xavier(input: usize, output: usize, activation: Activation, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let bound = (6.0 / (input + output) as f32).sqrt();
-        let weights =
-            Matrix::from_fn(output, input, |_, _| rng.gen_range(-bound..bound));
-        let bias = (0..output).map(|_| rng.gen_range(-0.01..0.01f32)).collect();
+        let weights = Matrix::from_fn(output, input, |_, _| rng.gen_range_f32(-bound, bound));
+        let bias = (0..output).map(|_| rng.gen_range_f32(-0.01, 0.01)).collect();
         DenseLayer { weights, bias, activation }
     }
 

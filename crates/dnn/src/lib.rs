@@ -27,14 +27,21 @@ mod gemm;
 mod interaction;
 mod layer;
 mod mlp;
+mod packed;
 mod quant;
+mod scratch;
 mod tensor;
 
 pub use error::DnnError;
 pub use fixed::{FixedNum, Q16, Q32};
-pub use gemm::{gemm_blocked, gemm_flops, gemm_naive, gemv};
+pub use gemm::{
+    dot, dot_quantizing, gemm_auto, gemm_blocked, gemm_flops, gemm_naive, gemm_packed, gemv,
+    PackedB,
+};
 pub use interaction::{concat, elementwise_mul, weighted_sum, FeatureInteraction};
 pub use layer::{Activation, DenseLayer};
 pub use mlp::Mlp;
+pub use packed::PackedMlp;
 pub use quant::{QuantScale, QuantizedMlp};
+pub use scratch::ScratchArena;
 pub use tensor::Matrix;

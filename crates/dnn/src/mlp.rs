@@ -7,12 +7,11 @@
 //! the same network runs at `f32` (CPU reference) and Q-format (FPGA
 //! datapath).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DnnError;
 use crate::fixed::FixedNum;
-use crate::gemm::gemm_blocked;
 use crate::layer::{Activation, DenseLayer};
+use crate::packed::PackedMlp;
+use crate::scratch::ScratchArena;
 use crate::tensor::Matrix;
 
 /// A multi-layer perceptron.
@@ -29,7 +28,7 @@ use crate::tensor::Matrix;
 /// assert!(ctr > 0.0 && ctr < 1.0);
 /// # Ok::<(), microrec_dnn::DnnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<DenseLayer>,
 }
@@ -73,12 +72,7 @@ impl Mlp {
             layers.push(DenseLayer::xavier(prev, h as usize, Activation::Relu, seed + i as u64));
             prev = h as usize;
         }
-        layers.push(DenseLayer::xavier(
-            prev,
-            1,
-            Activation::Sigmoid,
-            seed + hidden.len() as u64,
-        ));
+        layers.push(DenseLayer::xavier(prev, 1, Activation::Sigmoid, seed + hidden.len() as u64));
         Mlp::new(layers)
     }
 
@@ -132,6 +126,18 @@ impl Mlp {
         self.layers.iter().map(DenseLayer::flops).sum()
     }
 
+    /// Widest activation vector in the network, input included — the
+    /// per-item scratch requirement of a forward pass.
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(DenseLayer::output_dim)
+            .chain(std::iter::once(self.input_dim()))
+            .max()
+            .expect("non-empty")
+    }
+
     /// Full forward pass at precision `T`.
     ///
     /// # Errors
@@ -143,6 +149,30 @@ impl Mlp {
             current = layer.forward_vec(&current)?;
         }
         Ok(current)
+    }
+
+    /// Forward pass through caller-owned scratch: after
+    /// [`ScratchArena::warm`]`(self.max_width())`, repeated calls perform
+    /// zero heap allocations. Bit-identical to [`Mlp::forward`].
+    ///
+    /// The result borrows `arena`; copy it out before the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if `input` has the wrong width.
+    pub fn forward_with<'a, T: FixedNum>(
+        &self,
+        input: &[T],
+        arena: &'a mut ScratchArena<T>,
+    ) -> Result<&'a [T], DnnError> {
+        arena.load(input);
+        for layer in &self.layers {
+            let (front, back) = arena.buffers();
+            back.resize(layer.output_dim(), T::ZERO);
+            layer.forward(front, back)?;
+            arena.swap();
+        }
+        Ok(arena.front())
     }
 
     /// Predicts the click-through rate for one `f32` feature vector.
@@ -165,8 +195,13 @@ impl Mlp {
         Ok(self.forward(&q)?[0].to_f32())
     }
 
-    /// Batched forward pass with the blocked GEMM kernel (the CPU
-    /// baseline's execution mode): `inputs` is `batch × input_dim`.
+    /// Batched forward pass on the packed GEMM kernel: `inputs` is
+    /// `batch × input_dim`; each row's result is bit-identical to
+    /// [`Mlp::predict_ctr`] on that row.
+    ///
+    /// This packs the weights per call — a serving loop should hold a
+    /// [`PackedMlp`] and a [`ScratchArena`] instead and pay the packing
+    /// cost once.
     ///
     /// # Errors
     ///
@@ -179,20 +214,11 @@ impl Mlp {
                 actual: inputs.cols(),
             });
         }
-        let mut current = inputs.clone();
-        for layer in &self.layers {
-            // X (batch x in) · Wᵀ (in x out) + b, then activation.
-            let wt = layer.weights().transposed();
-            let mut next = gemm_blocked(&current, &wt)?;
-            let bias = layer.bias();
-            let act = layer.activation();
-            let cols = next.cols();
-            for (i, v) in next.as_mut_slice().iter_mut().enumerate() {
-                *v = act.apply(*v + bias[i % cols]);
-            }
-            current = next;
-        }
-        Ok(current)
+        let packed: PackedMlp<f32> = PackedMlp::pack(self);
+        let mut arena = ScratchArena::new();
+        packed.warm(inputs.rows(), &mut arena);
+        let out = packed.forward_batch_into(inputs.as_slice(), inputs.rows(), &mut arena)?;
+        Matrix::from_vec(inputs.rows(), self.output_dim(), out.to_vec())
     }
 }
 
@@ -247,17 +273,35 @@ mod tests {
     fn batch_forward_matches_single() {
         let mlp = small_head();
         let rows = 5;
-        let inputs =
-            Matrix::from_fn(rows, 32, |r, c| ((r * 32 + c) as f32 * 0.1).sin() * 0.5);
+        let inputs = Matrix::from_fn(rows, 32, |r, c| ((r * 32 + c) as f32 * 0.1).sin() * 0.5);
         let batch = mlp.forward_batch(&inputs).unwrap();
         for r in 0..rows {
             let single = mlp.predict_ctr(inputs.row(r)).unwrap();
-            assert!(
-                (batch.get(r, 0) - single).abs() < 1e-4,
+            assert_eq!(
+                batch.get(r, 0).to_bits(),
+                single.to_bits(),
                 "row {r}: batch {} vs single {single}",
                 batch.get(r, 0)
             );
         }
+    }
+
+    #[test]
+    fn forward_with_matches_forward_and_reuses_arena() {
+        let mlp = small_head();
+        let mut arena = ScratchArena::<f32>::new();
+        arena.warm(mlp.max_width());
+        assert_eq!(mlp.max_width(), 64);
+        for k in 0..5 {
+            let x: Vec<f32> = (0..32).map(|i| ((i + k) as f32 * 0.2).sin() * 0.5).collect();
+            let alloc = mlp.forward::<f32>(&x).unwrap();
+            let scratch = mlp.forward_with(&x, &mut arena).unwrap();
+            assert_eq!(scratch.len(), alloc.len());
+            for (s, a) in scratch.iter().zip(&alloc) {
+                assert_eq!(s.to_bits(), a.to_bits());
+            }
+        }
+        assert!(mlp.forward_with(&[0.0f32; 31], &mut arena).is_err());
     }
 
     #[test]

@@ -11,14 +11,12 @@
 //! post-training-quantization recipe, and a measured extension beyond the
 //! paper's fixed-point choice.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DnnError;
 use crate::layer::Activation;
 use crate::mlp::Mlp;
 
 /// A symmetric per-tensor scale: `real = q * scale`, `q ∈ [-qmax, qmax]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantScale {
     /// Real value represented by the integer 1.
     pub scale: f32,
@@ -56,7 +54,7 @@ impl QuantScale {
 }
 
 /// One quantized dense layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct QuantizedLayer {
     /// Row-major quantized weights (`out × in`).
     weights: Vec<i32>,
@@ -114,7 +112,7 @@ impl QuantizedLayer {
 /// assert!(err < 0.1);
 /// # Ok::<(), microrec_dnn::DnnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMlp {
     layers: Vec<QuantizedLayer>,
     bits: u8,

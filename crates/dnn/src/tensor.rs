@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DnnError;
 
 /// A dense row-major `f32` matrix.
@@ -17,7 +15,7 @@ use crate::error::DnnError;
 /// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
 /// assert_eq!(m.get(0, 2), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

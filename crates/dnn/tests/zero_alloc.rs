@@ -1,0 +1,80 @@
+//! Proves the batched fast path performs zero heap allocations in steady
+//! state: after one warm-up call, repeated `forward_batch_into` /
+//! `forward_with` calls never touch the global allocator.
+//!
+//! A single `#[test]` keeps the process to one test thread, so the
+//! counting allocator's delta is attributable to the code under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_forward_never_allocates() {
+    use microrec_dnn::{Mlp, PackedMlp, ScratchArena, Q16};
+
+    let mlp = Mlp::top_mlp(64, &[128, 64], 7).unwrap();
+    let batch = 64usize;
+    let inputs: Vec<f32> = (0..batch * 64).map(|i| ((i as f32) * 0.013).sin() * 0.5).collect();
+
+    // Batched packed path, f32.
+    let packed: PackedMlp<f32> = PackedMlp::pack(&mlp);
+    let mut arena = ScratchArena::new();
+    packed.warm(batch, &mut arena);
+    let warm = packed.forward_batch_into(&inputs, batch, &mut arena).unwrap().to_vec();
+    let before = allocation_count();
+    for _ in 0..32 {
+        let out = packed.forward_batch_into(&inputs, batch, &mut arena).unwrap();
+        assert_eq!(out.len(), warm.len());
+    }
+    assert_eq!(allocation_count() - before, 0, "forward_batch_into allocated in steady state");
+
+    // Batched packed path, Q16 (a different element size through the arena).
+    let q: Vec<Q16> = inputs.iter().map(|&v| Q16::from_f32(v)).collect();
+    let packed_q: PackedMlp<Q16> = PackedMlp::pack(&mlp);
+    let mut arena_q = ScratchArena::new();
+    packed_q.warm(batch, &mut arena_q);
+    packed_q.forward_batch_into(&q, batch, &mut arena_q).unwrap();
+    let before = allocation_count();
+    for _ in 0..32 {
+        packed_q.forward_batch_into(&q, batch, &mut arena_q).unwrap();
+    }
+    assert_eq!(allocation_count() - before, 0, "Q16 forward_batch_into allocated in steady state");
+
+    // Single-query scratch path on the unpacked Mlp.
+    let x = &inputs[..64];
+    let mut arena1 = ScratchArena::new();
+    arena1.warm(mlp.max_width());
+    mlp.forward_with::<f32>(x, &mut arena1).unwrap();
+    let before = allocation_count();
+    for _ in 0..32 {
+        mlp.forward_with::<f32>(x, &mut arena1).unwrap();
+    }
+    assert_eq!(allocation_count() - before, 0, "forward_with allocated in steady state");
+}

@@ -36,10 +36,7 @@ use crate::table::EmbeddingTable;
 /// ```
 pub fn merged_row_index(sizes: &[u64], indices: &[u64]) -> Result<u64, EmbeddingError> {
     if sizes.len() != indices.len() {
-        return Err(EmbeddingError::ArityMismatch {
-            expected: sizes.len(),
-            actual: indices.len(),
-        });
+        return Err(EmbeddingError::ArityMismatch { expected: sizes.len(), actual: indices.len() });
     }
     let mut merged: u64 = 0;
     for (k, (&n, &i)) in sizes.iter().zip(indices).enumerate() {

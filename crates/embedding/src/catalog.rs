@@ -9,8 +9,6 @@
 //! transparent to the model: merged and unmerged catalogs produce identical
 //! feature vectors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cartesian::{merged_row_index, product_spec};
 use crate::error::EmbeddingError;
 use crate::precision::Precision;
@@ -21,7 +19,7 @@ use crate::table::EmbeddingTable;
 ///
 /// Each group lists ≥ 2 logical table indices; groups must be disjoint.
 /// Logical tables in no group remain their own physical table.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergePlan {
     /// Groups of logical table indices to merge, in product-member order.
     pub groups: Vec<Vec<usize>>,
@@ -80,7 +78,7 @@ impl MergePlan {
 }
 
 /// One physical table: a single logical table or a Cartesian product.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalTable {
     /// Spec of what is stored (product spec for merged tables).
     pub spec: TableSpec,
@@ -104,7 +102,7 @@ impl PhysicalTable {
 }
 
 /// One physical read produced by query resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhysicalLookup {
     /// Index into [`Catalog::physical_tables`].
     pub table: usize,
@@ -150,9 +148,7 @@ impl Catalog {
             .tables
             .iter()
             .enumerate()
-            .map(|(i, spec)| {
-                EmbeddingTable::procedural(spec.clone(), seed.wrapping_add(i as u64))
-            })
+            .map(|(i, spec)| EmbeddingTable::procedural(spec.clone(), seed.wrapping_add(i as u64)))
             .collect();
         Self::from_tables(tables, plan)
     }
@@ -441,3 +437,5 @@ mod tests {
         assert_eq!(from_product, expect);
     }
 }
+
+microrec_json::impl_json_struct!(MergePlan, required { groups });

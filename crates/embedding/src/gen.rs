@@ -8,8 +8,7 @@
 //! mid tier, and a long tail of tiny tables — with exact control over
 //! table count and concatenated feature length.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use microrec_rng::Rng;
 
 use crate::error::EmbeddingError;
 use crate::spec::{ModelSpec, TableSpec};
@@ -61,7 +60,7 @@ pub fn synthetic_model(config: &SyntheticModelConfig) -> Result<ModelSpec, Embed
             "synthetic models need at least 4 tables".into(),
         ));
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let n_giant = (config.tables / 20).max(1);
     let n_mid = (config.tables / 4).max(1);
     let n_tail = config.tables - n_giant - n_mid;
@@ -113,9 +112,9 @@ pub fn synthetic_model(config: &SyntheticModelConfig) -> Result<ModelSpec, Embed
 }
 
 /// A log-uniform sample in `[lo, hi]`.
-fn log_uniform(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+fn log_uniform(rng: &mut Rng, lo: u64, hi: u64) -> u64 {
     let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
-    (rng.gen_range(llo..lhi).exp() as u64).clamp(lo, hi)
+    (rng.gen_range_f64(llo, lhi).exp() as u64).clamp(lo, hi)
 }
 
 #[cfg(test)]
@@ -131,8 +130,7 @@ mod tests {
         let target = 1.3e9;
         assert!((bytes - target).abs() / target < 0.1, "total {bytes:.2e}");
         // Tier skew: the biggest table dominates.
-        let biggest =
-            model.tables.iter().map(|t| t.bytes(Precision::F32)).max().unwrap() as f64;
+        let biggest = model.tables.iter().map(|t| t.bytes(Precision::F32)).max().unwrap() as f64;
         assert!(biggest / bytes > 0.3);
     }
 
@@ -141,11 +139,9 @@ mod tests {
         let a = synthetic_model(&SyntheticModelConfig::default()).unwrap();
         let b = synthetic_model(&SyntheticModelConfig::default()).unwrap();
         assert_eq!(a, b);
-        let c = synthetic_model(&SyntheticModelConfig {
-            seed: 8,
-            ..SyntheticModelConfig::default()
-        })
-        .unwrap();
+        let c =
+            synthetic_model(&SyntheticModelConfig { seed: 8, ..SyntheticModelConfig::default() })
+                .unwrap();
         assert_ne!(a, c);
     }
 
@@ -181,11 +177,7 @@ mod tests {
     fn generated_models_place_on_u280_shapes() {
         // The tail must contain genuinely tiny tables (on-chip candidates).
         let model = synthetic_model(&SyntheticModelConfig::default()).unwrap();
-        let tiny = model
-            .tables
-            .iter()
-            .filter(|t| t.bytes(Precision::F32) <= 4 * 1024)
-            .count();
+        let tiny = model.tables.iter().filter(|t| t.bytes(Precision::F32) <= 4 * 1024).count();
         assert!(tiny >= 3, "expected several on-chip-sized tables, got {tiny}");
     }
 }

@@ -31,8 +31,8 @@
 
 pub mod cartesian;
 mod catalog;
-mod gen;
 mod error;
+mod gen;
 mod precision;
 mod spec;
 mod table;

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Numeric precision of embedding elements and DNN arithmetic.
 ///
 /// The paper evaluates the accelerator at 16-bit and 32-bit fixed point
 /// (Table 2) while the CPU baseline and embedding storage use 32-bit floats
 /// (Table 4 notes "the same element data width of 32-bits").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// IEEE-754 single precision (CPU baseline, reference path).
     F32,
@@ -77,3 +75,5 @@ mod tests {
         assert_eq!(Precision::Fixed16.to_string(), "fixed16");
     }
 }
+
+microrec_json::impl_json_enum!(Precision { F32, Fixed16, Fixed32 });

@@ -9,8 +9,6 @@
 //! long tail of tiny ones) — which are the only quantities the paper's
 //! results depend on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::EmbeddingError;
 use crate::precision::Precision;
 
@@ -25,7 +23,7 @@ use crate::precision::Precision;
 /// assert_eq!(t.row_bytes(Precision::F32), 128);
 /// assert_eq!(t.bytes(Precision::F32), 4_000_000 * 128);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TableSpec {
     /// Table name, unique within a model.
     pub name: String,
@@ -58,7 +56,7 @@ impl TableSpec {
 /// Specification of a full deep recommendation model (Figure 1 of the
 /// paper, without bottom fully-connected layers — the production models the
 /// paper targets feed raw embeddings straight into the top MLP).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// Model name.
     pub name: String,
@@ -71,7 +69,6 @@ pub struct ModelSpec {
     /// concatenation (empty = dense features pass through raw, the
     /// Wide&Deep / Alibaba style; non-empty = the Facebook/DLRM style of
     /// Gupta et al. 2020b).
-    #[serde(default)]
     pub bottom_hidden: Vec<u32>,
     /// Hidden layer widths of the top MLP, e.g. `[1024, 512, 256]`.
     pub hidden: Vec<u32>,
@@ -211,8 +208,9 @@ impl ModelSpec {
             tables.push(TableSpec::new(format!("mid{i:02}_d16"), rows, 16));
         }
         // Tier 3: dim 8.
-        for (i, rows) in
-            [100_000u64, 50_000, 30_000, 20_000, 10_000, 5_000, 2_000, 1_000].into_iter().enumerate()
+        for (i, rows) in [100_000u64, 50_000, 30_000, 20_000, 10_000, 5_000, 2_000, 1_000]
+            .into_iter()
+            .enumerate()
         {
             tables.push(TableSpec::new(format!("sml{i:02}_d8"), rows, 8));
         }
@@ -274,8 +272,8 @@ impl ModelSpec {
         // 30 × dim 8: 200k down to 1k.
         let d8_rows = [
             200_000u64, 160_000, 130_000, 100_000, 80_000, 65_000, 50_000, 40_000, 32_000, 25_000,
-            20_000, 16_000, 13_000, 10_000, 8_000, 6_500, 5_000, 4_000, 3_200, 2_500, 2_000,
-            1_800, 1_600, 1_500, 1_400, 1_300, 1_200, 1_100, 1_050, 1_000,
+            20_000, 16_000, 13_000, 10_000, 8_000, 6_500, 5_000, 4_000, 3_200, 2_500, 2_000, 1_800,
+            1_600, 1_500, 1_400, 1_300, 1_200, 1_100, 1_050, 1_000,
         ];
         for (i, rows) in d8_rows.into_iter().enumerate() {
             tables.push(TableSpec::new(format!("sml{i:02}_d8"), rows, 8));
@@ -315,12 +313,7 @@ impl ModelSpec {
         let specs = (0..tables)
             .map(|i| TableSpec::new(format!("rmc2_{i:02}_d{dim}"), 500_000, dim))
             .collect();
-        ModelSpec::new(
-            format!("dlrm-rmc2-{tables}t-d{dim}"),
-            specs,
-            vec![1024, 512, 256],
-            4,
-        )
+        ModelSpec::new(format!("dlrm-rmc2-{tables}t-d{dim}"), specs, vec![1024, 512, 256], 4)
     }
 
     /// A Facebook-style DLRM with a bottom MLP (Gupta et al. 2020b; the
@@ -445,3 +438,10 @@ mod tests {
         assert_eq!(t.bytes(Precision::F32), 64_000);
     }
 }
+
+microrec_json::impl_json_struct!(TableSpec, required { name, rows, dim });
+microrec_json::impl_json_struct!(
+    ModelSpec,
+    required { name, tables, dense_dim, hidden, lookups_per_table },
+    default { bottom_hidden }
+);

@@ -11,14 +11,12 @@
 //!   Procedural tables are bit-reproducible, so functional identities (e.g.
 //!   Cartesian row = concatenation of member rows) remain exactly testable.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::EmbeddingError;
 use crate::precision::Precision;
 use crate::spec::TableSpec;
 
 /// Backing storage of an [`EmbeddingTable`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum TableData {
     Materialized(Vec<f32>),
     Procedural { seed: u64 },
@@ -41,7 +39,7 @@ enum TableData {
 /// assert_eq!(row, again);
 /// # Ok::<(), microrec_embedding::EmbeddingError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingTable {
     spec: TableSpec,
     data: TableData,
@@ -169,9 +167,7 @@ impl EmbeddingTable {
             });
         }
         Ok(match &self.data {
-            TableData::Materialized(v) => {
-                v[row as usize * self.spec.dim as usize + col as usize]
-            }
+            TableData::Materialized(v) => v[row as usize * self.spec.dim as usize + col as usize],
             TableData::Procedural { seed } => procedural_value(*seed, row, col),
         })
     }

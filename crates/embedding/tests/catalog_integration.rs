@@ -19,10 +19,7 @@ fn three_way_merge_group_is_transparent() {
     let unmerged = Catalog::from_tables(tables, &MergePlan::none()).unwrap();
     assert_eq!(merged.physical_tables().len(), 3);
     for indices in [[0u64, 0, 0, 0, 0], [3, 4, 5, 6, 7], [1, 2, 3, 4, 5]] {
-        assert_eq!(
-            merged.gather_vec(&indices).unwrap(),
-            unmerged.gather_vec(&indices).unwrap()
-        );
+        assert_eq!(merged.gather_vec(&indices).unwrap(), unmerged.gather_vec(&indices).unwrap());
     }
     // Resolution count drops by two.
     assert_eq!(merged.resolve(&[0; 5]).unwrap().len(), 3);

@@ -1,0 +1,857 @@
+//! # microrec-json
+//!
+//! A small, dependency-free JSON library standing in for
+//! `serde`/`serde_json` (the build environment has no registry access).
+//! It provides a [`Json`] value tree, a strict parser, compact and pretty
+//! writers, and [`ToJson`]/[`FromJson`] traits with `macro_rules!` helpers
+//! ([`impl_json_struct!`], [`impl_json_enum!`]) so workspace types keep
+//! serde-derive-compatible wire shapes: structs become objects keyed by
+//! field name, unit enums become their variant name as a string.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Integers keep full 64-bit precision (`UInt`/`Int`) instead of lossy
+/// `f64`, which matters for picosecond timestamps and byte capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer literal.
+    UInt(u64),
+    /// A negative integer literal.
+    Int(i64),
+    /// A number with a fraction or exponent, or out of 64-bit range.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// An error produced while parsing or decoding JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl JsonError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+
+    /// The standard "missing field" error used by [`impl_json_struct!`].
+    #[must_use]
+    pub fn missing_field(name: &str) -> Self {
+        JsonError(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            Json::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(v) => Some(v),
+            Json::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(v) => Some(v as f64),
+            Json::Int(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    /// Serializes without whitespace.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation (serde_json pretty style).
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest digits that round-trip the value.
+        let s = format!("{v:?}");
+        out.push_str(&s);
+    } else {
+        // JSON has no NaN/Infinity literals; serde_json writes null too.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(JsonError::new(format!("unexpected `{}` at byte {}", other as char, self.pos)))
+            }
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(JsonError::new("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("invalid codepoint"))?,
+                            );
+                        }
+                        other => {
+                            return Err(JsonError::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::new("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if integral {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(signed) = i64::try_from(v) {
+                        return Ok(Json::Int(-signed));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+    }
+}
+
+/// Converts a value into a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstructs a value from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Decodes the value, failing with a descriptive [`JsonError`].
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes to a compact JSON string (cf. `serde_json::to_string`).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_compact()
+}
+
+/// Serializes to an indented JSON string (cf. `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_pretty()
+}
+
+/// Parses a value from JSON text (cf. `serde_json::from_str`).
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::UInt(u64::from(*self))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let v = json
+                    .as_u64()
+                    .ok_or_else(|| JsonError::new(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(v)
+                    .map_err(|_| JsonError::new(concat!(stringify!($ty), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let v = json.as_u64().ok_or_else(|| JsonError::new("expected usize"))?;
+        usize::try_from(v).map_err(|_| JsonError::new("usize out of range"))
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        if *self >= 0 {
+            Json::UInt(*self as u64)
+        } else {
+            Json::Int(*self)
+        }
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_i64().ok_or_else(|| JsonError::new("expected i64"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64().ok_or_else(|| JsonError::new("expected f64"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // f32 -> f64 is exact, so the written digits round-trip.
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64().map(|v| v as f32).ok_or_else(|| JsonError::new("expected f32"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool().ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str().map(str::to_string).ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct as an object keyed by
+/// field names, matching serde-derive's wire shape. Fields in `required`
+/// must be present when decoding; fields in `default` fall back to
+/// `Default::default()` when missing (serde's `#[serde(default)]`).
+///
+/// ```
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Point { x: u32, y: u32, label: String }
+/// microrec_json::impl_json_struct!(Point, required { x, y }, default { label });
+///
+/// let p: Point = microrec_json::from_str(r#"{"x":1,"y":2}"#).unwrap();
+/// assert_eq!(p, Point { x: 1, y: 2, label: String::new() });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:path, required { $($req:ident),* $(,)? }) => {
+        $crate::impl_json_struct!($ty, required { $($req),* }, default {});
+    };
+    ($ty:path, required { $($req:ident),* $(,)? }, default { $($opt:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let obj: Vec<(String, $crate::Json)> = vec![
+                    $((
+                        stringify!($req).to_string(),
+                        $crate::ToJson::to_json(&self.$req),
+                    ),)*
+                    $((
+                        stringify!($opt).to_string(),
+                        $crate::ToJson::to_json(&self.$opt),
+                    ),)*
+                ];
+                $crate::Json::Obj(obj)
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $(let $req = match json.get(stringify!($req)) {
+                    Some(v) => $crate::FromJson::from_json(v)?,
+                    None => {
+                        return Err($crate::JsonError::missing_field(stringify!($req)))
+                    }
+                };)*
+                $(let $opt = match json.get(stringify!($opt)) {
+                    Some(v) => $crate::FromJson::from_json(v)?,
+                    None => Default::default(),
+                };)*
+                Ok(Self { $($req,)* $($opt,)* })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a unit enum as its variant name
+/// serialized as a string, matching serde-derive's wire shape for
+/// field-less enums (e.g. `MemoryKind::Hbm` ⇄ `"Hbm"`).
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:path { $($variant:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $(Self::$variant => $crate::Json::Str(stringify!($variant).to_string()),)*
+                }
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match json.as_str() {
+                    $(Some(stringify!($variant)) => Ok(Self::$variant),)*
+                    Some(other) => Err($crate::JsonError::new(format!(
+                        "unknown {} variant `{}`",
+                        stringify!($ty),
+                        other
+                    ))),
+                    None => Err($crate::JsonError::new(concat!(
+                        "expected string for ",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("\"hi\\n\\u0041\"").unwrap(), Json::Str("hi\nA".to_string()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn full_u64_precision_survives() {
+        let big = u64::MAX;
+        let text = Json::UInt(big).to_compact();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1_f64, 1.0 / 3.0, 1e-300, 123456.789, -2.5e10] {
+            let text = Json::Float(v).to_compact();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(v), "{text}");
+        }
+        for v in [0.1_f32, 1.0 / 3.0, 3.402e38] {
+            let decoded: f32 = from_str(&to_string(&v)).unwrap();
+            assert_eq!(decoded.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"name":"u280","banks":[{"id":1},{"id":2}],"ok":true,"gap":null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_compact(), text);
+        let pretty = v.to_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"banks\": ["));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\t quote\" slash\\ newline\n unicode \u{1F600} control\u{1}";
+        let text = Json::Str(original.to_string()).to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(original.to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("\u{1F600}".to_string()));
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        rows: u64,
+        dim: u32,
+        name: String,
+        tags: Vec<String>,
+        extra: Option<u32>,
+        weight: f64,
+    }
+
+    impl_json_struct!(Demo, required { rows, dim, name, tags, weight }, default { extra });
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Kind {
+        Bram,
+        Hbm,
+        Ddr,
+    }
+
+    impl_json_enum!(Kind { Bram, Hbm, Ddr });
+
+    #[test]
+    fn struct_macro_round_trips() {
+        let demo = Demo {
+            rows: 1 << 40,
+            dim: 64,
+            name: "emb_0".to_string(),
+            tags: vec!["a".to_string(), "b".to_string()],
+            extra: Some(9),
+            weight: 0.125,
+        };
+        let text = to_string(&demo);
+        let back: Demo = from_str(&text).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn default_fields_may_be_missing_but_required_may_not() {
+        let legacy = r#"{"rows":5,"dim":2,"name":"t","tags":[],"weight":1.0}"#;
+        let demo: Demo = from_str(legacy).unwrap();
+        assert_eq!(demo.extra, None);
+
+        let broken = r#"{"rows":5,"dim":2,"name":"t","weight":1.0}"#;
+        let err = from_str::<Demo>(broken).unwrap_err();
+        assert!(err.to_string().contains("missing field `tags`"), "{err}");
+    }
+
+    #[test]
+    fn enum_macro_uses_variant_names() {
+        assert_eq!(to_string(&Kind::Hbm), "\"Hbm\"");
+        assert_eq!(from_str::<Kind>("\"Ddr\"").unwrap(), Kind::Ddr);
+        assert!(from_str::<Kind>("\"Sram\"").is_err());
+        assert!(from_str::<Kind>("3").is_err());
+    }
+}

@@ -7,14 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::MemsimError;
 use crate::time::SimTime;
 use crate::timing::MemTiming;
 
 /// The memory technology a bank belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemoryKind {
     // Declaration order is fastest-to-slowest for a short read, so the
     // derived `Ord` sorts on-chip banks before DRAM.
@@ -69,7 +67,7 @@ impl fmt::Display for MemoryKind {
 /// assert_eq!(b.to_string(), "HBM[7]");
 /// assert!(b.kind.is_dram());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BankId {
     /// Technology of the bank.
     pub kind: MemoryKind,
@@ -92,7 +90,7 @@ impl fmt::Display for BankId {
 }
 
 /// A named allocation inside a bank (e.g. one embedding table).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     /// Caller-chosen label, typically the table name.
     pub label: String,
@@ -103,7 +101,7 @@ pub struct Region {
 }
 
 /// One memory bank: capacity ledger plus timing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bank {
     id: BankId,
     capacity: u64,
@@ -204,9 +202,7 @@ impl Bank {
     pub fn release(&mut self, label: &str) -> Result<Region, MemsimError> {
         match self.regions.iter().position(|r| r.label == label) {
             Some(pos) => Ok(self.regions.remove(pos)),
-            None => {
-                Err(MemsimError::UnknownRegion { bank: self.id, label: label.to_string() })
-            }
+            None => Err(MemsimError::UnknownRegion { bank: self.id, label: label.to_string() }),
         }
     }
 
@@ -333,3 +329,6 @@ mod tests {
         assert!(a < b, "BRAM sorts before HBM");
     }
 }
+
+microrec_json::impl_json_enum!(MemoryKind { Bram, Uram, Hbm, Ddr });
+microrec_json::impl_json_struct!(BankId, required { kind, index });

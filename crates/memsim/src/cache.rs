@@ -9,14 +9,12 @@
 //! parallelism helps unconditionally (the `rowbuffer` bench tells the
 //! story).
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::BankId;
 use crate::rowstate::AddressedRead;
 use crate::time::SimTime;
 
 /// Configuration of the hot-entry cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets.
     pub sets: usize,
@@ -33,12 +31,7 @@ impl CacheConfig {
     /// roughly RecNMP's per-rank cache budget.
     #[must_use]
     pub fn recnmp_1mb() -> Self {
-        CacheConfig {
-            sets: 4096,
-            ways: 4,
-            entry_bytes: 64,
-            hit_latency: SimTime::from_ns(10.0),
-        }
+        CacheConfig { sets: 4096, ways: 4, entry_bytes: 64, hit_latency: SimTime::from_ns(10.0) }
     }
 
     /// Total capacity in bytes.
@@ -49,7 +42,7 @@ impl CacheConfig {
 }
 
 /// One cache line's tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Tag {
     bank: BankId,
     block: u64,
@@ -103,9 +96,9 @@ impl EntryCache {
     pub fn access(&mut self, read: &AddressedRead) -> Option<SimTime> {
         self.clock += 1;
         let block = read.offset / u64::from(self.config.entry_bytes.max(1));
-        let set_idx = ((block ^ (u64::from(read.bank.index) << 40)
-            ^ ((read.bank.kind as u64) << 56))
-            % self.sets.len() as u64) as usize;
+        let set_idx =
+            ((block ^ (u64::from(read.bank.index) << 40) ^ ((read.bank.kind as u64) << 56))
+                % self.sets.len() as u64) as usize;
         let set = &mut self.sets[set_idx];
         if let Some(tag) = set.iter_mut().find(|t| t.bank == read.bank && t.block == block) {
             tag.last_use = self.clock;
@@ -231,11 +224,7 @@ mod tests {
         let mut c = EntryCache::new(CacheConfig::recnmp_1mb());
         // 90% of accesses to 100 hot entries, 10% to a huge tail.
         for i in 0..10_000u64 {
-            let offset = if i % 10 != 0 {
-                (i % 100) * 64
-            } else {
-                1_000_000 + i * 6400
-            };
+            let offset = if i % 10 != 0 { (i % 100) * 64 } else { 1_000_000 + i * 6400 };
             c.access(&read((i % 4) as u16, offset));
         }
         assert!(c.hit_rate() > 0.8, "hit rate {}", c.hit_rate());

@@ -5,13 +5,11 @@
 //! evaluates: the Xilinx Alveo U280 accelerator card and a conventional
 //! 8-channel CPU server.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::{Bank, BankId, MemoryKind};
 use crate::timing::MemTiming;
 
 /// Specification of one bank within a [`MemoryConfig`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BankSpec {
     /// The bank's identity.
     pub id: BankId,
@@ -33,7 +31,7 @@ pub struct BankSpec {
 /// assert_eq!(u280.banks_of_kind(MemoryKind::Ddr).count(), 2);
 /// assert!(u280.dram_channel_count() == 34);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryConfig {
     /// Platform label, e.g. `"Alveo U280"`.
     pub name: String,
@@ -209,3 +207,6 @@ mod tests {
         assert!(c.bank_spec(BankId::new(MemoryKind::Hbm, 32)).is_none());
     }
 }
+
+microrec_json::impl_json_struct!(BankSpec, required { id, capacity, timing });
+microrec_json::impl_json_struct!(MemoryConfig, required { name, banks });

@@ -10,8 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::{Bank, BankId};
 use crate::config::MemoryConfig;
 use crate::error::MemsimError;
@@ -20,7 +18,7 @@ use crate::stats::AccessStats;
 use crate::time::SimTime;
 
 /// One read request against the hybrid memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReadRequest {
     /// Target bank.
     pub bank: BankId,
@@ -38,7 +36,7 @@ impl ReadRequest {
 }
 
 /// Outcome of a parallel read batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchTiming {
     /// Wall-clock time for the whole batch (bottleneck bank).
     pub elapsed: SimTime,
@@ -286,8 +284,11 @@ mod tests {
     fn co_located_reads_serialize_into_rounds() {
         let mut m = mem();
         // 2 reads on bank 0, 1 read on bank 1 -> two rounds.
-        let reqs =
-            [ReadRequest::new(hbm(0), 64), ReadRequest::new(hbm(0), 64), ReadRequest::new(hbm(1), 64)];
+        let reqs = [
+            ReadRequest::new(hbm(0), 64),
+            ReadRequest::new(hbm(0), 64),
+            ReadRequest::new(hbm(1), 64),
+        ];
         let batch = m.parallel_read(&reqs).unwrap();
         let single = m.bank(hbm(0)).unwrap().read_time(64);
         assert_eq!(batch.elapsed, single * 2);
@@ -308,10 +309,7 @@ mod tests {
         let mut m = mem();
         let bogus = ReadRequest::new(BankId::new(MemoryKind::Hbm, 99), 64);
         let ok = ReadRequest::new(hbm(0), 64);
-        assert!(matches!(
-            m.parallel_read(&[ok, bogus]),
-            Err(MemsimError::UnknownBank(_))
-        ));
+        assert!(matches!(m.parallel_read(&[ok, bogus]), Err(MemsimError::UnknownBank(_))));
         assert_eq!(m.stats().total().reads, 0, "failed batch must not record stats");
     }
 
@@ -349,8 +347,7 @@ mod tests {
     fn addressed_reads_hit_open_rows_only_under_open_page() {
         use crate::rowstate::{AddressedRead, RowPolicy};
         let mut m = mem();
-        let reads =
-            [AddressedRead::new(hbm(0), 128, 64), AddressedRead::new(hbm(0), 160, 64)];
+        let reads = [AddressedRead::new(hbm(0), 128, 64), AddressedRead::new(hbm(0), 160, 64)];
         // Closed page: both pay full activations.
         let t_closed = m.parallel_read_addressed(&reads).unwrap();
         m.set_row_policy(RowPolicy::OpenPage);

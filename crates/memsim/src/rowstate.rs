@@ -9,14 +9,12 @@
 //! the engine can quantify how much locality CPU-style caching could ever
 //! recover — and why MicroRec's parallelism wins regardless.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::BankId;
 use crate::time::SimTime;
 use crate::timing::MemTiming;
 
 /// DRAM page (row-buffer) management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RowPolicy {
     /// Close the row after every access: every read pays the activation.
     /// This is the conservative default matching the paper's model.
@@ -30,7 +28,7 @@ pub enum RowPolicy {
 /// A read with an explicit byte address inside its bank (needed for
 /// row-buffer modelling; the plain [`ReadRequest`](crate::ReadRequest)
 /// carries only a size).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddressedRead {
     /// Target bank.
     pub bank: BankId,
@@ -60,7 +58,7 @@ impl AddressedRead {
 }
 
 /// Row-buffer state of one bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RowState {
     open_row: Option<u64>,
 }

@@ -14,12 +14,10 @@
 //! `controller` bench — the answer informs the paper's "future work" of
 //! faster lookups more than any data-structure change.)
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// JEDEC-style timing parameters of one channel's internals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetailedTiming {
     /// Row activate to column command (tRCD).
     pub t_rcd: SimTime,
@@ -80,14 +78,12 @@ impl DetailedTiming {
     /// resolve at 4-byte granularity).
     #[must_use]
     pub fn axi_time(&self, bytes: u32) -> SimTime {
-        SimTime::from_ps(
-            (u128::from(self.t_axi32.as_ps()) * u128::from(bytes.max(1)) / 32) as u64,
-        )
+        SimTime::from_ps((u128::from(self.t_axi32.as_ps()) * u128::from(bytes.max(1)) / 32) as u64)
     }
 }
 
 /// One request to the scheduler: which internal bank/row, how many bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankRequest {
     /// Internal bank index (`< DetailedTiming::banks`).
     pub bank: usize,
@@ -99,7 +95,7 @@ pub struct BankRequest {
 }
 
 /// Outcome of scheduling a request stream on one channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleResult {
     /// Completion time of each request, in submission order.
     pub completions: Vec<SimTime>,
@@ -108,7 +104,7 @@ pub struct ScheduleResult {
 }
 
 /// Scheduling discipline of the channel front end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
     /// One outstanding request at a time — the blocking AXI-master
     /// behaviour of the paper's HLS controller (and of this crate's coarse
@@ -193,10 +189,7 @@ mod tests {
         for bytes in [16u32, 32, 64, 128, 256] {
             let d = detailed.single_access(bytes).as_ns();
             let c = coarse.access_time(bytes).as_ns();
-            assert!(
-                (d - c).abs() / c < 0.02,
-                "detailed {d:.0} vs coarse {c:.0} at {bytes} B"
-            );
+            assert!((d - c).abs() / c < 0.02, "detailed {d:.0} vs coarse {c:.0} at {bytes} B");
         }
     }
 
@@ -215,8 +208,7 @@ mod tests {
     fn bank_parallel_overlaps_distinct_banks() {
         let t = DetailedTiming::hbm2();
         let serial = schedule_channel(&t, SchedulerPolicy::SerialAxi, &reqs(4, 64)).makespan;
-        let parallel =
-            schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(4, 64)).makespan;
+        let parallel = schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(4, 64)).makespan;
         assert!(
             parallel.as_ns() < serial.as_ns() * 0.5,
             "bank parallelism should at least halve 4-deep service: {parallel} vs {serial}"
@@ -231,8 +223,7 @@ mod tests {
         let t = DetailedTiming::hbm2();
         let same_bank: Vec<BankRequest> =
             (0..4).map(|i| BankRequest { bank: 0, row: i, bytes: 64 }).collect();
-        let parallel =
-            schedule_channel(&t, SchedulerPolicy::BankParallel, &same_bank).makespan;
+        let parallel = schedule_channel(&t, SchedulerPolicy::BankParallel, &same_bank).makespan;
         let spread = schedule_channel(&t, SchedulerPolicy::BankParallel, &reqs(4, 64)).makespan;
         assert!(parallel > spread, "bank conflicts must cost: {parallel} vs {spread}");
     }

@@ -2,13 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::{BankId, MemoryKind};
 use crate::time::SimTime;
 
 /// Counters for one bank.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BankStats {
     /// Number of read accesses serviced.
     pub reads: u64,
@@ -57,7 +55,7 @@ impl BankStats {
 }
 
 /// Statistics across the whole hybrid memory.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AccessStats {
     per_bank: BTreeMap<BankId, BankStats>,
 }

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A span of simulated time, stored as integer picoseconds.
 ///
 /// `SimTime` is used both for instants (time since simulation start) and for
@@ -27,9 +25,7 @@ use serde::{Deserialize, Serialize};
 /// let total = activate + burst;
 /// assert!((total.as_ns() - 58.3).abs() < 1e-9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -240,6 +236,22 @@ impl fmt::Display for SimTime {
         } else {
             write!(f, "{:.3} ms", self.as_ms())
         }
+    }
+}
+
+impl microrec_json::ToJson for SimTime {
+    fn to_json(&self) -> microrec_json::Json {
+        // Serialized as the bare picosecond count, matching the integer
+        // newtype wire format the repo's JSON fixtures use.
+        microrec_json::Json::UInt(self.0)
+    }
+}
+
+impl microrec_json::FromJson for SimTime {
+    fn from_json(json: &microrec_json::Json) -> Result<Self, microrec_json::JsonError> {
+        json.as_u64()
+            .map(SimTime)
+            .ok_or_else(|| microrec_json::JsonError::new("expected picosecond integer"))
     }
 }
 

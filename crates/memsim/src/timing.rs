@@ -20,8 +20,6 @@
 //! a linear fit resolves to ≈ 313 ns base + ≈ 1.31 ns/byte. On-chip reads
 //! take "about 1/3" of a DRAM read (§3.2.2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// Timing parameters of one memory technology.
@@ -36,7 +34,7 @@ use crate::time::SimTime;
 /// let t = hbm.access_time(64);
 /// assert!(t.as_ns() > 300.0 && t.as_ns() < 450.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemTiming {
     /// Human-readable technology label (e.g. `"HBM2"`).
     pub label: String,
@@ -217,3 +215,8 @@ mod tests {
         assert!((15e9..25e9).contains(&bw), "bandwidth {bw:.2e}");
     }
 }
+
+microrec_json::impl_json_struct!(
+    MemTiming,
+    required { label, base_latency, port_bytes, port_hz, row_bytes }
+);

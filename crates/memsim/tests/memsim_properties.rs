@@ -1,7 +1,7 @@
-//! Property-based tests for the memory simulator's core invariants.
+//! Randomized tests for the memory simulator's core invariants, driven by
+//! a seeded RNG so every run is reproducible.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use microrec_rng::Rng;
 
 use microrec_memsim::{
     AddressedRead, BankId, HybridMemory, MemTiming, MemoryConfig, MemoryKind, ReadRequest,
@@ -17,28 +17,34 @@ fn timings() -> Vec<MemTiming> {
     ]
 }
 
-proptest! {
-    /// Access time is monotone in payload size for every technology.
-    #[test]
-    fn access_time_monotone(a in 1u32..100_000, b in 1u32..100_000) {
+/// Access time is monotone in payload size for every technology.
+#[test]
+fn access_time_monotone() {
+    let mut rng = Rng::seed_from_u64(0xACCE);
+    for _ in 0..256 {
+        let a = rng.gen_range_u64(1, 100_000) as u32;
+        let b = rng.gen_range_u64(1, 100_000) as u32;
         let (lo, hi) = (a.min(b), a.max(b));
         for t in timings() {
-            prop_assert!(t.access_time(lo) <= t.access_time(hi), "{}", t.label);
-            prop_assert!(t.access_time_row_hit(lo) <= t.access_time_row_hit(hi));
-            prop_assert!(t.access_time_row_hit(hi) < t.access_time(hi));
+            assert!(t.access_time(lo) <= t.access_time(hi), "{}", t.label);
+            assert!(t.access_time_row_hit(lo) <= t.access_time_row_hit(hi));
+            assert!(t.access_time_row_hit(hi) < t.access_time(hi));
         }
     }
+}
 
-    /// A batch's elapsed time equals the maximum per-bank serial time and
-    /// never exceeds the sum of all access times.
-    #[test]
-    fn batch_elapsed_is_bank_maximum(
-        picks in vec((0u16..34, 4u32..512), 1..40),
-    ) {
+/// A batch's elapsed time equals the maximum per-bank serial time and
+/// never exceeds the sum of all access times.
+#[test]
+fn batch_elapsed_is_bank_maximum() {
+    let mut rng = Rng::seed_from_u64(0xBA7C);
+    for _ in 0..64 {
+        let count = rng.gen_range_usize(1, 40);
         let mut mem = HybridMemory::new(MemoryConfig::u280());
-        let requests: Vec<ReadRequest> = picks
-            .iter()
-            .map(|&(bank, bytes)| {
+        let requests: Vec<ReadRequest> = (0..count)
+            .map(|_| {
+                let bank = rng.gen_range_u64(0, 34) as u16;
+                let bytes = rng.gen_range_u64(4, 512) as u32;
                 let id = if bank < 32 {
                     BankId::new(MemoryKind::Hbm, bank)
                 } else {
@@ -57,20 +63,26 @@ proptest! {
             total += t;
         }
         let max = per_bank.values().copied().max().unwrap();
-        prop_assert_eq!(timing.elapsed, max);
-        prop_assert!(timing.elapsed <= total);
-        prop_assert_eq!(timing.total_busy, total);
+        assert_eq!(timing.elapsed, max);
+        assert!(timing.elapsed <= total);
+        assert_eq!(timing.total_busy, total);
     }
+}
 
-    /// First-fit allocation never overlaps regions and respects capacity,
-    /// for arbitrary interleavings of allocs and releases.
-    #[test]
-    fn allocator_never_overlaps(ops in vec((0u8..3, 1u64..3000), 1..60)) {
+/// First-fit allocation never overlaps regions and respects capacity,
+/// for arbitrary interleavings of allocs and releases.
+#[test]
+fn allocator_never_overlaps() {
+    let mut rng = Rng::seed_from_u64(0xA110);
+    for _ in 0..48 {
+        let ops = rng.gen_range_usize(1, 60);
         let mut mem = HybridMemory::new(MemoryConfig::u280());
         let bank = BankId::new(MemoryKind::Bram, 0); // 4 KiB, fills quickly
         let mut live: Vec<String> = Vec::new();
         let mut counter = 0usize;
-        for (op, size) in ops {
+        for _ in 0..ops {
+            let op = rng.gen_range_u64(0, 3);
+            let size = rng.gen_range_u64(1, 3000);
             if op == 0 || live.is_empty() {
                 let label = format!("r{counter}");
                 counter += 1;
@@ -82,25 +94,28 @@ proptest! {
                 mem.release(bank, &label).unwrap();
             }
             let b = mem.bank(bank).unwrap();
-            prop_assert!(b.used() <= b.capacity());
+            assert!(b.used() <= b.capacity());
             let mut spans: Vec<(u64, u64)> =
                 b.regions().iter().map(|r| (r.offset, r.offset + r.bytes)).collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+                assert!(w[0].1 <= w[1].0, "overlap {w:?}");
             }
             for (_, end) in &spans {
-                prop_assert!(*end <= b.capacity());
+                assert!(*end <= b.capacity());
             }
         }
     }
+}
 
-    /// Under the open-page policy, per-read latency never exceeds the
-    /// closed-page latency, and hits happen exactly on repeated rows.
-    #[test]
-    fn open_page_is_never_slower(
-        offsets in vec(0u64..8192, 2..30),
-    ) {
+/// Under the open-page policy, per-read latency never exceeds the
+/// closed-page latency, and hits happen exactly on repeated rows.
+#[test]
+fn open_page_is_never_slower() {
+    let mut rng = Rng::seed_from_u64(0x09E4);
+    for _ in 0..64 {
+        let count = rng.gen_range_usize(2, 30);
+        let offsets: Vec<u64> = (0..count).map(|_| rng.gen_range_u64(0, 8192)).collect();
         let mut open = HybridMemory::new(MemoryConfig::u280());
         open.set_row_policy(RowPolicy::OpenPage);
         let mut closed = HybridMemory::new(MemoryConfig::u280());
@@ -109,21 +124,26 @@ proptest! {
             offsets.iter().map(|&o| AddressedRead::new(bank, o, 32)).collect();
         let t_open = open.parallel_read_addressed(&reads).unwrap();
         let t_closed = closed.parallel_read_addressed(&reads).unwrap();
-        prop_assert!(t_open.elapsed <= t_closed.elapsed);
+        assert!(t_open.elapsed <= t_closed.elapsed);
         // Count expected hits: consecutive reads in the same 1024-byte row.
         let rows: Vec<u64> = offsets.iter().map(|o| o / 1024).collect();
         let expected_hits = rows.windows(2).filter(|w| w[0] == w[1]).count() as u64;
-        prop_assert_eq!(open.stats().bank(bank).unwrap().row_hits, expected_hits);
-        prop_assert_eq!(closed.stats().bank(bank).unwrap().row_hits, 0);
+        assert_eq!(open.stats().bank(bank).unwrap().row_hits, expected_hits);
+        assert_eq!(closed.stats().bank(bank).unwrap().row_hits, 0);
     }
+}
 
-    /// SimTime cycle conversions agree with frequency math.
-    #[test]
-    fn cycles_scale_linearly(cycles in 0u64..1_000_000, hz in 1_000_000u64..1_000_000_000) {
+/// SimTime cycle conversions agree with frequency math.
+#[test]
+fn cycles_scale_linearly() {
+    let mut rng = Rng::seed_from_u64(0xC1C1);
+    for _ in 0..512 {
+        let cycles = rng.gen_range_u64(0, 1_000_000);
+        let hz = rng.gen_range_u64(1_000_000, 1_000_000_000);
         let one = SimTime::from_cycles(1, hz);
         let many = SimTime::from_cycles(cycles, hz);
         // Within rounding of integer picoseconds per cycle.
         let err = (many.as_ps() as i128 - (one.as_ps() as i128 * cycles as i128)).abs();
-        prop_assert!(err <= cycles as i128, "error {err} over {cycles} cycles");
+        assert!(err <= cycles as i128, "error {err} over {cycles} cycles");
     }
 }

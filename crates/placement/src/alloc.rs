@@ -132,8 +132,7 @@ pub fn allocate_with(
 
     // Rule-4 latency cap: co-located on-chip lookups must not exceed one
     // off-chip access of the largest row this model reads from DRAM.
-    let max_row_bytes =
-        specs.iter().map(|(s, _)| s.row_bytes(precision)).max().unwrap_or(4);
+    let max_row_bytes = specs.iter().map(|(s, _)| s.row_bytes(precision)).max().unwrap_or(4);
     let offchip_access = config
         .banks
         .iter()
@@ -171,8 +170,7 @@ pub fn allocate_with(
 
     // Phase 2 — spread everything still unplaced over the DRAM channels,
     // largest access first.
-    let mut remaining: Vec<usize> =
-        (0..specs.len()).filter(|&i| assignment[i].is_none()).collect();
+    let mut remaining: Vec<usize> = (0..specs.len()).filter(|&i| assignment[i].is_none()).collect();
     remaining.sort_by(|&a, &b| {
         let ta = dram_access_estimate(config, &specs[a].0, precision) * u64::from(lookups);
         let tb = dram_access_estimate(config, &specs[b].0, precision) * u64::from(lookups);
@@ -186,8 +184,9 @@ pub fn allocate_with(
         let best = match strategy {
             // Fewest tables so far; ties go to the largest channel (the DDR
             // channels absorb the giant tables first), then lowest id.
-            AllocStrategy::RoundRobin => fits
-                .min_by_key(|b| (b.count, u64::MAX - b.capacity, b.id)),
+            AllocStrategy::RoundRobin => {
+                fits.min_by_key(|b| (b.count, u64::MAX - b.capacity, b.id))
+            }
             // Smallest resulting serial time.
             AllocStrategy::Lpt => fits.min_by_key(|b| {
                 let t = &config.bank_spec(b.id).expect("bank from config").timing;
@@ -275,14 +274,9 @@ fn replicate_hot_tables(plan: &mut Plan, model: &ModelSpec, config: &MemoryConfi
 
     // Free bytes per DRAM bank, and tables assigned per bank, under the
     // current plan.
-    let mut free: BTreeMap<BankId, u64> = config
-        .banks
-        .iter()
-        .filter(|b| b.id.kind.is_dram())
-        .map(|b| (b.id, b.capacity))
-        .collect();
-    let mut load: BTreeMap<BankId, u32> =
-        free.keys().map(|&id| (id, 0)).collect();
+    let mut free: BTreeMap<BankId, u64> =
+        config.banks.iter().filter(|b| b.id.kind.is_dram()).map(|b| (b.id, b.capacity)).collect();
+    let mut load: BTreeMap<BankId, u32> = free.keys().map(|&id| (id, 0)).collect();
     for t in &plan.placed {
         for &b in &t.banks {
             if let Some(f) = free.get_mut(&b) {
@@ -292,9 +286,8 @@ fn replicate_hot_tables(plan: &mut Plan, model: &ModelSpec, config: &MemoryConfi
         }
     }
 
-    let dram_tables: Vec<usize> = (0..plan.placed.len())
-        .filter(|&i| plan.placed[i].banks[0].kind.is_dram())
-        .collect();
+    let dram_tables: Vec<usize> =
+        (0..plan.placed.len()).filter(|&i| plan.placed[i].banks[0].kind.is_dram()).collect();
 
     loop {
         let reads_of = |t: &PlacedTable| lookups.div_ceil(t.banks.len() as u64);
@@ -368,8 +361,8 @@ mod tests {
             vec![8],
             1,
         );
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         plan.validate(&model, &MemoryConfig::u280()).unwrap();
         let cost = plan.cost(&MemoryConfig::u280(), 1);
         assert_eq!(cost.dram_rounds, 1, "5 tables over 34 channels need one round");
@@ -380,14 +373,14 @@ mod tests {
         let model = ModelSpec::new(
             "toy",
             vec![
-                TableSpec::new("tiny", 100, 4),   // 1.6 kB, fits a 4 kB BRAM bank
+                TableSpec::new("tiny", 100, 4),    // 1.6 kB, fits a 4 kB BRAM bank
                 TableSpec::new("big", 100_000, 8), // 3.2 MB, DRAM only
             ],
             vec![8],
             1,
         );
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         let cost = plan.cost(&MemoryConfig::u280(), 1);
         assert_eq!(cost.tables_on_chip, 1);
         assert_eq!(cost.tables_in_dram, 1);
@@ -419,8 +412,8 @@ mod tests {
             vec![8],
             1,
         );
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         let cost = plan.cost(&MemoryConfig::u280(), 1);
         assert_eq!(cost.dram_rounds, 2);
     }
@@ -434,8 +427,8 @@ mod tests {
             vec![8],
             1,
         );
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         let giant = plan.placed.iter().find(|t| t.spec.name == "giant").unwrap();
         assert_eq!(giant.banks[0].kind, MemoryKind::Ddr);
     }
@@ -444,8 +437,8 @@ mod tests {
     fn multi_lookup_model_replicates_across_idle_channels() {
         // DLRM-RMC2 shape: 8 tables x 4 lookups with 32 HBM channels free.
         let model = ModelSpec::dlrm_rmc2(8, 16);
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         plan.validate(&model, &MemoryConfig::u280()).unwrap();
         let cost = plan.cost(&MemoryConfig::u280(), 4);
         assert_eq!(
@@ -459,8 +452,8 @@ mod tests {
         // 12 tables x 4 = 48 lookups > 34 channels -> 2 rounds (Table 5's
         // "speedup lower bound" case).
         let model = ModelSpec::dlrm_rmc2(12, 16);
-        let plan = allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32)
-            .unwrap();
+        let plan =
+            allocate(&model, &MergePlan::none(), &MemoryConfig::u280(), Precision::F32).unwrap();
         let cost = plan.cost(&MemoryConfig::u280(), 4);
         assert_eq!(cost.dram_rounds, 2);
     }

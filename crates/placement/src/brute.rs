@@ -70,6 +70,78 @@ pub fn brute_force_search(
     Ok(best)
 }
 
+/// Parallel variant of [`brute_force_search`]: the bitmask space is split
+/// across `threads` workers and the per-worker winners are merged with the
+/// sequential tie-break (first strictly-better plan in enumeration order),
+/// so the returned [`SearchOutcome`] is identical to the sequential one.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::Infeasible`] under the same conditions as
+/// [`brute_force_search`].
+pub fn brute_force_search_parallel(
+    model: &ModelSpec,
+    config: &MemoryConfig,
+    precision: Precision,
+    strategy: AllocStrategy,
+    threads: usize,
+) -> Result<SearchOutcome, PlacementError> {
+    let n = model.num_tables();
+    if n > MAX_BRUTE_TABLES {
+        return Err(PlacementError::Infeasible(format!(
+            "brute force is limited to {MAX_BRUTE_TABLES} tables, model has {n} \
+             (the paper's point exactly — use the heuristic)"
+        )));
+    }
+
+    let base = allocate_with(model, &MergePlan::none(), config, precision, strategy)?;
+    let base_cost = base.cost(config, model.lookups_per_table);
+
+    let masks: Vec<u32> = (1u32..(1u32 << n)).filter(|m| m.count_ones() % 2 == 0).collect();
+    let threads = threads.max(1).min(masks.len().max(1));
+    // Contiguous mask ranges keep every worker's candidates in enumeration
+    // order; merging the workers in range order then reproduces the
+    // sequential scan's first-strictly-better-wins semantics exactly.
+    type Candidate = (crate::plan::Plan, PlanCost);
+    let locals: Vec<(Option<Candidate>, usize)> =
+        microrec_par::par_chunks(masks.len(), threads, |_, range| {
+            let mut best: Option<Candidate> = None;
+            let mut evaluated = 0usize;
+            for &mask in &masks[range] {
+                let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+                for_each_matching(&members, &mut |pairs| {
+                    let merge = MergePlan::pairs(pairs);
+                    if let Ok(plan) = allocate_with(model, &merge, config, precision, strategy) {
+                        evaluated += 1;
+                        let cost = plan.cost(config, model.lookups_per_table);
+                        let replace = match &best {
+                            None => true,
+                            Some((_, best_cost)) => cost.better_than(best_cost),
+                        };
+                        if replace {
+                            best = Some((plan, cost));
+                        }
+                    }
+                });
+            }
+            (best, evaluated)
+        });
+
+    // Merge exactly as the sequential scan would: a later candidate only
+    // displaces an earlier one when strictly better.
+    let mut best = SearchOutcome { plan: base, cost: base_cost, evaluated: 1 };
+    for (local, evaluated) in locals {
+        best.evaluated += evaluated;
+        if let Some((plan, cost)) = local {
+            if cost.better_than(&best.cost) {
+                best.plan = plan;
+                best.cost = cost;
+            }
+        }
+    }
+    Ok(best)
+}
+
 /// Calls `f` with every perfect matching of `items` (which must have even
 /// length).
 fn for_each_matching(items: &[usize], f: &mut impl FnMut(&[(usize, usize)])) {
@@ -119,10 +191,7 @@ mod tests {
     fn toy_model(rows: &[u64]) -> ModelSpec {
         ModelSpec::new(
             "toy",
-            rows.iter()
-                .enumerate()
-                .map(|(i, &r)| TableSpec::new(format!("t{i}"), r, 4))
-                .collect(),
+            rows.iter().enumerate().map(|(i, &r)| TableSpec::new(format!("t{i}"), r, 4)).collect(),
             vec![16],
             1,
         )
@@ -148,8 +217,7 @@ mod tests {
     #[test]
     fn matchings_are_valid_pairings() {
         for_each_matching(&[3, 5, 7, 9], &mut |pairs| {
-            let mut flat: Vec<usize> =
-                pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            let mut flat: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
             flat.sort_unstable();
             assert_eq!(flat, vec![3, 5, 7, 9]);
         });
@@ -160,9 +228,8 @@ mod tests {
         // 5 equal tables on 3 channels: unmerged needs 2 rounds; merging one
         // pair (or two) reaches 1 round.
         let model = toy_model(&[100, 100, 100, 100, 100]);
-        let out =
-            brute_force_search(&model, &cramped(), Precision::F32, AllocStrategy::RoundRobin)
-                .unwrap();
+        let out = brute_force_search(&model, &cramped(), Precision::F32, AllocStrategy::RoundRobin)
+            .unwrap();
         assert_eq!(out.cost.dram_rounds, 1);
         assert!(out.plan.merge.tables_eliminated() >= 2);
         assert!(out.evaluated > 10);
@@ -178,20 +245,12 @@ mod tests {
             &[100, 100, 100, 100, 100, 100, 100][..],
         ] {
             let model = toy_model(rows);
-            let brute = brute_force_search(
-                &model,
-                &cramped(),
-                Precision::F32,
-                AllocStrategy::RoundRobin,
-            )
-            .unwrap();
-            let heur = heuristic_search(
-                &model,
-                &cramped(),
-                Precision::F32,
-                &HeuristicOptions::default(),
-            )
-            .unwrap();
+            let brute =
+                brute_force_search(&model, &cramped(), Precision::F32, AllocStrategy::RoundRobin)
+                    .unwrap();
+            let heur =
+                heuristic_search(&model, &cramped(), Precision::F32, &HeuristicOptions::default())
+                    .unwrap();
             let gap = optimality_gap(&heur.cost, &brute.cost);
             assert!(
                 gap <= 1.25,
@@ -204,6 +263,47 @@ mod tests {
                 "heuristic must explore far fewer solutions"
             );
         }
+    }
+
+    #[test]
+    fn parallel_brute_force_matches_sequential() {
+        for rows in [
+            &[100u64, 150, 200, 250, 300, 350][..],
+            &[10, 20, 5000, 6000, 30][..],
+            &[100, 100, 100, 100, 100][..],
+        ] {
+            let model = toy_model(rows);
+            let seq =
+                brute_force_search(&model, &cramped(), Precision::F32, AllocStrategy::RoundRobin)
+                    .unwrap();
+            for threads in [1usize, 2, 4, 9] {
+                let par = brute_force_search_parallel(
+                    &model,
+                    &cramped(),
+                    Precision::F32,
+                    AllocStrategy::RoundRobin,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(par.plan, seq.plan, "{rows:?} threads={threads}");
+                assert_eq!(par.cost, seq.cost);
+                assert_eq!(par.evaluated, seq.evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_brute_force_refuses_large_models() {
+        assert!(matches!(
+            brute_force_search_parallel(
+                &ModelSpec::small_production(),
+                &MemoryConfig::u280(),
+                Precision::F32,
+                AllocStrategy::RoundRobin,
+                4,
+            ),
+            Err(PlacementError::Infeasible(_))
+        ));
     }
 
     #[test]

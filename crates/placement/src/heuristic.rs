@@ -99,8 +99,7 @@ pub fn heuristic_search(
     options: &HeuristicOptions,
 ) -> Result<SearchOutcome, PlacementError> {
     // Baseline: no merging. Must be feasible or the whole search fails.
-    let base_plan =
-        allocate_with(model, &MergePlan::none(), config, precision, options.strategy)?;
+    let base_plan = allocate_with(model, &MergePlan::none(), config, precision, options.strategy)?;
     let base_cost = base_plan.cost(config, model.lookups_per_table);
     let mut best = SearchOutcome { plan: base_plan.clone(), cost: base_cost, evaluated: 1 };
 
@@ -116,9 +115,8 @@ pub fn heuristic_search(
         .filter(|t| t.banks[0].kind.is_on_chip())
         .flat_map(|t| t.members.iter().copied())
         .collect();
-    let mut eligible: Vec<usize> = (0..model.num_tables())
-        .filter(|i| !onchip.contains(i))
-        .collect();
+    let mut eligible: Vec<usize> =
+        (0..model.num_tables()).filter(|i| !onchip.contains(i)).collect();
     eligible.sort_by_key(|&i| (model.tables[i].bytes(precision), i));
 
     let g = options.group_size.max(2);
@@ -188,9 +186,8 @@ mod tests {
     #[test]
     fn small_production_reproduces_table3_structure() {
         let model = ModelSpec::small_production();
-        let out =
-            heuristic_search(&model, &u280(), Precision::F32, &HeuristicOptions::default())
-                .unwrap();
+        let out = heuristic_search(&model, &u280(), Precision::F32, &HeuristicOptions::default())
+            .unwrap();
         out.plan.validate(&model, &u280()).unwrap();
         // Paper Table 3, smaller model: 47 -> 42 tables, 39 -> 34 in DRAM,
         // 2 -> 1 DRAM rounds, ~3.2 % storage overhead.
@@ -198,8 +195,7 @@ mod tests {
         assert_eq!(out.cost.tables_in_dram, 34);
         assert_eq!(out.cost.tables_on_chip, 8);
         assert_eq!(out.cost.dram_rounds, 1);
-        let overhead = out.cost.storage_bytes as f64
-            / model.total_bytes(Precision::F32) as f64;
+        let overhead = out.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64;
         assert!(
             (1.0..1.06).contains(&overhead),
             "storage factor {overhead:.4} should be marginal (paper: 1.032)"
@@ -209,9 +205,8 @@ mod tests {
     #[test]
     fn large_production_reproduces_table3_structure() {
         let model = ModelSpec::large_production();
-        let out =
-            heuristic_search(&model, &u280(), Precision::F32, &HeuristicOptions::default())
-                .unwrap();
+        let out = heuristic_search(&model, &u280(), Precision::F32, &HeuristicOptions::default())
+            .unwrap();
         out.plan.validate(&model, &u280()).unwrap();
         // Paper Table 3, larger model: 98 -> 84 tables, 82 -> 68 in DRAM,
         // 3 -> 2 DRAM rounds, ~1.9 % storage overhead.
@@ -219,8 +214,7 @@ mod tests {
         assert_eq!(out.cost.tables_in_dram, 68);
         assert_eq!(out.cost.tables_on_chip, 16);
         assert_eq!(out.cost.dram_rounds, 2);
-        let overhead = out.cost.storage_bytes as f64
-            / model.total_bytes(Precision::F32) as f64;
+        let overhead = out.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64;
         assert!(
             (1.0..1.05).contains(&overhead),
             "storage factor {overhead:.4} should be marginal (paper: 1.019)"
@@ -229,10 +223,9 @@ mod tests {
 
     #[test]
     fn no_merge_baselines_match_table3() {
-        for (model, dram, rounds, onchip) in [
-            (ModelSpec::small_production(), 39, 2, 8),
-            (ModelSpec::large_production(), 82, 3, 16),
-        ] {
+        for (model, dram, rounds, onchip) in
+            [(ModelSpec::small_production(), 39, 2, 8), (ModelSpec::large_production(), 82, 3, 16)]
+        {
             let out = heuristic_search(
                 &model,
                 &u280(),
@@ -271,9 +264,8 @@ mod tests {
             1,
         );
         let config = MemoryConfig::fpga_without_hbm(2);
-        let out =
-            heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
-                .unwrap();
+        let out = heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
+            .unwrap();
         out.plan.validate(&model, &config).unwrap();
         // 6 tables on 2 channels: merging pairs cuts rounds from 3 to 2.
         assert!(out.cost.dram_rounds <= 2);

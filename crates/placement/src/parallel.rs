@@ -3,7 +3,7 @@
 //! Algorithm 1's outer loop — one candidate count `n` per iteration — is
 //! embarrassingly parallel: each iteration allocates an independent plan.
 //! This module fans the iterations out over worker threads with
-//! `crossbeam::scope`, which matters when the search is embedded in a
+//! `microrec_par`, which matters when the search is embedded in a
 //! larger sweep (design-space exploration evaluates hundreds of placements)
 //! or run on big synthetic model families.
 
@@ -48,8 +48,7 @@ pub fn heuristic_search_parallel(
     options: &HeuristicOptions,
     threads: usize,
 ) -> Result<SearchOutcome, PlacementError> {
-    let base_plan =
-        allocate_with(model, &MergePlan::none(), config, precision, options.strategy)?;
+    let base_plan = allocate_with(model, &MergePlan::none(), config, precision, options.strategy)?;
     let base_cost = base_plan.cost(config, model.lookups_per_table);
     if !options.allow_merge {
         return Ok(SearchOutcome { plan: base_plan, cost: base_cost, evaluated: 1 });
@@ -74,9 +73,8 @@ pub fn heuristic_search_parallel(
     // Each worker evaluates a strided subset of candidate counts and
     // returns its local best as (latency, storage, n, plan, evaluated).
     type WorkerBest = (Option<(SearchOutcome, usize)>, usize);
-    let chunks: Vec<Vec<usize>> = (0..threads)
-        .map(|w| ns.iter().copied().skip(w).step_by(threads).collect())
-        .collect();
+    let chunks: Vec<Vec<usize>> =
+        (0..threads).map(|w| ns.iter().copied().skip(w).step_by(threads).collect()).collect();
 
     let worker = |my_ns: &[usize]| -> Result<WorkerBest, PlacementError> {
         let mut best: Option<(SearchOutcome, usize)> = None;
@@ -97,8 +95,7 @@ pub fn heuristic_search_parallel(
                     let better = match &best {
                         None => true,
                         Some((b, bn)) => {
-                            cost.better_than(&b.cost)
-                                || (!b.cost.better_than(&cost) && n < *bn)
+                            cost.better_than(&b.cost) || (!b.cost.better_than(&cost) && n < *bn)
                         }
                     };
                     if better {
@@ -115,14 +112,7 @@ pub fn heuristic_search_parallel(
     };
 
     let results: Vec<Result<WorkerBest, PlacementError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| scope.spawn(move |_| worker(chunk)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope panicked");
+        microrec_par::par_map(&chunks, threads, |_, chunk| worker(chunk));
 
     let mut best = SearchOutcome { plan: base_plan, cost: base_cost, evaluated: 1 };
     let mut best_n = usize::MAX;
@@ -154,13 +144,9 @@ mod tests {
     fn parallel_matches_sequential_on_production_models() {
         let config = MemoryConfig::u280();
         for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
-            let seq = heuristic_search(
-                &model,
-                &config,
-                Precision::F32,
-                &HeuristicOptions::default(),
-            )
-            .unwrap();
+            let seq =
+                heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
+                    .unwrap();
             for threads in [1usize, 2, 4, 7] {
                 let par = heuristic_search_parallel(
                     &model,

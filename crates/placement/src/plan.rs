@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use microrec_embedding::{cartesian, MergePlan, ModelSpec, Precision, TableSpec};
 use microrec_memsim::{BankId, HybridMemory, MemoryConfig, SimTime};
 
@@ -15,7 +13,7 @@ use crate::error::PlacementError;
 /// contents, and the `lookups_per_table` reads of one inference are spread
 /// round-robin over them. Replication only pays off for models that look up
 /// each table several times (DLRM-RMC2's 4 lookups per table, §5.4.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacedTable {
     /// Spec of the stored table (the product spec for merged tables).
     pub spec: TableSpec,
@@ -45,7 +43,7 @@ impl PlacedTable {
 /// Plans are compared by embedding-lookup latency first and total storage
 /// second ("for ties in latency, the solution with the least storage
 /// overhead is chosen", §3.4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanCost {
     /// Time for the embedding-lookup stage of one inference (bottleneck
     /// bank; banks work in parallel).
@@ -78,7 +76,7 @@ impl PlanCost {
 /// first (in merge-plan order), then unmerged singles in logical order, so
 /// index `i` here corresponds to physical table `i` in the catalog built
 /// from [`Plan::merge`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Name of the model this plan was built for.
     pub model_name: String,
@@ -135,9 +133,7 @@ impl Plan {
             let row_bytes = table.row_bytes(self.precision);
             for (r, &bank) in table.banks.iter().enumerate() {
                 // Round-robin: replica r serves lookups r, r+replicas, ...
-                let reads = (u64::from(lookups_per_table) + replicas as u64
-                    - 1
-                    - r as u64)
+                let reads = (u64::from(lookups_per_table) + replicas as u64 - 1 - r as u64)
                     / u64::from(replicas);
                 if reads == 0 {
                     continue;
@@ -158,7 +154,13 @@ impl Plan {
             .map(|(_, &n)| n)
             .max()
             .unwrap_or(0);
-        PlanCost { lookup_latency, storage_bytes: storage, dram_rounds, tables_in_dram, tables_on_chip }
+        PlanCost {
+            lookup_latency,
+            storage_bytes: storage,
+            dram_rounds,
+            tables_in_dram,
+            tables_on_chip,
+        }
     }
 
     /// Checks the plan against a model and memory configuration: every
@@ -215,9 +217,7 @@ impl Plan {
             }
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(PlacementError::InvalidPlan(format!(
-                "logical table {missing} not placed"
-            )));
+            return Err(PlacementError::InvalidPlan(format!("logical table {missing} not placed")));
         }
 
         // Capacity check via a scratch ledger.
@@ -422,3 +422,6 @@ mod tests {
         assert!(c.better_than(&a), "latency dominates storage");
     }
 }
+
+microrec_json::impl_json_struct!(PlacedTable, required { spec, members, banks });
+microrec_json::impl_json_struct!(Plan, required { model_name, merge, placed, precision });

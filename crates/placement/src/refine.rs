@@ -37,12 +37,8 @@ impl RefineOutcome {
 
 /// Free bytes per DRAM bank under `plan`.
 fn free_bytes(plan: &Plan, config: &MemoryConfig) -> std::collections::BTreeMap<BankId, u64> {
-    let mut free: std::collections::BTreeMap<BankId, u64> = config
-        .banks
-        .iter()
-        .filter(|b| b.id.kind.is_dram())
-        .map(|b| (b.id, b.capacity))
-        .collect();
+    let mut free: std::collections::BTreeMap<BankId, u64> =
+        config.banks.iter().filter(|b| b.id.kind.is_dram()).map(|b| (b.id, b.capacity)).collect();
     for t in &plan.placed {
         for &b in &t.banks {
             if let Some(f) = free.get_mut(&b) {
@@ -171,9 +167,7 @@ mod tests {
     fn model() -> ModelSpec {
         ModelSpec::new(
             "toy",
-            (0..6)
-                .map(|i| TableSpec::new(format!("t{i}"), 1_000 * (i as u64 + 1), 8))
-                .collect(),
+            (0..6).map(|i| TableSpec::new(format!("t{i}"), 1_000 * (i as u64 + 1), 8)).collect(),
             vec![16],
             1,
         )

@@ -1,0 +1,301 @@
+//! # microrec-rng
+//!
+//! Deterministic pseudo-random number generation for the MicroRec
+//! reproduction. The build environment has no access to crates.io, so this
+//! crate replaces `rand`/`rand_distr` with a self-contained xoshiro256++
+//! generator plus the handful of distributions the workspace needs:
+//! uniform ranges, Bernoulli, exponential inter-arrival gaps, and the
+//! Zipfian sparse-feature sampler (rejection-inversion, the same algorithm
+//! `rand_distr::Zipf` uses).
+//!
+//! Everything is seeded explicitly — equal seeds give identical streams on
+//! every platform, which the repo's determinism tests rely on.
+
+#![warn(missing_docs)]
+
+/// A deterministic xoshiro256++ generator seeded via SplitMix64.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_rng::Rng;
+///
+/// let mut a = Rng::seed_from_u64(7);
+/// let mut b = Rng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng { s }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `u64` in `[lo, hi)` via Lemire's unbiased multiply-shift
+    /// rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire 2019: multiply-and-reject keeps the draw exactly uniform.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(span);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)`.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.gen_f32()
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// An exponential distribution with rate `lambda` (mean `1/lambda`),
+/// sampled by inversion. Models Poisson inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution.
+    ///
+    /// Returns `None` for a non-positive or non-finite rate.
+    #[must_use]
+    pub fn new(lambda: f64) -> Option<Self> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Some(Exp { lambda })
+        } else {
+            None
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inversion: -ln(1 - U) / lambda; 1 - U in (0, 1] avoids ln(0).
+        -(1.0 - rng.gen_f64()).ln() / self.lambda
+    }
+}
+
+/// A Zipfian distribution over ranks `1..=n` with exponent `s > 0`:
+/// `P(k) ∝ k^-s`. Sampled with rejection inversion (Hörmann & Derflinger),
+/// the algorithm behind `rand_distr::Zipf` — O(1) per draw with no
+/// precomputed table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    t: f64,
+    q: f64,
+}
+
+impl Zipf {
+    /// Creates the distribution over `1..=n`.
+    ///
+    /// Returns `None` if `n == 0`, or `s` is non-positive or non-finite.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Option<Self> {
+        if n == 0 || !(s.is_finite() && s > 0.0) {
+            return None;
+        }
+        let nf = n as f64;
+        let q = s;
+        // t = (n^(1-q) - q) / (1 - q), continued to q = 1 as 1 + ln(n).
+        let t =
+            if (q - 1.0).abs() < 1e-9 { 1.0 + nf.ln() } else { (nf.powf(1.0 - q) - q) / (1.0 - q) };
+        Some(Zipf { n: nf, s, t, q })
+    }
+
+    /// Inverse of the dominating distribution's CDF.
+    fn inv_cdf(&self, p: f64) -> f64 {
+        let pt = p * self.t;
+        if pt <= 1.0 {
+            pt
+        } else if (self.q - 1.0).abs() < 1e-9 {
+            (pt - 1.0).exp()
+        } else {
+            (pt * (1.0 - self.q) + self.q).powf(1.0 / (1.0 - self.q))
+        }
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            // OpenClosed01: p in (0, 1] so inv_cdf never sees exactly 0.
+            let p = 1.0 - rng.gen_f64();
+            let inv_b = self.inv_cdf(p);
+            let x = (inv_b + 1.0).floor().min(self.n);
+            let mut ratio = x.powf(-self.s);
+            if x > 1.0 {
+                ratio *= inv_b.powf(self.s);
+            }
+            let y = 1.0 - rng.gen_f64();
+            if y < ratio {
+                return x as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range_u64(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        for _ in 0..1000 {
+            let f = rng.gen_range_f32(-0.25, 0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let d = rng.gen_f64();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range_u64(3, 3);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "{hits}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let exp = Exp::new(1000.0).unwrap();
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 1e-3).abs() / 1e-3 < 0.05, "mean {mean}");
+        assert!(Exp::new(0.0).is_none());
+        assert!(Exp::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(500_000, 1.1).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 5_000;
+        let mut top10 = 0usize;
+        for _ in 0..n {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=500_000).contains(&k));
+            if k <= 10 {
+                top10 += 1;
+            }
+        }
+        // Under uniform sampling the top-10 mass would be ~1e-4.
+        assert!(top10 > n / 10, "only {top10}/{n} draws in the top 10");
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, 0.0).is_none());
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates_rank_two() {
+        let zipf = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = Rng::seed_from_u64(11);
+        let (mut r1, mut r2) = (0usize, 0usize);
+        for _ in 0..20_000 {
+            match zipf.sample(&mut rng) {
+                1 => r1 += 1,
+                2 => r2 += 1,
+                _ => {}
+            }
+        }
+        assert!(r1 > r2, "rank 1 ({r1}) must beat rank 2 ({r2})");
+        // P(1)/P(2) = 2 for s = 1; allow generous sampling noise.
+        let ratio = r1 as f64 / r2.max(1) as f64;
+        assert!((1.5..3.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -8,18 +8,15 @@
 //! turns on.
 
 use microrec_memsim::SimTime;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rand_distr::{Distribution, Exp};
-use serde::{Deserialize, Serialize};
+use microrec_rng::{Exp, Rng};
 
 use crate::error::WorkloadError;
 
 /// A Poisson arrival process.
 #[derive(Debug, Clone)]
 pub struct PoissonArrivals {
-    exp: Exp<f64>,
-    rng: StdRng,
+    exp: Exp,
+    rng: Rng,
     now: SimTime,
 }
 
@@ -37,7 +34,7 @@ impl PoissonArrivals {
         }
         Ok(PoissonArrivals {
             exp: Exp::new(rate_per_sec).expect("validated rate"),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             now: SimTime::ZERO,
         })
     }
@@ -56,7 +53,7 @@ impl PoissonArrivals {
 }
 
 /// Latency percentiles of a set of response times.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Mean latency.
     pub mean: SimTime,
@@ -216,26 +213,15 @@ mod tests {
         // inter-arrival gaps (~6.3 ms) before service even starts.
         let mut p = PoissonArrivals::new(10_000.0, 1).unwrap();
         let arrivals = p.take(2_000);
-        let batched = simulate_batched_serving(
-            &arrivals,
-            64,
-            SimTime::from_ms(50.0),
-            SimTime::from_ms(5.0),
-        );
+        let batched =
+            simulate_batched_serving(&arrivals, 64, SimTime::from_ms(50.0), SimTime::from_ms(5.0));
         let stats = LatencyStats::from_samples(&batched).unwrap();
         assert!(stats.mean.as_ms() > 5.0, "mean {} must exceed service time", stats.mean);
 
-        let pipelined = simulate_pipelined_serving(
-            &arrivals,
-            SimTime::from_us(3.4),
-            SimTime::from_us(16.3),
-        );
+        let pipelined =
+            simulate_pipelined_serving(&arrivals, SimTime::from_us(3.4), SimTime::from_us(16.3));
         let pstats = LatencyStats::from_samples(&pipelined).unwrap();
-        assert!(
-            pstats.p99.as_ms() < 0.1,
-            "pipelined p99 {} should be microseconds",
-            pstats.p99
-        );
+        assert!(pstats.p99.as_ms() < 0.1, "pipelined p99 {} should be microseconds", pstats.p99);
         assert!(pstats.p99 < stats.p50);
     }
 
@@ -262,11 +248,8 @@ mod tests {
         let mut p = PoissonArrivals::new(100_000.0, 9).unwrap();
         let arrivals = p.take(5_000);
         // II 3.4 us supports ~294k items/s > 100k offered.
-        let lat = simulate_pipelined_serving(
-            &arrivals,
-            SimTime::from_us(3.4),
-            SimTime::from_us(16.3),
-        );
+        let lat =
+            simulate_pipelined_serving(&arrivals, SimTime::from_us(3.4), SimTime::from_us(16.3));
         let stats = LatencyStats::from_samples(&lat).unwrap();
         assert!(stats.p99.as_us() < 200.0, "p99 {}", stats.p99);
     }

@@ -7,15 +7,12 @@
 //! distribution with configurable skew; `s = 0` recovers uniform traffic.
 
 use microrec_embedding::ModelSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Zipf};
-use serde::{Deserialize, Serialize};
+use microrec_rng::{Rng, Zipf};
 
 use crate::error::WorkloadError;
 
 /// Configuration of the query generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryGenConfig {
     /// Zipf exponent (`0.0` = uniform; production traces are typically
     /// 0.9–1.2).
@@ -54,7 +51,7 @@ pub struct QueryGenerator {
     rows: Vec<u64>,
     lookups_per_table: u32,
     zipf_exponent: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl QueryGenerator {
@@ -75,7 +72,7 @@ impl QueryGenerator {
             rows: model.tables.iter().map(|t| t.rows).collect(),
             lookups_per_table: model.lookups_per_table,
             zipf_exponent: config.zipf_exponent,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
         })
     }
 
@@ -85,11 +82,11 @@ impl QueryGenerator {
             return 0;
         }
         if self.zipf_exponent == 0.0 {
-            return self.rng.gen_range(0..rows);
+            return self.rng.gen_range_u64(0, rows);
         }
-        // Zipf ranks are 1-based and f64-valued; rank 1 (hottest) -> 0.
+        // Zipf ranks are 1-based; rank 1 (hottest) -> 0.
         let zipf = Zipf::new(rows, self.zipf_exponent).expect("validated parameters");
-        (zipf.sample(&mut self.rng) as u64).saturating_sub(1).min(rows - 1)
+        zipf.sample(&mut self.rng).saturating_sub(1).min(rows - 1)
     }
 
     /// Generates the next query (round-major index layout).
@@ -174,16 +171,10 @@ mod tests {
     #[test]
     fn invalid_exponent_rejected() {
         let m = model();
-        assert!(QueryGenerator::new(
-            &m,
-            QueryGenConfig { zipf_exponent: f64::NAN, seed: 0 }
-        )
-        .is_err());
-        assert!(QueryGenerator::new(
-            &m,
-            QueryGenConfig { zipf_exponent: -1.0, seed: 0 }
-        )
-        .is_err());
+        assert!(
+            QueryGenerator::new(&m, QueryGenConfig { zipf_exponent: f64::NAN, seed: 0 }).is_err()
+        );
+        assert!(QueryGenerator::new(&m, QueryGenConfig { zipf_exponent: -1.0, seed: 0 }).is_err());
     }
 
     #[test]

@@ -7,14 +7,13 @@
 
 use microrec_embedding::ModelSpec;
 use microrec_memsim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::arrival::PoissonArrivals;
 use crate::error::WorkloadError;
 use crate::query_gen::{QueryGenConfig, QueryGenerator};
 
 /// A fixed sequence of timestamped queries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestTrace {
     arrivals: Vec<SimTime>,
     queries: Vec<Vec<u64>>,

@@ -12,11 +12,8 @@ fn zipf_rank_frequency_is_ordered() {
     // Rank-1 indices must be sampled more often than rank-10, which beat
     // rank-100, etc.
     let model = ModelSpec::dlrm_rmc2(1, 4);
-    let mut gen = QueryGenerator::new(
-        &model,
-        QueryGenConfig { zipf_exponent: 1.0, seed: 31 },
-    )
-    .unwrap();
+    let mut gen =
+        QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: 1.0, seed: 31 }).unwrap();
     let mut counts = [0usize; 3]; // buckets: [0..10), [10..100), [100..1000)
     let n = 30_000;
     for _ in 0..n {
@@ -84,11 +81,7 @@ fn batched_serving_conserves_queries() {
 fn pipelined_latency_floor_is_pipeline_latency() {
     let mut p = PoissonArrivals::new(1_000.0, 23).unwrap();
     let arrivals = p.take(500);
-    let lat = simulate_pipelined_serving(
-        &arrivals,
-        SimTime::from_us(3.0),
-        SimTime::from_us(17.0),
-    );
+    let lat = simulate_pipelined_serving(&arrivals, SimTime::from_us(3.0), SimTime::from_us(17.0));
     let stats = LatencyStats::from_samples(&lat).unwrap();
     assert_eq!(stats.p50, SimTime::from_us(17.0), "light load: everyone sees the floor");
 }

@@ -25,12 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = CpuTimingModel::aws_16vcpu();
     for batch in [256usize, 2048] {
         let service = cpu.total_time(&model, batch as u64);
-        let latencies = simulate_batched_serving(
-            &stream,
-            batch,
-            SimTime::from_ms(10.0),
-            service,
-        );
+        let latencies = simulate_batched_serving(&stream, batch, SimTime::from_ms(10.0), service);
         let stats = LatencyStats::from_samples(&latencies)?;
         println!(
             "CPU batch={batch:4}: p50 {:>10} p99 {:>10} SLA hit {:.1}% (service {:.1} ms/batch)",

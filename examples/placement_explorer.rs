@@ -15,9 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3 DRAM channels.
     let toy = ModelSpec::new(
         "toy",
-        (0..8)
-            .map(|i| TableSpec::new(format!("t{i}"), 150 + 80 * i as u64, 4))
-            .collect(),
+        (0..8).map(|i| TableSpec::new(format!("t{i}"), 150 + 80 * i as u64, 4)).collect(),
         vec![64],
         1,
     );
@@ -33,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let heur = heuristic_search(&toy, &cramped, Precision::F32, &HeuristicOptions::default())?;
     let brute = brute_force_search(&toy, &cramped, Precision::F32, AllocStrategy::RoundRobin)?;
     println!("downscaled instance (8 tables on 3 channels):");
-    println!(
-        "  no merging : {} ({} rounds)",
-        none.cost.lookup_latency, none.cost.dram_rounds
-    );
+    println!("  no merging : {} ({} rounds)", none.cost.lookup_latency, none.cost.dram_rounds);
     println!(
         "  heuristic  : {} ({} rounds, {} pairs, {} solutions tried)",
         heur.cost.lookup_latency,
@@ -53,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The real thing: the small production model on the U280.
     let model = ModelSpec::small_production();
-    let out =
-        heuristic_search(&model, &MemoryConfig::u280(), Precision::F32, &Default::default())?;
+    let out = heuristic_search(&model, &MemoryConfig::u280(), Precision::F32, &Default::default())?;
     println!("\n{} on the U280:", model.name);
     println!(
         "  {} physical tables, lookup {}, storage {:.2}% of baseline",
@@ -64,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  merged pairs:");
     for group in &out.plan.merge.groups {
-        let names: Vec<&str> =
-            group.iter().map(|&i| model.tables[i].name.as_str()).collect();
+        let names: Vec<&str> = group.iter().map(|&i| model.tables[i].name.as_str()).collect();
         println!("    {}", names.join(" x "));
     }
     for kind in [MemoryKind::Bram, MemoryKind::Ddr] {

@@ -39,11 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Per-tensor calibrated integer quantization (extension).
-    let calibration: Vec<Vec<f32>> = candidates
-        .iter()
-        .take(16)
-        .map(|q| cpu.gather_features(q))
-        .collect::<Result<_, _>>()?;
+    let calibration: Vec<Vec<f32>> =
+        candidates.iter().take(16).map(|q| cpu.gather_features(q)).collect::<Result<_, _>>()?;
     for bits in [16u8, 8, 6, 4] {
         let q = QuantizedMlp::quantize(cpu.mlp(), bits, &calibration)?;
         let scores: Vec<f32> = candidates

@@ -33,10 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let merged =
             heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())?;
         let benefit = base.cost.lookup_latency.as_ns() / merged.cost.lookup_latency.as_ns();
-        let overhead = (merged.cost.storage_bytes as f64
-            / model.total_bytes(Precision::F32) as f64
-            - 1.0)
-            * 100.0;
+        let overhead =
+            (merged.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64 - 1.0)
+                * 100.0;
         println!(
             "{:>7} {:>7.0}ns {:>7} {:>9.0}ns {:>7} {:>8.2}x {:>8.2}%",
             tables,

@@ -59,16 +59,14 @@ fn error_displays_are_lowercase_without_trailing_punctuation() {
         Box::new(microrec_embedding::EmbeddingError::DegenerateProduct),
         Box::new(microrec_dnn::DnnError::EmptyNetwork),
         Box::new(microrec_workload::WorkloadError::NoSamples),
-        Box::new(microrec_memsim::MemsimError::UnknownBank(
-            microrec_memsim::BankId::new(microrec_memsim::MemoryKind::Hbm, 0),
-        )),
+        Box::new(microrec_memsim::MemsimError::UnknownBank(microrec_memsim::BankId::new(
+            microrec_memsim::MemoryKind::Hbm,
+            0,
+        ))),
     ];
     for e in samples {
         let msg = e.to_string();
-        assert!(
-            msg.starts_with(char::is_lowercase),
-            "error messages start lowercase: {msg}"
-        );
+        assert!(msg.starts_with(char::is_lowercase), "error messages start lowercase: {msg}");
         assert!(!msg.ends_with('.'), "no trailing period: {msg}");
     }
 }

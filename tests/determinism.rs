@@ -5,9 +5,7 @@
 use microrec_core::MicroRec;
 use microrec_embedding::{Catalog, MergePlan, ModelSpec, Precision};
 use microrec_memsim::MemoryConfig;
-use microrec_placement::{
-    heuristic_search, heuristic_search_parallel, HeuristicOptions,
-};
+use microrec_placement::{heuristic_search, heuristic_search_parallel, HeuristicOptions};
 use microrec_workload::{QueryGenConfig, QueryGenerator, RequestTrace};
 
 const SEED: u64 = 0xD37E_2026;
@@ -16,10 +14,10 @@ const SEED: u64 = 0xD37E_2026;
 fn placement_is_deterministic() {
     let model = ModelSpec::large_production();
     let config = MemoryConfig::u280();
-    let a = heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
-        .unwrap();
-    let b = heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
-        .unwrap();
+    let a =
+        heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default()).unwrap();
+    let b =
+        heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default()).unwrap();
     assert_eq!(a.plan, b.plan);
     assert_eq!(a.cost, b.cost);
     // Parallel search agrees bit-for-bit at every thread count.
@@ -39,10 +37,9 @@ fn placement_is_deterministic() {
 #[test]
 fn engine_predictions_are_run_independent() {
     let model = ModelSpec::dlrm_rmc2(6, 8);
-    let queries =
-        QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: 1.0, seed: SEED })
-            .unwrap()
-            .next_batch(20);
+    let queries = QueryGenerator::new(&model, QueryGenConfig { zipf_exponent: 1.0, seed: SEED })
+        .unwrap()
+        .next_batch(20);
 
     let run = || {
         let mut engine = MicroRec::builder(model.clone())
@@ -74,32 +71,22 @@ fn predictions_do_not_depend_on_history() {
 fn catalog_contents_depend_only_on_seed_and_structure() {
     let model = ModelSpec::small_production();
     let plain = Catalog::build(&model, &MergePlan::none(), SEED).unwrap();
-    let merged =
-        Catalog::build(&model, &MergePlan::pairs(&[(29, 38)]), SEED).unwrap();
+    let merged = Catalog::build(&model, &MergePlan::pairs(&[(29, 38)]), SEED).unwrap();
     let indices: Vec<u64> = model.tables.iter().map(|t| t.rows - 1).collect();
-    assert_eq!(
-        plain.gather_vec(&indices).unwrap(),
-        merged.gather_vec(&indices).unwrap()
-    );
+    assert_eq!(plain.gather_vec(&indices).unwrap(), merged.gather_vec(&indices).unwrap());
     // A different seed changes contents.
     let other = Catalog::build(&model, &MergePlan::none(), SEED + 1).unwrap();
-    assert_ne!(
-        plain.gather_vec(&indices).unwrap(),
-        other.gather_vec(&indices).unwrap()
-    );
+    assert_ne!(plain.gather_vec(&indices).unwrap(), other.gather_vec(&indices).unwrap());
 }
 
 #[test]
 fn traces_replay_identically_through_the_engine() {
     let model = ModelSpec::dlrm_rmc2(4, 4);
-    let trace =
-        RequestTrace::generate(&model, 10_000.0, 50, QueryGenConfig::default()).unwrap();
+    let trace = RequestTrace::generate(&model, 10_000.0, 50, QueryGenConfig::default()).unwrap();
     let mut engine = MicroRec::builder(model.clone()).seed(SEED).build().unwrap();
-    let first: Vec<f32> =
-        trace.queries().iter().map(|q| engine.predict(q).unwrap()).collect();
+    let first: Vec<f32> = trace.queries().iter().map(|q| engine.predict(q).unwrap()).collect();
     engine.reset_stats();
-    let second: Vec<f32> =
-        trace.queries().iter().map(|q| engine.predict(q).unwrap()).collect();
+    let second: Vec<f32> = trace.queries().iter().map(|q| engine.predict(q).unwrap()).collect();
     assert_eq!(first, second);
 }
 

@@ -43,11 +43,8 @@ fn dense_features_are_deterministic_and_query_sensitive() {
 fn engines_agree_with_bottom_mlp() {
     let model = ModelSpec::dlrm_with_bottom(6, 8);
     let cpu = CpuReferenceEngine::build(&model, 77).unwrap();
-    let mut fpga = MicroRec::builder(model.clone())
-        .precision(Precision::Fixed32)
-        .seed(77)
-        .build()
-        .unwrap();
+    let mut fpga =
+        MicroRec::builder(model.clone()).precision(Precision::Fixed32).seed(77).build().unwrap();
     let mut gen = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
     for q in gen.next_batch(15) {
         let reference = cpu.predict(&q).unwrap();
@@ -63,18 +60,14 @@ fn engines_agree_with_bottom_mlp() {
 fn bottom_stage_appears_in_pipeline_without_hurting_throughput() {
     let model = ModelSpec::dlrm_with_bottom(8, 16);
     let engine = MicroRec::builder(model.clone()).seed(3).build().unwrap();
-    let names: Vec<&str> =
-        engine.pipeline().stages().iter().map(|s| s.name.as_str()).collect();
+    let names: Vec<&str> = engine.pipeline().stages().iter().map(|s| s.name.as_str()).collect();
     assert!(names.contains(&"bottom.compute"), "{names:?}");
     // The (512,256,64) bottom stack over 13 features is tiny next to the
     // top MLP: it must not become the initiation interval.
     assert!(engine.pipeline().bottleneck() != "bottom.compute");
 
     let plain = MicroRec::builder(ModelSpec::dlrm_rmc2(8, 16)).seed(3).build().unwrap();
-    assert!(
-        engine.latency() > plain.latency(),
-        "bottom stage adds latency"
-    );
+    assert!(engine.latency() > plain.latency(), "bottom stage adds latency");
 }
 
 #[test]

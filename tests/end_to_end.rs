@@ -20,11 +20,8 @@ const SEED: u64 = 2024;
 fn production_model_functional_equivalence() {
     let model = ModelSpec::small_production();
     let cpu = CpuReferenceEngine::build(&model, SEED).unwrap();
-    let mut fpga = MicroRec::builder(model.clone())
-        .precision(Precision::Fixed32)
-        .seed(SEED)
-        .build()
-        .unwrap();
+    let mut fpga =
+        MicroRec::builder(model.clone()).precision(Precision::Fixed32).seed(SEED).build().unwrap();
     let mut queries = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
     for _ in 0..25 {
         let q = queries.next_query();
@@ -48,16 +45,10 @@ fn ranking_survives_quantization() {
     let mut queries = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
     let candidates = queries.next_batch(16);
 
-    let mut ref_scores: Vec<(usize, f32)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, q)| (i, cpu.predict(q).unwrap()))
-        .collect();
-    let mut fpga_scores: Vec<(usize, f32)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, q)| (i, fpga.predict(q).unwrap()))
-        .collect();
+    let mut ref_scores: Vec<(usize, f32)> =
+        candidates.iter().enumerate().map(|(i, q)| (i, cpu.predict(q).unwrap())).collect();
+    let mut fpga_scores: Vec<(usize, f32)> =
+        candidates.iter().enumerate().map(|(i, q)| (i, fpga.predict(q).unwrap())).collect();
     ref_scores.sort_by(|a, b| b.1.total_cmp(&a.1));
     fpga_scores.sort_by(|a, b| b.1.total_cmp(&a.1));
     // The reference's top pick appears in the fixed-16 top 3.
@@ -95,8 +86,7 @@ fn memory_statistics_reflect_placement() {
 #[test]
 fn serving_sla_comparison() {
     let model = ModelSpec::small_production();
-    let engine =
-        MicroRec::builder(model.clone()).precision(Precision::Fixed16).build().unwrap();
+    let engine = MicroRec::builder(model.clone()).precision(Precision::Fixed16).build().unwrap();
     let cpu = microrec_cpu::CpuTimingModel::aws_16vcpu();
 
     let mut arrivals = PoissonArrivals::new(60_000.0, 11).unwrap();
@@ -133,9 +123,7 @@ fn ablation_engines_agree_functionally() {
         .search_options(HeuristicOptions { allow_merge: false, ..Default::default() })
         .build()
         .unwrap();
-    assert!(
-        merged.placement_cost().lookup_latency < unmerged.placement_cost().lookup_latency
-    );
+    assert!(merged.placement_cost().lookup_latency < unmerged.placement_cost().lookup_latency);
     let mut queries = QueryGenerator::new(&model, QueryGenConfig::default()).unwrap();
     for q in queries.next_batch(10) {
         assert_eq!(merged.predict(&q).unwrap(), unmerged.predict(&q).unwrap());

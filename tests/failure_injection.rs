@@ -60,13 +60,8 @@ fn merge_plan_overflow_is_an_error_not_a_wrap() {
         TableSpec::new("a", u64::MAX / 2, 4),
         TableSpec::new("b", u64::MAX / 2, 4),
     ]);
-    let err = allocate(
-        &model,
-        &MergePlan::pairs(&[(0, 1)]),
-        &MemoryConfig::u280(),
-        Precision::F32,
-    )
-    .unwrap_err();
+    let err = allocate(&model, &MergePlan::pairs(&[(0, 1)]), &MemoryConfig::u280(), Precision::F32)
+        .unwrap_err();
     assert!(err.to_string().contains("overflow"), "{err}");
     assert!(err.source().is_some(), "wrapped embedding error");
 }

@@ -53,8 +53,7 @@ fn headline_microsecond_latency() {
     let mut latencies = Vec::new();
     for model in [ModelSpec::small_production(), ModelSpec::large_production()] {
         for precision in [Precision::Fixed16, Precision::Fixed32] {
-            let engine =
-                MicroRec::builder(model.clone()).precision(precision).build().unwrap();
+            let engine = MicroRec::builder(model.clone()).precision(precision).build().unwrap();
             latencies.push(engine.latency().as_us());
         }
     }
@@ -97,10 +96,9 @@ fn hbm_alone_gives_order_of_magnitude() {
 #[test]
 fn cartesian_contribution_bands() {
     let config = MemoryConfig::u280();
-    for (model, paper_gain, paper_overhead) in [
-        (ModelSpec::small_production(), 1.69, 3.2),
-        (ModelSpec::large_production(), 1.39, 1.9),
-    ] {
+    for (model, paper_gain, paper_overhead) in
+        [(ModelSpec::small_production(), 1.69, 3.2), (ModelSpec::large_production(), 1.39, 1.9)]
+    {
         let base = heuristic_search(
             &model,
             &config,
@@ -117,10 +115,9 @@ fn cartesian_contribution_bands() {
             "{}: cartesian gain {gain:.2}x vs paper {paper_gain}x",
             model.name
         );
-        let overhead = (merged.cost.storage_bytes as f64
-            / model.total_bytes(Precision::F32) as f64
-            - 1.0)
-            * 100.0;
+        let overhead =
+            (merged.cost.storage_bytes as f64 / model.total_bytes(Precision::F32) as f64 - 1.0)
+                * 100.0;
         assert!(
             (overhead - paper_overhead).abs() < 1.5,
             "{}: overhead {overhead:.1}% vs paper {paper_overhead}%",
@@ -205,8 +202,7 @@ fn bottleneck_shifts_to_compute() {
 #[test]
 fn figure7_knees() {
     let knee = |model: ModelSpec| {
-        let engine =
-            MicroRec::builder(model).precision(Precision::Fixed16).build().unwrap();
+        let engine = MicroRec::builder(model).precision(Precision::Fixed16).build().unwrap();
         let pipe = engine.pipeline();
         let base = pipe.throughput_items_per_sec();
         (1..=16)

@@ -1,8 +1,8 @@
-//! Property-based tests (proptest) over the core invariants listed in
-//! DESIGN.md §5, exercised across crate boundaries.
+//! Randomized tests over the core invariants listed in DESIGN.md §5,
+//! exercised across crate boundaries. Cases are drawn from a seeded RNG so
+//! every run is reproducible.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use microrec_rng::Rng;
 
 use microrec_embedding::cartesian::{
     materialize_product, merged_row_index, product_rows, unmerged_row_indices,
@@ -11,111 +11,123 @@ use microrec_embedding::{Catalog, EmbeddingTable, MergePlan, ModelSpec, Precisio
 use microrec_memsim::{MemoryConfig, SimTime};
 use microrec_placement::{allocate, heuristic_search, HeuristicOptions};
 
-/// Strategy: a small random model (2–10 tables, 1–200 rows, dim 1–8).
-fn small_model() -> impl Strategy<Value = ModelSpec> {
-    vec((1u64..200, 1u32..8), 2..10).prop_map(|tables| {
-        ModelSpec::new(
-            "prop",
-            tables
-                .into_iter()
-                .enumerate()
-                .map(|(i, (rows, dim))| TableSpec::new(format!("t{i}"), rows, dim))
-                .collect(),
-            vec![16, 8],
-            1,
-        )
-    })
+/// A small random model (2–10 tables, 1–200 rows, dim 1–8).
+fn small_model(rng: &mut Rng) -> ModelSpec {
+    let n = rng.gen_range_usize(2, 10);
+    ModelSpec::new(
+        "prop",
+        (0..n)
+            .map(|i| {
+                TableSpec::new(
+                    format!("t{i}"),
+                    rng.gen_range_u64(1, 200),
+                    rng.gen_range_u64(1, 8) as u32,
+                )
+            })
+            .collect(),
+        vec![16, 8],
+        1,
+    )
 }
 
-proptest! {
-    /// Cartesian index math: merge then unmerge is the identity, and the
-    /// merged index is always in range.
-    #[test]
-    fn cartesian_index_roundtrip(
-        sizes in vec(1u64..50, 2..5),
-        picks in vec(0u64..50, 2..5),
-    ) {
-        prop_assume!(sizes.len() == picks.len());
-        let indices: Vec<u64> =
-            picks.iter().zip(&sizes).map(|(&p, &n)| p % n).collect();
+/// Cartesian index math: merge then unmerge is the identity, and the merged
+/// index is always in range.
+#[test]
+fn cartesian_index_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xCA27);
+    for _ in 0..200 {
+        let n = rng.gen_range_usize(2, 5);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(1, 50)).collect();
+        let indices: Vec<u64> = sizes.iter().map(|&s| rng.gen_range_u64(0, 50) % s).collect();
         let merged = merged_row_index(&sizes, &indices).unwrap();
-        prop_assert!(merged < product_rows(&sizes).unwrap());
+        assert!(merged < product_rows(&sizes).unwrap());
         let back = unmerged_row_indices(&sizes, merged).unwrap();
-        prop_assert_eq!(back, indices);
+        assert_eq!(back, indices);
     }
+}
 
-    /// Physical Cartesian products are bit-identical concatenations for
-    /// every (i, j) pair.
-    #[test]
-    fn cartesian_materialization_identity(
-        rows_a in 1u64..20,
-        rows_b in 1u64..20,
-        dim_a in 1u32..6,
-        dim_b in 1u32..6,
-        seed in any::<u64>(),
-        i in 0u64..20,
-        j in 0u64..20,
-    ) {
+/// Physical Cartesian products are bit-identical concatenations for every
+/// (i, j) pair.
+#[test]
+fn cartesian_materialization_identity() {
+    let mut rng = Rng::seed_from_u64(0xCA72);
+    for _ in 0..60 {
+        let rows_a = rng.gen_range_u64(1, 20);
+        let rows_b = rng.gen_range_u64(1, 20);
+        let dim_a = rng.gen_range_u64(1, 6) as u32;
+        let dim_b = rng.gen_range_u64(1, 6) as u32;
+        let seed = rng.next_u64();
         let a = EmbeddingTable::procedural(TableSpec::new("a", rows_a, dim_a), seed);
-        let b = EmbeddingTable::procedural(
-            TableSpec::new("b", rows_b, dim_b),
-            seed.wrapping_add(1),
-        );
+        let b =
+            EmbeddingTable::procedural(TableSpec::new("b", rows_b, dim_b), seed.wrapping_add(1));
         let product = materialize_product(&[&a, &b], u64::MAX).unwrap();
-        let (i, j) = (i % rows_a, j % rows_b);
+        let (i, j) = (rng.gen_range_u64(0, rows_a), rng.gen_range_u64(0, rows_b));
         let merged = merged_row_index(&[rows_a, rows_b], &[i, j]).unwrap();
         let mut expect = a.row(i).unwrap();
         expect.extend(b.row(j).unwrap());
-        prop_assert_eq!(product.row(merged).unwrap(), expect);
+        assert_eq!(product.row(merged).unwrap(), expect);
     }
+}
 
-    /// Any valid merge plan leaves the gathered feature vector unchanged.
-    #[test]
-    fn gather_is_merge_invariant(
-        model in small_model(),
-        seed in any::<u64>(),
-        pair_seed in any::<u64>(),
-    ) {
+/// Any valid merge plan leaves the gathered feature vector unchanged.
+#[test]
+fn gather_is_merge_invariant() {
+    let mut rng = Rng::seed_from_u64(0x6A72);
+    let mut exercised = 0;
+    while exercised < 40 {
+        let model = small_model(&mut rng);
+        let seed = rng.next_u64();
+        let pair_seed = rng.next_u64();
         let n = model.num_tables();
         // Derive a deterministic disjoint pair set from pair_seed.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (pair_seed.rotate_left(i as u32)) ^ i as u64);
         let pairs: Vec<(usize, usize)> =
             order.chunks(2).filter(|c| c.len() == 2).take(2).map(|c| (c[0], c[1])).collect();
-        prop_assume!(!pairs.is_empty());
+        if pairs.is_empty() {
+            continue;
+        }
+        exercised += 1;
 
         let unmerged = Catalog::build(&model, &MergePlan::none(), seed).unwrap();
         let merged = Catalog::build(&model, &MergePlan::pairs(&pairs), seed).unwrap();
-        let indices: Vec<u64> =
-            model.tables.iter().enumerate().map(|(i, t)| (seed.wrapping_add(i as u64 * 7)) % t.rows).collect();
-        prop_assert_eq!(
-            unmerged.gather_vec(&indices).unwrap(),
-            merged.gather_vec(&indices).unwrap()
-        );
+        let indices: Vec<u64> = model
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (seed.wrapping_add(i as u64 * 7)) % t.rows)
+            .collect();
+        assert_eq!(unmerged.gather_vec(&indices).unwrap(), merged.gather_vec(&indices).unwrap());
         // And the merged catalog needs strictly fewer physical reads.
-        prop_assert!(
-            merged.resolve(&indices).unwrap().len()
-                < unmerged.resolve(&indices).unwrap().len()
+        assert!(
+            merged.resolve(&indices).unwrap().len() < unmerged.resolve(&indices).unwrap().len()
         );
     }
+}
 
-    /// Every plan the allocator produces validates: all tables placed once,
-    /// no bank over capacity.
-    #[test]
-    fn allocator_plans_always_validate(model in small_model(), seed in any::<u64>()) {
+/// Every plan the allocator produces validates: all tables placed once, no
+/// bank over capacity.
+#[test]
+fn allocator_plans_always_validate() {
+    let mut rng = Rng::seed_from_u64(0xA110);
+    for _ in 0..40 {
+        let model = small_model(&mut rng);
         let config = MemoryConfig::u280();
         let plan = allocate(&model, &MergePlan::none(), &config, Precision::F32).unwrap();
         plan.validate(&model, &config).unwrap();
         // Determinism: same inputs, same plan.
         let again = allocate(&model, &MergePlan::none(), &config, Precision::F32).unwrap();
-        prop_assert_eq!(&plan, &again);
-        let _ = seed;
+        assert_eq!(plan, again);
     }
+}
 
-    /// The heuristic never returns something worse than the unmerged
-    /// baseline, and its best plan always validates.
-    #[test]
-    fn heuristic_never_regresses(model in small_model()) {
+/// The heuristic never returns something worse than the unmerged baseline,
+/// and its best plan always validates.
+#[test]
+fn heuristic_never_regresses() {
+    let mut rng = Rng::seed_from_u64(0x4E07);
+    for _ in 0..25 {
+        let model = small_model(&mut rng);
         let config = MemoryConfig::u280();
         let base = heuristic_search(
             &model,
@@ -124,71 +136,91 @@ proptest! {
             &HeuristicOptions { allow_merge: false, ..Default::default() },
         )
         .unwrap();
-        let best =
-            heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
-                .unwrap();
-        prop_assert!(best.cost.lookup_latency <= base.cost.lookup_latency);
+        let best = heuristic_search(&model, &config, Precision::F32, &HeuristicOptions::default())
+            .unwrap();
+        assert!(best.cost.lookup_latency <= base.cost.lookup_latency);
         best.plan.validate(&model, &config).unwrap();
         // Storage only grows when latency strictly improves.
         if best.cost.storage_bytes > base.cost.storage_bytes {
-            prop_assert!(best.cost.lookup_latency < base.cost.lookup_latency);
+            assert!(best.cost.lookup_latency < base.cost.lookup_latency);
         }
     }
+}
 
-    /// Plan cost is monotone in lookups-per-table.
-    #[test]
-    fn cost_monotone_in_lookups(model in small_model()) {
+/// Plan cost is monotone in lookups-per-table.
+#[test]
+fn cost_monotone_in_lookups() {
+    let mut rng = Rng::seed_from_u64(0xC057);
+    for _ in 0..25 {
+        let model = small_model(&mut rng);
         let config = MemoryConfig::u280();
         let plan = allocate(&model, &MergePlan::none(), &config, Precision::F32).unwrap();
         let mut prev = SimTime::ZERO;
         for lookups in 1..=4u32 {
             let cost = plan.cost(&config, lookups);
-            prop_assert!(cost.lookup_latency >= prev);
+            assert!(cost.lookup_latency >= prev);
             prev = cost.lookup_latency;
         }
     }
+}
 
-    /// SimTime arithmetic: addition is commutative/associative and display
-    /// never panics.
-    #[test]
-    fn simtime_algebra(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic: addition is commutative/associative and display
+/// never panics.
+#[test]
+fn simtime_algebra() {
+    let mut rng = Rng::seed_from_u64(0x71ED);
+    for _ in 0..500 {
+        let a = rng.gen_range_u64(0, u64::MAX / 4);
+        let b = rng.gen_range_u64(0, u64::MAX / 4);
+        let c = rng.gen_range_u64(0, u64::MAX / 4);
         let (x, y, z) = (SimTime::from_ps(a), SimTime::from_ps(b), SimTime::from_ps(c));
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x + y) + z, x + (y + z));
-        prop_assert_eq!(x.saturating_sub(x), SimTime::ZERO);
-        prop_assert!(x.max(y) >= x.min(y));
+        assert_eq!(x + y, y + x);
+        assert_eq!((x + y) + z, x + (y + z));
+        assert_eq!(x.saturating_sub(x), SimTime::ZERO);
+        assert!(x.max(y) >= x.min(y));
         let _ = format!("{x}");
     }
+}
 
-    /// Q-format quantization: round-trip error bounded by half an ULP and
-    /// ordering preserved for in-range values.
-    #[test]
-    fn qformat_bounds(v in -3.9f32..3.9, w in -3.9f32..3.9) {
-        use microrec_dnn::{Q16, Q32};
-        prop_assert!(Q16::quantization_error(v) <= 0.5 / 8192.0 + 1e-6);
-        prop_assert!(Q32::quantization_error(v) <= 0.5 / 8_388_608.0 + 1e-6);
+/// Q-format quantization: round-trip error bounded by half an ULP and
+/// ordering preserved for in-range values.
+#[test]
+fn qformat_bounds() {
+    use microrec_dnn::{Q16, Q32};
+    let mut rng = Rng::seed_from_u64(0x9F02);
+    for _ in 0..2000 {
+        let v = rng.gen_range_f32(-3.9, 3.9);
+        let w = rng.gen_range_f32(-3.9, 3.9);
+        assert!(Q16::quantization_error(v) <= 0.5 / 8192.0 + 1e-6);
+        assert!(Q32::quantization_error(v) <= 0.5 / 8_388_608.0 + 1e-6);
         if v + 1.0 / 4096.0 < w {
-            prop_assert!(Q16::from_f32(v) < Q16::from_f32(w));
+            assert!(Q16::from_f32(v) < Q16::from_f32(w));
         }
         // Multiplication semantics: |q(v)*q(w) - v*w| small when the
         // product is in range.
         let exact = f64::from(v) * f64::from(w);
         if exact.abs() < 3.9 {
             let q = (Q16::from_f32(v) * Q16::from_f32(w)).to_f32();
-            prop_assert!((f64::from(q) - exact).abs() < 2e-3, "{q} vs {exact}");
+            assert!((f64::from(q) - exact).abs() < 2e-3, "{q} vs {exact}");
         }
     }
+}
 
-    /// Procedural tables are pure functions of (seed, row, col).
-    #[test]
-    fn procedural_tables_are_pure(seed in any::<u64>(), rows in 1u64..1000, dim in 1u32..16) {
+/// Procedural tables are pure functions of (seed, row, col).
+#[test]
+fn procedural_tables_are_pure() {
+    let mut rng = Rng::seed_from_u64(0x9002);
+    for _ in 0..60 {
+        let seed = rng.next_u64();
+        let rows = rng.gen_range_u64(1, 1000);
+        let dim = rng.gen_range_u64(1, 16) as u32;
         let spec = TableSpec::new("t", rows, dim);
         let a = EmbeddingTable::procedural(spec.clone(), seed);
         let b = EmbeddingTable::procedural(spec, seed);
         let r = seed % rows;
-        prop_assert_eq!(a.row(r).unwrap(), b.row(r).unwrap());
+        assert_eq!(a.row(r).unwrap(), b.row(r).unwrap());
         for v in a.row(r).unwrap() {
-            prop_assert!((-1.0..1.0).contains(&v));
+            assert!((-1.0..1.0).contains(&v));
         }
     }
 }

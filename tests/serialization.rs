@@ -1,4 +1,4 @@
-//! Serde round-trip tests: specs, plans, and reports survive JSON
+//! JSON round-trip tests: specs, plans, and reports survive JSON
 //! serialization unchanged (the CLI's `--json` output and any downstream
 //! tooling depend on this).
 
@@ -14,15 +14,15 @@ fn model_specs_round_trip() {
         ModelSpec::dlrm_rmc2(8, 16),
         ModelSpec::dlrm_with_bottom(8, 16),
     ] {
-        let json = serde_json::to_string(&model).unwrap();
-        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        let json = microrec_json::to_string(&model);
+        let back: ModelSpec = microrec_json::from_str(&json).unwrap();
         assert_eq!(model, back);
     }
 }
 
 #[test]
 fn old_specs_without_bottom_field_still_parse() {
-    // `bottom_hidden` was added later with #[serde(default)]: JSON written
+    // `bottom_hidden` is a defaulted field: JSON written
     // before the field existed must still load.
     let json = r#"{
         "name": "legacy",
@@ -31,7 +31,7 @@ fn old_specs_without_bottom_field_still_parse() {
         "hidden": [16],
         "lookups_per_table": 1
     }"#;
-    let model: ModelSpec = serde_json::from_str(json).unwrap();
+    let model: ModelSpec = microrec_json::from_str(json).unwrap();
     assert!(!model.has_bottom_mlp());
     model.validate().unwrap();
 }
@@ -45,15 +45,9 @@ fn plans_round_trip_and_stay_valid() {
         1,
     );
     let config = MemoryConfig::u280();
-    let plan = allocate(
-        &model,
-        &MergePlan::pairs(&[(0, 1)]),
-        &config,
-        Precision::F32,
-    )
-    .unwrap();
-    let json = serde_json::to_string_pretty(&plan).unwrap();
-    let back: Plan = serde_json::from_str(&json).unwrap();
+    let plan = allocate(&model, &MergePlan::pairs(&[(0, 1)]), &config, Precision::F32).unwrap();
+    let json = microrec_json::to_string_pretty(&plan);
+    let back: Plan = microrec_json::from_str(&json).unwrap();
     assert_eq!(plan, back);
     back.validate(&model, &config).unwrap();
     // Costs agree after the round trip.
@@ -62,13 +56,11 @@ fn plans_round_trip_and_stay_valid() {
 
 #[test]
 fn memory_config_round_trips() {
-    for config in [
-        MemoryConfig::u280(),
-        MemoryConfig::cpu_server(),
-        MemoryConfig::fpga_without_hbm(2),
-    ] {
-        let json = serde_json::to_string(&config).unwrap();
-        let back: MemoryConfig = serde_json::from_str(&json).unwrap();
+    for config in
+        [MemoryConfig::u280(), MemoryConfig::cpu_server(), MemoryConfig::fpga_without_hbm(2)]
+    {
+        let json = microrec_json::to_string(&config);
+        let back: MemoryConfig = microrec_json::from_str(&json).unwrap();
         assert_eq!(config, back);
     }
 }
@@ -76,17 +68,17 @@ fn memory_config_round_trips() {
 #[test]
 fn simtime_serializes_as_integer_picoseconds() {
     let t = SimTime::from_ns(123.456);
-    let json = serde_json::to_string(&t).unwrap();
+    let json = microrec_json::to_string(&t);
     assert_eq!(json, "123456");
-    let back: SimTime = serde_json::from_str(&json).unwrap();
+    let back: SimTime = microrec_json::from_str(&json).unwrap();
     assert_eq!(t, back);
 }
 
 #[test]
 fn bank_ids_are_stable_identifiers() {
     let id = BankId::new(MemoryKind::Hbm, 31);
-    let json = serde_json::to_string(&id).unwrap();
-    let back: BankId = serde_json::from_str(&json).unwrap();
+    let json = microrec_json::to_string(&id);
+    let back: BankId = microrec_json::from_str(&json).unwrap();
     assert_eq!(id, back);
     assert!(json.contains("Hbm"), "{json}");
 }
