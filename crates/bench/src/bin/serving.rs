@@ -1,0 +1,153 @@
+//! Serving-frontier benchmark: drives the live micro-batching runtime
+//! ([`ServingRuntime`]) with paced Poisson arrivals and sweeps offered
+//! load × batch window × worker count, emitting one JSON record per point
+//! (committed as `BENCH_serving.json`).
+//!
+//! Each point replays a seeded trace in real time, so offered load is a
+//! wall-clock fact, not a simulation input. Before the sweep the bin
+//! measures the sequential single-`predict` capacity of one engine
+//! (matching `BENCH_throughput.json`'s `seq_qps`) and checks that a
+//! runtime-served batch is bit-identical to sequential prediction.
+//!
+//! Run with `cargo run --release -p microrec-bench --bin serving`
+//! (`-- --smoke` for the time-bounded CI variant).
+
+use std::time::Instant;
+
+use microrec_core::{
+    AdmissionPolicy, MicroRec, ReplayOutcome, RuntimeConfig, ServingFrontierRecord, ServingRuntime,
+};
+use microrec_embedding::ModelSpec;
+use microrec_json::ToJson;
+use microrec_workload::{QueryGenConfig, RequestTrace};
+
+/// Full-sweep requests per load point.
+const FULL_POINT_REQUESTS: usize = 2_000;
+/// Smoke-mode requests per load point (a few thousand total).
+const SMOKE_POINT_REQUESTS: usize = 800;
+/// Queries for the bit-identity check.
+const IDENTITY_QUERIES: usize = 96;
+
+fn build(model: &ModelSpec) -> MicroRec {
+    MicroRec::builder(model.clone()).seed(42).build().expect("engine")
+}
+
+/// Sequential single-predict capacity, measured fresh on this machine so
+/// the offered-load multipliers track the hardware the sweep runs on.
+fn measure_seq_qps(model: &ModelSpec) -> f64 {
+    let mut engine = build(model);
+    let trace = RequestTrace::generate(model, 1_000.0, 256, QueryGenConfig::default())
+        .expect("seq-capacity trace");
+    for q in trace.queries().iter().take(32) {
+        engine.predict(q).expect("warmup predict");
+    }
+    let start = Instant::now();
+    for q in trace.queries() {
+        engine.predict(q).expect("predict");
+    }
+    trace.queries().len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runtime-served results must be bit-identical to sequential `predict`.
+fn check_bit_identity(model: &ModelSpec, config: RuntimeConfig) -> bool {
+    let trace =
+        RequestTrace::generate(model, 50_000.0, IDENTITY_QUERIES, QueryGenConfig::default())
+            .expect("identity trace");
+    let mut sequential = build(model);
+    let expected: Vec<f32> =
+        trace.queries().iter().map(|q| sequential.predict(q).expect("predict")).collect();
+    let runtime =
+        ServingRuntime::start(MicroRec::builder(model.clone()).seed(42), config).expect("runtime");
+    let pending: Vec<_> =
+        trace.queries().iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    pending
+        .into_iter()
+        .zip(&expected)
+        .all(|(p, e)| p.wait().map(|got| got.to_bits() == e.to_bits()).unwrap_or(false))
+}
+
+/// One sweep point: fresh runtime, fresh paced replay.
+fn run_point(model: &ModelSpec, rate: f64, n: usize, config: RuntimeConfig) -> ReplayOutcome {
+    let trace =
+        RequestTrace::generate(model, rate, n, QueryGenConfig::default()).expect("point trace");
+    let mut runtime =
+        ServingRuntime::start(MicroRec::builder(model.clone()).seed(42), config).expect("runtime");
+    let mut outcome = replay(&runtime, &trace);
+    outcome.snapshot = runtime.shutdown();
+    outcome
+}
+
+fn replay(runtime: &ServingRuntime, trace: &RequestTrace) -> ReplayOutcome {
+    microrec_core::replay_trace(runtime, trace)
+}
+
+fn config(workers: usize, max_batch: usize, max_wait_us: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        max_batch,
+        max_wait_us,
+        queue_depth: 512,
+        admission: AdmissionPolicy::Reject,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let model = ModelSpec::dlrm_rmc2(8, 16);
+
+    let seq_qps = measure_seq_qps(&model);
+    eprintln!("sequential capacity: {seq_qps:.1} qps");
+
+    let identity_ok = check_bit_identity(&model, config(2, 32, 2_000));
+    assert!(identity_ok, "runtime-served results diverged from sequential predict");
+    eprintln!("bit-identity vs sequential predict: ok ({IDENTITY_QUERIES} queries)");
+
+    // (offered multiplier over seq capacity, batch window us, workers)
+    let points: Vec<(f64, u64, usize)> = if smoke {
+        vec![(2.0, 2_000, 1), (4.0, 2_000, 2)]
+    } else {
+        let mut p = Vec::new();
+        for &mult in &[2.0, 4.0, 6.0] {
+            for &wait_us in &[2_000u64, 10_000] {
+                for &workers in &[1usize, 2] {
+                    p.push((mult, wait_us, workers));
+                }
+            }
+        }
+        p
+    };
+    let n = if smoke { SMOKE_POINT_REQUESTS } else { FULL_POINT_REQUESTS };
+
+    let mut records = Vec::with_capacity(points.len());
+    for &(mult, wait_us, workers) in &points {
+        let rate = seq_qps * mult;
+        let cfg = config(workers, 64, wait_us);
+        let outcome = run_point(&model, rate, n, cfg);
+        let record = ServingFrontierRecord::from_run(&cfg, &outcome);
+        eprintln!(
+            "offered {:>7.0} qps ({mult:.0}x seq, wait {wait_us:>5} us, {workers} worker): \
+             sustained {:>7.0} qps, mean batch {:>5.2}, p99 {:>8.0} us, drops {:.2}%",
+            rate,
+            record.qps,
+            record.mean_batch_size,
+            record.p99_us,
+            record.drop_rate * 100.0,
+        );
+        if smoke {
+            // CI gate: at ≥2x sequential offered load the runtime must
+            // beat sequential capacity with real batching and finite tail.
+            assert!(record.qps > seq_qps, "runtime slower than sequential at {mult}x load");
+            assert!(record.mean_batch_size > 1.0, "no batching happened at {mult}x load");
+            assert!(record.p99_us.is_finite() && record.p99_us > 0.0, "bad p99");
+        }
+        records.push(record);
+    }
+
+    let obj = vec![
+        ("seq_qps".to_string(), seq_qps.to_json()),
+        ("bit_identical".to_string(), identity_ok.to_json()),
+        ("requests_per_point".to_string(), n.to_json()),
+        ("points".to_string(), records.to_json()),
+    ];
+    println!("{}", microrec_json::to_string_pretty(&microrec_json::Json::Obj(obj)));
+}

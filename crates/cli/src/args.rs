@@ -141,7 +141,9 @@ pub enum Command {
         /// How many top designs to print.
         top: usize,
     },
-    /// Simulate online serving under a Poisson load.
+    /// Simulate online serving under a Poisson load, or (with `--live`)
+    /// drive the real micro-batching runtime with paced wall-clock
+    /// arrivals.
     Serve {
         /// Target model.
         model: ModelArg,
@@ -153,6 +155,18 @@ pub enum Command {
         sla_ms: f64,
         /// Also route overflow to the CPU baseline.
         hybrid: bool,
+        /// Run the live serving runtime instead of the simulation.
+        live: bool,
+        /// Worker threads (engine replicas) for the live runtime.
+        workers: usize,
+        /// Micro-batch size close threshold for the live runtime.
+        max_batch: usize,
+        /// Micro-batch deadline close threshold in microseconds.
+        wait_us: u64,
+        /// Admission-queue depth for the live runtime.
+        queue_depth: usize,
+        /// Reject (drop) requests on a full queue instead of blocking.
+        reject: bool,
     },
     /// Print usage.
     Help,
@@ -230,6 +244,24 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                 .parse()
                 .map_err(|_| ArgError("bad --sla-ms value".into()))?,
             hybrid: has("--hybrid"),
+            live: has("--live"),
+            workers: flag("--workers")
+                .unwrap_or("2")
+                .parse()
+                .map_err(|_| ArgError("bad --workers value".into()))?,
+            max_batch: flag("--max-batch")
+                .unwrap_or("32")
+                .parse()
+                .map_err(|_| ArgError("bad --max-batch value".into()))?,
+            wait_us: flag("--wait-us")
+                .unwrap_or("2000")
+                .parse()
+                .map_err(|_| ArgError("bad --wait-us value".into()))?,
+            queue_depth: flag("--queue-depth")
+                .unwrap_or("1024")
+                .parse()
+                .map_err(|_| ArgError("bad --queue-depth value".into()))?,
+            reject: has("--reject"),
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -247,6 +279,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject]
   microrec help
 ";
 
@@ -337,14 +370,50 @@ mod tests {
     fn serve_command_parses() {
         let cli = parse(&argv("serve --rate 80000 --sla-ms 10 --hybrid")).unwrap();
         match cli.command {
-            Command::Serve { rate, sla_ms, hybrid, queries, .. } => {
+            Command::Serve { rate, sla_ms, hybrid, queries, live, workers, .. } => {
                 assert_eq!(rate, 80_000.0);
                 assert_eq!(sla_ms, 10.0);
                 assert!(hybrid);
                 assert_eq!(queries, 50_000);
+                assert!(!live);
+                assert_eq!(workers, 2);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_live_command_parses() {
+        let cli = parse(&argv(
+            "serve --live --rate 500 --queries 200 --workers 3 --max-batch 16 \
+             --wait-us 1500 --queue-depth 64 --reject",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                live,
+                rate,
+                queries,
+                workers,
+                max_batch,
+                wait_us,
+                queue_depth,
+                reject,
+                ..
+            } => {
+                assert!(live);
+                assert_eq!(rate, 500.0);
+                assert_eq!(queries, 200);
+                assert_eq!(workers, 3);
+                assert_eq!(max_batch, 16);
+                assert_eq!(wait_us, 1_500);
+                assert_eq!(queue_depth, 64);
+                assert!(reject);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("serve --live --workers many")).is_err());
+        assert!(parse(&argv("serve --live --wait-us -1")).is_err());
     }
 
     #[test]

@@ -3,14 +3,15 @@
 use std::fmt::Write as _;
 
 use microrec_core::{
-    best_fitting, explore_design_space, simulate_hybrid_serving, simulate_microrec_serving,
-    HybridConfig, MicroRec,
+    best_fitting, explore_design_space, replay_trace, simulate_hybrid_serving,
+    simulate_microrec_serving, AdmissionPolicy, HybridConfig, MicroRec, RuntimeConfig,
+    ServingRuntime,
 };
 use microrec_cpu::CpuTimingModel;
 use microrec_embedding::Precision;
 use microrec_memsim::{MemoryConfig, SimTime};
 use microrec_placement::{heuristic_search, AllocStrategy, HeuristicOptions};
-use microrec_workload::{PoissonArrivals, QueryGenConfig, QueryGenerator};
+use microrec_workload::{PoissonArrivals, QueryGenConfig, QueryGenerator, RequestTrace};
 
 use crate::args::ModelArg;
 
@@ -204,6 +205,63 @@ pub fn run_serve(
     Ok(s)
 }
 
+/// `microrec serve --live`: drives the real micro-batching runtime with a
+/// paced wall-clock replay of a seeded Poisson trace.
+pub fn run_serve_live(
+    model: &ModelArg,
+    rate: f64,
+    queries: usize,
+    config: RuntimeConfig,
+) -> CliResult {
+    let spec = model.to_spec();
+    let trace = RequestTrace::generate(&spec, rate, queries, QueryGenConfig::default())?;
+    let mut runtime = ServingRuntime::start(MicroRec::builder(spec.clone()), config)?;
+    let outcome = replay_trace(&runtime, &trace);
+    let snap = runtime.shutdown();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "model {} | live runtime: {} worker(s), max_batch {}, wait {} us, queue {} ({})",
+        spec.name,
+        config.workers,
+        config.max_batch,
+        config.max_wait_us,
+        config.queue_depth,
+        match config.admission {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Reject => "reject",
+        },
+    )?;
+    writeln!(
+        s,
+        "load:  {:.0} QPS offered, {:.0} QPS sustained ({} of {} completed, drop rate {:.2}%)",
+        outcome.offered_qps,
+        outcome.qps,
+        outcome.completed,
+        outcome.offered,
+        snap.drop_rate() * 100.0,
+    )?;
+    writeln!(
+        s,
+        "tail:  p50 {:.0} us | p95 {:.0} us | p99 {:.0} us | p999 {:.0} us | mean {:.0} us",
+        snap.latency.p50_us,
+        snap.latency.p95_us,
+        snap.latency.p99_us,
+        snap.latency.p999_us,
+        snap.mean_latency_us,
+    )?;
+    writeln!(
+        s,
+        "batch: mean size {:.2} over {} batches ({} size-closed, {} deadline-closed, {} drained)",
+        snap.mean_batch_size,
+        snap.batches,
+        snap.size_closes,
+        snap.deadline_closes,
+        snap.drain_closes,
+    )?;
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +339,22 @@ mod tests {
             run_serve(&ModelArg::Dlrm { tables: 4, dim: 4 }, 10_000.0, 2_000, 25.0, true).unwrap();
         assert!(out.contains("SLA hit"), "{out}");
         assert!(out.contains("Hybrid"), "{out}");
+    }
+
+    #[test]
+    fn serve_live_runs_the_runtime() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("mean size"), "{out}");
     }
 
     #[test]

@@ -40,8 +40,35 @@ fn main() -> ExitCode {
         Command::Explore { model, precision, top } => {
             commands::run_explore(model, *precision, *top)
         }
-        Command::Serve { model, rate, queries, sla_ms, hybrid } => {
-            commands::run_serve(model, *rate, *queries, *sla_ms, *hybrid)
+        Command::Serve {
+            model,
+            rate,
+            queries,
+            sla_ms,
+            hybrid,
+            live,
+            workers,
+            max_batch,
+            wait_us,
+            queue_depth,
+            reject,
+        } => {
+            if *live {
+                let config = microrec_core::RuntimeConfig {
+                    workers: *workers,
+                    max_batch: *max_batch,
+                    max_wait_us: *wait_us,
+                    queue_depth: *queue_depth,
+                    admission: if *reject {
+                        microrec_core::AdmissionPolicy::Reject
+                    } else {
+                        microrec_core::AdmissionPolicy::Block
+                    },
+                };
+                commands::run_serve_live(model, *rate, *queries, config)
+            } else {
+                commands::run_serve(model, *rate, *queries, *sla_ms, *hybrid)
+            }
         }
     };
     match result {

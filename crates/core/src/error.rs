@@ -23,6 +23,8 @@ pub enum MicroRecError {
     Dnn(DnnError),
     /// Accelerator model error.
     Accel(AccelError),
+    /// Serving-runtime error (e.g. a worker thread could not be spawned).
+    Runtime(String),
 }
 
 impl fmt::Display for MicroRecError {
@@ -33,6 +35,7 @@ impl fmt::Display for MicroRecError {
             MicroRecError::Memory(e) => write!(f, "memory error: {e}"),
             MicroRecError::Dnn(e) => write!(f, "dnn error: {e}"),
             MicroRecError::Accel(e) => write!(f, "accelerator error: {e}"),
+            MicroRecError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }
@@ -45,6 +48,7 @@ impl Error for MicroRecError {
             MicroRecError::Memory(e) => Some(e),
             MicroRecError::Dnn(e) => Some(e),
             MicroRecError::Accel(e) => Some(e),
+            MicroRecError::Runtime(_) => None,
         }
     }
 }

@@ -115,6 +115,7 @@ pub fn simulate_hybrid_serving(
         + all.iter().copied().max().unwrap_or(SimTime::ZERO);
     let combined = ServingReport {
         latency: LatencyStats::from_samples(&all)?,
+        tail: crate::serve::tail_percentiles(&all),
         sla_hit_rate: LatencyStats::sla_hit_rate(&all, sla),
         throughput: if span.is_zero() { f64::INFINITY } else { all.len() as f64 / span.as_secs() },
     };

@@ -41,6 +41,7 @@ mod hybrid_serving;
 mod pool;
 mod ranking;
 mod report;
+mod runtime;
 mod serve;
 
 pub use cluster::{InterconnectConfig, MicroRecCluster};
@@ -52,5 +53,11 @@ pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
 pub use report::{
     end_to_end_report, AwsPrices, CostReport, CpuPoint, EmbeddingReport, EndToEndReport, FpgaPoint,
+    ServingFrontierRecord,
+};
+pub use runtime::{
+    plan_batches, replay_trace, AdmissionPolicy, BatchClose, BatchFormerConfig, LatencyHistogram,
+    LatencyPercentiles, PendingPrediction, PlannedBatch, ReplayOutcome, RuntimeConfig,
+    RuntimeError, RuntimeSnapshot, ServingRuntime,
 };
 pub use serve::{simulate_cpu_serving, simulate_microrec_serving, ServingReport};

@@ -107,6 +107,15 @@ impl EnginePool {
     ///
     /// Returns [`MicroRecError`] for malformed queries.
     pub fn predict_batch(&self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Tiny batches (≤ one query per replica) would shard into
+        // single-query chunks and pay a thread spawn per item; one
+        // replica's batched fast path beats that.
+        if queries.len() <= self.engines.len() {
+            return self.acquire().predict_batch(queries);
+        }
         let shards = microrec_par::par_chunks(queries.len(), self.engines.len(), |_, range| {
             self.acquire().predict_batch(&queries[range])
         });
@@ -208,6 +217,26 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn tiny_batches_below_replica_count_stay_correct() {
+        // Regression: batch < replicas must not shard into degenerate
+        // chunks — every size from empty through replicas+1 must match
+        // item-by-item results bit for bit.
+        let p = pool();
+        assert!(p.predict_batch(&[]).unwrap().is_empty());
+        for batch in 1..=p.replicas() + 1 {
+            let queries: Vec<Vec<u64>> = (0..batch)
+                .map(|i| (0..16).map(|j| ((i * 53 + j * 19) % 500_000) as u64).collect())
+                .collect();
+            let singles: Vec<f32> = queries.iter().map(|q| p.predict(q).unwrap()).collect();
+            let batched = p.predict_batch(&queries).unwrap();
+            assert_eq!(batched.len(), batch);
+            for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
+                assert_eq!(b.to_bits(), s.to_bits(), "batch {batch} item {i}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use microrec_memsim::SimTime;
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
+use crate::runtime::{ReplayOutcome, RuntimeConfig};
 
 /// One CPU operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,6 +180,89 @@ impl CostReport {
     #[must_use]
     pub fn advantage(&self) -> f64 {
         self.cpu_usd_per_million / self.fpga_usd_per_million
+    }
+}
+
+/// One point on the serving runtime's QPS/tail-latency frontier: the
+/// outcome of replaying one offered load through one runtime
+/// configuration. Serializes to the `BENCH_serving.json` row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingFrontierRecord {
+    /// Offered Poisson load (queries per second).
+    pub offered_qps: f64,
+    /// Sustained completion rate (queries per second).
+    pub qps: f64,
+    /// Median enqueue→completion latency (µs).
+    pub p50_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile latency (µs).
+    pub p999_us: f64,
+    /// Mean latency (µs).
+    pub mean_latency_us: f64,
+    /// Fraction of offered requests dropped at admission.
+    pub drop_rate: f64,
+    /// Mean requests per executed micro-batch.
+    pub mean_batch_size: f64,
+    /// Worker threads (engine replicas).
+    pub workers: u64,
+    /// Batch-size close threshold.
+    pub max_batch: u64,
+    /// Batch-deadline close threshold (µs).
+    pub max_wait_us: u64,
+    /// Admission-queue capacity.
+    pub queue_depth: u64,
+    /// Requests that produced a prediction.
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+}
+
+microrec_json::impl_json_struct!(
+    ServingFrontierRecord,
+    required {
+        offered_qps,
+        qps,
+        p50_us,
+        p95_us,
+        p99_us,
+        p999_us,
+        mean_latency_us,
+        drop_rate,
+        mean_batch_size,
+        workers,
+        max_batch,
+        max_wait_us,
+        queue_depth,
+        completed,
+        rejected,
+    }
+);
+
+impl ServingFrontierRecord {
+    /// Builds the record for one replayed load point.
+    #[must_use]
+    pub fn from_run(config: &RuntimeConfig, outcome: &ReplayOutcome) -> Self {
+        let snap = &outcome.snapshot;
+        ServingFrontierRecord {
+            offered_qps: outcome.offered_qps,
+            qps: outcome.qps,
+            p50_us: snap.latency.p50_us,
+            p95_us: snap.latency.p95_us,
+            p99_us: snap.latency.p99_us,
+            p999_us: snap.latency.p999_us,
+            mean_latency_us: snap.mean_latency_us,
+            drop_rate: snap.drop_rate(),
+            mean_batch_size: snap.mean_batch_size,
+            workers: config.workers as u64,
+            max_batch: config.max_batch as u64,
+            max_wait_us: config.max_wait_us,
+            queue_depth: config.queue_depth as u64,
+            completed: outcome.completed as u64,
+            rejected: outcome.rejected as u64,
+        }
     }
 }
 

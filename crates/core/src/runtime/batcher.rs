@@ -1,0 +1,229 @@
+//! Deterministic micro-batch forming.
+//!
+//! The serving runtime closes a micro-batch when it reaches `max_batch`
+//! items **or** when the oldest queued request has waited `max_wait_us`,
+//! whichever comes first. This module states that close rule as a pure
+//! function over arrival timestamps, so it can be tested deterministically
+//! (same seeded arrival stream ⇒ same batch boundaries) independent of
+//! thread scheduling. The real-time queue
+//! ([`BoundedQueue::pop_batch`](super::queue::BoundedQueue::pop_batch))
+//! implements the same rule against the wall clock.
+
+/// Knobs of the batch former.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchFormerConfig {
+    /// A batch closes as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// A batch closes once its oldest request has waited this long (µs).
+    pub max_wait_us: u64,
+}
+
+/// Why a micro-batch closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClose {
+    /// `max_batch` requests were available.
+    Size,
+    /// The oldest request hit its `max_wait_us` deadline.
+    Deadline,
+    /// The runtime is shutting down and drained the queue.
+    Drain,
+}
+
+/// One planned micro-batch over an arrival trace: requests
+/// `[start, end)` close together at `close_at_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedBatch {
+    /// Index of the first request in the batch.
+    pub start: usize,
+    /// One past the last request in the batch.
+    pub end: usize,
+    /// Instant the batch closed, in trace microseconds.
+    pub close_at_us: u64,
+    /// Which rule closed the batch.
+    pub close: BatchClose,
+}
+
+impl PlannedBatch {
+    /// Number of requests in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the batch is empty (never produced by the planner).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Plans the micro-batch boundaries the close rule produces over a sorted
+/// arrival trace (`arrivals_us[i]` = arrival instant of request `i` in
+/// microseconds), assuming a worker is always free when a batch closes.
+///
+/// Deterministic: the same trace and config always produce the same plan.
+/// The plan is an exact partition of the trace — every request lands in
+/// exactly one batch, and no batch's oldest request waits longer than
+/// `max_wait_us`.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_batch` is zero (a batch must hold at least one
+/// request).
+#[must_use]
+pub fn plan_batches(arrivals_us: &[u64], cfg: &BatchFormerConfig) -> Vec<PlannedBatch> {
+    assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+    debug_assert!(arrivals_us.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    let mut plan = Vec::new();
+    let mut start = 0usize;
+    while start < arrivals_us.len() {
+        let deadline = arrivals_us[start].saturating_add(cfg.max_wait_us);
+        let full_index = start + cfg.max_batch - 1;
+        if full_index < arrivals_us.len() && arrivals_us[full_index] <= deadline {
+            // The batch fills before the oldest request times out.
+            plan.push(PlannedBatch {
+                start,
+                end: full_index + 1,
+                close_at_us: arrivals_us[full_index],
+                close: BatchClose::Size,
+            });
+            start = full_index + 1;
+        } else {
+            // Deadline close: everything that arrived by the deadline.
+            let mut end = start + 1;
+            while end < arrivals_us.len() && end - start < cfg.max_batch {
+                if arrivals_us[end] > deadline {
+                    break;
+                }
+                end += 1;
+            }
+            plan.push(PlannedBatch {
+                start,
+                end,
+                close_at_us: deadline,
+                close: BatchClose::Deadline,
+            });
+            start = end;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_rng::{Exp, Rng};
+
+    fn poisson_trace_us(rate_per_sec: f64, n: usize, seed: u64) -> Vec<u64> {
+        let exp = Exp::new(rate_per_sec).unwrap();
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|_| {
+                t += exp.sample(&mut rng) * 1e6;
+                t as u64
+            })
+            .collect()
+    }
+
+    fn check_invariants(arrivals: &[u64], cfg: &BatchFormerConfig, plan: &[PlannedBatch]) {
+        // Exact partition, in order.
+        let mut next = 0usize;
+        for b in plan {
+            assert_eq!(b.start, next, "batches must tile the trace");
+            assert!(!b.is_empty(), "no empty batches");
+            assert!(b.len() <= cfg.max_batch, "batch over max_batch");
+            // Everything in the batch arrived by the close instant...
+            assert!(arrivals[b.end - 1] <= b.close_at_us);
+            // ...and the oldest request never waited more than max_wait.
+            assert!(b.close_at_us <= arrivals[b.start] + cfg.max_wait_us);
+            match b.close {
+                BatchClose::Size => assert_eq!(b.len(), cfg.max_batch),
+                BatchClose::Deadline => {
+                    assert_eq!(b.close_at_us, arrivals[b.start] + cfg.max_wait_us);
+                }
+                BatchClose::Drain => panic!("planner never drains"),
+            }
+            next = b.end;
+        }
+        assert_eq!(next, arrivals.len(), "every request is batched");
+    }
+
+    #[test]
+    fn same_seed_means_same_boundaries() {
+        let cfg = BatchFormerConfig { max_batch: 16, max_wait_us: 2_000 };
+        let a = plan_batches(&poisson_trace_us(10_000.0, 3_000, 7), &cfg);
+        let b = plan_batches(&poisson_trace_us(10_000.0, 3_000, 7), &cfg);
+        assert_eq!(a, b, "seeded arrivals must produce identical plans");
+        let c = plan_batches(&poisson_trace_us(10_000.0, 3_000, 8), &cfg);
+        assert_ne!(a, c, "a different seed should shift boundaries");
+        check_invariants(&poisson_trace_us(10_000.0, 3_000, 7), &cfg, &a);
+    }
+
+    #[test]
+    fn high_rate_closes_on_size() {
+        // 1M QPS against a 10 ms window: batches fill long before the
+        // deadline.
+        let arrivals = poisson_trace_us(1_000_000.0, 2_000, 3);
+        let cfg = BatchFormerConfig { max_batch: 32, max_wait_us: 10_000 };
+        let plan = plan_batches(&arrivals, &cfg);
+        check_invariants(&arrivals, &cfg, &plan);
+        let size_closes = plan.iter().filter(|b| b.close == BatchClose::Size).count();
+        assert!(
+            size_closes as f64 > plan.len() as f64 * 0.9,
+            "{size_closes}/{} size closes",
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn low_rate_closes_on_deadline() {
+        // 100 QPS against a 2 ms window: the window expires with 1-2
+        // requests nearly every time.
+        let arrivals = poisson_trace_us(100.0, 500, 11);
+        let cfg = BatchFormerConfig { max_batch: 32, max_wait_us: 2_000 };
+        let plan = plan_batches(&arrivals, &cfg);
+        check_invariants(&arrivals, &cfg, &plan);
+        assert!(plan.iter().all(|b| b.close == BatchClose::Deadline));
+        let mean: f64 =
+            plan.iter().map(PlannedBatch::len).sum::<usize>() as f64 / plan.len() as f64;
+        assert!(mean < 4.0, "mean batch {mean} should be tiny at 100 QPS");
+    }
+
+    #[test]
+    fn burst_splits_into_full_batches() {
+        // 100 simultaneous arrivals, max_batch 32: three size closes and a
+        // deadline close for the remainder of 4.
+        let arrivals = vec![5_000u64; 100];
+        let cfg = BatchFormerConfig { max_batch: 32, max_wait_us: 1_000 };
+        let plan = plan_batches(&arrivals, &cfg);
+        check_invariants(&arrivals, &cfg, &plan);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].close, BatchClose::Size);
+        assert_eq!(plan[2].close, BatchClose::Size);
+        assert_eq!(plan[3].len(), 4);
+        assert_eq!(plan[3].close, BatchClose::Deadline);
+    }
+
+    #[test]
+    fn max_batch_one_degenerates_to_item_at_a_time() {
+        let arrivals = poisson_trace_us(5_000.0, 100, 1);
+        let cfg = BatchFormerConfig { max_batch: 1, max_wait_us: 1_000 };
+        let plan = plan_batches(&arrivals, &cfg);
+        check_invariants(&arrivals, &cfg, &plan);
+        assert_eq!(plan.len(), 100);
+        assert!(plan.iter().all(|b| b.close == BatchClose::Size));
+    }
+
+    #[test]
+    fn empty_trace_plans_nothing() {
+        let cfg = BatchFormerConfig { max_batch: 8, max_wait_us: 100 };
+        assert!(plan_batches(&[], &cfg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_panics() {
+        let _ = plan_batches(&[1, 2], &BatchFormerConfig { max_batch: 0, max_wait_us: 100 });
+    }
+}

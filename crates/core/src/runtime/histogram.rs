@@ -1,0 +1,290 @@
+//! Fixed-bucket latency histogram for tail-latency accounting.
+//!
+//! Serving percentiles (p50/p95/p99/p999) must be computable online —
+//! completions arrive from many worker threads and the runtime cannot
+//! retain every sample. [`LatencyHistogram`] uses a fixed set of
+//! geometrically spaced buckets over microseconds, so recording is O(1),
+//! merging is element-wise, and any quantile is a single cumulative walk.
+//! Bucket edges grow by ~7.5% per bucket, which bounds the relative error
+//! of a reported percentile at one bucket width.
+
+/// Number of buckets: one underflow bucket (`< 1 us`), 254 geometric
+/// buckets spanning `[1 us, 100 s)`, and one overflow bucket.
+const BUCKETS: usize = 256;
+
+/// Upper edge of the tracked range in microseconds (100 seconds).
+const MAX_TRACKED_US: f64 = 1e8;
+
+/// Index of the last geometric bucket (255 is the overflow bucket).
+const LAST_GEOMETRIC: usize = BUCKETS - 2;
+
+/// Latency percentiles in microseconds, as read out of a
+/// [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+}
+
+/// A fixed-bucket, geometrically spaced latency histogram (microseconds).
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=1000u32 {
+///     h.record_us(f64::from(us));
+/// }
+/// let p = h.percentiles();
+/// assert!((p.p50_us - 500.0).abs() / 500.0 < 0.08, "p50 {}", p.p50_us);
+/// assert!(p.p50_us <= p.p99_us && p.p99_us <= p.p999_us);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(us: f64) -> usize {
+    if us < 1.0 || us.is_nan() {
+        // Negative/NaN inputs also land in the underflow bucket.
+        return 0;
+    }
+    let frac = us.ln() / MAX_TRACKED_US.ln();
+    let idx = 1 + (frac * (LAST_GEOMETRIC - 1) as f64) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+fn bucket_upper_us(idx: usize) -> f64 {
+    if idx == 0 {
+        1.0
+    } else {
+        (MAX_TRACKED_US.ln() * idx as f64 / (LAST_GEOMETRIC - 1) as f64).exp()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: 0.0,
+        }
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record_us(&mut self, us: f64) {
+        let us = if us.is_finite() && us > 0.0 { us } else { 0.0 };
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Records one latency sample from a wall-clock duration.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record_us(d.as_secs_f64() * 1e6);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample in microseconds (exact, not bucketed).
+    #[must_use]
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Smallest recorded sample in microseconds (exact; 0 when empty).
+    #[must_use]
+    pub fn min_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in microseconds: the upper edge of
+    /// the bucket holding the `ceil(q * count)`-th smallest sample,
+    /// clamped to the exact observed maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                if idx == BUCKETS - 1 {
+                    // Overflow bucket has no upper edge: report the exact
+                    // observed maximum.
+                    return self.max_us;
+                }
+                return bucket_upper_us(idx).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The standard serving percentiles (p50/p95/p99/p999).
+    #[must_use]
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            p999_us: self.quantile_us(0.999),
+        }
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+        assert_eq!(h.percentiles(), LatencyPercentiles::default());
+    }
+
+    #[test]
+    fn uniform_samples_quantiles_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=10_000u32 {
+            h.record_us(f64::from(us));
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile_us(q);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.08, "q{q}: got {got}, expect {expect} (rel {rel:.3})");
+        }
+        assert!((h.mean_us() - 5_000.5).abs() < 1.0);
+        assert_eq!(h.max_us(), 10_000.0);
+        assert_eq!(h.min_us(), 1.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..5_000u32 {
+            // Heavy-tailed: mostly fast, occasional slow.
+            let us = if i % 100 == 0 { 50_000.0 } else { f64::from(i % 37) + 1.0 };
+            h.record_us(us);
+        }
+        let p = h.percentiles();
+        assert!(p.p50_us <= p.p95_us);
+        assert!(p.p95_us <= p.p99_us);
+        assert!(p.p99_us <= p.p999_us);
+        assert!(p.p999_us <= h.max_us() * 1.0 + 1e-9);
+        // The tail spike must be visible at p999 but not at p50.
+        assert!(p.p999_us > 10_000.0, "p999 {}", p.p999_us);
+        assert!(p.p50_us < 100.0, "p50 {}", p.p50_us);
+    }
+
+    #[test]
+    fn overflow_and_underflow_are_captured() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(0.25); // underflow bucket
+        h.record_us(1e12); // overflow bucket (beyond 100 s)
+        h.record_us(-3.0); // nonsense clamps to underflow
+        h.record_us(f64::NAN);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile_us(1.0) >= 1e12 * 0.9);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1_000u32 {
+            let us = f64::from(i * 7 % 977) + 1.0;
+            if i % 2 == 0 {
+                a.record_us(us);
+            } else {
+                b.record_us(us);
+            }
+            whole.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.percentiles(), whole.percentiles());
+        assert!((a.mean_us() - whole.mean_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_recording_converts_to_us() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_millis(3));
+        assert!((h.mean_us() - 3_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut last = 0usize;
+        let mut us = 0.5f64;
+        while us < 1e9 {
+            let idx = bucket_index(us);
+            assert!(idx >= last, "bucket index regressed at {us}");
+            assert!(idx < BUCKETS);
+            last = idx;
+            us *= 1.13;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1e12), BUCKETS - 1);
+    }
+}

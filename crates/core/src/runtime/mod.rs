@@ -1,0 +1,461 @@
+//! Streaming micro-batch serving runtime.
+//!
+//! Turns a live arrival stream into batched inference: producers
+//! [`submit`](ServingRuntime::submit) single queries into a bounded
+//! admission queue (backpressure or rejection when full), worker threads
+//! pop micro-batches formed by the `max_batch`-or-`max_wait_us` close rule
+//! and run them through [`MicroRec::predict_batch`] on a private engine
+//! replica whose packed weights and scratch arena are pre-warmed at
+//! startup, so the steady-state DNN loop never allocates. Every request
+//! carries its enqueue timestamp; completions feed a shared
+//! [`LatencyHistogram`] from which p50/p95/p99/p999 are read out online.
+//!
+//! ```text
+//!  submit() ──▶ [bounded queue] ──▶ batch former ──▶ worker 0 (engine+arena)
+//!  submit() ──▶      │ depth ≤ queue_depth  │   ──▶ worker 1 (engine+arena)
+//!  submit() ──▶      ▼ full? block / reject ▼   ──▶ ...
+//!                 close at max_batch or max_wait_us
+//! ```
+
+mod batcher;
+mod histogram;
+mod queue;
+mod replay;
+
+pub use batcher::{plan_batches, BatchClose, BatchFormerConfig, PlannedBatch};
+pub use histogram::{LatencyHistogram, LatencyPercentiles};
+pub use replay::{replay_trace, ReplayOutcome};
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{MicroRec, MicroRecBuilder};
+use crate::error::MicroRecError;
+use queue::{BoundedQueue, PushError};
+
+/// What to do with a new request when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the producer until space frees (backpressure).
+    #[default]
+    Block,
+    /// Refuse immediately with [`RuntimeError::Rejected`] and count a drop.
+    Reject,
+}
+
+/// Configuration of the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads, each owning one engine replica.
+    pub workers: usize,
+    /// A micro-batch closes as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// A micro-batch closes once its oldest request waited this long (µs).
+    pub max_wait_us: u64,
+    /// Admission-queue capacity (requests waiting to be batched).
+    pub queue_depth: usize,
+    /// Full-queue behavior.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            max_batch: 32,
+            max_wait_us: 2_000,
+            queue_depth: 1024,
+            admission: AdmissionPolicy::Block,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The batch-former half of the configuration.
+    #[must_use]
+    pub fn batch_former(&self) -> BatchFormerConfig {
+        BatchFormerConfig { max_batch: self.max_batch, max_wait_us: self.max_wait_us }
+    }
+}
+
+/// Why a submitted request did not produce a prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The admission queue was full under [`AdmissionPolicy::Reject`].
+    Rejected,
+    /// The runtime is shutting down and admits no new requests.
+    ShuttingDown,
+    /// The query's arity does not match the served model.
+    BadQuery {
+        /// Indices the model expects per query.
+        expected: usize,
+        /// Indices the query actually carried.
+        actual: usize,
+    },
+    /// The engine failed on this query (e.g. out-of-range row index).
+    Failed(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Rejected => write!(f, "admission queue full, request rejected"),
+            RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::BadQuery { expected, actual } => {
+                write!(f, "query arity mismatch: expected {expected} indices, got {actual}")
+            }
+            RuntimeError::Failed(msg) => write!(f, "inference failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// One-shot completion slot shared between a request and its
+/// [`PendingPrediction`].
+#[derive(Debug)]
+struct Slot {
+    result: Mutex<Option<Result<f32, RuntimeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot { result: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn fulfill(&self, value: Result<f32, RuntimeError>) {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to an admitted request's eventual prediction.
+#[derive(Debug)]
+pub struct PendingPrediction {
+    slot: Arc<Slot>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Failed`] if the engine rejected the query.
+    pub fn wait(self) -> Result<f32, RuntimeError> {
+        let mut slot = self.slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.slot.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns the prediction if it already completed, without blocking.
+    #[must_use]
+    pub fn try_take(&self) -> Option<Result<f32, RuntimeError>> {
+        self.slot.result.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+}
+
+/// A queued request: the query, its admission instant, and where to
+/// deliver the answer.
+#[derive(Debug)]
+struct Request {
+    query: Vec<u64>,
+    enqueued_at: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Shared runtime counters plus the completion-latency histogram.
+#[derive(Debug, Default)]
+struct SharedStats {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    size_closes: AtomicU64,
+    deadline_closes: AtomicU64,
+    drain_closes: AtomicU64,
+    hist: Mutex<LatencyHistogram>,
+}
+
+/// Point-in-time view of the runtime's counters and tail latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests dropped by the reject policy.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an engine error.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Batches closed by reaching `max_batch`.
+    pub size_closes: u64,
+    /// Batches closed by the `max_wait_us` deadline.
+    pub deadline_closes: u64,
+    /// Batches closed by the shutdown drain.
+    pub drain_closes: u64,
+    /// Mean requests per executed batch (0 when no batches ran).
+    pub mean_batch_size: f64,
+    /// Mean enqueue→completion latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Enqueue→completion latency percentiles.
+    pub latency: LatencyPercentiles,
+}
+
+impl RuntimeSnapshot {
+    /// Fraction of offered requests dropped (`rejected / (admitted +
+    /// rejected)`, 0 when nothing was offered).
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.admitted + self.rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+}
+
+/// The streaming serving runtime: bounded admission queue, deadline batch
+/// former, and a pool of engine-replica workers.
+///
+/// Dropping the runtime shuts it down cleanly: the queue closes, workers
+/// drain every admitted request, and their threads are joined.
+#[derive(Debug)]
+pub struct ServingRuntime {
+    queue: Arc<BoundedQueue<Request>>,
+    stats: Arc<SharedStats>,
+    config: RuntimeConfig,
+    expected_arity: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServingRuntime {
+    /// Builds one engine replica per worker from `builder`, pre-warms each
+    /// replica's packed weights and scratch arena at `max_batch` (so the
+    /// steady-state loop is allocation-free), and starts the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if an engine fails to build or a worker
+    /// thread cannot be spawned.
+    pub fn start(builder: MicroRecBuilder, config: RuntimeConfig) -> Result<Self, MicroRecError> {
+        let config = RuntimeConfig {
+            workers: config.workers.max(1),
+            max_batch: config.max_batch.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
+        let mut engines = Vec::with_capacity(config.workers);
+        let mut expected_arity = 0;
+        for _ in 0..config.workers {
+            let mut engine = builder.clone().build()?;
+            expected_arity =
+                engine.model().num_tables() * engine.model().lookups_per_table as usize;
+            // Pre-warm: one full-width dummy batch builds the packed
+            // weights and sizes the arena, then the stats reset hides it.
+            let warm = vec![vec![0u64; expected_arity]; config.max_batch];
+            engine.predict_batch(&warm)?;
+            engine.reset_stats();
+            engines.push(engine);
+        }
+
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let stats = Arc::new(SharedStats::default());
+        let mut workers = Vec::with_capacity(config.workers);
+        for (id, engine) in engines.into_iter().enumerate() {
+            let spawned =
+                std::thread::Builder::new().name(format!("microrec-worker-{id}")).spawn({
+                    let queue = Arc::clone(&queue);
+                    let stats = Arc::clone(&stats);
+                    move || worker_loop(engine, &queue, &stats, config)
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(MicroRecError::Runtime(format!(
+                        "failed to spawn worker {id}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(ServingRuntime { queue, stats, config, expected_arity, workers })
+    }
+
+    /// The active configuration (after clamping zero knobs to 1).
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Current admission-queue depth.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits one query for prediction.
+    ///
+    /// Under [`AdmissionPolicy::Block`] this blocks while the queue is
+    /// full; under [`AdmissionPolicy::Reject`] it fails fast and the drop
+    /// is counted.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadQuery`] for a wrong-arity query (checked before
+    /// admission), [`RuntimeError::Rejected`] on a full queue under the
+    /// reject policy, [`RuntimeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, query: Vec<u64>) -> Result<PendingPrediction, RuntimeError> {
+        if query.len() != self.expected_arity {
+            return Err(RuntimeError::BadQuery {
+                expected: self.expected_arity,
+                actual: query.len(),
+            });
+        }
+        let slot = Slot::new();
+        let request = Request { query, enqueued_at: Instant::now(), slot: Arc::clone(&slot) };
+        match self.config.admission {
+            AdmissionPolicy::Block => {
+                if self.queue.push_blocking(request).is_err() {
+                    return Err(RuntimeError::ShuttingDown);
+                }
+            }
+            AdmissionPolicy::Reject => match self.queue.try_push(request) {
+                Ok(()) => {}
+                Err(PushError::Full(_)) => {
+                    self.stats.rejected.fetch_add(1, Relaxed);
+                    return Err(RuntimeError::Rejected);
+                }
+                Err(PushError::Closed(_)) => return Err(RuntimeError::ShuttingDown),
+            },
+        }
+        self.stats.admitted.fetch_add(1, Relaxed);
+        Ok(PendingPrediction { slot })
+    }
+
+    /// Reads the current counters and latency percentiles.
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let hist = self.stats.hist.lock().unwrap_or_else(PoisonError::into_inner);
+        let batches = self.stats.batches.load(Relaxed);
+        let completed = self.stats.completed.load(Relaxed);
+        let failed = self.stats.failed.load(Relaxed);
+        RuntimeSnapshot {
+            admitted: self.stats.admitted.load(Relaxed),
+            rejected: self.stats.rejected.load(Relaxed),
+            completed,
+            failed,
+            batches,
+            size_closes: self.stats.size_closes.load(Relaxed),
+            deadline_closes: self.stats.deadline_closes.load(Relaxed),
+            drain_closes: self.stats.drain_closes.load(Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                (completed + failed) as f64 / batches as f64
+            },
+            mean_latency_us: hist.mean_us(),
+            latency: hist.percentiles(),
+        }
+    }
+
+    /// A copy of the completion-latency histogram (for reports that need
+    /// more than the standard percentiles).
+    #[must_use]
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.stats.hist.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Shuts down: closes the queue (new submits fail, blocked producers
+    /// wake), waits for workers to drain every admitted request, and joins
+    /// them. Idempotent. Returns the final snapshot.
+    pub fn shutdown(&mut self) -> RuntimeSnapshot {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already abandoned its requests; the
+            // runtime's own counters remain valid.
+            let _ = worker.join();
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for ServingRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Steady-state loop of one worker: pop a micro-batch, run it through the
+/// private engine replica, deliver results, record latencies.
+fn worker_loop(
+    mut engine: MicroRec,
+    queue: &BoundedQueue<Request>,
+    stats: &SharedStats,
+    config: RuntimeConfig,
+) {
+    let wait = Duration::from_micros(config.max_wait_us);
+    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(config.max_batch);
+    while let Some((batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait) {
+        stats.batches.fetch_add(1, Relaxed);
+        match close {
+            BatchClose::Size => stats.size_closes.fetch_add(1, Relaxed),
+            BatchClose::Deadline => stats.deadline_closes.fetch_add(1, Relaxed),
+            BatchClose::Drain => stats.drain_closes.fetch_add(1, Relaxed),
+        };
+        queries.clear();
+        queries.extend(batch.iter().map(|r| r.query.clone()));
+        match engine.predict_batch(&queries) {
+            Ok(ctrs) => {
+                let now = Instant::now();
+                let mut hist = stats.hist.lock().unwrap_or_else(PoisonError::into_inner);
+                for request in &batch {
+                    hist.record_duration(now.saturating_duration_since(request.enqueued_at));
+                }
+                drop(hist);
+                stats.completed.fetch_add(batch.len() as u64, Relaxed);
+                for (request, ctr) in batch.into_iter().zip(ctrs) {
+                    request.slot.fulfill(Ok(ctr));
+                }
+            }
+            Err(_) => {
+                // One malformed query must not poison its batch-mates:
+                // fall back to per-item prediction and fail only the
+                // offending requests.
+                for request in batch {
+                    match engine.predict(&request.query) {
+                        Ok(ctr) => {
+                            let elapsed = request.enqueued_at.elapsed();
+                            stats
+                                .hist
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .record_duration(elapsed);
+                            stats.completed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Ok(ctr));
+                        }
+                        Err(e) => {
+                            stats.failed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Err(RuntimeError::Failed(e.to_string())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

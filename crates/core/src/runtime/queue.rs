@@ -1,0 +1,268 @@
+//! Bounded MPSC admission queue with batch-forming pop.
+//!
+//! Producers (request threads) push single requests; consumers (engine
+//! workers) pop whole micro-batches. The queue is bounded, which is the
+//! admission-control half of the runtime: when it is full a producer
+//! either blocks (`push_blocking`, backpressure) or is turned away
+//! (`try_push`, reject policy). The batch-forming pop implements the same
+//! close rule as [`plan_batches`](super::batcher::plan_batches), but
+//! against the wall clock: close at `max_batch` items or at the oldest
+//! request's deadline, whichever first, and drain unconditionally once
+//! the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use super::batcher::BatchClose;
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub(crate) enum PushError<T> {
+    /// The queue is at capacity (reject-policy admission control).
+    Full(T),
+    /// The queue has been closed for shutdown.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue whose consumers pop micro-batches.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Queue state stays consistent under panics (each mutation is a single
+    // push/drain), so poisoning is benign.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        relock(self.state.lock())
+    }
+
+    /// Pushes, blocking while the queue is full. Returns the item if the
+    /// queue closed before space appeared (the request was never admitted).
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = relock(self.not_full.wait(state));
+        }
+    }
+
+    /// Pushes without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: future pushes fail, blocked producers wake with
+    /// their item returned, and consumers drain what remains.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Pops the next micro-batch, blocking until one closes.
+    ///
+    /// `head_deadline` maps the oldest queued item to the instant its
+    /// batch must close (its enqueue time plus the wait window). Returns
+    /// `None` once the queue is closed **and** empty — the clean-drain
+    /// termination signal.
+    pub fn pop_batch<F>(&self, max_batch: usize, head_deadline: F) -> Option<(Vec<T>, BatchClose)>
+    where
+        F: Fn(&T) -> Instant,
+    {
+        let max_batch = max_batch.max(1);
+        let mut state = self.lock();
+        loop {
+            if state.items.len() >= max_batch {
+                return Some(self.take(&mut state, max_batch, BatchClose::Size));
+            }
+            if state.closed {
+                if state.items.is_empty() {
+                    return None;
+                }
+                return Some(self.take(&mut state, max_batch, BatchClose::Drain));
+            }
+            match state.items.front() {
+                None => state = relock(self.not_empty.wait(state)),
+                Some(head) => {
+                    let deadline = head_deadline(head);
+                    let now = Instant::now();
+                    if now >= deadline {
+                        let n = state.items.len();
+                        return Some(self.take(&mut state, n, BatchClose::Deadline));
+                    }
+                    let (s, _timeout) =
+                        self.not_empty.wait_timeout(state, deadline - now).unwrap_or_else(|e| {
+                            // Same benign-poison reasoning as `relock`.
+                            e.into_inner()
+                        });
+                    state = s;
+                }
+            }
+        }
+    }
+
+    fn take(
+        &self,
+        state: &mut MutexGuard<'_, State<T>>,
+        n: usize,
+        close: BatchClose,
+    ) -> (Vec<T>, BatchClose) {
+        let n = n.min(state.items.len());
+        let batch: Vec<T> = state.items.drain(..n).collect();
+        // Space freed: wake every blocked producer (each re-checks).
+        self.not_full.notify_all();
+        (batch, close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A queue item carrying its enqueue instant, like a real request.
+    struct Item(u32, Instant);
+
+    fn item(v: u32) -> Item {
+        Item(v, Instant::now())
+    }
+
+    fn deadline_after(wait: Duration) -> impl Fn(&Item) -> Instant {
+        move |it: &Item| it.1 + wait
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = BoundedQueue::new(16);
+        for v in 0..10u32 {
+            q.try_push(item(v)).map_err(|_| ()).unwrap();
+        }
+        let (batch, close) = q.pop_batch(10, deadline_after(Duration::from_secs(1))).unwrap();
+        assert_eq!(close, BatchClose::Size);
+        let got: Vec<u32> = batch.iter().map(|i| i.0).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_rejects_when_full() {
+        let q = BoundedQueue::new(2);
+        q.try_push(item(0)).map_err(|_| ()).unwrap();
+        q.try_push(item(1)).map_err(|_| ()).unwrap();
+        match q.try_push(item(2)) {
+            Err(PushError::Full(it)) => assert_eq!(it.0, 2),
+            other => panic!("expected Full, got {:?}", other.map_err(|_| "err")),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn deadline_close_returns_partial_batch() {
+        let q = BoundedQueue::new(16);
+        q.try_push(item(7)).map_err(|_| ()).unwrap();
+        let start = Instant::now();
+        let (batch, close) = q.pop_batch(8, deadline_after(Duration::from_millis(20))).unwrap();
+        assert_eq!(close, BatchClose::Deadline);
+        assert_eq!(batch.len(), 1);
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(15), "closed too early: {waited:?}");
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_with_item_back() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(item(0)).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_blocking(item(1)));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        let refused = producer.join().unwrap();
+        assert!(refused.is_err(), "close must hand the item back");
+        assert_eq!(refused.unwrap_err().0, 1);
+    }
+
+    #[test]
+    fn blocked_producer_resumes_when_space_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(item(0)).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_blocking(item(1)));
+        std::thread::sleep(Duration::from_millis(30));
+        // Consume one: the producer must slot in.
+        let (batch, _) = q.pop_batch(1, deadline_after(Duration::from_secs(1))).unwrap();
+        assert_eq!(batch[0].0, 0);
+        producer.join().unwrap().map_err(|_| ()).unwrap();
+        let (batch, _) = q.pop_batch(1, deadline_after(Duration::from_secs(1))).unwrap();
+        assert_eq!(batch[0].0, 1);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_signals_done() {
+        let q = BoundedQueue::new(16);
+        for v in 0..5u32 {
+            q.try_push(item(v)).map_err(|_| ()).unwrap();
+        }
+        q.close();
+        assert!(matches!(q.try_push(item(99)), Err(PushError::Closed(_))));
+        let (batch, close) = q.pop_batch(3, deadline_after(Duration::from_secs(1))).unwrap();
+        // A full batch is still a size close even mid-drain.
+        assert_eq!(close, BatchClose::Size);
+        assert_eq!(batch.len(), 3);
+        let (batch, close) = q.pop_batch(3, deadline_after(Duration::from_secs(1))).unwrap();
+        assert_eq!(close, BatchClose::Drain);
+        assert_eq!(batch.len(), 2);
+        assert!(q.pop_batch(3, deadline_after(Duration::from_secs(1))).is_none());
+    }
+}

@@ -14,16 +14,29 @@ use microrec_memsim::SimTime;
 use microrec_workload::{simulate_batched_serving, LatencyStats, WorkloadError};
 
 use crate::engine::MicroRec;
+use crate::runtime::{LatencyHistogram, LatencyPercentiles};
 
 /// Response-time summary of one serving simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingReport {
     /// Latency percentiles.
     pub latency: LatencyStats,
+    /// Tail percentiles (p50/p95/p99/p999) from the fixed-bucket
+    /// histogram the live runtime also uses, in microseconds.
+    pub tail: LatencyPercentiles,
     /// Fraction of queries answered within the SLA.
     pub sla_hit_rate: f64,
     /// Served queries per second over the simulated span.
     pub throughput: f64,
+}
+
+/// Folds simulated latencies into the runtime's histogram representation.
+pub(crate) fn tail_percentiles(latencies: &[SimTime]) -> LatencyPercentiles {
+    let mut hist = LatencyHistogram::new();
+    for l in latencies {
+        hist.record_us(l.as_us());
+    }
+    hist.percentiles()
 }
 
 fn report(
@@ -33,6 +46,7 @@ fn report(
 ) -> Result<ServingReport, WorkloadError> {
     Ok(ServingReport {
         latency: LatencyStats::from_samples(latencies)?,
+        tail: tail_percentiles(latencies),
         sla_hit_rate: LatencyStats::sla_hit_rate(latencies, sla),
         throughput: if span.is_zero() {
             f64::INFINITY

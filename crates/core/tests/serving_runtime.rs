@@ -1,0 +1,226 @@
+//! End-to-end tests for the micro-batching serving runtime: admission,
+//! clean drain, bit-identity with sequential prediction, and per-item
+//! failure isolation.
+
+use microrec_core::{AdmissionPolicy, MicroRec, RuntimeConfig, RuntimeError, ServingRuntime};
+use microrec_embedding::ModelSpec;
+use microrec_workload::{QueryGenConfig, RequestTrace};
+
+fn model() -> ModelSpec {
+    ModelSpec::dlrm_rmc2(4, 4)
+}
+
+fn queries(model: &ModelSpec, n: usize) -> Vec<Vec<u64>> {
+    RequestTrace::generate(model, 10_000.0, n, QueryGenConfig::default())
+        .expect("trace")
+        .queries()
+        .to_vec()
+}
+
+fn start(model: &ModelSpec, config: RuntimeConfig) -> ServingRuntime {
+    ServingRuntime::start(MicroRec::builder(model.clone()).seed(7), config).expect("runtime")
+}
+
+#[test]
+fn drain_on_shutdown_loses_nothing() {
+    let model = model();
+    let queries = queries(&model, 300);
+    let mut runtime = start(
+        &model,
+        RuntimeConfig { workers: 2, max_batch: 16, max_wait_us: 5_000, ..Default::default() },
+    );
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    let snapshot = runtime.shutdown();
+    assert_eq!(snapshot.admitted, 300);
+    assert_eq!(snapshot.completed, 300);
+    assert_eq!(snapshot.failed, 0);
+    assert_eq!(snapshot.rejected, 0);
+    for p in pending {
+        p.wait().expect("every admitted request must complete");
+    }
+    assert!(snapshot.mean_latency_us > 0.0);
+    assert!(snapshot.latency.p50_us <= snapshot.latency.p999_us);
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_sequential() {
+    let model = model();
+    let queries = queries(&model, 64);
+    let mut sequential = MicroRec::builder(model.clone()).seed(7).build().expect("engine");
+    let expected: Vec<f32> =
+        queries.iter().map(|q| sequential.predict(q).expect("predict")).collect();
+
+    let mut runtime = start(
+        &model,
+        RuntimeConfig { workers: 2, max_batch: 8, max_wait_us: 1_000, ..Default::default() },
+    );
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    for (p, e) in pending.into_iter().zip(&expected) {
+        let got = p.wait().expect("predict");
+        assert_eq!(got.to_bits(), e.to_bits(), "batched result diverged from sequential");
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn reject_policy_counts_drops_and_completes_the_rest() {
+    let model = model();
+    let queries = queries(&model, 50);
+    // A tiny queue with one slow-closing worker forces overflow.
+    let mut runtime = start(
+        &model,
+        RuntimeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait_us: 200_000,
+            queue_depth: 2,
+            admission: AdmissionPolicy::Reject,
+        },
+    );
+    let mut pending = Vec::new();
+    let mut rejected = 0u64;
+    for q in &queries {
+        match runtime.submit(q.clone()) {
+            Ok(p) => pending.push(p),
+            Err(RuntimeError::Rejected) => rejected += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "burst of 50 into depth-2 queue must drop some");
+    let snapshot = runtime.shutdown();
+    assert_eq!(snapshot.admitted + snapshot.rejected, 50);
+    assert_eq!(snapshot.rejected, rejected);
+    assert_eq!(snapshot.completed, snapshot.admitted);
+    assert!((snapshot.drop_rate() - rejected as f64 / 50.0).abs() < 1e-12);
+    for p in pending {
+        p.wait().expect("admitted requests must still complete");
+    }
+}
+
+#[test]
+fn block_policy_admits_everything_despite_tiny_queue() {
+    let model = model();
+    let queries = queries(&model, 100);
+    let mut runtime = start(
+        &model,
+        RuntimeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait_us: 500,
+            queue_depth: 4,
+            admission: AdmissionPolicy::Block,
+        },
+    );
+    let pending: Vec<_> = queries
+        .iter()
+        .map(|q| runtime.submit(q.clone()).expect("blocking admission never rejects"))
+        .collect();
+    let snapshot = runtime.shutdown();
+    assert_eq!(snapshot.admitted, 100);
+    assert_eq!(snapshot.completed, 100);
+    assert_eq!(snapshot.rejected, 0);
+    for p in pending {
+        p.wait().expect("predict");
+    }
+}
+
+#[test]
+fn size_closes_dominate_under_saturation() {
+    let model = model();
+    let queries = queries(&model, 256);
+    // Submit everything before workers can drain: batches fill to max_batch.
+    let mut runtime = start(
+        &model,
+        RuntimeConfig {
+            workers: 1,
+            max_batch: 32,
+            max_wait_us: 50_000,
+            queue_depth: 1024,
+            admission: AdmissionPolicy::Block,
+        },
+    );
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    let snapshot = runtime.shutdown();
+    for p in pending {
+        p.wait().expect("predict");
+    }
+    assert_eq!(snapshot.completed, 256);
+    assert!(snapshot.mean_batch_size > 1.0, "mean batch {}", snapshot.mean_batch_size);
+    assert!(
+        snapshot.size_closes >= snapshot.deadline_closes,
+        "saturated load should close mostly on size: size={} deadline={}",
+        snapshot.size_closes,
+        snapshot.deadline_closes,
+    );
+}
+
+#[test]
+fn wrong_arity_is_rejected_at_submit() {
+    let model = model();
+    let runtime = start(&model, RuntimeConfig::default());
+    let err = runtime.submit(vec![1, 2, 3]).expect_err("arity mismatch must fail fast");
+    match err {
+        RuntimeError::BadQuery { expected, actual } => {
+            assert_eq!(actual, 3);
+            assert!(expected > 0 && expected != 3);
+        }
+        other => panic!("expected BadQuery, got {other}"),
+    }
+}
+
+#[test]
+fn bad_row_fails_alone_and_batch_mates_survive() {
+    let model = model();
+    let queries = queries(&model, 8);
+    let mut sequential = MicroRec::builder(model.clone()).seed(7).build().expect("engine");
+    let expected: Vec<f32> =
+        queries.iter().map(|q| sequential.predict(q).expect("predict")).collect();
+
+    let mut runtime = start(
+        &model,
+        RuntimeConfig { workers: 1, max_batch: 16, max_wait_us: 20_000, ..Default::default() },
+    );
+    // Interleave one poisoned query (out-of-range row) with valid ones so
+    // they land in the same batch.
+    let arity = queries[0].len();
+    let mut pending = Vec::new();
+    for q in &queries[..4] {
+        pending.push((true, runtime.submit(q.clone()).expect("submit")));
+    }
+    pending.push((false, runtime.submit(vec![u64::MAX; arity]).expect("submit")));
+    for q in &queries[4..] {
+        pending.push((true, runtime.submit(q.clone()).expect("submit")));
+    }
+    let snapshot = runtime.shutdown();
+    assert_eq!(snapshot.failed, 1, "exactly the poisoned request fails");
+    assert_eq!(snapshot.completed, 8);
+
+    let mut good = expected.iter();
+    for (valid, p) in pending {
+        let result = p.wait();
+        if valid {
+            let got = result.expect("valid batch-mates must survive");
+            assert_eq!(got.to_bits(), good.next().unwrap().to_bits());
+        } else {
+            match result.expect_err("poisoned request must fail") {
+                RuntimeError::Failed(_) => {}
+                other => panic!("expected Failed, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn submit_after_shutdown_reports_shutting_down() {
+    let model = model();
+    let queries = queries(&model, 1);
+    let mut runtime = start(&model, RuntimeConfig::default());
+    runtime.shutdown();
+    match runtime.submit(queries[0].clone()) {
+        Err(RuntimeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}

@@ -182,7 +182,7 @@ define_fixed!(
 /// Implemented by [`Q16`], [`Q32`], and `f32` (the reference path), letting
 /// the same layer code run at every precision the paper evaluates.
 pub trait FixedNum:
-    Copy + Add<Output = Self> + Mul<Output = Self> + Sum + PartialOrd + fmt::Debug
+    Copy + Add<Output = Self> + Mul<Output = Self> + Sum + PartialOrd + fmt::Debug + 'static
 {
     /// Additive identity.
     const ZERO: Self;

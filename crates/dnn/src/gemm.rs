@@ -30,8 +30,29 @@ const AUTO_NAIVE_MACS: usize = 32 * 32 * 32;
 /// weight-quantizing twin [`dot_quantizing`], which has the identical lane
 /// structure), which is what makes batched and single-item inference
 /// bit-identical: same element products, same summation order.
+///
+/// At `T = f32` on x86-64 machines with AVX2 the reduction runs through a
+/// vectorized kernel ([`dot_f32_avx2`]) that keeps the exact same 4-lane
+/// accumulation order, so the dispatch is invisible in the results — the
+/// test `dispatched_dot_matches_scalar_reference` pins this down bit for
+/// bit.
 #[inline]
 pub fn dot<T: FixedNum>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if let (Some(af), Some(bf)) = (as_f32_slice(a), as_f32_slice(b)) {
+        if avx2_available() {
+            // SAFETY: the feature check above guarantees AVX2.
+            let sum = unsafe { dot_f32_avx2(af, bf) };
+            return from_f32_value::<T>(sum);
+        }
+    }
+    dot_scalar(a, b)
+}
+
+/// The portable 4-lane reference reduction behind [`dot`].
+#[inline]
+pub fn dot_scalar<T: FixedNum>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
     let mut lanes = [T::ZERO; 4];
     let quads = a.len() / 4;
@@ -49,6 +70,97 @@ pub fn dot<T: FixedNum>(a: &[T], b: &[T]) -> T {
     sum
 }
 
+/// Reinterprets a `FixedNum` slice as `f32` when `T` *is* `f32`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn as_f32_slice<T: FixedNum>(s: &[T]) -> Option<&[f32]> {
+    if std::any::TypeId::of::<T>() == std::any::TypeId::of::<f32>() {
+        // SAFETY: T is exactly f32 (same layout, same lifetime).
+        Some(unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<f32>(), s.len()) })
+    } else {
+        None
+    }
+}
+
+/// Returns an `f32` result as `T`, where `T` is statically known to be
+/// `f32` (only reachable behind the [`as_f32_slice`] check).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn from_f32_value<T: FixedNum>(v: f32) -> T {
+    debug_assert_eq!(std::any::TypeId::of::<T>(), std::any::TypeId::of::<f32>());
+    // SAFETY: T == f32, checked by the caller's TypeId guard.
+    unsafe { std::mem::transmute_copy::<f32, T>(&v) }
+}
+
+/// Caches the AVX2 CPUID probe so the hot path pays one atomic load.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0); // 0 unknown, 1 no, 2 yes
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("avx2");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// AVX2 `f32` dot product with the scalar kernel's exact summation order.
+///
+/// One 4-wide accumulator (`__m128`) plays the role of the scalar 4-lane
+/// array: each 8-float chunk is multiplied and added in two sequential
+/// 128-bit halves (low quad then high quad), and a trailing 4-float quad
+/// gets one more mul/add — every operation is a single-rounded IEEE mul or
+/// add on the same values in the same order as [`dot_scalar`], and no FMA
+/// contraction is used, so the result is bit-identical. The lanes combine
+/// pairwise (`(l0+l1)+(l2+l3)`) and the scalar tail appends last, exactly
+/// like the scalar kernel.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_loadu_ps, _mm_add_ps, _mm_loadu_ps,
+        _mm_mul_ps, _mm_setzero_ps, _mm_storeu_ps,
+    };
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = _mm_setzero_ps();
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(j));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+        // Low quad first, then high quad — the order the scalar loop
+        // feeds its lanes.
+        let lo = _mm_mul_ps(_mm256_castps256_ps128(av), _mm256_castps256_ps128(bv));
+        acc = _mm_add_ps(acc, lo);
+        let hi = _mm_mul_ps(_mm256_extractf128_ps(av, 1), _mm256_extractf128_ps(bv, 1));
+        acc = _mm_add_ps(acc, hi);
+        j += 8;
+    }
+    if j + 4 <= n {
+        let av = _mm_loadu_ps(a.as_ptr().add(j));
+        let bv = _mm_loadu_ps(b.as_ptr().add(j));
+        acc = _mm_add_ps(acc, _mm_mul_ps(av, bv));
+        j += 4;
+    }
+    let mut lanes = [0.0f32; 4];
+    _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    while j < n {
+        sum += *a.get_unchecked(j) * *b.get_unchecked(j);
+        j += 1;
+    }
+    sum
+}
+
 /// [`dot`] with `f32` weights quantized element-wise on the fly.
 ///
 /// `T::from_f32(w) * x` yields the same `T` value whether the weight was
@@ -58,6 +170,16 @@ pub fn dot<T: FixedNum>(a: &[T], b: &[T]) -> T {
 #[inline]
 pub fn dot_quantizing<T: FixedNum>(w: &[f32], x: &[T]) -> T {
     debug_assert_eq!(w.len(), x.len());
+    #[cfg(target_arch = "x86_64")]
+    if let Some(xf) = as_f32_slice(x) {
+        // At T = f32 the on-the-fly quantization is the identity, so this
+        // is exactly [`dot`] and may take the same vector path.
+        if avx2_available() {
+            // SAFETY: the feature check above guarantees AVX2.
+            let sum = unsafe { dot_f32_avx2(w, xf) };
+            return from_f32_value::<T>(sum);
+        }
+    }
     let mut lanes = [T::ZERO; 4];
     let quads = w.len() / 4;
     for i in 0..quads {
@@ -384,6 +506,30 @@ mod tests {
                 assert_eq!(&c[item * 33..(item + 1) * 33], &y[..], "Q32 batch {batch}");
             }
         }
+    }
+
+    #[test]
+    fn dispatched_dot_matches_scalar_reference() {
+        // The runtime-dispatched kernel (AVX2 where available) must agree
+        // with the portable 4-lane reduction bit for bit at every length
+        // class: empty, sub-quad, quad-multiples, 8-multiples, and tails.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 11, 15, 16, 31, 64, 127, 350] {
+            let a: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.417).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.713).cos() * 2.0).collect();
+            let reference = dot_scalar(&a, &b);
+            let dispatched = dot(&a, &b);
+            assert_eq!(
+                dispatched.to_bits(),
+                reference.to_bits(),
+                "n={n}: dispatched {dispatched} vs scalar {reference}"
+            );
+            let quantizing = dot_quantizing::<f32>(&a, &b);
+            assert_eq!(quantizing.to_bits(), reference.to_bits(), "n={n} quantizing path");
+        }
+        // Fixed-point types must be untouched by the dispatch.
+        let a: Vec<Q16> = (0..37).map(|i| Q16::from_f32((i as f32 * 0.1).sin())).collect();
+        let b: Vec<Q16> = (0..37).map(|i| Q16::from_f32((i as f32 * 0.2).cos())).collect();
+        assert_eq!(dot(&a, &b), dot_scalar(&a, &b));
     }
 
     #[test]

@@ -35,8 +35,8 @@ mod tensor;
 pub use error::DnnError;
 pub use fixed::{FixedNum, Q16, Q32};
 pub use gemm::{
-    dot, dot_quantizing, gemm_auto, gemm_blocked, gemm_flops, gemm_naive, gemm_packed, gemv,
-    PackedB,
+    dot, dot_quantizing, dot_scalar, gemm_auto, gemm_blocked, gemm_flops, gemm_naive, gemm_packed,
+    gemv, PackedB,
 };
 pub use interaction::{concat, elementwise_mul, weighted_sum, FeatureInteraction};
 pub use layer::{Activation, DenseLayer};
