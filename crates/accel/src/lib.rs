@@ -30,6 +30,7 @@
 //! # Ok::<(), microrec_accel::AccelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -21,6 +21,7 @@
 //! *host-executed* substrate: real Cartesian merges, catalog gathers,
 //! blocked GEMM, and placement search.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

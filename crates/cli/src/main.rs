@@ -7,6 +7,8 @@
 //! microrec explore --model small --top 5
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

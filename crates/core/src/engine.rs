@@ -195,6 +195,7 @@ impl<T: FixedNum> FastPath<T> {
         self.packed.warm(batch, &mut self.arena);
         let out = self.packed.forward_batch_into(&self.staging, batch, &mut self.arena)?;
         let stride = self.packed.output_dim().max(1);
+        // lint: allow(hot-path-alloc) the collected Vec is the output handed to the caller
         Ok(out.chunks_exact(stride).map(|c| c[0].to_f32()).collect())
     }
 }
@@ -351,6 +352,7 @@ impl MicroRec {
     /// Returns [`MicroRecError`] for malformed queries.
     pub fn predict_batch(&mut self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
         if queries.is_empty() {
+            // lint: allow(hot-path-alloc) an empty Vec never touches the allocator
             return Ok(Vec::new());
         }
         let features = self.gather_features_batch(queries)?;

@@ -30,6 +30,7 @@
 //! # Ok::<(), microrec_core::MicroRecError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -43,6 +44,7 @@ mod ranking;
 mod report;
 mod runtime;
 mod serve;
+mod sync;
 
 pub use cluster::{InterconnectConfig, MicroRecCluster};
 pub use engine::{MicroRec, MicroRecBuilder};

@@ -15,6 +15,7 @@ use microrec_embedding::{ModelSpec, Precision};
 
 use crate::engine::{MicroRec, MicroRecBuilder};
 use crate::error::MicroRecError;
+use crate::sync::lock_or_recover;
 
 /// A pool of identical engines for multi-threaded prediction.
 ///
@@ -33,14 +34,6 @@ use crate::error::MicroRecError;
 pub struct EnginePool {
     engines: Vec<Mutex<MicroRec>>,
     next: AtomicUsize,
-}
-
-/// Recovers the engine even if a previous holder panicked mid-predict:
-/// engine state stays consistent per query, so poisoning is benign here.
-fn relock<'a>(
-    guard: Result<MutexGuard<'a, MicroRec>, std::sync::PoisonError<MutexGuard<'a, MicroRec>>>,
-) -> MutexGuard<'a, MicroRec> {
-    guard.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl EnginePool {
@@ -84,8 +77,10 @@ impl EnginePool {
                 Err(std::sync::TryLockError::WouldBlock) => {}
             }
         }
-        // All replicas busy: queue on the hinted one.
-        relock(self.engines[start].lock())
+        // All replicas busy: queue on the hinted one. Engine state stays
+        // consistent per query, so a replica poisoned by a panicked caller
+        // is recovered rather than retired.
+        lock_or_recover(&self.engines[start])
     }
 
     /// Predicts a CTR on the first uncontended replica (try-lock scan),
@@ -129,7 +124,7 @@ impl EnginePool {
     /// Total simulated memory reads across all replicas.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.engines.iter().map(|e| relock(e.lock()).memory().stats().total().reads).sum()
+        self.engines.iter().map(|e| lock_or_recover(e).memory().stats().total().reads).sum()
     }
 }
 
@@ -177,6 +172,27 @@ mod tests {
         });
         // Every query drove 4 physical reads x 4 rounds.
         assert_eq!(p.total_reads(), (threads * queries_per_thread * 16) as u64);
+    }
+
+    #[test]
+    fn poisoned_replica_keeps_serving() {
+        // A request thread that panics while holding a replica must not
+        // retire that replica: the next caller recovers the lock and the
+        // engine still answers bit-identically to its siblings.
+        let p = EnginePool::build(ModelSpec::dlrm_rmc2(4, 4), Precision::Fixed32, 1, 5).unwrap();
+        let q = vec![9u64; 16];
+        let expected = p.predict(&q).unwrap();
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = p.engines[0].lock().unwrap();
+                    panic!("request thread dies holding the only replica");
+                })
+                .join()
+        });
+        assert!(p.engines[0].is_poisoned(), "the panic must have poisoned the replica");
+        assert_eq!(p.predict(&q).unwrap().to_bits(), expected.to_bits());
+        assert!(p.total_reads() > 0, "stats remain readable through the poisoned lock");
     }
 
     #[test]

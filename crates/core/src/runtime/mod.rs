@@ -27,12 +27,13 @@ pub use histogram::{LatencyHistogram, LatencyPercentiles};
 pub use replay::{replay_trace, ReplayOutcome};
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::{MicroRec, MicroRecBuilder};
 use crate::error::MicroRecError;
+use crate::sync::{lock_or_recover, recover};
 use queue::{BoundedQueue, PushError};
 
 /// What to do with a new request when the admission queue is full.
@@ -127,7 +128,7 @@ impl Slot {
     }
 
     fn fulfill(&self, value: Result<f32, RuntimeError>) {
-        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = lock_or_recover(&self.result);
         *slot = Some(value);
         drop(slot);
         self.ready.notify_all();
@@ -147,19 +148,19 @@ impl PendingPrediction {
     ///
     /// Returns [`RuntimeError::Failed`] if the engine rejected the query.
     pub fn wait(self) -> Result<f32, RuntimeError> {
-        let mut slot = self.slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = lock_or_recover(&self.slot.result);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.slot.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            slot = recover(self.slot.ready.wait(slot));
         }
     }
 
     /// Returns the prediction if it already completed, without blocking.
     #[must_use]
     pub fn try_take(&self) -> Option<Result<f32, RuntimeError>> {
-        self.slot.result.lock().unwrap_or_else(PoisonError::into_inner).take()
+        lock_or_recover(&self.slot.result).take()
     }
 }
 
@@ -351,7 +352,7 @@ impl ServingRuntime {
     /// Reads the current counters and latency percentiles.
     #[must_use]
     pub fn snapshot(&self) -> RuntimeSnapshot {
-        let hist = self.stats.hist.lock().unwrap_or_else(PoisonError::into_inner);
+        let hist = lock_or_recover(&self.stats.hist);
         let batches = self.stats.batches.load(Relaxed);
         let completed = self.stats.completed.load(Relaxed);
         let failed = self.stats.failed.load(Relaxed);
@@ -378,7 +379,7 @@ impl ServingRuntime {
     /// more than the standard percentiles).
     #[must_use]
     pub fn histogram(&self) -> LatencyHistogram {
-        self.stats.hist.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        lock_or_recover(&self.stats.hist).clone()
     }
 
     /// Shuts down: closes the queue (new submits fail, blocked producers
@@ -411,7 +412,8 @@ fn worker_loop(
 ) {
     let wait = Duration::from_micros(config.max_wait_us);
     let mut queries: Vec<Vec<u64>> = Vec::with_capacity(config.max_batch);
-    while let Some((batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait) {
+    while let Some((mut batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait)
+    {
         stats.batches.fetch_add(1, Relaxed);
         match close {
             BatchClose::Size => stats.size_closes.fetch_add(1, Relaxed),
@@ -419,11 +421,13 @@ fn worker_loop(
             BatchClose::Drain => stats.drain_closes.fetch_add(1, Relaxed),
         };
         queries.clear();
-        queries.extend(batch.iter().map(|r| r.query.clone()));
+        // Move each query out of its request (the producer's allocation is
+        // reused) so the steady-state loop stays allocation-free.
+        queries.extend(batch.iter_mut().map(|r| std::mem::take(&mut r.query)));
         match engine.predict_batch(&queries) {
             Ok(ctrs) => {
                 let now = Instant::now();
-                let mut hist = stats.hist.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut hist = lock_or_recover(&stats.hist);
                 for request in &batch {
                     hist.record_duration(now.saturating_duration_since(request.enqueued_at));
                 }
@@ -437,15 +441,11 @@ fn worker_loop(
                 // One malformed query must not poison its batch-mates:
                 // fall back to per-item prediction and fail only the
                 // offending requests.
-                for request in batch {
-                    match engine.predict(&request.query) {
+                for (request, query) in batch.into_iter().zip(&queries) {
+                    match engine.predict(query) {
                         Ok(ctr) => {
                             let elapsed = request.enqueued_at.elapsed();
-                            stats
-                                .hist
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .record_duration(elapsed);
+                            lock_or_recover(&stats.hist).record_duration(elapsed);
                             stats.completed.fetch_add(1, Relaxed);
                             request.slot.fulfill(Ok(ctr));
                         }
@@ -457,5 +457,44 @@ fn worker_loop(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+
+    #[test]
+    fn fulfilled_slot_survives_a_poisoned_result_lock() {
+        // A waiter-side panic with the result lock held poisons the slot;
+        // the worker's `fulfill` and a later `wait` must both recover it.
+        let slot = Slot::new();
+        let holder = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _guard = holder.result.lock().unwrap();
+            panic!("waiter dies holding the slot lock");
+        })
+        .join();
+        assert!(slot.result.is_poisoned());
+        slot.fulfill(Ok(0.25));
+        let pending = PendingPrediction { slot };
+        assert_eq!(pending.wait(), Ok(0.25));
+    }
+
+    #[test]
+    fn snapshot_and_histogram_survive_a_poisoned_histogram_lock() {
+        let stats = SharedStats::default();
+        lock_or_recover(&stats.hist).record_us(100.0);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = stats.hist.lock().unwrap();
+                    panic!("recorder dies holding the histogram lock");
+                })
+                .join()
+        });
+        assert!(stats.hist.is_poisoned());
+        // The recorded sample is still readable through the poisoned lock.
+        assert!(lock_or_recover(&stats.hist).mean_us() > 0.0);
     }
 }

@@ -11,10 +11,11 @@
 //! the queue is closed.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use super::batcher::BatchClose;
+use crate::sync::{lock_or_recover, recover};
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -40,14 +41,6 @@ pub(crate) struct BoundedQueue<T> {
     capacity: usize,
 }
 
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    // Queue state stays consistent under panics (each mutation is a single
-    // push/drain), so poisoning is benign.
-    r.unwrap_or_else(PoisonError::into_inner)
-}
-
 impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
@@ -62,7 +55,9 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> MutexGuard<'_, State<T>> {
-        relock(self.state.lock())
+        // Queue state stays consistent under panics (each mutation is a
+        // single push/drain), so a poisoned lock is recovered, not fatal.
+        lock_or_recover(&self.state)
     }
 
     /// Pushes, blocking while the queue is full. Returns the item if the
@@ -78,7 +73,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = relock(self.not_full.wait(state));
+            state = recover(self.not_full.wait(state));
         }
     }
 
@@ -134,7 +129,7 @@ impl<T> BoundedQueue<T> {
                 return Some(self.take(&mut state, max_batch, BatchClose::Drain));
             }
             match state.items.front() {
-                None => state = relock(self.not_empty.wait(state)),
+                None => state = recover(self.not_empty.wait(state)),
                 Some(head) => {
                     let deadline = head_deadline(head);
                     let now = Instant::now();
@@ -142,11 +137,7 @@ impl<T> BoundedQueue<T> {
                         let n = state.items.len();
                         return Some(self.take(&mut state, n, BatchClose::Deadline));
                     }
-                    let (s, _timeout) =
-                        self.not_empty.wait_timeout(state, deadline - now).unwrap_or_else(|e| {
-                            // Same benign-poison reasoning as `relock`.
-                            e.into_inner()
-                        });
+                    let (s, _timeout) = recover(self.not_empty.wait_timeout(state, deadline - now));
                     state = s;
                 }
             }
@@ -246,6 +237,32 @@ mod tests {
         producer.join().unwrap().map_err(|_| ()).unwrap();
         let (batch, _) = q.pop_batch(1, deadline_after(Duration::from_secs(1))).unwrap();
         assert_eq!(batch[0].0, 1);
+    }
+
+    #[test]
+    fn poisoned_queue_still_closes_and_drains() {
+        // Regression for poison tolerance: `head_deadline` runs while the
+        // state lock is held, so a panic inside it poisons the mutex with
+        // items still queued. Every subsequent operation — push, close,
+        // drain — must recover the lock instead of propagating the panic,
+        // otherwise shutdown would deadlock or crash the caller.
+        let q = Arc::new(BoundedQueue::new(16));
+        q.try_push(item(1)).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            q2.pop_batch(8, |_: &Item| panic!("engine worker dies mid-batch"))
+        });
+        assert!(consumer.join().is_err(), "the injected panic must surface");
+
+        // The queue must remain fully operational on the poisoned lock.
+        q.try_push(item(2)).map_err(|_| ()).unwrap();
+        assert_eq!(q.len(), 2);
+        q.close();
+        let (batch, close) = q.pop_batch(8, deadline_after(Duration::from_secs(1))).unwrap();
+        assert_eq!(close, BatchClose::Drain);
+        let got: Vec<u32> = batch.iter().map(|i| i.0).collect();
+        assert_eq!(got, vec![1, 2], "no item may be lost to the poisoned lock");
+        assert!(q.pop_batch(8, deadline_after(Duration::from_secs(1))).is_none());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Poison-tolerant locking helpers for the serving path.
+//!
+//! Every mutex in the runtime guards state whose invariants hold between
+//! operations (a queue is consistent after each push/drain, an engine is
+//! consistent between predictions, a histogram between records), so a
+//! panic on one thread must not take the lock — and with it admission,
+//! serving, and shutdown — down with it. All serving-path code acquires
+//! locks through [`lock_or_recover`] (or re-acquires condvar guards
+//! through [`recover`]) instead of `.lock().unwrap()`: a poisoned mutex
+//! is recovered, not propagated, so a panicked worker can never wedge
+//! `ServingRuntime::shutdown` or starve other request threads.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Unwraps any poison-carrying result (`Mutex::lock`, `Condvar::wait`,
+/// `Condvar::wait_timeout`) by taking the guard from the poison error.
+pub(crate) fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    recover(mutex.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_or_recover_survives_a_panicked_holder() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let holder = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = holder.lock().unwrap();
+            panic!("holder dies with the lock held");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "the panic must have poisoned the mutex");
+        let mut guard = lock_or_recover(&shared);
+        assert_eq!(*guard, 7, "state written before the panic is still there");
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*lock_or_recover(&shared), 8);
+    }
+}

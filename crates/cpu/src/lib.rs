@@ -19,6 +19,7 @@
 //! assert!((t.as_ms() - 28.18).abs() / 28.18 < 0.15);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

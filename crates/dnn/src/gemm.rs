@@ -135,8 +135,10 @@ unsafe fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = _mm_setzero_ps();
     let mut j = 0usize;
     while j + 8 <= n {
-        let av = _mm256_loadu_ps(a.as_ptr().add(j));
-        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+        // SAFETY: `j + 8 <= n` bounds both unaligned 8-float loads.
+        let av = unsafe { _mm256_loadu_ps(a.as_ptr().add(j)) };
+        // SAFETY: as above; `b.len() == a.len()` per the fn contract.
+        let bv = unsafe { _mm256_loadu_ps(b.as_ptr().add(j)) };
         // Low quad first, then high quad — the order the scalar loop
         // feeds its lanes.
         let lo = _mm_mul_ps(_mm256_castps256_ps128(av), _mm256_castps256_ps128(bv));
@@ -146,16 +148,20 @@ unsafe fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
         j += 8;
     }
     if j + 4 <= n {
-        let av = _mm_loadu_ps(a.as_ptr().add(j));
-        let bv = _mm_loadu_ps(b.as_ptr().add(j));
+        // SAFETY: `j + 4 <= n` bounds both unaligned 4-float loads.
+        let av = unsafe { _mm_loadu_ps(a.as_ptr().add(j)) };
+        // SAFETY: as above; `b.len() == a.len()` per the fn contract.
+        let bv = unsafe { _mm_loadu_ps(b.as_ptr().add(j)) };
         acc = _mm_add_ps(acc, _mm_mul_ps(av, bv));
         j += 4;
     }
     let mut lanes = [0.0f32; 4];
-    _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly 4 floats, the width of one 128-bit store.
+    unsafe { _mm_storeu_ps(lanes.as_mut_ptr(), acc) };
     let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
     while j < n {
-        sum += *a.get_unchecked(j) * *b.get_unchecked(j);
+        // SAFETY: the loop condition keeps `j` in bounds for both slices.
+        sum += unsafe { *a.get_unchecked(j) * *b.get_unchecked(j) };
         j += 1;
     }
     sum

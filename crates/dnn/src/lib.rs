@@ -18,6 +18,7 @@
 //! # Ok::<(), microrec_dnn::DnnError>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -12,18 +12,30 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to the `System` allocator and
+// only adds a relaxed atomic increment, so `GlobalAlloc`'s contract holds
+// exactly as it does for `System` itself.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we pass the
+    // layout through to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller gave us, forwarded to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with this
+    // layout — which means it came from `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` pair is valid for `System` per the above.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; all three
+    // arguments are forwarded to `System` untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was allocated by `System` with `layout`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -26,6 +26,7 @@
 //! # Ok::<(), microrec_embedding::EmbeddingError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

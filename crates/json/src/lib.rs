@@ -8,6 +8,7 @@
 //! serde-derive-compatible wire shapes: structs become objects keyed by
 //! field name, unit enums become their variant name as a string.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

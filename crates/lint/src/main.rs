@@ -1,0 +1,136 @@
+#![forbid(unsafe_code)]
+//! CLI for `microrec-lint`.
+//!
+//! ```text
+//! cargo run -p microrec-lint -- [--root DIR] [--config FILE] [--json] [--deny-all] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (or only tolerated warns), `1` lint failure,
+//! `2` usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use microrec_lint::{count_by_lint, load_config, run, Severity};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: PathBuf::from("."), config: None, json: false, deny_all: false, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--json" => args.json = true,
+            "--deny-all" | "-D" => args.deny_all = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(String::from(
+                "usage: microrec-lint [--root DIR] [--config FILE] [--json] [--deny-all] [--quiet]",
+            )),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = match load_config(&config_path) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("microrec-lint: cannot load {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&args.root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("microrec-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.lint),
+                d.severity,
+                json_escape(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"suppressed\":{}}}",
+            report.files_scanned, report.suppressed
+        ));
+        println!("{out}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if !args.quiet {
+            let by_lint = count_by_lint(&report.diagnostics);
+            let breakdown: Vec<String> =
+                by_lint.iter().map(|(lint, n)| format!("{lint}: {n}")).collect();
+            let deny = report.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count();
+            println!(
+                "microrec-lint: {} files scanned, {} diagnostics ({} deny), {} suppressed by `lint: allow`{}",
+                report.files_scanned,
+                report.diagnostics.len(),
+                deny,
+                report.suppressed,
+                if breakdown.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", breakdown.join(", "))
+                },
+            );
+        }
+    }
+
+    if report.failing(args.deny_all) > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

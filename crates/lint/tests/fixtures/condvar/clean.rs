@@ -1,0 +1,10 @@
+//! The canonical predicate loop around a condvar wait.
+
+use std::sync::{Condvar, Mutex};
+
+pub fn wait_ready(lock: &Mutex<bool>, ready: &Condvar) {
+    let mut guard = lock.lock().unwrap();
+    while !*guard {
+        guard = ready.wait(guard).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: a condvar wait without a predicate re-check loop.
+
+use std::sync::{Condvar, Mutex};
+
+pub fn wait_once(lock: &Mutex<bool>, ready: &Condvar) {
+    let guard = lock.lock().unwrap();
+    if !*guard {
+        let _guard = ready.wait(guard).unwrap();
+    }
+}

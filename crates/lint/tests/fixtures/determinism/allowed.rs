@@ -1,0 +1,7 @@
+//! Wall-clock timing justified: used only for logging, never results.
+
+pub fn tick() -> u64 {
+    // lint: allow(determinism) timing is logged, never folded into results
+    let start = std::time::Instant::now();
+    start.elapsed().subsec_nanos() as u64
+}

@@ -1,0 +1,11 @@
+//! Deterministic counterpart: ordered map, no clocks.
+
+use std::collections::BTreeMap;
+
+pub fn count(keys: &[u64]) -> usize {
+    let mut seen = BTreeMap::new();
+    for &k in keys {
+        seen.insert(k, ());
+    }
+    seen.len()
+}

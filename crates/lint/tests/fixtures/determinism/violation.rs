@@ -1,0 +1,12 @@
+//! Seeded violation: hash-order iteration and wall-clock reads.
+
+use std::collections::HashMap;
+
+pub fn count(keys: &[u64]) -> usize {
+    let now = std::time::Instant::now();
+    let mut seen = HashMap::new();
+    for &k in keys {
+        seen.insert(k, now.elapsed().as_nanos());
+    }
+    seen.len()
+}

@@ -1,0 +1,7 @@
+//! Steady-state hot function: writes into a caller-provided buffer.
+
+pub fn hot_fn(out: &mut [u32]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = (i as u32) * 2;
+    }
+}

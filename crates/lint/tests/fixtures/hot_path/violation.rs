@@ -1,0 +1,12 @@
+//! Seeded violation: allocation inside a designated hot function.
+
+pub fn hot_fn(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.extend((0..n as u32).map(|i| i * 2));
+    out
+}
+
+pub fn cold_setup() -> Vec<u32> {
+    // Not in the manifest's `functions` list: allocation here is fine.
+    vec![1, 2, 3]
+}

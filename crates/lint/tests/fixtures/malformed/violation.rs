@@ -1,0 +1,13 @@
+//! Seeded violations of the escape-hatch grammar itself: every broken
+//! `lint: allow` form must surface as a `malformed-allow` diagnostic,
+//! so a typo can never silently disable enforcement.
+
+pub fn f() -> usize {
+    // lint: allow(hot-path-alloc)
+    let a = 1;
+    // lint: allow(no-such-lint) reason text
+    let b = 2;
+    // lint: allow hot-path-alloc no parentheses
+    let c = 3;
+    a + b + c
+}

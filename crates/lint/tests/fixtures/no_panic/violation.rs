@@ -1,0 +1,9 @@
+//! Seeded violation: panicking calls on the serving path.
+
+pub fn serve(values: &[f32]) -> f32 {
+    let first = values.first().unwrap();
+    if first.is_nan() {
+        panic!("NaN reached the serving path");
+    }
+    *first
+}

@@ -1,0 +1,8 @@
+//! An unsafe site suppressed through the escape hatch instead of a
+//! `// SAFETY:` comment — discouraged, but the hatch must work for
+//! every lint id.
+
+pub fn first(values: &[u32]) -> u32 {
+    // lint: allow(unsafe-audit) argument documented in the module docs
+    unsafe { *values.as_ptr() }
+}

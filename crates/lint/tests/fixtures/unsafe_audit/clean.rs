@@ -1,0 +1,8 @@
+//! The canonical fix: a written SAFETY argument at the site.
+
+pub fn first(values: &[u32]) -> u32 {
+    assert!(!values.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *values.as_ptr() }
+}

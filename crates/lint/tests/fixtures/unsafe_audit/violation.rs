@@ -1,0 +1,5 @@
+//! Seeded violation: unsafe without a written safety argument.
+
+pub fn first(values: &[u32]) -> u32 {
+    unsafe { *values.as_ptr() }
+}

@@ -1,0 +1,24 @@
+//! Lints the real workspace as part of `cargo test`: the invariants in
+//! `lint.toml` are tier-1, not advisory. A new allocation on the hot
+//! path, an unwrap in the serving runtime, an undocumented `unsafe`, or
+//! a clock in a determinism crate fails this test (and the CI lint step)
+//! until it is fixed or justified with `// lint: allow(<id>) <reason>`.
+
+use std::path::Path;
+
+use microrec_lint::{load_config, run};
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = load_config(&root.join("lint.toml")).unwrap();
+    let report = run(&root, &config).unwrap();
+    assert!(
+        report.is_clean(),
+        "microrec-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report.diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    // Guard against a silently wrong root: the workspace is >100 files.
+    assert!(report.files_scanned > 100, "only {} files scanned", report.files_scanned);
+}

@@ -32,6 +32,7 @@
 //! # Ok::<(), microrec_memsim::MemsimError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

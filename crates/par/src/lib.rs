@@ -10,6 +10,7 @@
 //! available core) they run inline on the caller's thread, which keeps
 //! single-threaded determinism tests trivially correct.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

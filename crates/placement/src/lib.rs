@@ -25,6 +25,7 @@
 //! # Ok::<(), microrec_placement::PlacementError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,87 @@
+//! Cross-process determinism: the Algorithm-1 heuristic search must be
+//! byte-identical across two *fresh processes*, not just two calls.
+//! Per-process hasher seeds (`RandomState`), ASLR, and environment
+//! layout are exactly the perturbations an in-process repeat cannot see
+//! — and exactly what the `determinism` lint (no `HashMap`, no clocks,
+//! no OS-seeded RNG in `microrec-placement`) exists to rule out.
+//!
+//! The test re-executes its own binary in a child mode (selected by an
+//! environment variable) that prints a digest of the full search
+//! outcome, runs two children with deliberately different environments,
+//! and requires all digests — both children's and its own — to agree.
+
+use std::process::Command;
+
+use microrec_embedding::{synthetic_model, Precision, SyntheticModelConfig};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::{heuristic_search, HeuristicOptions};
+
+const CHILD_ENV: &str = "MICROREC_DETERMINISM_CHILD";
+const TAG_ENV: &str = "MICROREC_DETERMINISM_TAG";
+
+/// FNV-1a over the `Debug` rendering of the whole search outcome: plan,
+/// per-table bank assignments, cost model output, and evaluation count.
+fn search_digest() -> u64 {
+    let model = synthetic_model(&SyntheticModelConfig {
+        tables: 24,
+        target_bytes: 400_000_000,
+        seed: 0xD15C,
+        ..Default::default()
+    })
+    .unwrap();
+    let outcome = heuristic_search(
+        &model,
+        &MemoryConfig::u280(),
+        Precision::F32,
+        &HeuristicOptions::default(),
+    )
+    .unwrap();
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for b in format!("{outcome:?}").bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn heuristic_search_is_bit_identical_across_processes() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        // Child mode: emit the digest for the parent and stop.
+        println!("DIGEST={:016x}", search_digest());
+        return;
+    }
+
+    let exe = std::env::current_exe().unwrap();
+    let run_child = |tag: &str| -> String {
+        let output = Command::new(&exe)
+            .args(["heuristic_search_is_bit_identical_across_processes", "--exact", "--nocapture"])
+            .env(CHILD_ENV, "1")
+            // Different env contents shift the process's initial memory
+            // layout — a perturbation a deterministic search must shrug off.
+            .env(TAG_ENV, tag)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "child process failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        // `--nocapture` interleaves the digest with harness output, so
+        // locate the marker anywhere rather than at a line start.
+        let at = stdout
+            .find("DIGEST=")
+            .unwrap_or_else(|| panic!("no DIGEST marker in child output:\n{stdout}"));
+        stdout[at + "DIGEST=".len()..][..16].to_string()
+    };
+
+    let first = run_child("a");
+    let second = run_child("a-much-longer-tag-value-to-shift-the-environment-block");
+    assert_eq!(first, second, "search outcome differs between two fresh processes");
+    assert_eq!(
+        first,
+        format!("{:016x}", search_digest()),
+        "child digest differs from the parent's in-process digest"
+    );
+}

@@ -11,6 +11,7 @@
 //! Everything is seeded explicitly — equal seeds give identical streams on
 //! every platform, which the repo's determinism tests rely on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A deterministic xoshiro256++ generator seeded via SplitMix64.

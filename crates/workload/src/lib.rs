@@ -18,6 +18,7 @@
 //! # Ok::<(), microrec_workload::WorkloadError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

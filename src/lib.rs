@@ -6,6 +6,8 @@
 //! the examples and integration tests read naturally; library users can
 //! equally depend on the individual `microrec-*` crates.
 
+#![forbid(unsafe_code)]
+
 pub use microrec_accel as accel;
 pub use microrec_core as core_engine;
 pub use microrec_cpu as cpu;
