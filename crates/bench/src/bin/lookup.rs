@@ -1,0 +1,313 @@
+//! Embedding-lookup fast-path benchmark: wall-clock gather throughput of
+//! the legacy per-table path vs the contiguous [`EmbeddingArena`] (f32,
+//! f16, i8 rows) with and without the [`HotRowCache`], under Zipf(1.05)
+//! and uniform traffic. Emits one JSON record per point (committed as
+//! `BENCH_lookup.json`).
+//!
+//! The bin also enforces the fast path's functional contracts before
+//! timing anything: the f32 arena must gather bit-identically to the
+//! legacy tables, and for every row format the cache-fronted path must be
+//! bit-identical to the same storage without a cache.
+//!
+//! Run with `cargo run --release -p microrec-bench --bin lookup`
+//! (`-- --smoke` for the time-bounded CI variant).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use microrec_embedding::{
+    EmbeddingArena, EmbeddingTable, HotRowCache, ModelSpec, RowFormat, TableSpec,
+};
+use microrec_json::ToJson;
+use microrec_workload::{QueryGenConfig, QueryGenerator};
+
+/// Logical embedding tables.
+const TABLES: usize = 16;
+/// Row dimension (f32 elements per row).
+const DIM: u32 = 32;
+/// Simulated memory channels the arena is striped over.
+const CHANNELS: usize = 8;
+/// Hot-row cache capacity in rows (128K rows × 128 B = 16 MiB). Sized as
+/// a hot tier the way HugeCTR's parameter server sizes its GPU cache —
+/// a double-digit percentage of the row space — so the Zipf(1.05) head
+/// fits; uniform traffic does not fit, and the bench reports both
+/// regimes.
+const CACHE_ROWS: usize = 131_072;
+/// Cache associativity.
+const CACHE_WAYS: usize = 8;
+
+/// One measured configuration, serialized into `BENCH_lookup.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct LookupPoint {
+    /// Traffic distribution (`"zipf-1.05"` or `"uniform"`).
+    dist: String,
+    /// Row storage (`"legacy"`, `"f32"`, `"f16"`, `"i8"`).
+    storage: String,
+    /// Cache capacity in rows (0 = cache off).
+    cache_rows: u64,
+    /// Mean wall-clock time per row gathered.
+    ns_per_lookup: f64,
+    /// Steady-state cache hit rate (0 when the cache is off).
+    hit_rate: f64,
+    /// Speedup over the legacy no-cache path under the same traffic.
+    speedup_vs_legacy: f64,
+    /// Feature bytes served from the cache during the timed passes.
+    bytes_from_cache: u64,
+    /// Source-row bytes fetched from storage during the timed passes.
+    bytes_from_memory: u64,
+}
+
+microrec_json::impl_json_struct!(
+    LookupPoint,
+    required {
+        dist,
+        storage,
+        cache_rows,
+        ns_per_lookup,
+        hit_rate,
+        speedup_vs_legacy,
+        bytes_from_cache,
+        bytes_from_memory,
+    }
+);
+
+/// Row storage backing one gather configuration.
+enum Storage<'a> {
+    Legacy(&'a [EmbeddingTable]),
+    Arena(&'a EmbeddingArena),
+}
+
+impl Storage<'_> {
+    fn label(&self) -> &'static str {
+        match self {
+            Storage::Legacy(_) => "legacy",
+            Storage::Arena(a) => a.format().as_str(),
+        }
+    }
+
+    /// Reads one row into `slot`, returning the source bytes it cost.
+    fn read_row_into(&self, table: usize, row: u64, slot: &mut [f32]) -> usize {
+        match self {
+            Storage::Legacy(tables) => {
+                tables[table].read_row(row, slot).expect("legacy read");
+                slot.len() * 4
+            }
+            Storage::Arena(arena) => {
+                arena.read_row_into(table, row, slot).expect("arena read");
+                arena.source_row_bytes(table)
+            }
+        }
+    }
+}
+
+/// Cache-fronted gather state: the cache plus its reusable miss scratch.
+struct CachedPath {
+    cache: HotRowCache,
+    misses: Vec<usize>,
+}
+
+impl CachedPath {
+    fn new() -> Self {
+        CachedPath {
+            cache: HotRowCache::new(&[DIM; TABLES], CACHE_ROWS, CACHE_WAYS),
+            misses: Vec::with_capacity(TABLES),
+        }
+    }
+}
+
+/// Gathers one query's rows into `out`, optionally through the cache.
+/// The cached path probes the whole round first, then services misses in
+/// bulk, so independent cache-line fetches overlap.
+fn gather(storage: &Storage<'_>, cached: Option<&mut CachedPath>, query: &[u64], out: &mut [f32]) {
+    let dim = DIM as usize;
+    match cached {
+        Some(path) => {
+            path.cache.probe_round(query, out, &mut path.misses);
+            for &table in &path.misses {
+                let slot = &mut out[table * dim..(table + 1) * dim];
+                let bytes = storage.read_row_into(table, query[table], slot);
+                path.cache.insert(table, query[table], slot, bytes);
+            }
+        }
+        None => match storage {
+            Storage::Arena(arena) => arena.gather_into(query, out).expect("arena gather"),
+            Storage::Legacy(_) => {
+                for (table, &row) in query.iter().enumerate() {
+                    storage.read_row_into(table, row, &mut out[table * dim..(table + 1) * dim]);
+                }
+            }
+        },
+    }
+}
+
+/// Times `passes` full sweeps over `queries`, returning ns per row
+/// gathered for the fastest pass (robust to scheduler interference) plus
+/// the cache's steady-state counters accumulated over every timed pass.
+fn measure(
+    storage: &Storage<'_>,
+    mut cached: Option<CachedPath>,
+    queries: &[Vec<u64>],
+    passes: usize,
+) -> (f64, f64, u64, u64) {
+    let mut out = vec![0.0f32; TABLES * DIM as usize];
+    // Warm pass: faults the arena pages in and fills the cache.
+    for q in queries {
+        gather(storage, cached.as_mut(), q, &mut out);
+    }
+    if let Some(p) = cached.as_mut() {
+        p.cache.reset_stats();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for q in queries {
+            gather(storage, cached.as_mut(), q, &mut out);
+            black_box(out[0]);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    let lookups = (queries.len() * TABLES) as f64;
+    match cached {
+        Some(p) => (
+            best / lookups,
+            p.cache.hit_rate(),
+            p.cache.bytes_from_cache(),
+            p.cache.bytes_from_memory(),
+        ),
+        None => (best / lookups, 0.0, 0, 0),
+    }
+}
+
+/// Generates `n` queries (one row per table) from the model's generator.
+fn generate(model: &ModelSpec, zipf: f64, n: usize) -> Vec<Vec<u64>> {
+    let mut gen = QueryGenerator::new(model, QueryGenConfig { zipf_exponent: zipf, seed: 0xB00C })
+        .expect("generator");
+    (0..n).map(|_| gen.next_query()).collect()
+}
+
+/// Every configuration must produce bit-identical features to the legacy
+/// cacheless gather (f32 storage) or to its own cacheless gather
+/// (quantized storage): the cache must never change a single bit.
+fn check_bit_identity(tables: &[EmbeddingTable], arenas: &[EmbeddingArena], queries: &[Vec<u64>]) {
+    let dim = DIM as usize;
+    let mut expected = vec![0.0f32; TABLES * dim];
+    let mut got = vec![0.0f32; TABLES * dim];
+    for arena in arenas {
+        let storage = Storage::Arena(arena);
+        let mut path = CachedPath::new();
+        for q in queries {
+            gather(&storage, None, q, &mut expected);
+            if arena.format() == RowFormat::F32 {
+                // f32 arena ≡ legacy tables, bit for bit.
+                gather(&Storage::Legacy(tables), None, q, &mut got);
+                assert_eq!(bits(&got), bits(&expected), "f32 arena diverged from legacy");
+            }
+            // Cache-on ≡ cache-off for every storage format.
+            gather(&storage, Some(&mut path), q, &mut got);
+            assert_eq!(bits(&got), bits(&expected), "{} cache diverged", arena.format());
+        }
+        assert!(path.cache.hits() > 0, "identity stream never hit the cache");
+    }
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rows_per_table, num_queries, passes) =
+        if smoke { (20_000u64, 2_000usize, 2usize) } else { (25_000, 20_000, 5) };
+
+    let specs: Vec<TableSpec> = (0..TABLES)
+        .map(|i| TableSpec::new(format!("lookup_{i:02}"), rows_per_table, DIM))
+        .collect();
+    let model = ModelSpec::new("lookup-bench", specs, vec![64], 1);
+    let tables: Vec<EmbeddingTable> = model
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| EmbeddingTable::procedural(spec.clone(), 0x10_0C + i as u64))
+        .collect();
+    let channel_of: Vec<usize> = (0..TABLES).map(|i| i % CHANNELS).collect();
+
+    eprintln!(
+        "building arenas: {TABLES} tables x {rows_per_table} rows x {DIM} dims over {CHANNELS} channels"
+    );
+    let arenas: Vec<EmbeddingArena> = [RowFormat::F32, RowFormat::F16, RowFormat::I8]
+        .into_iter()
+        .map(|f| EmbeddingArena::build(&tables, f, &channel_of, u64::MAX).expect("arena"))
+        .collect();
+    for arena in &arenas {
+        eprintln!(
+            "  {:>3} arena: {:.1} MiB, 64B-aligned: {}",
+            arena.format().as_str(),
+            arena.total_bytes() as f64 / (1 << 20) as f64,
+            arena.is_aligned(),
+        );
+    }
+
+    let identity_queries = generate(&model, 1.05, if smoke { 200 } else { 1_000 });
+    check_bit_identity(&tables, &arenas, &identity_queries);
+    eprintln!("bit-identity (f32 arena vs legacy, cache on vs off): ok");
+
+    let mut points = Vec::new();
+    let mut headline = 0.0f64;
+    for (dist, zipf) in [("zipf-1.05", 1.05), ("uniform", 0.0)] {
+        let queries = generate(&model, zipf, num_queries);
+        let mut legacy_ns = 0.0f64;
+        for storage in
+            std::iter::once(Storage::Legacy(&tables)).chain(arenas.iter().map(Storage::Arena))
+        {
+            for cached in [false, true] {
+                let path = cached.then(CachedPath::new);
+                let (ns, hit_rate, from_cache, from_memory) =
+                    measure(&storage, path, &queries, passes);
+                if !cached && matches!(storage, Storage::Legacy(_)) {
+                    legacy_ns = ns;
+                }
+                let speedup = legacy_ns / ns;
+                if dist == "zipf-1.05" && storage.label() == "f16" && cached {
+                    headline = speedup;
+                }
+                eprintln!(
+                    "{dist:>9} {:>6} cache={:<5} {ns:>7.2} ns/lookup  hit {:>5.1}%  {speedup:>5.2}x",
+                    storage.label(),
+                    cached,
+                    hit_rate * 100.0,
+                );
+                points.push(LookupPoint {
+                    dist: dist.to_string(),
+                    storage: storage.label().to_string(),
+                    cache_rows: if cached { CACHE_ROWS as u64 } else { 0 },
+                    ns_per_lookup: ns,
+                    hit_rate,
+                    speedup_vs_legacy: speedup,
+                    bytes_from_cache: from_cache,
+                    bytes_from_memory: from_memory,
+                });
+            }
+        }
+    }
+
+    // Acceptance gate: warm f16 rows behind the cache must gather at
+    // least 2x faster than the legacy scalar path under Zipf(1.05).
+    eprintln!("headline (f16 + warm cache vs legacy, Zipf 1.05): {headline:.2}x");
+    assert!(headline >= 2.0, "f16 warm-cache speedup {headline:.2}x below the 2x gate");
+
+    let obj = vec![
+        ("model".to_string(), model.name.to_json()),
+        ("tables".to_string(), (TABLES as u64).to_json()),
+        ("rows_per_table".to_string(), rows_per_table.to_json()),
+        ("dim".to_string(), u64::from(DIM).to_json()),
+        ("channels".to_string(), (CHANNELS as u64).to_json()),
+        ("cache_rows".to_string(), (CACHE_ROWS as u64).to_json()),
+        ("cache_ways".to_string(), (CACHE_WAYS as u64).to_json()),
+        ("queries".to_string(), (num_queries as u64).to_json()),
+        ("passes".to_string(), (passes as u64).to_json()),
+        ("bit_identical".to_string(), true.to_json()),
+        ("headline_speedup_f16_warm_zipf".to_string(), headline.to_json()),
+        ("points".to_string(), points.to_json()),
+    ];
+    println!("{}", microrec_json::to_string_pretty(&microrec_json::Json::Obj(obj)));
+}

@@ -15,9 +15,10 @@
 use std::time::Instant;
 
 use microrec_core::{
-    AdmissionPolicy, MicroRec, ReplayOutcome, RuntimeConfig, ServingFrontierRecord, ServingRuntime,
+    AdmissionPolicy, MicroRec, MicroRecBuilder, ReplayOutcome, RuntimeConfig, RuntimeLookupStats,
+    ServingFrontierRecord, ServingRuntime,
 };
-use microrec_embedding::ModelSpec;
+use microrec_embedding::{ModelSpec, RowFormat};
 use microrec_json::ToJson;
 use microrec_workload::{QueryGenConfig, RequestTrace};
 
@@ -27,9 +28,23 @@ const FULL_POINT_REQUESTS: usize = 2_000;
 const SMOKE_POINT_REQUESTS: usize = 800;
 /// Queries for the bit-identity check.
 const IDENTITY_QUERIES: usize = 96;
+/// Hot-row cache capacity in rows, shared config across every engine in
+/// this bin. At dim 16 this is a 4 MiB hot tier over the model's 4 M rows;
+/// Zipf(1.05) traffic concentrates most lookups on it.
+const CACHE_ROWS: usize = 65_536;
+
+/// The one engine configuration every path in this bin uses — sequential
+/// baseline and runtime workers alike run f16 arena rows behind the
+/// hot-row cache, so the bit-identity check compares like with like.
+fn builder(model: &ModelSpec) -> MicroRecBuilder {
+    MicroRec::builder(model.clone())
+        .seed(42)
+        .embedding_arena(RowFormat::F16)
+        .hot_row_cache(CACHE_ROWS)
+}
 
 fn build(model: &ModelSpec) -> MicroRec {
-    MicroRec::builder(model.clone()).seed(42).build().expect("engine")
+    builder(model).build().expect("engine")
 }
 
 /// Sequential single-predict capacity, measured fresh on this machine so
@@ -56,8 +71,7 @@ fn check_bit_identity(model: &ModelSpec, config: RuntimeConfig) -> bool {
     let mut sequential = build(model);
     let expected: Vec<f32> =
         trace.queries().iter().map(|q| sequential.predict(q).expect("predict")).collect();
-    let runtime =
-        ServingRuntime::start(MicroRec::builder(model.clone()).seed(42), config).expect("runtime");
+    let runtime = ServingRuntime::start(builder(model), config).expect("runtime");
     let pending: Vec<_> =
         trace.queries().iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
     pending
@@ -66,15 +80,21 @@ fn check_bit_identity(model: &ModelSpec, config: RuntimeConfig) -> bool {
         .all(|(p, e)| p.wait().map(|got| got.to_bits() == e.to_bits()).unwrap_or(false))
 }
 
-/// One sweep point: fresh runtime, fresh paced replay.
-fn run_point(model: &ModelSpec, rate: f64, n: usize, config: RuntimeConfig) -> ReplayOutcome {
+/// One sweep point: fresh runtime, fresh paced replay. Also returns the
+/// embedding-lookup counters the workers accumulated over the point.
+fn run_point(
+    model: &ModelSpec,
+    rate: f64,
+    n: usize,
+    config: RuntimeConfig,
+) -> (ReplayOutcome, Option<RuntimeLookupStats>) {
     let trace =
         RequestTrace::generate(model, rate, n, QueryGenConfig::default()).expect("point trace");
-    let mut runtime =
-        ServingRuntime::start(MicroRec::builder(model.clone()).seed(42), config).expect("runtime");
+    let mut runtime = ServingRuntime::start(builder(model), config).expect("runtime");
     let mut outcome = replay(&runtime, &trace);
     outcome.snapshot = runtime.shutdown();
-    outcome
+    let lookup = runtime.lookup_stats();
+    (outcome, lookup)
 }
 
 fn replay(runtime: &ServingRuntime, trace: &RequestTrace) -> ReplayOutcome {
@@ -122,16 +142,22 @@ fn main() {
     for &(mult, wait_us, workers) in &points {
         let rate = seq_qps * mult;
         let cfg = config(workers, 64, wait_us);
-        let outcome = run_point(&model, rate, n, cfg);
-        let record = ServingFrontierRecord::from_run(&cfg, &outcome);
+        let (outcome, lookup) = run_point(&model, rate, n, cfg);
+        let mut record = ServingFrontierRecord::from_run(&cfg, &outcome);
+        if let Some(stats) = &lookup {
+            record = record.with_lookup(stats);
+        }
+        let hit_rate = lookup.as_ref().map_or(0.0, |s| s.hit_rate());
         eprintln!(
             "offered {:>7.0} qps ({mult:.0}x seq, wait {wait_us:>5} us, {workers} worker): \
-             sustained {:>7.0} qps, mean batch {:>5.2}, p99 {:>8.0} us, drops {:.2}%",
+             sustained {:>7.0} qps, mean batch {:>5.2}, p99 {:>8.0} us, drops {:.2}%, \
+             cache hit {:>5.1}%",
             rate,
             record.qps,
             record.mean_batch_size,
             record.p99_us,
             record.drop_rate * 100.0,
+            hit_rate * 100.0,
         );
         if smoke {
             // CI gate: at ≥2x sequential offered load the runtime must
@@ -139,6 +165,8 @@ fn main() {
             assert!(record.qps > seq_qps, "runtime slower than sequential at {mult}x load");
             assert!(record.mean_batch_size > 1.0, "no batching happened at {mult}x load");
             assert!(record.p99_us.is_finite() && record.p99_us > 0.0, "bad p99");
+            let stats = record.lookup.as_ref().expect("cache-enabled runtime lost its counters");
+            assert!(stats.hits + stats.misses > 0, "no lookups were counted");
         }
         records.push(record);
     }

@@ -3,9 +3,13 @@
 //! Algorithm 1, an item-by-item pipelined accelerator, and a fixed-point
 //! DNN datapath sharing weights with the `f32` reference.
 
+use std::sync::Arc;
+
 use microrec_accel::{estimate_usage, AccelConfig, Pipeline, ResourceUsage, U280_CAPACITY};
 use microrec_dnn::{FixedNum, Mlp, PackedMlp, ScratchArena, Q16, Q32};
-use microrec_embedding::{synthetic_dense_features, Catalog, ModelSpec, Precision};
+use microrec_embedding::{
+    synthetic_dense_features, Catalog, EmbeddingArena, HotRowCache, ModelSpec, Precision, RowFormat,
+};
 use microrec_memsim::{AddressedRead, HybridMemory, MemoryConfig, RowPolicy, SimTime};
 use microrec_placement::{heuristic_search, HeuristicOptions, Plan, PlanCost};
 
@@ -37,6 +41,11 @@ pub struct MicroRecBuilder {
     seed: u64,
     options: HeuristicOptions,
     accel: Option<AccelConfig>,
+    arena_format: Option<RowFormat>,
+    arena_limit_bytes: u64,
+    cache_rows: usize,
+    cache_ways: usize,
+    shared_arena: Option<Arc<EmbeddingArena>>,
 }
 
 impl MicroRecBuilder {
@@ -54,6 +63,11 @@ impl MicroRecBuilder {
             seed: 0x00AC_CE55,
             options: HeuristicOptions::default(),
             accel: None,
+            arena_format: None,
+            arena_limit_bytes: u64::MAX,
+            cache_rows: 0,
+            cache_ways: 8,
+            shared_arena: None,
         }
     }
 
@@ -101,6 +115,70 @@ impl MicroRecBuilder {
         self
     }
 
+    /// Materializes the logical tables into a contiguous, 64-byte-aligned
+    /// [`EmbeddingArena`] (one buffer per memory channel) in the given row
+    /// format, replacing procedural per-element hashing on the functional
+    /// gather path. `RowFormat::F32` is bit-identical to the legacy path;
+    /// `F16`/`I8` trade 2–4× fewer row bytes for bounded quantization
+    /// error.
+    #[must_use]
+    pub fn embedding_arena(mut self, format: RowFormat) -> Self {
+        self.arena_format = Some(format);
+        self
+    }
+
+    /// Caps how many bytes [`MicroRecBuilder::embedding_arena`] may
+    /// materialize (default: unlimited).
+    #[must_use]
+    pub fn arena_limit_bytes(mut self, limit: u64) -> Self {
+        self.arena_limit_bytes = limit;
+        self
+    }
+
+    /// Fronts the gather path with a Zipf-aware [`HotRowCache`] holding up
+    /// to `rows` dequantized rows (0 disables the cache, the default).
+    /// Cache-on output is bit-identical to cache-off.
+    #[must_use]
+    pub fn hot_row_cache(mut self, rows: usize) -> Self {
+        self.cache_rows = rows;
+        self
+    }
+
+    /// Sets the cache's set associativity (default 8).
+    #[must_use]
+    pub fn cache_ways(mut self, ways: usize) -> Self {
+        self.cache_ways = ways.max(1);
+        self
+    }
+
+    /// Uses an existing read-only arena instead of materializing a new one
+    /// per engine. Replicas built from clones of this builder then share
+    /// one arena allocation (see [`crate::EnginePool::from_builder`]).
+    #[must_use]
+    pub fn shared_arena(mut self, arena: Arc<EmbeddingArena>) -> Self {
+        self.arena_format = Some(arena.format());
+        self.shared_arena = Some(arena);
+        self
+    }
+
+    /// Builds this configuration's arena once and installs it as the
+    /// shared arena, so every subsequent [`MicroRecBuilder::build`] (on
+    /// this builder or its clones) reuses the same allocation. No-op when
+    /// no arena format is configured or a shared arena is already set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if the placement search or arena
+    /// materialization fails.
+    pub fn prepare_shared_arena(&mut self) -> Result<(), MicroRecError> {
+        if self.arena_format.is_none() || self.shared_arena.is_some() {
+            return Ok(());
+        }
+        let engine = self.clone().build()?;
+        self.shared_arena = engine.arena().cloned();
+        Ok(())
+    }
+
     /// Runs the placement search and assembles the engine.
     ///
     /// # Errors
@@ -132,6 +210,65 @@ impl MicroRecBuilder {
         }
 
         let catalog = Catalog::build(&self.model, &plan.merge, self.seed)?;
+
+        // Embedding fast path: a shared or freshly materialized arena, and
+        // an optional hot-row cache in front of it.
+        let arena = match (&self.shared_arena, self.arena_format) {
+            (Some(shared), _) => {
+                if !shared.matches(catalog.logical_tables()) {
+                    return Err(MicroRecError::Runtime(
+                        "shared embedding arena does not match the model's tables".into(),
+                    ));
+                }
+                Some(Arc::clone(shared))
+            }
+            (None, Some(format)) => {
+                // Channel assignment: each logical table inherits the
+                // memory channel (bank) its physical table was placed on.
+                let mut banks = Vec::new();
+                let channel_of: Vec<usize> = (0..catalog.logical_tables().len())
+                    .map(|lidx| {
+                        let (pidx, _) = catalog.locate(lidx);
+                        let bank = plan.placed[pidx].banks[0];
+                        banks.iter().position(|&b| b == bank).unwrap_or_else(|| {
+                            banks.push(bank);
+                            banks.len() - 1
+                        })
+                    })
+                    .collect();
+                Some(Arc::new(EmbeddingArena::build(
+                    catalog.logical_tables(),
+                    format,
+                    &channel_of,
+                    self.arena_limit_bytes,
+                )?))
+            }
+            (None, None) => None,
+        };
+        let cache = if self.cache_rows > 0 {
+            let dims: Vec<u32> = catalog
+                .logical_tables()
+                .iter()
+                .map(microrec_embedding::EmbeddingTable::dim)
+                .collect();
+            Some(HotRowCache::new(&dims, self.cache_rows, self.cache_ways))
+        } else {
+            None
+        };
+        // Per-table offsets into one round's concatenated feature slice,
+        // plus the reusable miss list for the batched cache probe — both
+        // sized once here so the gather path never allocates.
+        let feature_offsets: Vec<usize> = catalog
+            .logical_tables()
+            .iter()
+            .scan(0usize, |acc, t| {
+                let offset = *acc;
+                *acc += t.dim() as usize;
+                Some(offset)
+            })
+            .collect();
+        let miss_scratch = Vec::with_capacity(catalog.logical_tables().len());
+
         let mlp = Mlp::top_mlp(self.model.feature_len(), &self.model.hidden, self.seed ^ 0x5EED)?;
         let bottom = if self.model.has_bottom_mlp() {
             Some(Mlp::bottom_mlp(
@@ -159,6 +296,10 @@ impl MicroRecBuilder {
             memory,
             region_offsets,
             catalog,
+            arena,
+            cache,
+            feature_offsets,
+            miss_scratch,
             mlp,
             bottom,
             accel,
@@ -219,6 +360,10 @@ pub struct MicroRec {
     memory: HybridMemory,
     region_offsets: Vec<Vec<u64>>,
     catalog: Catalog,
+    arena: Option<Arc<EmbeddingArena>>,
+    cache: Option<HotRowCache>,
+    feature_offsets: Vec<usize>,
+    miss_scratch: Vec<usize>,
     mlp: Mlp,
     bottom: Option<Mlp>,
     accel: AccelConfig,
@@ -280,6 +425,20 @@ impl MicroRec {
     #[must_use]
     pub fn memory(&self) -> &HybridMemory {
         &self.memory
+    }
+
+    /// The arena backing embedding reads, when one is configured.
+    #[must_use]
+    pub fn arena(&self) -> Option<&Arc<EmbeddingArena>> {
+        self.arena.as_ref()
+    }
+
+    /// The hot-row cache fronting embedding reads, when enabled (its
+    /// per-table hit/miss and bytes-moved counters accumulate across
+    /// predictions until [`MicroRec::reset_stats`]).
+    #[must_use]
+    pub fn hot_row_cache(&self) -> Option<&HotRowCache> {
+        self.cache.as_ref()
     }
 
     /// End-to-end single-item inference latency.
@@ -446,6 +605,48 @@ impl MicroRec {
         }
     }
 
+    /// Functionally gathers one lookup round's concatenated feature slice
+    /// for a query, through the fast path when configured: hot-row cache
+    /// in front of the arena (or the legacy per-table read on a miss when
+    /// no arena is built). Cache and arena change where the bytes come
+    /// from — a dequantized cached copy vs. a stride-indexed arena row vs.
+    /// a procedural/materialized table read — never what they are, so all
+    /// combinations are bit-identical for `RowFormat::F32` storage.
+    fn gather_round_into(&mut self, indices: &[u64], out: &mut [f32]) -> Result<(), MicroRecError> {
+        let arena = self.arena.as_deref();
+        let catalog = &self.catalog;
+        match self.cache.as_mut() {
+            Some(cache) => {
+                // Probe the whole round first, then service the misses in
+                // bulk: the independent probe loads overlap instead of
+                // serializing behind each miss's storage read.
+                cache.probe_round(indices, out, &mut self.miss_scratch);
+                for &table in &self.miss_scratch {
+                    let row = indices[table];
+                    let offset = self.feature_offsets[table];
+                    let dim = catalog.logical_tables()[table].dim() as usize;
+                    let slot = &mut out[offset..offset + dim];
+                    let source_bytes = match arena {
+                        Some(a) => {
+                            a.read_row_into(table, row, slot)?;
+                            a.source_row_bytes(table)
+                        }
+                        None => {
+                            catalog.logical_tables()[table].read_row(row, slot)?;
+                            dim * 4
+                        }
+                    };
+                    cache.insert(table, row, slot, source_bytes);
+                }
+                Ok(())
+            }
+            None => match arena {
+                Some(a) => Ok(a.gather_into(indices, out)?),
+                None => Ok(catalog.gather(indices, out)?),
+            },
+        }
+    }
+
     /// Gathers feature vectors for a whole batch, issuing each lookup
     /// round as one combined sweep of physical reads (the per-query read
     /// count is unchanged; only the dispatch is amortized).
@@ -455,6 +656,7 @@ impl MicroRec {
     ) -> Result<Vec<Vec<f32>>, MicroRecError> {
         let tables = self.model.num_tables();
         let rounds = self.model.lookups_per_table as usize;
+        let round_len = self.catalog.feature_len() as usize;
         let mut features = Vec::with_capacity(queries.len());
         for query in queries {
             self.check_query(query)?;
@@ -474,9 +676,10 @@ impl MicroRec {
             self.memory.parallel_read_addressed(&requests)?;
             for (item, query) in features.iter_mut().zip(queries) {
                 let indices = &query[round * tables..(round + 1) * tables];
-                let mut round_features = self.catalog.gather_vec(indices)?;
-                self.quantize_features(&mut round_features);
-                item.extend(round_features);
+                let base = item.len();
+                item.resize(base + round_len, 0.0);
+                self.gather_round_into(indices, &mut item[base..])?;
+                self.quantize_features(&mut item[base..]);
             }
         }
         Ok(features)
@@ -492,6 +695,7 @@ impl MicroRec {
         self.check_query(query)?;
         let tables = self.model.num_tables();
         let rounds = self.model.lookups_per_table as usize;
+        let round_len = self.catalog.feature_len() as usize;
         let mut features = Vec::with_capacity(self.model.feature_len() as usize);
         // Dense path: the bottom MLP runs on the accelerator's datapath
         // precision (its own small PE group, §Figure 1's dense branch).
@@ -508,11 +712,13 @@ impl MicroRec {
                 .map(|l| self.addressed_read(l.table, l.row, round))
                 .collect();
             self.memory.parallel_read_addressed(&requests)?;
-            // Functional gather (embedding values quantize losslessly per
-            // element relative to their stored precision).
-            let mut round_features = self.catalog.gather_vec(indices)?;
-            self.quantize_features(&mut round_features);
-            features.extend(round_features);
+            // Functional gather through the fast path (embedding values
+            // quantize losslessly per element relative to their stored
+            // precision).
+            let base = features.len();
+            features.resize(base + round_len, 0.0);
+            self.gather_round_into(indices, &mut features[base..])?;
+            self.quantize_features(&mut features[base..]);
         }
         Ok(features)
     }
@@ -547,9 +753,13 @@ impl MicroRec {
         self.memory.set_row_policy(policy);
     }
 
-    /// Resets accumulated memory statistics.
+    /// Resets accumulated memory statistics and, when the hot-row cache is
+    /// enabled, its hit/miss/bytes counters (cached rows stay resident).
     pub fn reset_stats(&mut self) {
         self.memory.reset_stats();
+        if let Some(cache) = &mut self.cache {
+            cache.reset_stats();
+        }
     }
 }
 
@@ -698,6 +908,140 @@ mod tests {
         let mut q = vec![0u64; 24];
         q[3] = u64::MAX;
         assert!(e.predict(&q).is_err());
+    }
+
+    fn small_model() -> ModelSpec {
+        ModelSpec::new(
+            "small",
+            (0..6).map(|i| microrec_embedding::TableSpec::new(format!("t{i}"), 2000, 8)).collect(),
+            vec![64, 32],
+            4,
+        )
+    }
+
+    fn small_builder(precision: Precision) -> MicroRecBuilder {
+        MicroRec::builder(small_model()).precision(precision).seed(29)
+    }
+
+    fn small_queries(n: usize) -> Vec<Vec<u64>> {
+        (0..n)
+            .map(|i| (0..24).map(|j| ((i * 7919 + j * 104_729) % 2000) as u64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_across_storage_and_cache() {
+        // Legacy procedural reads, an f32 arena, a cache-fronted arena, and
+        // a cache over the legacy path must all predict identical bits, for
+        // every datapath precision, in both predict and predict_batch.
+        for precision in [Precision::F32, Precision::Fixed16, Precision::Fixed32] {
+            let mut legacy = small_builder(precision).build().unwrap();
+            let mut variants = [
+                small_builder(precision).embedding_arena(RowFormat::F32).build().unwrap(),
+                small_builder(precision)
+                    .embedding_arena(RowFormat::F32)
+                    .hot_row_cache(128)
+                    .build()
+                    .unwrap(),
+                small_builder(precision).hot_row_cache(128).build().unwrap(),
+            ];
+            let queries = small_queries(40);
+            let want: Vec<f32> = queries.iter().map(|q| legacy.predict(q).unwrap()).collect();
+            for (v, engine) in variants.iter_mut().enumerate() {
+                // Sequential predict: run twice so the second pass hits the
+                // warm cache — results must not change.
+                for pass in 0..2 {
+                    for (i, q) in queries.iter().enumerate() {
+                        let got = engine.predict(q).unwrap();
+                        assert_eq!(
+                            got.to_bits(),
+                            want[i].to_bits(),
+                            "{precision:?} variant {v} pass {pass} query {i}"
+                        );
+                    }
+                }
+                // Batched path over the same (now cached) rows.
+                engine.reset_stats();
+                let got = engine.predict_batch(&queries).unwrap();
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{precision:?} variant {v} batch {i}");
+                }
+                // The simulated memory still sees every physical read —
+                // the cache is a host-side structure, not a DRAM model.
+                assert_eq!(engine.memory().stats().total().reads, (queries.len() * 6 * 4) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_arena_stays_close_to_reference() {
+        let mut legacy = small_builder(Precision::F32).build().unwrap();
+        for (format, tol) in [(RowFormat::F16, 1e-2), (RowFormat::I8, 5e-2)] {
+            let mut quantized = small_builder(Precision::F32)
+                .embedding_arena(format)
+                .hot_row_cache(64)
+                .build()
+                .unwrap();
+            for q in small_queries(20) {
+                let want = legacy.predict(&q).unwrap();
+                let got = quantized.predict(&q).unwrap();
+                assert!((want - got).abs() < tol as f32, "{format}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_reset() {
+        let mut e = small_builder(Precision::Fixed16)
+            .embedding_arena(RowFormat::F16)
+            .hot_row_cache(256)
+            .build()
+            .unwrap();
+        let queries = small_queries(10);
+        for q in &queries {
+            e.predict(q).unwrap();
+        }
+        let cache = e.hot_row_cache().unwrap();
+        // Every lookup (6 tables x 4 rounds x 10 queries) hit the cache
+        // layer and was classified.
+        assert_eq!(cache.hits() + cache.misses(), 240);
+        assert!(cache.bytes_from_memory() > 0);
+        assert_eq!(cache.per_table_hits().len(), 6);
+        e.reset_stats();
+        let cache = e.hot_row_cache().unwrap();
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert_eq!(cache.bytes_from_memory(), 0);
+    }
+
+    #[test]
+    fn shared_arena_is_one_allocation_across_builds() {
+        let mut builder = small_builder(Precision::Fixed16).embedding_arena(RowFormat::F16);
+        builder.prepare_shared_arena().unwrap();
+        let a = builder.clone().build().unwrap();
+        let b = builder.clone().build().unwrap();
+        assert!(
+            Arc::ptr_eq(a.arena().unwrap(), b.arena().unwrap()),
+            "replicas must share one arena allocation"
+        );
+        // And predictions agree with an engine that built its own arena.
+        let mut own =
+            small_builder(Precision::Fixed16).embedding_arena(RowFormat::F16).build().unwrap();
+        let (mut a, mut b) = (a, b);
+        for q in small_queries(5) {
+            let want = own.predict(&q).unwrap();
+            assert_eq!(a.predict(&q).unwrap().to_bits(), want.to_bits());
+            assert_eq!(b.predict(&q).unwrap().to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_shared_arena_is_rejected() {
+        let mut builder = small_builder(Precision::Fixed16).embedding_arena(RowFormat::F16);
+        builder.prepare_shared_arena().unwrap();
+        let arena = builder.build().unwrap().arena().unwrap().clone();
+        let err =
+            MicroRec::builder(ModelSpec::dlrm_rmc2(6, 8)).shared_arena(arena).build().unwrap_err();
+        assert!(err.to_string().contains("does not match"));
     }
 
     #[test]

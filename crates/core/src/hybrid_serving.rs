@@ -27,6 +27,11 @@ pub struct HybridConfig {
     pub cpu_batch: usize,
     /// CPU batch aggregation timeout.
     pub cpu_max_wait: SimTime,
+    /// Steady-state hot-row-cache hit rate, when the engine fronts its
+    /// embedding reads with a cache (e.g. the `lookup` bench's measured
+    /// rate). `Some(h)` shrinks the modelled lookup stage via
+    /// [`surviving_dram_fraction`]; `None` models the uncached engine.
+    pub lookup_hit_rate: Option<f64>,
 }
 
 impl Default for HybridConfig {
@@ -35,8 +40,31 @@ impl Default for HybridConfig {
             backlog_limit: SimTime::from_ms(1.0),
             cpu_batch: 256,
             cpu_max_wait: SimTime::from_ms(10.0),
+            lookup_hit_rate: None,
         }
     }
+}
+
+/// Expected fraction of a round-combined lookup's DRAM rounds that still
+/// reach memory behind a hot-row cache with per-lookup hit rate
+/// `hit_rate`: the paper's round combining issues one DRAM round for all
+/// `tables` lookups together, so a round is saved only when every lookup
+/// in it hits the cache (probability `hit_rate^tables` under independent
+/// hits). DESIGN.md §9 derives this mapping.
+#[must_use]
+pub fn surviving_dram_fraction(hit_rate: f64, tables: usize) -> f64 {
+    let h = hit_rate.clamp(0.0, 1.0);
+    1.0 - h.powi(i32::try_from(tables).unwrap_or(i32::MAX))
+}
+
+/// Single-item fill latency with the cache model applied: the lookup
+/// stage shrinks by the fraction of DRAM rounds the cache absorbs; the
+/// MLP stages are unchanged.
+fn cache_adjusted_fill(engine: &MicroRec, hit_rate: f64) -> SimTime {
+    let lookup = engine.placement_cost().lookup_latency;
+    let surviving = surviving_dram_fraction(hit_rate, engine.model().num_tables());
+    let saved = SimTime::from_ns(lookup.as_ns() * (1.0 - surviving));
+    engine.latency().saturating_sub(saved)
 }
 
 /// Outcome of a hybrid serving simulation.
@@ -87,7 +115,10 @@ pub fn simulate_hybrid_serving(
     sla: SimTime,
 ) -> Result<HybridReport, WorkloadError> {
     let ii = engine.pipeline().initiation_interval();
-    let fill = engine.latency();
+    let fill = match config.lookup_hit_rate {
+        Some(h) => cache_adjusted_fill(engine, h),
+        None => engine.latency(),
+    };
 
     let mut fpga_next_slot = SimTime::ZERO;
     let mut fpga_latencies = Vec::new();
@@ -184,6 +215,46 @@ mod tests {
             fpga_only.sla_hit_rate
         );
         assert!(hybrid.combined.sla_hit_rate > 0.9, "{}", hybrid.combined.sla_hit_rate);
+    }
+
+    #[test]
+    fn surviving_fraction_shape() {
+        // No hits → every DRAM round survives; perfect hits → none do.
+        assert!((surviving_dram_fraction(0.0, 8) - 1.0).abs() < 1e-12);
+        assert!(surviving_dram_fraction(1.0, 8).abs() < 1e-12);
+        // Monotonically decreasing in the hit rate, and more tables make
+        // a fully-hit round rarer.
+        assert!(surviving_dram_fraction(0.5, 8) > surviving_dram_fraction(0.9, 8));
+        assert!(surviving_dram_fraction(0.9, 16) > surviving_dram_fraction(0.9, 2));
+        // Out-of-range inputs clamp instead of going negative.
+        assert!((surviving_dram_fraction(1.5, 4) - 0.0).abs() < 1e-12);
+        assert!((surviving_dram_fraction(-0.5, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_shrinks_fill_latency() {
+        let (engine, cpu, model) = setup();
+        let rate = engine.throughput_items_per_sec() * 0.5;
+        let trace = PoissonArrivals::new(rate, 11).unwrap().take(5_000);
+        let sla = SimTime::from_ms(20.0);
+        let plain =
+            simulate_hybrid_serving(&engine, &cpu, &model, &HybridConfig::default(), &trace, sla)
+                .unwrap();
+        let cached_cfg = HybridConfig { lookup_hit_rate: Some(0.95), ..HybridConfig::default() };
+        let cached =
+            simulate_hybrid_serving(&engine, &cpu, &model, &cached_cfg, &trace, sla).unwrap();
+        assert!(
+            cached.combined.latency.mean <= plain.combined.latency.mean,
+            "cache-adjusted fill must not increase latency: {:?} vs {:?}",
+            cached.combined.latency.mean,
+            plain.combined.latency.mean
+        );
+        // A lossless cache model (hit rate 1.0 over every table) strictly
+        // beats the uncached fill when the lookup stage is non-zero.
+        let perfect_cfg = HybridConfig { lookup_hit_rate: Some(1.0), ..HybridConfig::default() };
+        let perfect =
+            simulate_hybrid_serving(&engine, &cpu, &model, &perfect_cfg, &trace, sla).unwrap();
+        assert!(perfect.combined.latency.mean < plain.combined.latency.mean);
     }
 
     #[test]

@@ -50,16 +50,18 @@ pub use cluster::{InterconnectConfig, MicroRecCluster};
 pub use engine::{MicroRec, MicroRecBuilder};
 pub use error::MicroRecError;
 pub use explore::{best_fitting, derated_clock, explore_design_space, DesignPoint};
-pub use hybrid_serving::{simulate_hybrid_serving, HybridConfig, HybridReport};
+pub use hybrid_serving::{
+    simulate_hybrid_serving, surviving_dram_fraction, HybridConfig, HybridReport,
+};
 pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
 pub use report::{
     end_to_end_report, AwsPrices, CostReport, CpuPoint, EmbeddingReport, EndToEndReport, FpgaPoint,
-    ServingFrontierRecord,
+    LookupCountersRecord, ServingFrontierRecord,
 };
 pub use runtime::{
     plan_batches, replay_trace, AdmissionPolicy, BatchClose, BatchFormerConfig, LatencyHistogram,
     LatencyPercentiles, PendingPrediction, PlannedBatch, ReplayOutcome, RuntimeConfig,
-    RuntimeError, RuntimeSnapshot, ServingRuntime,
+    RuntimeError, RuntimeLookupStats, RuntimeSnapshot, ServingRuntime,
 };
 pub use serve::{simulate_cpu_serving, simulate_microrec_serving, ServingReport};

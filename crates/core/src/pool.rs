@@ -49,12 +49,26 @@ impl EnginePool {
         replicas: usize,
         seed: u64,
     ) -> Result<Self, MicroRecError> {
+        Self::from_builder(MicroRecBuilder::new(model).precision(precision).seed(seed), replicas)
+    }
+
+    /// Builds `replicas` identical engines from one configured builder.
+    /// When the builder enables an embedding arena, it is materialized
+    /// once and shared read-only (`Arc`) across all replicas, so pool
+    /// memory no longer scales with the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] if the engine cannot be built.
+    pub fn from_builder(
+        mut builder: MicroRecBuilder,
+        replicas: usize,
+    ) -> Result<Self, MicroRecError> {
         let replicas = replicas.max(1);
+        builder.prepare_shared_arena()?;
         let mut engines = Vec::with_capacity(replicas);
         for _ in 0..replicas {
-            let engine =
-                MicroRecBuilder::new(model.clone()).precision(precision).seed(seed).build()?;
-            engines.push(Mutex::new(engine));
+            engines.push(Mutex::new(builder.clone().build()?));
         }
         Ok(EnginePool { engines, next: AtomicUsize::new(0) })
     }
@@ -252,6 +266,35 @@ mod tests {
             for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
                 assert_eq!(b.to_bits(), s.to_bits(), "batch {batch} item {i}");
             }
+        }
+    }
+
+    #[test]
+    fn pool_replicas_share_one_arena() {
+        use microrec_embedding::RowFormat;
+        // Pre-warmed replicas must not scale arena memory with worker
+        // count: every replica holds the same Arc allocation.
+        let builder = MicroRecBuilder::new(ModelSpec::dlrm_rmc2(4, 8))
+            .precision(Precision::Fixed16)
+            .seed(5)
+            .embedding_arena(RowFormat::F16)
+            .hot_row_cache(64);
+        let p = EnginePool::from_builder(builder, 4).unwrap();
+        let arenas: Vec<_> = p
+            .engines
+            .iter()
+            .map(|e| Arc::clone(lock_or_recover(e).arena().expect("arena configured")))
+            .collect();
+        for other in &arenas[1..] {
+            assert!(Arc::ptr_eq(&arenas[0], other), "replica built a private arena copy");
+        }
+        // 4 replicas + the 4 guards above = 8 strong refs, one allocation.
+        assert_eq!(Arc::strong_count(&arenas[0]), 8);
+        // The pool still predicts identically across replicas.
+        let q = vec![7u64; 16];
+        let first = p.predict(&q).unwrap();
+        for _ in 0..4 {
+            assert_eq!(p.predict(&q).unwrap().to_bits(), first.to_bits());
         }
     }
 

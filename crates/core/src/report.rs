@@ -17,7 +17,7 @@ use microrec_memsim::SimTime;
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
-use crate::runtime::{ReplayOutcome, RuntimeConfig};
+use crate::runtime::{ReplayOutcome, RuntimeConfig, RuntimeLookupStats};
 
 /// One CPU operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +183,66 @@ impl CostReport {
     }
 }
 
+/// Embedding-lookup counters for one serving run: which row format the
+/// engines stored, how the hot-row cache performed, and how many bytes
+/// the lookups moved from cache versus backing memory. Attached to
+/// [`ServingFrontierRecord`] as the optional `lookup` field, so records
+/// written before the fast path existed still parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupCountersRecord {
+    /// Arena row format (`"f32"`, `"f16"`, or `"i8"`).
+    pub format: String,
+    /// Hot-row cache capacity in rows (0 = cache disabled).
+    pub cache_rows: u64,
+    /// Cache hits across all tables and workers.
+    pub hits: u64,
+    /// Cache misses across all tables and workers.
+    pub misses: u64,
+    /// `hits / (hits + misses)`; 0 when no lookups ran.
+    pub hit_rate: f64,
+    /// Feature bytes served from the cache (dequantized f32).
+    pub bytes_from_cache: u64,
+    /// Source-row bytes fetched from backing storage on misses.
+    pub bytes_from_memory: u64,
+    /// Cache hits per logical table.
+    pub per_table_hits: Vec<u64>,
+    /// Cache misses per logical table.
+    pub per_table_misses: Vec<u64>,
+}
+
+microrec_json::impl_json_struct!(
+    LookupCountersRecord,
+    required {
+        format,
+        cache_rows,
+        hits,
+        misses,
+        hit_rate,
+        bytes_from_cache,
+        bytes_from_memory,
+        per_table_hits,
+        per_table_misses,
+    }
+);
+
+impl LookupCountersRecord {
+    /// Converts the runtime's aggregated lookup stats into the record form.
+    #[must_use]
+    pub fn from_stats(stats: &RuntimeLookupStats) -> Self {
+        LookupCountersRecord {
+            format: stats.format.to_string(),
+            cache_rows: stats.cache_rows as u64,
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_rate: stats.hit_rate(),
+            bytes_from_cache: stats.bytes_from_cache,
+            bytes_from_memory: stats.bytes_from_memory,
+            per_table_hits: stats.per_table_hits.clone(),
+            per_table_misses: stats.per_table_misses.clone(),
+        }
+    }
+}
+
 /// One point on the serving runtime's QPS/tail-latency frontier: the
 /// outcome of replaying one offered load through one runtime
 /// configuration. Serializes to the `BENCH_serving.json` row format.
@@ -218,6 +278,9 @@ pub struct ServingFrontierRecord {
     pub completed: u64,
     /// Requests refused at admission.
     pub rejected: u64,
+    /// Embedding-lookup counters, when the run used the arena fast path.
+    /// Absent from records written before the fast path existed.
+    pub lookup: Option<LookupCountersRecord>,
 }
 
 microrec_json::impl_json_struct!(
@@ -238,7 +301,8 @@ microrec_json::impl_json_struct!(
         queue_depth,
         completed,
         rejected,
-    }
+    },
+    default { lookup }
 );
 
 impl ServingFrontierRecord {
@@ -262,7 +326,16 @@ impl ServingFrontierRecord {
             queue_depth: config.queue_depth as u64,
             completed: outcome.completed as u64,
             rejected: outcome.rejected as u64,
+            lookup: None,
         }
+    }
+
+    /// Attaches embedding-lookup counters from a runtime's aggregated
+    /// stats (builder style, for use after [`Self::from_run`]).
+    #[must_use]
+    pub fn with_lookup(mut self, stats: &RuntimeLookupStats) -> Self {
+        self.lookup = Some(LookupCountersRecord::from_stats(stats));
+        self
     }
 }
 
@@ -339,6 +412,51 @@ mod tests {
         );
         assert!(cost.advantage() > 2.0, "advantage {:.2}", cost.advantage());
         assert!(cost.fpga_usd_per_million < cost.cpu_usd_per_million);
+    }
+
+    #[test]
+    fn serving_record_without_lookup_field_still_parses() {
+        // Records committed before the embedding fast path existed carry
+        // no `lookup` key; decoding must default it to `None`.
+        let old = r#"{
+            "offered_qps": 1000.0, "qps": 990.0,
+            "p50_us": 10.0, "p95_us": 20.0, "p99_us": 30.0, "p999_us": 40.0,
+            "mean_latency_us": 12.0, "drop_rate": 0.01, "mean_batch_size": 4.0,
+            "workers": 2, "max_batch": 8, "max_wait_us": 100, "queue_depth": 64,
+            "completed": 990, "rejected": 10
+        }"#;
+        let rec: ServingFrontierRecord = microrec_json::from_str(old).unwrap();
+        assert_eq!(rec.lookup, None);
+        assert_eq!(rec.completed, 990);
+    }
+
+    #[test]
+    fn serving_record_with_lookup_round_trips() {
+        let old = r#"{
+            "offered_qps": 1000.0, "qps": 990.0,
+            "p50_us": 10.0, "p95_us": 20.0, "p99_us": 30.0, "p999_us": 40.0,
+            "mean_latency_us": 12.0, "drop_rate": 0.01, "mean_batch_size": 4.0,
+            "workers": 2, "max_batch": 8, "max_wait_us": 100, "queue_depth": 64,
+            "completed": 990, "rejected": 10
+        }"#;
+        let mut rec: ServingFrontierRecord = microrec_json::from_str(old).unwrap();
+        rec.lookup = Some(LookupCountersRecord {
+            format: "f16".to_string(),
+            cache_rows: 4096,
+            hits: 900,
+            misses: 100,
+            hit_rate: 0.9,
+            bytes_from_cache: 57600,
+            bytes_from_memory: 3200,
+            per_table_hits: vec![450, 450],
+            per_table_misses: vec![50, 50],
+        });
+        let encoded = microrec_json::to_string(&rec);
+        let back: ServingFrontierRecord = microrec_json::from_str(&encoded).unwrap();
+        assert_eq!(back, rec);
+        let lookup = back.lookup.unwrap();
+        assert_eq!(lookup.format, "f16");
+        assert_eq!(lookup.per_table_hits, vec![450, 450]);
     }
 
     #[test]

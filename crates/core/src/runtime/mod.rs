@@ -185,6 +185,54 @@ struct SharedStats {
     deadline_closes: AtomicU64,
     drain_closes: AtomicU64,
     hist: Mutex<LatencyHistogram>,
+    lookup_bytes_from_cache: AtomicU64,
+    lookup_bytes_from_memory: AtomicU64,
+    /// Per-table hot-row-cache hit/miss totals across all workers (empty
+    /// when the engines run without a cache).
+    lookup_tables: Mutex<LookupTableCounters>,
+}
+
+/// Aggregated per-table cache counters (one entry per logical table).
+#[derive(Debug, Default, Clone)]
+struct LookupTableCounters {
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+/// Aggregated embedding-lookup statistics of a runtime whose workers run
+/// a [`microrec_embedding::HotRowCache`] in front of their gathers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeLookupStats {
+    /// Row storage format of the engines' arena (`"f32"` for the legacy
+    /// table path).
+    pub format: &'static str,
+    /// Hot-row-cache capacity in rows (per worker replica).
+    pub cache_rows: usize,
+    /// Total cache hits across workers and tables.
+    pub hits: u64,
+    /// Total cache misses across workers and tables.
+    pub misses: u64,
+    /// Bytes served from cached dequantized rows.
+    pub bytes_from_cache: u64,
+    /// Bytes moved from backing storage on misses.
+    pub bytes_from_memory: u64,
+    /// Cache hits per logical table.
+    pub per_table_hits: Vec<u64>,
+    /// Cache misses per logical table.
+    pub per_table_misses: Vec<u64>,
+}
+
+impl RuntimeLookupStats {
+    /// Hit fraction over all lookups (0 when none ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Point-in-time view of the runtime's counters and tail latency.
@@ -239,6 +287,8 @@ pub struct ServingRuntime {
     stats: Arc<SharedStats>,
     config: RuntimeConfig,
     expected_arity: usize,
+    /// `(arena format, cache rows per worker)` when the engines cache.
+    lookup_meta: Option<(&'static str, usize)>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -251,17 +301,29 @@ impl ServingRuntime {
     ///
     /// Returns [`MicroRecError`] if an engine fails to build or a worker
     /// thread cannot be spawned.
-    pub fn start(builder: MicroRecBuilder, config: RuntimeConfig) -> Result<Self, MicroRecError> {
+    pub fn start(
+        mut builder: MicroRecBuilder,
+        config: RuntimeConfig,
+    ) -> Result<Self, MicroRecError> {
         let config = RuntimeConfig {
             workers: config.workers.max(1),
             max_batch: config.max_batch.max(1),
             queue_depth: config.queue_depth.max(1),
             ..config
         };
+        // When an embedding arena is configured, materialize it once and
+        // share it read-only across all worker replicas (worker memory no
+        // longer scales with the arena size).
+        builder.prepare_shared_arena()?;
         let mut engines = Vec::with_capacity(config.workers);
         let mut expected_arity = 0;
+        let mut lookup_meta = None;
         for _ in 0..config.workers {
             let mut engine = builder.clone().build()?;
+            if let Some(cache) = engine.hot_row_cache() {
+                let format = engine.arena().map_or("f32", |a| a.format().as_str());
+                lookup_meta = Some((format, cache.capacity()));
+            }
             expected_arity =
                 engine.model().num_tables() * engine.model().lookups_per_table as usize;
             // Pre-warm: one full-width dummy batch builds the packed
@@ -273,7 +335,14 @@ impl ServingRuntime {
         }
 
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
-        let stats = Arc::new(SharedStats::default());
+        let mut stats = SharedStats::default();
+        if lookup_meta.is_some() {
+            let tables = engines[0].catalog().logical_tables().len();
+            let counters = stats.lookup_tables.get_mut().unwrap_or_else(|p| p.into_inner());
+            counters.hits.resize(tables, 0);
+            counters.misses.resize(tables, 0);
+        }
+        let stats = Arc::new(stats);
         let mut workers = Vec::with_capacity(config.workers);
         for (id, engine) in engines.into_iter().enumerate() {
             let spawned =
@@ -295,7 +364,7 @@ impl ServingRuntime {
                 }
             }
         }
-        Ok(ServingRuntime { queue, stats, config, expected_arity, workers })
+        Ok(ServingRuntime { queue, stats, config, expected_arity, lookup_meta, workers })
     }
 
     /// The active configuration (after clamping zero knobs to 1).
@@ -382,6 +451,24 @@ impl ServingRuntime {
         lock_or_recover(&self.stats.hist).clone()
     }
 
+    /// Aggregated embedding-lookup cache statistics across workers, or
+    /// `None` when the engines run without a hot-row cache.
+    #[must_use]
+    pub fn lookup_stats(&self) -> Option<RuntimeLookupStats> {
+        let (format, cache_rows) = self.lookup_meta?;
+        let tables = lock_or_recover(&self.stats.lookup_tables).clone();
+        Some(RuntimeLookupStats {
+            format,
+            cache_rows,
+            hits: tables.hits.iter().sum(),
+            misses: tables.misses.iter().sum(),
+            bytes_from_cache: self.stats.lookup_bytes_from_cache.load(Relaxed),
+            bytes_from_memory: self.stats.lookup_bytes_from_memory.load(Relaxed),
+            per_table_hits: tables.hits,
+            per_table_misses: tables.misses,
+        })
+    }
+
     /// Shuts down: closes the queue (new submits fail, blocked producers
     /// wake), waits for workers to drain every admitted request, and joins
     /// them. Idempotent. Returns the final snapshot.
@@ -412,6 +499,15 @@ fn worker_loop(
 ) {
     let wait = Duration::from_micros(config.max_wait_us);
     let mut queries: Vec<Vec<u64>> = Vec::with_capacity(config.max_batch);
+    // Previous cache-counter readings, so each batch publishes only its
+    // delta to the shared stats (buffers sized here, before the loop, to
+    // keep the steady state allocation-free).
+    let tables = engine.hot_row_cache().map_or(0, |c| c.per_table_hits().len());
+    let mut prev_hits: Vec<u64> = Vec::with_capacity(tables);
+    let mut prev_misses: Vec<u64> = Vec::with_capacity(tables);
+    prev_hits.resize(tables, 0);
+    prev_misses.resize(tables, 0);
+    let mut prev_bytes = (0u64, 0u64);
     while let Some((mut batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait)
     {
         stats.batches.fetch_add(1, Relaxed);
@@ -456,6 +552,27 @@ fn worker_loop(
                     }
                 }
             }
+        }
+        // Publish this batch's cache-counter deltas to the shared stats.
+        if let Some(cache) = engine.hot_row_cache() {
+            let mut shared = lock_or_recover(&stats.lookup_tables);
+            for ((&h, prev), slot) in
+                cache.per_table_hits().iter().zip(&mut prev_hits).zip(&mut shared.hits)
+            {
+                *slot += h - *prev;
+                *prev = h;
+            }
+            for ((&m, prev), slot) in
+                cache.per_table_misses().iter().zip(&mut prev_misses).zip(&mut shared.misses)
+            {
+                *slot += m - *prev;
+                *prev = m;
+            }
+            drop(shared);
+            let (bc, bm) = (cache.bytes_from_cache(), cache.bytes_from_memory());
+            stats.lookup_bytes_from_cache.fetch_add(bc - prev_bytes.0, Relaxed);
+            stats.lookup_bytes_from_memory.fetch_add(bm - prev_bytes.1, Relaxed);
+            prev_bytes = (bc, bm);
         }
     }
 }

@@ -224,3 +224,51 @@ fn submit_after_shutdown_reports_shutting_down() {
         other => panic!("expected ShuttingDown, got {other:?}"),
     }
 }
+
+#[test]
+fn cache_enabled_runtime_reports_lookup_stats() {
+    use microrec_embedding::RowFormat;
+    let model = model();
+    let queries = queries(&model, 200);
+    let lookups_per_query = queries[0].len() as u64;
+    let mut sequential = MicroRec::builder(model.clone()).seed(7).build().expect("engine");
+    let expected: Vec<f32> =
+        queries.iter().map(|q| sequential.predict(q).expect("predict")).collect();
+
+    // f32 arena + hot-row cache: bit-identical to the legacy path by
+    // construction, so the stats come for free, not at accuracy cost.
+    let builder =
+        MicroRec::builder(model.clone()).seed(7).embedding_arena(RowFormat::F32).hot_row_cache(512);
+    let mut runtime = ServingRuntime::start(
+        builder,
+        RuntimeConfig { workers: 2, max_batch: 8, max_wait_us: 1_000, ..Default::default() },
+    )
+    .expect("runtime");
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    for (p, e) in pending.into_iter().zip(&expected) {
+        let got = p.wait().expect("predict");
+        assert_eq!(got.to_bits(), e.to_bits(), "arena+cache runtime diverged from legacy");
+    }
+    // Workers publish counter deltas per batch; shutdown joins them, so
+    // the aggregate must account for every lookup served.
+    runtime.shutdown();
+    let stats = runtime.lookup_stats().expect("cache-enabled runtime exposes lookup stats");
+    assert_eq!(stats.format, "f32");
+    assert_eq!(stats.cache_rows, 512);
+    assert_eq!(
+        stats.hits + stats.misses,
+        queries.len() as u64 * lookups_per_query,
+        "every embedding lookup must be counted as a hit or a miss"
+    );
+    assert!(stats.hits > 0, "repeated rows in the trace must hit the cache");
+    assert_eq!(stats.per_table_hits.iter().sum::<u64>(), stats.hits);
+    assert_eq!(stats.per_table_misses.iter().sum::<u64>(), stats.misses);
+    assert!(stats.bytes_from_memory > 0);
+    assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+
+    // A runtime without the fast path reports no lookup stats.
+    let mut plain = start(&model, RuntimeConfig::default());
+    plain.shutdown();
+    assert!(plain.lookup_stats().is_none());
+}

@@ -95,7 +95,7 @@ fn from_f32_value<T: FixedNum>(v: f32) -> T {
 /// Caches the AVX2 CPUID probe so the hot path pays one atomic load.
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn avx2_available() -> bool {
+pub(crate) fn avx2_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static STATE: AtomicU8 = AtomicU8::new(0); // 0 unknown, 1 no, 2 yes
     match STATE.load(Ordering::Relaxed) {

@@ -24,6 +24,7 @@
 
 mod error;
 mod fixed;
+mod gather;
 mod gemm;
 mod interaction;
 mod layer;
@@ -35,6 +36,10 @@ mod tensor;
 
 pub use error::DnnError;
 pub use fixed::{FixedNum, Q16, Q32};
+pub use gather::{
+    f16_decode, f16_decode_slice, f16_decode_slice_scalar, f16_encode, f16_encode_slice,
+    i8_dequant_slice, i8_dequant_slice_scalar, i8_quant_slice,
+};
 pub use gemm::{
     dot, dot_quantizing, dot_scalar, gemm_auto, gemm_blocked, gemm_flops, gemm_naive, gemm_packed,
     gemv, PackedB,

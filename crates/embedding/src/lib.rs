@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
+mod cache;
 pub mod cartesian;
 mod catalog;
 mod error;
@@ -38,6 +40,8 @@ mod precision;
 mod spec;
 mod table;
 
+pub use arena::{EmbeddingArena, RowFormat};
+pub use cache::HotRowCache;
 pub use catalog::{Catalog, MergePlan, PhysicalLookup, PhysicalTable};
 pub use error::EmbeddingError;
 pub use gen::{synthetic_model, SyntheticModelConfig};
