@@ -1,0 +1,210 @@
+//! Staged-pipeline benchmark: the dataflow [`PipelineExecutor`] versus
+//! the monolithic single-worker `predict` path, on the paper's default
+//! 3-hidden-layer DLRM model under a Zipf query stream. Emits one JSON
+//! document (committed as `BENCH_pipeline.json`) with single-item
+//! latency, sustained throughput, the per-stage occupancy / stall /
+//! backpressure counters, and an honest counter-case where the pipeline
+//! loses (depth-1 FIFOs feeding a tiny MLP, where per-item cross-thread
+//! handoffs dwarf the per-stage compute).
+//!
+//! Bit-identity between the two paths is asserted before any timing.
+//!
+//! Run with `cargo run --release -p microrec-bench --bin pipeline`
+//! (`-- --smoke` for the time-bounded CI variant).
+
+use std::time::Instant;
+
+use microrec_core::{
+    MicroRec, MicroRecBuilder, PipelineConfig, PipelineExecutor, PipelineStageRecord,
+};
+use microrec_embedding::{ModelSpec, Precision, RowFormat, TableSpec};
+use microrec_json::{Json, ToJson};
+use microrec_workload::{QueryGenConfig, RequestTrace};
+
+/// Queries per timed section in the full sweep.
+const FULL_QUERIES: usize = 2_000;
+/// Queries per timed section under `--smoke`.
+const SMOKE_QUERIES: usize = 350;
+/// Queries for the bit-identity gate.
+const IDENTITY_QUERIES: usize = 96;
+/// Hot-row cache capacity, matching the serving benchmark's hot tier.
+const CACHE_ROWS: usize = 65_536;
+
+/// The default-model engine configuration: fixed16 datapath over f16
+/// arena rows behind the hot-row cache, same as the serving benchmark.
+fn builder(model: &ModelSpec) -> MicroRecBuilder {
+    MicroRec::builder(model.clone())
+        .seed(42)
+        .precision(Precision::Fixed16)
+        .embedding_arena(RowFormat::F16)
+        .hot_row_cache(CACHE_ROWS)
+}
+
+/// The counter-case model: a 2-layer MLP so small that each fc stage does
+/// microseconds of work, leaving the FIFO handoffs as the dominant cost.
+fn tiny_model() -> ModelSpec {
+    ModelSpec::new(
+        "tiny-mlp",
+        (0..4).map(|i| TableSpec::new(format!("t{i}"), 1_000, 4)).collect(),
+        vec![16],
+        2,
+    )
+}
+
+fn trace(model: &ModelSpec, n: usize) -> RequestTrace {
+    RequestTrace::generate(model, 10_000.0, n, QueryGenConfig::default()).expect("trace")
+}
+
+/// Pipelined results must match monolithic `predict` bit for bit before
+/// any number from either path is worth recording.
+fn check_bit_identity(model: &ModelSpec) -> bool {
+    let trace = trace(model, IDENTITY_QUERIES);
+    let mut mono = builder(model).build().expect("engine");
+    let engine = builder(model).build().expect("engine");
+    let mut exec = PipelineExecutor::new(engine, PipelineConfig::default()).expect("executor");
+    let ok = trace.queries().iter().all(|q| {
+        let want = mono.predict(q).expect("monolithic predict");
+        let got = exec.predict(q).expect("pipelined predict");
+        got.to_bits() == want.to_bits()
+    });
+    drop(exec.shutdown());
+    ok
+}
+
+/// Mean single-item latency (µs) and sustained qps of the monolithic
+/// path: one engine, one thread, `predict` per query.
+fn measure_monolithic(model: &ModelSpec, queries: &[Vec<u64>]) -> (f64, f64) {
+    let mut engine = builder(model).build().expect("engine");
+    for q in queries.iter().take(32) {
+        engine.predict(q).expect("warmup");
+    }
+    let start = Instant::now();
+    for q in queries {
+        engine.predict(q).expect("predict");
+    }
+    let elapsed = start.elapsed();
+    let latency_us = elapsed.as_secs_f64() * 1e6 / queries.len() as f64;
+    let qps = queries.len() as f64 / elapsed.as_secs_f64();
+    (latency_us, qps)
+}
+
+/// Single-item latency (µs, full submit→result roundtrip with one job in
+/// flight), sustained qps (streamed `predict_batch`, all stages
+/// overlapping), and the per-stage counters of the pipelined path.
+fn measure_pipelined(
+    model: &ModelSpec,
+    queries: &[Vec<u64>],
+    fifo_depth: usize,
+) -> (f64, f64, Vec<PipelineStageRecord>) {
+    let engine = builder(model).build().expect("engine");
+    let mut exec = PipelineExecutor::new(engine, PipelineConfig { fifo_depth }).expect("executor");
+    for q in queries.iter().take(32) {
+        exec.predict(q).expect("warmup");
+    }
+    let start = Instant::now();
+    for q in queries {
+        exec.predict(q).expect("predict");
+    }
+    let latency_us = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+
+    let start = Instant::now();
+    let results = exec.predict_batch(queries).expect("predict_batch");
+    let qps = results.len() as f64 / start.elapsed().as_secs_f64();
+
+    let stages = exec.stage_stats().iter().map(PipelineStageRecord::from_snapshot).collect();
+    drop(exec.shutdown());
+    (latency_us, qps, stages)
+}
+
+fn section(latency_us: f64, qps: f64) -> Vec<(String, Json)> {
+    vec![("latency_us".to_string(), latency_us.to_json()), ("qps".to_string(), qps.to_json())]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { SMOKE_QUERIES } else { FULL_QUERIES };
+    let model = ModelSpec::dlrm_rmc2(8, 16);
+
+    assert!(check_bit_identity(&model), "pipelined results diverged from monolithic predict");
+    eprintln!("bit-identity vs monolithic predict: ok ({IDENTITY_QUERIES} queries)");
+
+    let queries = trace(&model, n).queries().to_vec();
+    let (mono_latency_us, mono_qps) = measure_monolithic(&model, &queries);
+    eprintln!("monolithic: {mono_latency_us:>7.1} us/item, {mono_qps:>8.1} qps");
+    let (pipe_latency_us, pipe_qps, stages) =
+        measure_pipelined(&model, &queries, PipelineConfig::default().fifo_depth);
+    eprintln!("pipelined:  {pipe_latency_us:>7.1} us/item, {pipe_qps:>8.1} qps sustained");
+    for s in &stages {
+        eprintln!(
+            "  stage {:>6}: {} items, {} stalls, {} backpressure, mean occupancy {:.2}",
+            s.stage, s.items, s.stalls, s.backpressure, s.mean_occupancy
+        );
+    }
+
+    // Honest counter-case: depth-1 FIFOs on a tiny MLP. Each fc stage
+    // computes almost nothing, so the per-item thread handoffs dominate
+    // and the monolithic path wins.
+    let tiny = tiny_model();
+    let tiny_queries = trace(&tiny, n.min(500)).queries().to_vec();
+    let (tiny_mono_latency_us, tiny_mono_qps) = measure_monolithic(&tiny, &tiny_queries);
+    let (tiny_pipe_latency_us, tiny_pipe_qps, _) = measure_pipelined(&tiny, &tiny_queries, 1);
+    eprintln!(
+        "counter-case (tiny MLP, depth-1): monolithic {tiny_mono_qps:.1} qps vs \
+         pipelined {tiny_pipe_qps:.1} qps"
+    );
+
+    if smoke {
+        assert!(
+            pipe_qps > mono_qps,
+            "pipelined sustained throughput ({pipe_qps:.1} qps) must beat the monolithic \
+             single-worker path ({mono_qps:.1} qps)"
+        );
+        assert!(stages.iter().all(|s| s.items as usize >= n), "a stage lost jobs");
+    }
+
+    let obj = vec![
+        ("model".to_string(), model.name.to_json()),
+        ("precision".to_string(), "fixed16".to_string().to_json()),
+        ("queries".to_string(), n.to_json()),
+        ("bit_identical".to_string(), true.to_json()),
+        ("fifo_depth".to_string(), PipelineConfig::default().fifo_depth.to_json()),
+        ("monolithic".to_string(), Json::Obj(section(mono_latency_us, mono_qps))),
+        (
+            "pipelined".to_string(),
+            Json::Obj({
+                let mut s = section(pipe_latency_us, pipe_qps);
+                s.push(("stages".to_string(), stages.to_json()));
+                s
+            }),
+        ),
+        (
+            "counter_case".to_string(),
+            Json::Obj(vec![
+                (
+                    "description".to_string(),
+                    "tiny 2-layer MLP with depth-1 FIFOs: per-item thread handoffs dominate \
+                     the near-zero per-stage compute, so the monolithic path wins"
+                        .to_string()
+                        .to_json(),
+                ),
+                ("model".to_string(), tiny.name.to_json()),
+                ("queries".to_string(), tiny_queries.len().to_json()),
+                ("monolithic".to_string(), Json::Obj(section(tiny_mono_latency_us, tiny_mono_qps))),
+                ("pipelined".to_string(), Json::Obj(section(tiny_pipe_latency_us, tiny_pipe_qps))),
+            ]),
+        ),
+        (
+            "notes".to_string(),
+            "Single host thread per stage; on a machine with fewer cores than stages the \
+             sustained-throughput win over the monolithic path comes from the stages' leaner \
+             datapath (pre-quantized packed weights, allocation-free forward) rather than from \
+             stage overlap; multi-core hosts additionally overlap lookup with the FC stages. \
+             Monolithic single-item predict re-quantizes weights on the fly and allocates per \
+             layer. Latency_us for the pipelined path is the full submit-to-result roundtrip \
+             of one job crossing every FIFO."
+                .to_string()
+                .to_json(),
+        ),
+    ];
+    println!("{}", microrec_json::to_string_pretty(&Json::Obj(obj)));
+}

@@ -108,6 +108,7 @@ fn config(workers: usize, max_batch: usize, max_wait_us: u64) -> RuntimeConfig {
         max_wait_us,
         queue_depth: 512,
         admission: AdmissionPolicy::Reject,
+        ..RuntimeConfig::default()
     }
 }
 

@@ -167,6 +167,9 @@ pub enum Command {
         queue_depth: usize,
         /// Reject (drop) requests on a full queue instead of blocking.
         reject: bool,
+        /// Run each worker as a staged dataflow pipeline instead of the
+        /// monolithic predict path.
+        pipelined: bool,
     },
     /// Print usage.
     Help,
@@ -262,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                 .parse()
                 .map_err(|_| ArgError("bad --queue-depth value".into()))?,
             reject: has("--reject"),
+            pipelined: has("--pipelined"),
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -279,7 +283,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
-  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined]
   microrec help
 ";
 
@@ -386,7 +390,7 @@ mod tests {
     fn serve_live_command_parses() {
         let cli = parse(&argv(
             "serve --live --rate 500 --queries 200 --workers 3 --max-batch 16 \
-             --wait-us 1500 --queue-depth 64 --reject",
+             --wait-us 1500 --queue-depth 64 --reject --pipelined",
         ))
         .unwrap();
         match cli.command {
@@ -399,6 +403,7 @@ mod tests {
                 wait_us,
                 queue_depth,
                 reject,
+                pipelined,
                 ..
             } => {
                 assert!(live);
@@ -409,7 +414,13 @@ mod tests {
                 assert_eq!(wait_us, 1_500);
                 assert_eq!(queue_depth, 64);
                 assert!(reject);
+                assert!(pipelined);
             }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Not passing the flag leaves the monolithic default.
+        match parse(&argv("serve --live")).unwrap().command {
+            Command::Serve { pipelined, .. } => assert!(!pipelined),
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse(&argv("serve --live --workers many")).is_err());

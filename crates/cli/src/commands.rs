@@ -4,8 +4,8 @@ use std::fmt::Write as _;
 
 use microrec_core::{
     best_fitting, explore_design_space, replay_trace, simulate_hybrid_serving,
-    simulate_microrec_serving, AdmissionPolicy, HybridConfig, MicroRec, RuntimeConfig,
-    ServingRuntime,
+    simulate_microrec_serving, AdmissionPolicy, ExecutionMode, HybridConfig, MicroRec,
+    RuntimeConfig, ServingRuntime,
 };
 use microrec_cpu::CpuTimingModel;
 use microrec_embedding::Precision;
@@ -221,9 +221,13 @@ pub fn run_serve_live(
     let mut s = String::new();
     writeln!(
         s,
-        "model {} | live runtime: {} worker(s), max_batch {}, wait {} us, queue {} ({})",
+        "model {} | live runtime: {} {} worker(s), max_batch {}, wait {} us, queue {} ({})",
         spec.name,
         config.workers,
+        match config.execution {
+            ExecutionMode::Monolithic => "monolithic",
+            ExecutionMode::Pipelined => "pipelined",
+        },
         config.max_batch,
         config.max_wait_us,
         config.queue_depth,
@@ -259,6 +263,19 @@ pub fn run_serve_live(
         snap.deadline_closes,
         snap.drain_closes,
     )?;
+    if let Some(stages) = &snap.stages {
+        for stage in stages {
+            writeln!(
+                s,
+                "stage {:>6}: {} items, {} stalls, {} backpressure, mean occupancy {:.2}",
+                stage.name,
+                stage.items,
+                stage.stalls,
+                stage.backpressure,
+                stage.mean_occupancy(),
+            )?;
+        }
+    }
     Ok(s)
 }
 
@@ -349,12 +366,32 @@ mod tests {
             max_wait_us: 2_000,
             queue_depth: 256,
             admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Monolithic,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("p99"), "{out}");
         assert!(out.contains("mean size"), "{out}");
+        assert!(!out.contains("stage "), "{out}");
+    }
+
+    #[test]
+    fn serve_live_pipelined_reports_stage_counters() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Pipelined,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+        assert!(out.contains("pipelined worker(s)"), "{out}");
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        assert!(out.contains("stage lookup"), "{out}");
+        assert!(out.contains("stage   sink"), "{out}");
     }
 
     #[test]

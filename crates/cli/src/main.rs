@@ -54,6 +54,7 @@ fn main() -> ExitCode {
             wait_us,
             queue_depth,
             reject,
+            pipelined,
         } => {
             if *live {
                 let config = microrec_core::RuntimeConfig {
@@ -65,6 +66,11 @@ fn main() -> ExitCode {
                         microrec_core::AdmissionPolicy::Reject
                     } else {
                         microrec_core::AdmissionPolicy::Block
+                    },
+                    execution: if *pipelined {
+                        microrec_core::ExecutionMode::Pipelined
+                    } else {
+                        microrec_core::ExecutionMode::Monolithic
                     },
                 };
                 commands::run_serve_live(model, *rate, *queries, config)

@@ -420,6 +420,12 @@ impl MicroRec {
         self.precision
     }
 
+    /// The top MLP, for callers that stage its layers separately (the
+    /// dataflow pipeline packs one layer per FC stage).
+    pub(crate) fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
     /// The hybrid memory with the plan applied (capacity ledger + access
     /// statistics).
     #[must_use]
@@ -692,25 +698,42 @@ impl MicroRec {
     ///
     /// Returns [`MicroRecError`] for malformed queries.
     pub fn gather_features(&mut self, query: &[u64]) -> Result<Vec<f32>, MicroRecError> {
+        let mut features = Vec::with_capacity(self.model.feature_len() as usize);
+        self.gather_features_into(query, &mut features)?;
+        Ok(features)
+    }
+
+    /// [`MicroRec::gather_features`] into a caller-owned buffer (cleared
+    /// first), so a streaming caller — e.g. the pipeline's lookup stage —
+    /// reuses one allocation across queries. Identical semantics and
+    /// bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError`] for malformed queries.
+    pub fn gather_features_into(
+        &mut self,
+        query: &[u64],
+        features: &mut Vec<f32>,
+    ) -> Result<(), MicroRecError> {
         self.check_query(query)?;
         let tables = self.model.num_tables();
         let rounds = self.model.lookups_per_table as usize;
         let round_len = self.catalog.feature_len() as usize;
-        let mut features = Vec::with_capacity(self.model.feature_len() as usize);
+        features.clear();
         // Dense path: the bottom MLP runs on the accelerator's datapath
         // precision (its own small PE group, §Figure 1's dense branch).
         features.extend(self.dense_features(query)?);
+        let mut requests: Vec<AddressedRead> = Vec::with_capacity(tables);
         for round in 0..rounds {
             let indices = &query[round * tables..(round + 1) * tables];
             // Resolve to physical reads and drive the memory simulator
             // with real byte addresses (so DRAM row-buffer state is
             // modelled under the active page policy).
-            let requests: Vec<AddressedRead> = self
-                .catalog
-                .resolve(indices)?
-                .iter()
-                .map(|l| self.addressed_read(l.table, l.row, round))
-                .collect();
+            requests.clear();
+            for l in &self.catalog.resolve(indices)? {
+                requests.push(self.addressed_read(l.table, l.row, round));
+            }
             self.memory.parallel_read_addressed(&requests)?;
             // Functional gather through the fast path (embedding values
             // quantize losslessly per element relative to their stored
@@ -720,7 +743,7 @@ impl MicroRec {
             self.gather_round_into(indices, &mut features[base..])?;
             self.quantize_features(&mut features[base..]);
         }
-        Ok(features)
+        Ok(())
     }
 
     /// Measures the lookup-stage time of one query against the simulated

@@ -1,0 +1,734 @@
+//! Staged dataflow pipeline: the monolithic predict path decomposed into
+//! FIFO-connected stages, mirroring the paper's accelerator structure
+//! (Figure 1: embedding lookup → concatenation → one PE group per FC
+//! layer, coupled by on-chip FIFOs so item *i+1*'s lookup overlaps item
+//! *i*'s GEMM).
+//!
+//! Each stage runs on its own thread and owns exactly one unit of work:
+//! the **lookup** stage owns the engine (memory simulator, arena, cache)
+//! and produces the quantized concatenated feature vector; each **fc**
+//! stage owns one layer's pre-packed weights ([`PackedLayer`]) and a
+//! private scratch buffer it ping-pongs with the job's payload; the
+//! **sink** stage turns the final activation into the CTR and recycles
+//! the job shell back to the caller. Stages are connected by the bounded
+//! SPSC rings vendored in `microrec-par` ([`SpscRing`]), so a full
+//! downstream stage backpressures its producer exactly like a full
+//! hardware FIFO stalls the upstream PE group.
+//!
+//! Results are **bit-identical** to [`MicroRec::predict`]: the lookup
+//! stage reuses the engine's own gather (`gather_features_into`), the fc
+//! stages drive the same [`PackedLayer::forward_batch`] kernel the
+//! batched fast path uses (itself bit-identical to `Mlp::forward`), and
+//! the sink applies the same final `to_f32`.
+//!
+//! Failure containment: a malformed query turns into an error *job* that
+//! flows through the remaining stages untouched, so one bad item never
+//! stalls its neighbours. A panicking stage closes its rings on unwind;
+//! the close cascades stage by stage to the result ring, every in-flight
+//! item fails with a runtime error, and the executor reports unhealthy —
+//! it never wedges.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use microrec_dnn::{FixedNum, PackedLayer, PackedMlp, Q16, Q32};
+use microrec_embedding::Precision;
+use microrec_par::{SpscPushError, SpscRing};
+
+use crate::engine::MicroRec;
+use crate::error::MicroRecError;
+
+/// How the serving runtime executes inference on each worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// The classic path: one thread per worker runs gather + full MLP
+    /// back to back through [`MicroRec::predict_batch`].
+    #[default]
+    Monolithic,
+    /// The staged dataflow path: each worker owns a [`PipelineExecutor`]
+    /// whose lookup/fc/sink stages run on their own threads, connected by
+    /// bounded FIFOs.
+    Pipelined,
+}
+
+/// Configuration of a [`PipelineExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Capacity of each inter-stage FIFO, in jobs. Depth 1 serializes the
+    /// stages (useful as a counter-case); the default of 4 lets short
+    /// stage-time imbalances absorb into the rings.
+    pub fifo_depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { fifo_depth: 4 }
+    }
+}
+
+/// Point-in-time counters of one pipeline stage (summed across workers
+/// when read through the serving runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage name: `"lookup"`, `"fc0"`…`"fcN"`, or `"sink"`.
+    pub name: String,
+    /// Jobs this stage processed.
+    pub items: u64,
+    /// Pops that found the input FIFO empty (the stage was starved).
+    pub stalls: u64,
+    /// Pushes that found the output FIFO full (the stage was blocked by
+    /// its consumer).
+    pub backpressure: u64,
+    /// Sum over pops of the input-FIFO occupancy observed at that pop
+    /// (including the popped job); divide by `items` for the mean.
+    pub occupancy_sum: u64,
+}
+
+impl StageSnapshot {
+    /// Mean input-FIFO occupancy observed at pop time (0 when idle).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.items as f64
+        }
+    }
+}
+
+/// Live counters of one stage, updated by its thread with relaxed stores.
+#[derive(Debug)]
+struct StageState {
+    name: String,
+    items: AtomicU64,
+    stalls: AtomicU64,
+    backpressure: AtomicU64,
+    occupancy_sum: AtomicU64,
+}
+
+impl StageState {
+    fn named(name: String) -> Self {
+        StageState {
+            name,
+            items: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            backpressure: AtomicU64::new(0),
+            occupancy_sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Counter block shared between the stage threads, the executor, and the
+/// serving runtime's snapshot path.
+#[derive(Debug)]
+pub(crate) struct PipelineShared {
+    stages: Vec<StageState>,
+    poisoned: AtomicBool,
+}
+
+impl PipelineShared {
+    pub(crate) fn snapshots(&self) -> Vec<StageSnapshot> {
+        self.stages
+            .iter()
+            .map(|s| StageSnapshot {
+                name: s.name.clone(),
+                items: s.items.load(Relaxed),
+                stalls: s.stalls.load(Relaxed),
+                backpressure: s.backpressure.load(Relaxed),
+                occupancy_sum: s.occupancy_sum.load(Relaxed),
+            })
+            .collect()
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Relaxed)
+    }
+}
+
+/// Sentinel: no stage is poisoned (jobs carry this in `poison_at`).
+const NO_POISON: usize = usize::MAX;
+
+/// One query's travelling state. The shell (both `Vec`s) is recycled
+/// through the owner's free list, so the steady-state pipeline allocates
+/// nothing per item.
+#[derive(Debug)]
+struct PipeJob<T> {
+    seq: u64,
+    query: Vec<u64>,
+    data: Vec<T>,
+    err: Option<MicroRecError>,
+    poison_at: usize,
+}
+
+/// What the sink hands back: the answer plus the job shell for reuse.
+#[derive(Debug)]
+struct PipeResult<T> {
+    seq: u64,
+    value: Result<f32, MicroRecError>,
+    shell: PipeJob<T>,
+}
+
+/// Counted pop: records a stall when the input ring is empty and the
+/// observed occupancy + item count on success.
+fn pop_counted<T>(ring: &SpscRing<T>, stage: &StageState) -> Option<T> {
+    if ring.is_empty() && !ring.is_closed() {
+        stage.stalls.fetch_add(1, Relaxed);
+    }
+    let item = ring.pop_blocking()?;
+    stage.occupancy_sum.fetch_add(ring.len() as u64 + 1, Relaxed);
+    stage.items.fetch_add(1, Relaxed);
+    Some(item)
+}
+
+/// Counted push: records backpressure when the output ring is full, then
+/// blocks until space frees. `Err` hands the item back on a closed ring.
+fn push_counted<T>(ring: &SpscRing<T>, stage: &StageState, item: T) -> Result<(), T> {
+    match ring.try_push(item) {
+        Ok(()) => Ok(()),
+        Err(SpscPushError::Closed(item)) => Err(item),
+        Err(SpscPushError::Full(item)) => {
+            stage.backpressure.fetch_add(1, Relaxed);
+            ring.push_blocking(item)
+        }
+    }
+}
+
+/// Unwind guard every stage holds: closing both rings on exit — normal or
+/// panicking — makes shutdown (and stage failure) cascade through the
+/// pipeline instead of wedging it. On a panic it also marks the pipeline
+/// poisoned so the owner can report *why* the rings died.
+struct StageGuard<'a, In, Out> {
+    input: &'a SpscRing<In>,
+    output: &'a SpscRing<Out>,
+    shared: &'a PipelineShared,
+}
+
+impl<In, Out> Drop for StageGuard<'_, In, Out> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.poisoned.store(true, Relaxed);
+        }
+        self.input.close();
+        self.output.close();
+    }
+}
+
+/// Stage 0: owns the engine; gathers + quantizes the feature vector.
+fn lookup_loop<T: FixedNum>(
+    mut engine: MicroRec,
+    input: &SpscRing<PipeJob<T>>,
+    output: &SpscRing<PipeJob<T>>,
+    shared: &PipelineShared,
+) -> MicroRec {
+    let _guard = StageGuard { input, output, shared };
+    let stage = &shared.stages[0];
+    let mut features: Vec<f32> = Vec::with_capacity(engine.model().feature_len() as usize);
+    while let Some(mut job) = pop_counted(input, stage) {
+        if job.err.is_none() {
+            if job.poison_at == 0 {
+                // lint: allow(no-panic-serving) test-only fault injection; the guard contains it
+                panic!("pipeline stage 'lookup' poisoned by test hook");
+            }
+            match engine.gather_features_into(&job.query, &mut features) {
+                Ok(()) => {
+                    job.data.clear();
+                    job.data.extend(features.iter().map(|&v| T::from_f32(v)));
+                }
+                Err(e) => job.err = Some(e),
+            }
+        }
+        if push_counted(output, stage, job).is_err() {
+            break;
+        }
+    }
+    engine
+}
+
+/// Stages 1..=L: each owns one packed FC layer and a scratch buffer it
+/// ping-pongs with the job's payload.
+fn fc_loop<T: FixedNum>(
+    layer: &PackedLayer<T>,
+    index: usize,
+    input: &SpscRing<PipeJob<T>>,
+    output: &SpscRing<PipeJob<T>>,
+    shared: &PipelineShared,
+) {
+    let _guard = StageGuard { input, output, shared };
+    let stage = &shared.stages[index];
+    let mut scratch: Vec<T> = Vec::with_capacity(layer.output_dim());
+    while let Some(mut job) = pop_counted(input, stage) {
+        if job.err.is_none() {
+            if job.poison_at == index {
+                // lint: allow(no-panic-serving) test-only fault injection; the guard contains it
+                panic!("pipeline stage 'fc{}' poisoned by test hook", index - 1);
+            }
+            match layer.forward_batch(&job.data, 1, &mut scratch) {
+                Ok(()) => std::mem::swap(&mut job.data, &mut scratch),
+                Err(e) => job.err = Some(MicroRecError::Dnn(e)),
+            }
+        }
+        if push_counted(output, stage, job).is_err() {
+            break;
+        }
+    }
+}
+
+/// Final stage: converts the last activation (or the carried error) into
+/// the caller-visible result and sends the emptied shell back for reuse.
+fn sink_loop<T: FixedNum>(
+    index: usize,
+    input: &SpscRing<PipeJob<T>>,
+    output: &SpscRing<PipeResult<T>>,
+    shared: &PipelineShared,
+) {
+    let _guard = StageGuard { input, output, shared };
+    let stage = &shared.stages[index];
+    while let Some(mut job) = pop_counted(input, stage) {
+        if job.err.is_none() && job.poison_at == index {
+            // lint: allow(no-panic-serving) test-only fault injection; the guard contains it
+            panic!("pipeline stage 'sink' poisoned by test hook");
+        }
+        let value = match job.err.take() {
+            Some(e) => Err(e),
+            None => Ok(job.data.first().map_or(0.0, |v| v.to_f32())),
+        };
+        job.query.clear();
+        job.data.clear();
+        let seq = job.seq;
+        if push_counted(output, stage, PipeResult { seq, value, shell: job }).is_err() {
+            break;
+        }
+    }
+}
+
+/// The executor at one concrete datapath precision.
+#[derive(Debug)]
+struct TypedPipeline<T> {
+    submit: Arc<SpscRing<PipeJob<T>>>,
+    results: Arc<SpscRing<PipeResult<T>>>,
+    shared: Arc<PipelineShared>,
+    /// Recycled job shells; bounded by the pipeline's in-flight capacity.
+    free: Vec<PipeJob<T>>,
+    next_seq: u64,
+    poison_at: usize,
+    lookup: Option<JoinHandle<MicroRec>>,
+    stages: Vec<JoinHandle<()>>,
+}
+
+impl<T: FixedNum + Send + Sync> TypedPipeline<T> {
+    fn build(engine: MicroRec, fifo_depth: usize) -> Result<Self, MicroRecError> {
+        let depth = fifo_depth.max(1);
+        let packed: PackedMlp<T> = PackedMlp::pack(engine.mlp());
+        let layers = packed.into_layers();
+        let num_layers = layers.len();
+        let num_stages = num_layers + 2;
+
+        let mut stage_states = Vec::with_capacity(num_stages);
+        stage_states.push(StageState::named("lookup".to_string()));
+        for i in 0..num_layers {
+            stage_states.push(StageState::named(format!("fc{i}")));
+        }
+        stage_states.push(StageState::named("sink".to_string()));
+        let shared =
+            Arc::new(PipelineShared { stages: stage_states, poisoned: AtomicBool::new(false) });
+
+        // rings[i] feeds stage i; the sink writes the separate result ring.
+        let rings: Vec<Arc<SpscRing<PipeJob<T>>>> =
+            (0..num_stages).map(|_| Arc::new(SpscRing::new(depth))).collect();
+        // The result ring can hold everything that can possibly be in
+        // flight (every ring slot plus one job in each stage's hands), so
+        // the sink never blocks on an owner that is still submitting.
+        let results: Arc<SpscRing<PipeResult<T>>> =
+            Arc::new(SpscRing::new(num_stages * (depth + 1) + 1));
+
+        let mut pipeline = TypedPipeline {
+            submit: Arc::clone(&rings[0]),
+            results: Arc::clone(&results),
+            shared: Arc::clone(&shared),
+            free: Vec::new(),
+            next_seq: 0,
+            poison_at: NO_POISON,
+            lookup: None,
+            stages: Vec::with_capacity(num_stages - 1),
+        };
+
+        let spawn_failed = |pipeline: &mut Self, name: &str, e: std::io::Error| {
+            pipeline.submit.close();
+            pipeline.join_all();
+            MicroRecError::Runtime(format!("failed to spawn pipeline stage {name}: {e}"))
+        };
+
+        let handle = std::thread::Builder::new().name("microrec-stage-lookup".to_string()).spawn({
+            let input = Arc::clone(&rings[0]);
+            let output = Arc::clone(&rings[1]);
+            let shared = Arc::clone(&shared);
+            move || lookup_loop(engine, &input, &output, &shared)
+        });
+        match handle {
+            Ok(h) => pipeline.lookup = Some(h),
+            Err(e) => return Err(spawn_failed(&mut pipeline, "lookup", e)),
+        }
+
+        for (i, layer) in layers.into_iter().enumerate() {
+            let index = i + 1;
+            let handle = std::thread::Builder::new().name(format!("microrec-stage-fc{i}")).spawn({
+                let input = Arc::clone(&rings[index]);
+                let output = Arc::clone(&rings[index + 1]);
+                let shared = Arc::clone(&shared);
+                move || fc_loop(&layer, index, &input, &output, &shared)
+            });
+            match handle {
+                Ok(h) => pipeline.stages.push(h),
+                Err(e) => return Err(spawn_failed(&mut pipeline, &format!("fc{i}"), e)),
+            }
+        }
+
+        let sink_index = num_stages - 1;
+        let handle = std::thread::Builder::new().name("microrec-stage-sink".to_string()).spawn({
+            let input = Arc::clone(&rings[sink_index]);
+            let output = Arc::clone(&results);
+            let shared = Arc::clone(&shared);
+            move || sink_loop(sink_index, &input, &output, &shared)
+        });
+        match handle {
+            Ok(h) => pipeline.stages.push(h),
+            Err(e) => return Err(spawn_failed(&mut pipeline, "sink", e)),
+        }
+
+        Ok(pipeline)
+    }
+
+    /// Why submissions or results fail once the rings are dead.
+    fn dead_error(&self) -> MicroRecError {
+        if self.shared.is_poisoned() {
+            MicroRecError::Runtime("pipeline stage panicked; executor is dead".into())
+        } else {
+            MicroRecError::Runtime("pipeline is shut down".into())
+        }
+    }
+
+    /// A job shell for `query`, recycled from the free list when one is
+    /// available (steady state never allocates new shells).
+    fn job_for(&mut self, query: &[u64]) -> PipeJob<T> {
+        let mut job = self.free.pop().unwrap_or_else(|| PipeJob {
+            seq: 0,
+            query: Vec::new(),
+            data: Vec::new(),
+            err: None,
+            poison_at: NO_POISON,
+        });
+        job.seq = self.next_seq;
+        self.next_seq += 1;
+        job.query.clear();
+        job.query.extend_from_slice(query);
+        job.data.clear();
+        job.err = None;
+        job.poison_at = self.poison_at;
+        job
+    }
+
+    fn recycle(&mut self, mut shell: PipeJob<T>) {
+        shell.query.clear();
+        shell.data.clear();
+        shell.err = None;
+        self.free.push(shell);
+    }
+
+    /// One query through the whole pipeline (submit, then wait for its
+    /// result). Bit-identical to the monolithic path.
+    fn predict(&mut self, query: &[u64]) -> Result<f32, MicroRecError> {
+        let job = self.job_for(query);
+        let want = job.seq;
+        if let Err(rejected) = self.submit.push_blocking(job) {
+            self.recycle(rejected);
+            return Err(self.dead_error());
+        }
+        while let Some(result) = self.results.pop_blocking() {
+            let seq = result.seq;
+            let value = result.value;
+            self.recycle(result.shell);
+            if seq == want {
+                return value;
+            }
+        }
+        Err(self.dead_error())
+    }
+
+    /// Streams a batch through the pipeline, keeping every stage busy:
+    /// submissions interleave with result drains, so up to the pipeline's
+    /// whole in-flight capacity of queries overlap. Results come back in
+    /// submission order (the pipeline is a FIFO of FIFOs). Matches
+    /// [`MicroRec::predict_batch`]: any failed item fails the batch.
+    fn predict_batch(&mut self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut first_err: Option<MicroRecError> = None;
+        let mut submitted = 0usize;
+        while out.len() < queries.len() {
+            // Fill the submit ring without blocking.
+            while submitted < queries.len() {
+                let job = self.job_for(&queries[submitted]);
+                match self.submit.try_push(job) {
+                    Ok(()) => submitted += 1,
+                    Err(SpscPushError::Full(job)) => {
+                        self.recycle(job);
+                        self.next_seq -= 1;
+                        break;
+                    }
+                    Err(SpscPushError::Closed(job)) => {
+                        self.recycle(job);
+                        return Err(self.dead_error());
+                    }
+                }
+            }
+            // Drain one result. Blocking is safe: out.len() < submitted
+            // here (a full submit ring implies jobs in flight), so the
+            // pipeline always has something to deliver.
+            match self.results.pop_blocking() {
+                Some(result) => {
+                    match result.value {
+                        Ok(v) => out.push(v),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                            out.push(f32::NAN);
+                        }
+                    }
+                    self.recycle(result.shell);
+                }
+                None => return Err(self.dead_error()),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    fn join_all(&mut self) -> Option<MicroRec> {
+        let engine = self.lookup.take().and_then(|h| h.join().ok());
+        for handle in self.stages.drain(..) {
+            let _ = handle.join();
+        }
+        engine
+    }
+
+    /// Closes the submit ring, drains the stages, joins their threads,
+    /// and hands the engine back (None if the lookup stage panicked).
+    fn shutdown(&mut self) -> Option<MicroRec> {
+        self.submit.close();
+        self.join_all()
+    }
+}
+
+impl<T> Drop for TypedPipeline<T> {
+    fn drop(&mut self) {
+        self.submit.close();
+        let _ = self.lookup.take().map(JoinHandle::join);
+        for handle in self.stages.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Precision dispatch: the pipeline is monomorphized per datapath type,
+/// chosen once from the engine's precision.
+#[derive(Debug)]
+enum TypedExecutor {
+    F32(TypedPipeline<f32>),
+    Q16(TypedPipeline<Q16>),
+    Q32(TypedPipeline<Q32>),
+}
+
+/// Runs a [`MicroRec`] engine as a staged dataflow pipeline: one thread
+/// per stage (lookup, one per FC layer, sink) connected by bounded SPSC
+/// FIFOs, with per-stage occupancy/stall/backpressure counters.
+///
+/// Predictions are bit-identical to [`MicroRec::predict`] at every
+/// precision and arena format; see the module docs for the argument.
+///
+/// # Examples
+///
+/// ```
+/// use microrec_core::{MicroRec, PipelineConfig, PipelineExecutor};
+/// use microrec_embedding::ModelSpec;
+///
+/// let engine = MicroRec::builder(ModelSpec::dlrm_rmc2(4, 4)).build()?;
+/// let mut exec = PipelineExecutor::new(engine, PipelineConfig::default())?;
+/// let ctr = exec.predict(&vec![7u64; 16])?;
+/// assert!(ctr > 0.0 && ctr < 1.0);
+/// let stats = exec.stage_stats();
+/// assert_eq!(stats.first().map(|s| s.name.as_str()), Some("lookup"));
+/// # Ok::<(), microrec_core::MicroRecError>(())
+/// ```
+#[derive(Debug)]
+pub struct PipelineExecutor {
+    inner: TypedExecutor,
+}
+
+impl PipelineExecutor {
+    /// Decomposes `engine` into stages and starts one thread per stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroRecError::Runtime`] if a stage thread cannot be
+    /// spawned (already-spawned stages are shut down and joined).
+    pub fn new(engine: MicroRec, config: PipelineConfig) -> Result<Self, MicroRecError> {
+        let inner = match engine.precision() {
+            Precision::F32 => TypedExecutor::F32(TypedPipeline::build(engine, config.fifo_depth)?),
+            Precision::Fixed16 => {
+                TypedExecutor::Q16(TypedPipeline::build(engine, config.fifo_depth)?)
+            }
+            Precision::Fixed32 => {
+                TypedExecutor::Q32(TypedPipeline::build(engine, config.fifo_depth)?)
+            }
+        };
+        Ok(PipelineExecutor { inner })
+    }
+
+    /// Predicts one query's CTR through the staged pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's error for a malformed query (the error rode
+    /// through the pipeline as a failed job), or
+    /// [`MicroRecError::Runtime`] once the executor is dead.
+    pub fn predict(&mut self, query: &[u64]) -> Result<f32, MicroRecError> {
+        match &mut self.inner {
+            TypedExecutor::F32(p) => p.predict(query),
+            TypedExecutor::Q16(p) => p.predict(query),
+            TypedExecutor::Q32(p) => p.predict(query),
+        }
+    }
+
+    /// Streams a batch through the pipeline with all stages overlapping.
+    /// Output order matches input order; any failed item fails the batch
+    /// (same contract as [`MicroRec::predict_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-item engine error, or
+    /// [`MicroRecError::Runtime`] once the executor is dead.
+    pub fn predict_batch(&mut self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        match &mut self.inner {
+            TypedExecutor::F32(p) => p.predict_batch(queries),
+            TypedExecutor::Q16(p) => p.predict_batch(queries),
+            TypedExecutor::Q32(p) => p.predict_batch(queries),
+        }
+    }
+
+    /// Per-stage counters: items, stalls, backpressure, occupancy.
+    #[must_use]
+    pub fn stage_stats(&self) -> Vec<StageSnapshot> {
+        self.shared().snapshots()
+    }
+
+    /// Number of stages (lookup + FC layers + sink).
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.shared().stages.len()
+    }
+
+    /// `false` once any stage thread has panicked.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        !self.shared().is_poisoned()
+    }
+
+    /// The counter block, for the serving runtime's snapshot path.
+    pub(crate) fn shared(&self) -> &Arc<PipelineShared> {
+        match &self.inner {
+            TypedExecutor::F32(p) => &p.shared,
+            TypedExecutor::Q16(p) => &p.shared,
+            TypedExecutor::Q32(p) => &p.shared,
+        }
+    }
+
+    /// Shuts the pipeline down (close, drain, join) and returns the
+    /// engine — with its accumulated memory/cache statistics — unless the
+    /// lookup stage panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> Option<MicroRec> {
+        match &mut self.inner {
+            TypedExecutor::F32(p) => p.shutdown(),
+            TypedExecutor::Q16(p) => p.shutdown(),
+            TypedExecutor::Q32(p) => p.shutdown(),
+        }
+    }
+
+    /// Test hook: every job submitted after this call panics the given
+    /// stage (0 = lookup, 1..=L = fc layers, L+1 = sink), simulating a
+    /// stage fault. Not part of the public API.
+    #[doc(hidden)]
+    pub fn poison_stage(&mut self, index: usize) {
+        match &mut self.inner {
+            TypedExecutor::F32(p) => p.poison_at = index,
+            TypedExecutor::Q16(p) => p.poison_at = index,
+            TypedExecutor::Q32(p) => p.poison_at = index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microrec_embedding::ModelSpec;
+
+    fn toy_engine() -> MicroRec {
+        MicroRec::builder(ModelSpec::dlrm_rmc2(4, 4)).seed(11).build().unwrap()
+    }
+
+    #[test]
+    fn executor_matches_monolithic_predict() {
+        let mut mono = toy_engine();
+        let mut exec = PipelineExecutor::new(toy_engine(), PipelineConfig::default()).unwrap();
+        // Stages: lookup + one per hidden layer + the output layer + sink.
+        assert_eq!(exec.num_stages(), 3 + mono.model().hidden.len());
+        for k in 0..30u64 {
+            let q: Vec<u64> = (0..16).map(|j| (k * 7919 + j * 104_729) % 500_000).collect();
+            let want = mono.predict(&q).unwrap();
+            let got = exec.predict(&q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "query {k}");
+        }
+        let stats = exec.stage_stats();
+        assert_eq!(stats.len(), exec.num_stages());
+        assert!(stats.iter().all(|s| s.items == 30), "{stats:?}");
+        assert_eq!(stats[0].name, "lookup");
+        assert_eq!(stats.last().unwrap().name, "sink");
+    }
+
+    #[test]
+    fn malformed_query_fails_item_not_pipeline() {
+        let mut exec = PipelineExecutor::new(toy_engine(), PipelineConfig::default()).unwrap();
+        assert!(exec.predict(&[0u64; 3]).is_err(), "wrong arity must fail");
+        // The pipeline survives and keeps serving.
+        assert!(exec.is_healthy());
+        let q = vec![5u64; 16];
+        assert!(exec.predict(&q).is_ok());
+    }
+
+    #[test]
+    fn shutdown_returns_engine_with_stats() {
+        let mut exec = PipelineExecutor::new(toy_engine(), PipelineConfig::default()).unwrap();
+        let q = vec![9u64; 16];
+        exec.predict(&q).unwrap();
+        let engine = exec.shutdown().expect("engine comes back");
+        // 4 tables x 4 rounds of physical reads ran against its memory.
+        assert_eq!(engine.memory().stats().total().reads, 16);
+    }
+
+    #[test]
+    fn fifo_depth_one_still_correct() {
+        let mut mono = toy_engine();
+        let mut exec =
+            PipelineExecutor::new(toy_engine(), PipelineConfig { fifo_depth: 1 }).unwrap();
+        let queries: Vec<Vec<u64>> =
+            (0..10).map(|k| (0..16).map(|j| (k * 13 + j) as u64 % 1000).collect()).collect();
+        let want: Vec<f32> = queries.iter().map(|q| mono.predict(q).unwrap()).collect();
+        let got = exec.predict_batch(&queries).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

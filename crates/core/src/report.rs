@@ -17,6 +17,7 @@ use microrec_memsim::SimTime;
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
+use crate::pipeline::StageSnapshot;
 use crate::runtime::{ReplayOutcome, RuntimeConfig, RuntimeLookupStats};
 
 /// One CPU operating point.
@@ -239,6 +240,42 @@ impl LookupCountersRecord {
             bytes_from_memory: stats.bytes_from_memory,
             per_table_hits: stats.per_table_hits.clone(),
             per_table_misses: stats.per_table_misses.clone(),
+        }
+    }
+}
+
+/// Counters of one dataflow-pipeline stage, in the form bench records
+/// persist (`BENCH_pipeline.json`). Built from the executor's or the
+/// runtime's [`StageSnapshot`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStageRecord {
+    /// Stage name (`"lookup"`, `"fc0"`…, `"sink"`).
+    pub stage: String,
+    /// Jobs the stage processed.
+    pub items: u64,
+    /// Pops that found the stage's input FIFO empty.
+    pub stalls: u64,
+    /// Pushes that found the stage's output FIFO full.
+    pub backpressure: u64,
+    /// Mean input-FIFO occupancy observed at pop time.
+    pub mean_occupancy: f64,
+}
+
+microrec_json::impl_json_struct!(
+    PipelineStageRecord,
+    required { stage, items, stalls, backpressure, mean_occupancy }
+);
+
+impl PipelineStageRecord {
+    /// Converts one stage's counters into the record form.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &StageSnapshot) -> Self {
+        PipelineStageRecord {
+            stage: snapshot.name.clone(),
+            items: snapshot.items,
+            stalls: snapshot.stalls,
+            backpressure: snapshot.backpressure,
+            mean_occupancy: snapshot.mean_occupancy(),
         }
     }
 }

@@ -33,6 +33,9 @@ use std::time::{Duration, Instant};
 
 use crate::engine::{MicroRec, MicroRecBuilder};
 use crate::error::MicroRecError;
+use crate::pipeline::{
+    ExecutionMode, PipelineConfig, PipelineExecutor, PipelineShared, StageSnapshot,
+};
 use crate::sync::{lock_or_recover, recover};
 use queue::{BoundedQueue, PushError};
 
@@ -59,6 +62,9 @@ pub struct RuntimeConfig {
     pub queue_depth: usize,
     /// Full-queue behavior.
     pub admission: AdmissionPolicy,
+    /// How each worker executes inference: the classic monolithic
+    /// predict path, or the staged dataflow pipeline.
+    pub execution: ExecutionMode,
 }
 
 impl Default for RuntimeConfig {
@@ -69,6 +75,7 @@ impl Default for RuntimeConfig {
             max_wait_us: 2_000,
             queue_depth: 1024,
             admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Monolithic,
         }
     }
 }
@@ -236,7 +243,7 @@ impl RuntimeLookupStats {
 }
 
 /// Point-in-time view of the runtime's counters and tail latency.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeSnapshot {
     /// Requests accepted into the queue.
     pub admitted: u64,
@@ -260,6 +267,9 @@ pub struct RuntimeSnapshot {
     pub mean_latency_us: f64,
     /// Enqueue→completion latency percentiles.
     pub latency: LatencyPercentiles,
+    /// Per-stage dataflow counters summed across workers, present only
+    /// under [`ExecutionMode::Pipelined`].
+    pub stages: Option<Vec<StageSnapshot>>,
 }
 
 impl RuntimeSnapshot {
@@ -289,6 +299,9 @@ pub struct ServingRuntime {
     expected_arity: usize,
     /// `(arena format, cache rows per worker)` when the engines cache.
     lookup_meta: Option<(&'static str, usize)>,
+    /// Per-worker pipeline counter blocks (empty under
+    /// [`ExecutionMode::Monolithic`]).
+    pipelines: Vec<Arc<PipelineShared>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -343,13 +356,39 @@ impl ServingRuntime {
             counters.misses.resize(tables, 0);
         }
         let stats = Arc::new(stats);
-        let mut workers = Vec::with_capacity(config.workers);
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers);
+        let mut pipelines = Vec::new();
         for (id, engine) in engines.into_iter().enumerate() {
             let spawned =
                 std::thread::Builder::new().name(format!("microrec-worker-{id}")).spawn({
                     let queue = Arc::clone(&queue);
                     let stats = Arc::clone(&stats);
-                    move || worker_loop(engine, &queue, &stats, config)
+                    match config.execution {
+                        ExecutionMode::Monolithic => Box::new(move || {
+                            worker_loop_monolithic(engine, &queue, &stats, config);
+                        })
+                            as Box<dyn FnOnce() + Send>,
+                        ExecutionMode::Pipelined => {
+                            // Decompose this worker's replica into its staged
+                            // pipeline before spawning, so spawn failures and
+                            // build failures surface here.
+                            let executor =
+                                match PipelineExecutor::new(engine, PipelineConfig::default()) {
+                                    Ok(executor) => executor,
+                                    Err(e) => {
+                                        queue.close();
+                                        for worker in workers {
+                                            let _ = worker.join();
+                                        }
+                                        return Err(e);
+                                    }
+                                };
+                            pipelines.push(Arc::clone(executor.shared()));
+                            Box::new(move || {
+                                worker_loop_pipelined(executor, &queue, &stats, config);
+                            })
+                        }
+                    }
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -364,7 +403,7 @@ impl ServingRuntime {
                 }
             }
         }
-        Ok(ServingRuntime { queue, stats, config, expected_arity, lookup_meta, workers })
+        Ok(ServingRuntime { queue, stats, config, expected_arity, lookup_meta, pipelines, workers })
     }
 
     /// The active configuration (after clamping zero knobs to 1).
@@ -441,7 +480,25 @@ impl ServingRuntime {
             },
             mean_latency_us: hist.mean_us(),
             latency: hist.percentiles(),
+            stages: self.merged_stage_stats(),
         }
+    }
+
+    /// Per-stage pipeline counters summed across workers (stage `i` of
+    /// every worker contributes to entry `i`), or `None` under
+    /// [`ExecutionMode::Monolithic`].
+    fn merged_stage_stats(&self) -> Option<Vec<StageSnapshot>> {
+        let first = self.pipelines.first()?;
+        let mut merged = first.snapshots();
+        for shared in &self.pipelines[1..] {
+            for (total, stage) in merged.iter_mut().zip(shared.snapshots()) {
+                total.items += stage.items;
+                total.stalls += stage.stalls;
+                total.backpressure += stage.backpressure;
+                total.occupancy_sum += stage.occupancy_sum;
+            }
+        }
+        Some(merged)
     }
 
     /// A copy of the completion-latency histogram (for reports that need
@@ -491,7 +548,7 @@ impl Drop for ServingRuntime {
 
 /// Steady-state loop of one worker: pop a micro-batch, run it through the
 /// private engine replica, deliver results, record latencies.
-fn worker_loop(
+fn worker_loop_monolithic(
     mut engine: MicroRec,
     queue: &BoundedQueue<Request>,
     stats: &SharedStats,
@@ -573,6 +630,85 @@ fn worker_loop(
             stats.lookup_bytes_from_cache.fetch_add(bc - prev_bytes.0, Relaxed);
             stats.lookup_bytes_from_memory.fetch_add(bm - prev_bytes.1, Relaxed);
             prev_bytes = (bc, bm);
+        }
+    }
+}
+
+/// Steady-state loop of one pipelined worker: pop a micro-batch, stream
+/// it through the staged dataflow executor, deliver results, record
+/// latencies.
+///
+/// Hot-row-cache counters live inside the lookup stage's engine (it moved
+/// onto the stage thread), so unlike the monolithic loop they cannot be
+/// published per batch; the totals land in the shared stats once, when
+/// the drain completes and [`PipelineExecutor::shutdown`] hands the
+/// engine back.
+fn worker_loop_pipelined(
+    mut executor: PipelineExecutor,
+    queue: &BoundedQueue<Request>,
+    stats: &SharedStats,
+    config: RuntimeConfig,
+) {
+    let wait = Duration::from_micros(config.max_wait_us);
+    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(config.max_batch);
+    while let Some((mut batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait)
+    {
+        stats.batches.fetch_add(1, Relaxed);
+        match close {
+            BatchClose::Size => stats.size_closes.fetch_add(1, Relaxed),
+            BatchClose::Deadline => stats.deadline_closes.fetch_add(1, Relaxed),
+            BatchClose::Drain => stats.drain_closes.fetch_add(1, Relaxed),
+        };
+        queries.clear();
+        queries.extend(batch.iter_mut().map(|r| std::mem::take(&mut r.query)));
+        match executor.predict_batch(&queries) {
+            Ok(ctrs) => {
+                let now = Instant::now();
+                let mut hist = lock_or_recover(&stats.hist);
+                for request in &batch {
+                    hist.record_duration(now.saturating_duration_since(request.enqueued_at));
+                }
+                drop(hist);
+                stats.completed.fetch_add(batch.len() as u64, Relaxed);
+                for (request, ctr) in batch.into_iter().zip(ctrs) {
+                    request.slot.fulfill(Ok(ctr));
+                }
+            }
+            Err(_) => {
+                // Same contract as the monolithic loop: one malformed
+                // query fails alone, its batch-mates still complete.
+                for (request, query) in batch.into_iter().zip(&queries) {
+                    match executor.predict(query) {
+                        Ok(ctr) => {
+                            let elapsed = request.enqueued_at.elapsed();
+                            lock_or_recover(&stats.hist).record_duration(elapsed);
+                            stats.completed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Ok(ctr));
+                        }
+                        Err(e) => {
+                            stats.failed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Err(RuntimeError::Failed(e.to_string())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Queue drained: stop the stages and publish the cache totals their
+    // engine accumulated (None only if the lookup stage panicked, in
+    // which case its counters died with it).
+    if let Some(engine) = executor.shutdown() {
+        if let Some(cache) = engine.hot_row_cache() {
+            let mut shared = lock_or_recover(&stats.lookup_tables);
+            for (&h, slot) in cache.per_table_hits().iter().zip(&mut shared.hits) {
+                *slot += h;
+            }
+            for (&m, slot) in cache.per_table_misses().iter().zip(&mut shared.misses) {
+                *slot += m;
+            }
+            drop(shared);
+            stats.lookup_bytes_from_cache.fetch_add(cache.bytes_from_cache(), Relaxed);
+            stats.lookup_bytes_from_memory.fetch_add(cache.bytes_from_memory(), Relaxed);
         }
     }
 }

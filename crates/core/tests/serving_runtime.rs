@@ -77,6 +77,7 @@ fn reject_policy_counts_drops_and_completes_the_rest() {
             max_wait_us: 200_000,
             queue_depth: 2,
             admission: AdmissionPolicy::Reject,
+            ..RuntimeConfig::default()
         },
     );
     let mut pending = Vec::new();
@@ -111,6 +112,7 @@ fn block_policy_admits_everything_despite_tiny_queue() {
             max_wait_us: 500,
             queue_depth: 4,
             admission: AdmissionPolicy::Block,
+            ..RuntimeConfig::default()
         },
     );
     let pending: Vec<_> = queries
@@ -139,6 +141,7 @@ fn size_closes_dominate_under_saturation() {
             max_wait_us: 50_000,
             queue_depth: 1024,
             admission: AdmissionPolicy::Block,
+            ..RuntimeConfig::default()
         },
     );
     let pending: Vec<_> =

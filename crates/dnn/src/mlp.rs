@@ -218,6 +218,7 @@ impl Mlp {
         let mut arena = ScratchArena::new();
         packed.warm(inputs.rows(), &mut arena);
         let out = packed.forward_batch_into(inputs.as_slice(), inputs.rows(), &mut arena)?;
+        // lint: allow(hot-path-alloc) convenience Matrix API; callers on the hot path use PackedMlp directly
         Matrix::from_vec(inputs.rows(), self.output_dim(), out.to_vec())
     }
 }

@@ -16,11 +16,62 @@ use crate::layer::Activation;
 use crate::mlp::Mlp;
 use crate::scratch::ScratchArena;
 
+/// One packed dense layer: pre-quantized, pre-transposed weights plus
+/// bias and activation — the unit of work a dataflow-pipeline stage owns.
+///
+/// [`PackedLayer::forward_batch`] is the *single* implementation of
+/// per-layer forwarding on the packed path; [`PackedMlp`]'s whole-network
+/// passes and the core crate's staged pipeline both drive it, so the two
+/// execution modes cannot drift apart numerically.
 #[derive(Debug, Clone)]
-struct PackedLayer<T> {
+pub struct PackedLayer<T> {
     weights: PackedB<T>,
     bias: Vec<T>,
     activation: Activation,
+}
+
+impl<T: FixedNum> PackedLayer<T> {
+    /// Input width of this layer.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.weights.k()
+    }
+
+    /// Output width of this layer.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.weights.n()
+    }
+
+    /// Forwards `batch` row-major input vectors through this layer into
+    /// `out` (resized to `batch * output_dim`): packed GEMM, bias add,
+    /// activation. Allocation-free once `out` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if `input.len()` is not
+    /// `batch * input_dim`.
+    pub fn forward_batch(
+        &self,
+        input: &[T],
+        batch: usize,
+        out: &mut Vec<T>,
+    ) -> Result<(), DnnError> {
+        let width = self.weights.n();
+        out.resize(batch * width, T::ZERO);
+        gemm_packed(input, batch, &self.weights, out)?;
+        for row in out.chunks_exact_mut(width) {
+            for (slot, &b) in row.iter_mut().zip(&self.bias) {
+                let pre = *slot + b;
+                *slot = match self.activation {
+                    Activation::Relu => pre.relu(),
+                    Activation::Identity => pre,
+                    Activation::Sigmoid => T::from_f32(Activation::Sigmoid.apply(pre.to_f32())),
+                };
+            }
+        }
+        Ok(())
+    }
 }
 
 /// An [`Mlp`] snapshot with per-layer pre-quantized, pre-transposed
@@ -122,20 +173,8 @@ impl<T: FixedNum> PackedMlp<T> {
         }
         arena.load(inputs);
         for layer in &self.layers {
-            let out = layer.weights.n();
             let (front, back) = arena.buffers();
-            back.resize(batch * out, T::ZERO);
-            gemm_packed(front, batch, &layer.weights, back)?;
-            for row in back.chunks_exact_mut(out) {
-                for (slot, &b) in row.iter_mut().zip(&layer.bias) {
-                    let pre = *slot + b;
-                    *slot = match layer.activation {
-                        Activation::Relu => pre.relu(),
-                        Activation::Identity => pre,
-                        Activation::Sigmoid => T::from_f32(Activation::Sigmoid.apply(pre.to_f32())),
-                    };
-                }
-            }
+            layer.forward_batch(front, batch, back)?;
             arena.swap();
         }
         Ok(arena.front())
@@ -152,6 +191,49 @@ impl<T: FixedNum> PackedMlp<T> {
         arena: &'a mut ScratchArena<T>,
     ) -> Result<&'a [T], DnnError> {
         self.forward_batch_into(input, 1, arena)
+    }
+
+    /// Number of packed layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The packed layers, input-first.
+    #[must_use]
+    pub fn layers(&self) -> &[PackedLayer<T>] {
+        &self.layers
+    }
+
+    /// Forwards through layer `index` alone (see
+    /// [`PackedLayer::forward_batch`]); chaining `0..num_layers` over a
+    /// ping-pong buffer pair reproduces [`PackedMlp::forward_batch_into`]
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for an out-of-range layer
+    /// index or a wrong input width.
+    pub fn forward_layer(
+        &self,
+        index: usize,
+        input: &[T],
+        batch: usize,
+        out: &mut Vec<T>,
+    ) -> Result<(), DnnError> {
+        let layer = self.layers.get(index).ok_or(DnnError::ShapeMismatch {
+            context: "PackedMlp::forward_layer index",
+            expected: self.layers.len(),
+            actual: index,
+        })?;
+        layer.forward_batch(input, batch, out)
+    }
+
+    /// Decomposes the network into its layers, so each stage of a
+    /// dataflow pipeline can own exactly one layer's packed weights.
+    #[must_use]
+    pub fn into_layers(self) -> Vec<PackedLayer<T>> {
+        self.layers
     }
 }
 
@@ -219,6 +301,47 @@ mod tests {
         let inputs = features(16 * 24);
         let out = packed.forward_batch_into(&inputs, 16, &mut arena).unwrap();
         assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn chained_forward_layer_is_bit_identical_to_whole_network() {
+        // The staged pipeline drives layers one at a time; ping-ponging
+        // forward_layer over plain Vecs must match both the arena-based
+        // whole-network pass and the unpacked reference, bit for bit.
+        fn check<T: FixedNum>(m: &Mlp, raw: &[f32]) {
+            let packed: PackedMlp<T> = PackedMlp::pack(m);
+            assert_eq!(packed.num_layers(), m.layers().len());
+            let input: Vec<T> = raw.iter().map(|&v| T::from_f32(v)).collect();
+
+            let mut current = input.clone();
+            let mut next: Vec<T> = Vec::new();
+            for (index, layer) in packed.layers().iter().enumerate() {
+                assert_eq!(layer.input_dim(), current.len());
+                packed.forward_layer(index, &current, 1, &mut next).unwrap();
+                assert_eq!(next.len(), layer.output_dim());
+                std::mem::swap(&mut current, &mut next);
+            }
+
+            let mut arena = ScratchArena::new();
+            let whole = packed.forward_into(&input, &mut arena).unwrap();
+            let reference = m.forward::<T>(&input).unwrap();
+            assert_eq!(current, whole, "forward_layer chain vs forward_batch_into");
+            assert_eq!(current, reference, "forward_layer chain vs Mlp::forward");
+        }
+
+        let m = mlp();
+        let raw = features(24);
+        check::<f32>(&m, &raw);
+        check::<Q16>(&m, &raw);
+        check::<Q32>(&m, &raw);
+    }
+
+    #[test]
+    fn forward_layer_rejects_bad_index_and_width() {
+        let packed: PackedMlp<f32> = PackedMlp::pack(&mlp());
+        let mut out = Vec::new();
+        assert!(packed.forward_layer(3, &[0.0; 17], 1, &mut out).is_err());
+        assert!(packed.forward_layer(0, &[0.0; 23], 1, &mut out).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! environment has no registry access, so this crate provides the small
 //! slice of rayon's API the workspace actually uses — `join`, `scope`,
 //! and indexed parallel maps with dynamic work stealing — with no
-//! external dependencies and no global thread pool to configure.
+//! external dependencies and no global thread pool to configure. It also
+//! vendors the bounded SPSC ring-buffer FIFO ([`SpscRing`]) that connects
+//! the stages of the core crate's dataflow pipeline.
 //!
 //! All entry points degrade gracefully: with `threads <= 1` (or a single
 //! available core) they run inline on the caller's thread, which keeps
@@ -12,6 +14,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod spsc;
+
+pub use spsc::{SpscPushError, SpscRing};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

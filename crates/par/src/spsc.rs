@@ -1,0 +1,341 @@
+//! Bounded single-producer single-consumer ring-buffer FIFO.
+//!
+//! The software analogue of the paper's inter-stage FIFOs: each pipeline
+//! stage owns the consumer side of its input ring and the producer side
+//! of its output ring, so item *i+1* can sit buffered while item *i* is
+//! still being computed downstream. Vendored with no external deps
+//! (consistent with the rest of this crate): monotonic head/tail counters
+//! on their own cache lines, per-slot storage, and a closed flag with
+//! drain semantics — after [`SpscRing::close`], pops keep returning
+//! buffered items until the ring is empty, then return `None`.
+//!
+//! The crate forbids `unsafe`, so slots are `Mutex<Option<T>>` rather
+//! than `UnsafeCell`s. Under the SPSC contract each slot mutex is touched
+//! by exactly one thread at a time (the producer before publishing the
+//! tail, the consumer after observing it), so every lock acquisition is
+//! uncontended — a compare-and-swap, not a syscall — and push/pop stay
+//! allocation-free (proven by `tests/spsc_zero_alloc.rs`).
+//!
+//! Blocking variants spin briefly, then park on a condvar with a bounded
+//! timeout. Wakeups are edge-triggered through a waiter count: the fast
+//! path of an uncontended push/pop never takes the park lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use microrec_par::SpscRing;
+//!
+//! let ring: SpscRing<u32> = SpscRing::new(2);
+//! ring.try_push(1).unwrap();
+//! ring.try_push(2).unwrap();
+//! assert!(ring.try_push(3).is_err()); // full
+//! ring.close();
+//! assert_eq!(ring.pop_blocking(), Some(1)); // drain continues after close
+//! assert_eq!(ring.pop_blocking(), Some(2));
+//! assert_eq!(ring.pop_blocking(), None); // closed and empty
+//! ```
+
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why a push did not take the item; the item is handed back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SpscPushError<T> {
+    /// The ring is at capacity (only returned by `try_push`).
+    Full(T),
+    /// The ring was closed; no further items will be accepted.
+    Closed(T),
+}
+
+impl<T> SpscPushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            SpscPushError::Full(item) | SpscPushError::Closed(item) => item,
+        }
+    }
+}
+
+/// A monotonic position counter alone on its cache line, so the
+/// producer's tail writes never false-share with the consumer's head.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicUsize);
+
+/// Spins before parking: long enough to catch a same-instant partner on
+/// another core, short enough to waste nothing measurable when the
+/// partner is descheduled (e.g. a single-core host).
+const SPIN_ROUNDS: usize = 48;
+
+/// Park timeout: a backstop against the (fence-guarded, so in practice
+/// unreachable) lost-wakeup window; bounds any missed notify to ~200 µs.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Bounded SPSC ring-buffer FIFO with blocking and non-blocking endpoints.
+///
+/// The contract is one producer thread and one consumer thread at a time
+/// (either side may be handed off between threads with ordinary
+/// synchronization). The implementation stays memory-safe under misuse —
+/// slots are mutexes — but ordering guarantees assume SPSC use.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    /// Next position to pop; counts monotonically, slot = head % capacity.
+    head: PaddedCounter,
+    /// Next position to push; counts monotonically, slot = tail % capacity.
+    tail: PaddedCounter,
+    closed: AtomicBool,
+    park: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    pop_waiters: AtomicUsize,
+    push_waiters: AtomicUsize,
+}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding up to `capacity` items (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let slots: Vec<Mutex<Option<T>>> = (0..capacity.max(1)).map(|_| Mutex::new(None)).collect();
+        SpscRing {
+            slots: slots.into_boxed_slice(),
+            head: PaddedCounter::default(),
+            tail: PaddedCounter::default(),
+            closed: AtomicBool::new(false),
+            park: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            pop_waiters: AtomicUsize::new(0),
+            push_waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Items currently buffered (racy by nature; exact when quiescent).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`SpscRing::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes the ring: subsequent pushes fail with
+    /// [`SpscPushError::Closed`]; pops drain the buffered items and then
+    /// return `None`. Idempotent, callable from either side (or a third
+    /// party such as a shutdown path).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Take the park lock so a waiter between predicate re-check and
+        // `wait` cannot miss this wakeup.
+        drop(self.park.lock().unwrap_or_else(PoisonError::into_inner));
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Attempts to push without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SpscPushError::Full`] at capacity, [`SpscPushError::Closed`]
+    /// after close; the item rides back in the error.
+    pub fn try_push(&self, item: T) -> Result<(), SpscPushError<T>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(SpscPushError::Closed(item));
+        }
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            return Err(SpscPushError::Full(item));
+        }
+        let mut slot =
+            self.slots[tail % self.slots.len()].lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(item);
+        drop(slot);
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        self.wake_poppers();
+        Ok(())
+    }
+
+    /// Attempts to pop without blocking; `None` when the ring is empty
+    /// (whether or not it is closed).
+    pub fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let item = self.slots[head % self.slots.len()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        self.wake_pushers();
+        item
+    }
+
+    /// Pushes, blocking while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the ring is (or becomes) closed before
+    /// space frees up.
+    pub fn push_blocking(&self, mut item: T) -> Result<(), T> {
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return Ok(()),
+                Err(SpscPushError::Closed(rejected)) => return Err(rejected),
+                Err(SpscPushError::Full(rejected)) => item = rejected,
+            }
+            for _ in 0..SPIN_ROUNDS {
+                std::hint::spin_loop();
+                if self.len() < self.slots.len() || self.is_closed() {
+                    break;
+                }
+            }
+            if self.len() < self.slots.len() || self.is_closed() {
+                continue;
+            }
+            let guard = self.park.lock().unwrap_or_else(PoisonError::into_inner);
+            self.push_waiters.fetch_add(1, Ordering::SeqCst);
+            // Re-check under waiter registration: a pop after our last
+            // try_push either sees the waiter count (and notifies under
+            // the park lock we hold) or happened before the fetch_add,
+            // in which case this re-check observes the freed slot.
+            if self.len() >= self.slots.len() && !self.is_closed() {
+                drop(self.not_full.wait_timeout(guard, PARK_TIMEOUT));
+            } else {
+                drop(guard);
+            }
+            self.push_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Pops, blocking while the ring is empty and open. Returns `None`
+    /// only when the ring is closed **and** fully drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        loop {
+            if let Some(item) = self.try_pop() {
+                return Some(item);
+            }
+            if self.is_closed() {
+                // One final check: the producer may have pushed between
+                // our failed pop and observing the close.
+                return self.try_pop();
+            }
+            for _ in 0..SPIN_ROUNDS {
+                std::hint::spin_loop();
+                if !self.is_empty() || self.is_closed() {
+                    break;
+                }
+            }
+            if !self.is_empty() || self.is_closed() {
+                continue;
+            }
+            let guard = self.park.lock().unwrap_or_else(PoisonError::into_inner);
+            self.pop_waiters.fetch_add(1, Ordering::SeqCst);
+            // Same protocol as push_blocking, mirrored.
+            if self.is_empty() && !self.is_closed() {
+                drop(self.not_empty.wait_timeout(guard, PARK_TIMEOUT));
+            } else {
+                drop(guard);
+            }
+            self.pop_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Wakes a parked consumer if one registered. The SeqCst fence orders
+    /// our tail publication before the waiter-count read, pairing with
+    /// the waiter's SeqCst `fetch_add` before its predicate re-check: one
+    /// of the two sides always sees the other.
+    fn wake_poppers(&self) {
+        fence(Ordering::SeqCst);
+        if self.pop_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.park.lock().unwrap_or_else(PoisonError::into_inner));
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Wakes a parked producer if one registered (mirror of
+    /// [`SpscRing::wake_poppers`]).
+    fn wake_pushers(&self) {
+        fence(Ordering::SeqCst);
+        if self.push_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.park.lock().unwrap_or_else(PoisonError::into_inner));
+            self.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let ring: SpscRing<u64> = SpscRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 4);
+        assert!(matches!(ring.try_push(99), Err(SpscPushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring: SpscRing<u8> = SpscRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.try_push(7).unwrap();
+        assert!(ring.try_push(8).is_err());
+        assert_eq!(ring.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_pops() {
+        let ring: SpscRing<u32> = SpscRing::new(8);
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        ring.close();
+        assert!(ring.is_closed());
+        assert!(matches!(ring.try_push(3), Err(SpscPushError::Closed(3))));
+        assert!(ring.push_blocking(4).is_err());
+        assert_eq!(ring.pop_blocking(), Some(1));
+        assert_eq!(ring.pop_blocking(), Some(2));
+        assert_eq!(ring.pop_blocking(), None);
+        assert_eq!(ring.pop_blocking(), None, "closed-and-empty is sticky");
+    }
+
+    #[test]
+    fn push_error_hands_the_item_back() {
+        let ring: SpscRing<String> = SpscRing::new(1);
+        ring.try_push("a".to_string()).unwrap();
+        let back = ring.try_push("b".to_string()).unwrap_err().into_inner();
+        assert_eq!(back, "b");
+        ring.close();
+        let back = ring.try_push("c".to_string()).unwrap_err().into_inner();
+        assert_eq!(back, "c");
+    }
+}

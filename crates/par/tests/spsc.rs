@@ -1,0 +1,200 @@
+//! Cross-thread tests for the SPSC ring FIFO: seeded producer/consumer
+//! stress at awkward capacities, wraparound, blocking handoff, and
+//! drop-mid-stream drain semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use microrec_par::{SpscPushError, SpscRing};
+
+/// Minimal xorshift for deterministic jitter — the test must not depend
+/// on the OS scheduler alone to exercise full/empty transitions.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn seeded_stress_across_capacities() {
+    // Capacity 1 (lockstep), 2, odd, and power-of-two; the monotonic
+    // counters wrap the slot index many times over at n = 5000.
+    for (capacity, seed) in [(1usize, 0xA11CE), (2, 0xB0B), (7, 0x5EED), (64, 0xFEED)] {
+        let ring: SpscRing<u64> = SpscRing::new(capacity);
+        let n = 5000u64;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut rng = Rng(seed as u64 | 1);
+                for i in 0..n {
+                    // Mix try- and blocking pushes, with occasional yields
+                    // so the consumer sees both full and empty rings.
+                    if rng.next().is_multiple_of(4) {
+                        let mut item = i;
+                        loop {
+                            match ring.try_push(item) {
+                                Ok(()) => break,
+                                Err(SpscPushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(SpscPushError::Closed(_)) => panic!("ring closed early"),
+                            }
+                        }
+                    } else {
+                        ring.push_blocking(i).expect("ring closed early");
+                    }
+                    if rng.next().is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                }
+                ring.close();
+            });
+            let consumer = scope.spawn(|| {
+                let mut rng = Rng(seed as u64 ^ 0xDEAD_BEEF);
+                let mut got = Vec::new();
+                loop {
+                    let item = if rng.next().is_multiple_of(4) {
+                        match ring.try_pop() {
+                            Some(item) => Some(item),
+                            None if ring.is_closed() && ring.is_empty() => None,
+                            None => {
+                                std::thread::yield_now();
+                                continue;
+                            }
+                        }
+                    } else {
+                        ring.pop_blocking()
+                    };
+                    match item {
+                        Some(item) => got.push(item),
+                        None => break,
+                    }
+                    if rng.next().is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            });
+            let got = consumer.join().expect("consumer");
+            let want: Vec<u64> = (0..n).collect();
+            assert_eq!(got, want, "capacity {capacity}: items lost, duplicated, or reordered");
+        });
+    }
+}
+
+#[test]
+fn wraparound_preserves_order_at_every_phase() {
+    // Walk the head/tail counters through every slot-index phase of a
+    // small ring: push 3 / pop 3 repeatedly over a capacity-4 ring.
+    let ring: SpscRing<u32> = SpscRing::new(4);
+    let mut next_in = 0u32;
+    let mut next_out = 0u32;
+    for _ in 0..100 {
+        for _ in 0..3 {
+            ring.try_push(next_in).unwrap();
+            next_in += 1;
+        }
+        for _ in 0..3 {
+            assert_eq!(ring.try_pop(), Some(next_out));
+            next_out += 1;
+        }
+    }
+    assert!(ring.is_empty());
+}
+
+#[test]
+fn blocking_handoff_full_and_empty() {
+    // A capacity-1 ring forces the producer to block on every push and
+    // the consumer to block on every pop.
+    let ring: SpscRing<u64> = SpscRing::new(1);
+    let n = 500u64;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..n {
+                ring.push_blocking(i).unwrap();
+            }
+            ring.close();
+        });
+        let consumer = scope.spawn(|| {
+            let mut got = Vec::new();
+            while let Some(item) = ring.pop_blocking() {
+                got.push(item);
+            }
+            got
+        });
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    });
+}
+
+/// An item whose drop is observable, to pin down who destroys what when
+/// a ring is dropped mid-stream.
+#[derive(Debug)]
+struct Tracked(Arc<AtomicUsize>);
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn drop_mid_stream_releases_undrained_items() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let ring: SpscRing<Tracked> = SpscRing::new(8);
+        for _ in 0..5 {
+            ring.try_push(Tracked(Arc::clone(&drops))).unwrap();
+        }
+        // Two consumed items die with their bindings; three stay buffered.
+        drop(ring.try_pop());
+        drop(ring.try_pop());
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        assert_eq!(ring.len(), 3);
+    }
+    // Dropping the ring itself released the three buffered items.
+    assert_eq!(drops.load(Ordering::SeqCst), 5);
+}
+
+#[test]
+fn close_then_drain_hands_over_every_buffered_item() {
+    // Producer dies (closes) with items still buffered: the consumer must
+    // receive all of them, then see the end of stream.
+    let ring: SpscRing<u32> = SpscRing::new(16);
+    for i in 0..10 {
+        ring.try_push(i).unwrap();
+    }
+    ring.close();
+    let mut got = Vec::new();
+    while let Some(item) = ring.pop_blocking() {
+        got.push(item);
+    }
+    assert_eq!(got, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn close_wakes_a_blocked_consumer_and_producer() {
+    // Consumer parked on an empty ring.
+    let ring: Arc<SpscRing<u8>> = Arc::new(SpscRing::new(4));
+    let r = Arc::clone(&ring);
+    let waiter = std::thread::spawn(move || r.pop_blocking());
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    ring.close();
+    assert_eq!(waiter.join().unwrap(), None);
+
+    // Producer parked on a full ring.
+    let ring: Arc<SpscRing<u8>> = Arc::new(SpscRing::new(1));
+    ring.try_push(1).unwrap();
+    let r = Arc::clone(&ring);
+    let waiter = std::thread::spawn(move || r.push_blocking(2));
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    ring.close();
+    assert_eq!(waiter.join().unwrap(), Err(2));
+}
