@@ -3,11 +3,13 @@
 //! 3-hidden-layer DLRM model under a Zipf query stream. Emits one JSON
 //! document (committed as `BENCH_pipeline.json`) with single-item
 //! latency, sustained throughput, the per-stage occupancy / stall /
-//! backpressure counters, and an honest counter-case where the pipeline
-//! loses (depth-1 FIFOs feeding a tiny MLP, where per-item cross-thread
-//! handoffs dwarf the per-stage compute).
+//! backpressure counters, a lane sweep of the replicated topology, the
+//! auto-router's calibrated decisions, and an honest counter-case where
+//! the pipeline loses (depth-1 FIFOs feeding a tiny MLP, where per-item
+//! cross-thread handoffs dwarf the per-stage compute).
 //!
-//! Bit-identity between the two paths is asserted before any timing.
+//! Bit-identity between the paths is asserted before any timing — for
+//! the per-layer topology and again for every lane count in the sweep.
 //!
 //! Run with `cargo run --release -p microrec-bench --bin pipeline`
 //! (`-- --smoke` for the time-bounded CI variant).
@@ -15,7 +17,8 @@
 use std::time::Instant;
 
 use microrec_core::{
-    MicroRec, MicroRecBuilder, PipelineConfig, PipelineExecutor, PipelineStageRecord,
+    CalibrationRecord, MicroRec, MicroRecBuilder, PipelineConfig, PipelineExecutor, PipelinePlan,
+    PipelineStageRecord,
 };
 use microrec_embedding::{ModelSpec, Precision, RowFormat, TableSpec};
 use microrec_json::{Json, ToJson};
@@ -29,6 +32,10 @@ const SMOKE_QUERIES: usize = 350;
 const IDENTITY_QUERIES: usize = 96;
 /// Hot-row cache capacity, matching the serving benchmark's hot tier.
 const CACHE_ROWS: usize = 65_536;
+/// Lookup/fc lane counts the replication sweep covers.
+const LANE_SWEEP: [usize; 3] = [1, 2, 4];
+/// Calibration rounds for the auto-router section.
+const CALIBRATION_ROUNDS: usize = 64;
 
 /// The default-model engine configuration: fixed16 datapath over f16
 /// arena rows behind the hot-row cache, same as the serving benchmark.
@@ -116,8 +123,55 @@ fn measure_pipelined(
     (latency_us, qps, stages)
 }
 
+/// One point of the replication sweep: `lanes` lookup lanes and `lanes`
+/// lanes on the first fc stage (exercising the mesh on both sides of a
+/// join). Gates on bit-identity against the monolithic path, then
+/// measures sustained qps.
+fn measure_replicated(
+    model: &ModelSpec,
+    queries: &[Vec<u64>],
+    lanes: usize,
+) -> (f64, Vec<PipelineStageRecord>, bool) {
+    let engines: Vec<MicroRec> =
+        (0..lanes).map(|_| builder(model).build().expect("engine")).collect();
+    let num_layers = engines[0].model().hidden.len() + 1;
+    let mut plan = PipelinePlan::per_layer(num_layers, PipelineConfig::default().fifo_depth);
+    plan.lookup_lanes = lanes;
+    plan.fc[0].lanes = lanes;
+    let mut exec = PipelineExecutor::with_plan(engines, &plan).expect("executor");
+
+    let mut mono = builder(model).build().expect("engine");
+    let bit_identical = queries.iter().take(IDENTITY_QUERIES).all(|q| {
+        let want = mono.predict(q).expect("monolithic predict");
+        let got = exec.predict(q).expect("replicated predict");
+        got.to_bits() == want.to_bits()
+    });
+
+    let start = Instant::now();
+    let results = exec.predict_batch(queries).expect("predict_batch");
+    let qps = results.len() as f64 / start.elapsed().as_secs_f64();
+
+    let stages = exec.stage_stats().iter().map(PipelineStageRecord::from_snapshot).collect();
+    drop(exec.shutdown());
+    (qps, stages, bit_identical)
+}
+
+/// Runs the startup calibration on one engine replica of `model` and
+/// records the solved plan plus the cost model's routing decision.
+fn auto_route(model: &ModelSpec) -> CalibrationRecord {
+    let engine = builder(model).build().expect("engine");
+    let (_, plan, calibration) =
+        PipelinePlan::calibrate(engine, microrec_par::default_threads(), CALIBRATION_ROUNDS)
+            .expect("calibrate");
+    CalibrationRecord::from_calibration(&calibration, &plan)
+}
+
 fn section(latency_us: f64, qps: f64) -> Vec<(String, Json)> {
     vec![("latency_us".to_string(), latency_us.to_json()), ("qps".to_string(), qps.to_json())]
+}
+
+fn calibration_json(record: &CalibrationRecord) -> Json {
+    record.to_json()
 }
 
 fn main() {
@@ -141,11 +195,49 @@ fn main() {
         );
     }
 
+    // Replication sweep: lookup + first-fc lanes over both models. Every
+    // point is bit-identity gated; on a host with fewer cores than lane
+    // threads the extra lanes time-slice one core, so the sweep records
+    // how gracefully replication degrades there, not a win.
+    let tiny = tiny_model();
+    let tiny_queries = trace(&tiny, n.min(500)).queries().to_vec();
+    let mut sweep_rows: Vec<Json> = Vec::new();
+    for (name, m, qs) in [("default", &model, &queries), ("tiny-mlp", &tiny, &tiny_queries)] {
+        for lanes in LANE_SWEEP {
+            let (qps, stages, identical) = measure_replicated(m, qs, lanes);
+            assert!(identical, "{name} x{lanes} lanes diverged from monolithic predict");
+            eprintln!("replicated {name} x{lanes}: {qps:>8.1} qps sustained, bit-identical");
+            sweep_rows.push(Json::Obj(vec![
+                ("model".to_string(), name.to_string().to_json()),
+                ("lanes".to_string(), lanes.to_json()),
+                ("qps".to_string(), qps.to_json()),
+                ("bit_identical".to_string(), identical.to_json()),
+                ("stages".to_string(), stages.to_json()),
+            ]));
+        }
+    }
+
+    // Auto-router: calibrate both models and record the decisions. The
+    // tiny MLP is the counter-case — the cost model must route it back
+    // to the monolithic path.
+    let auto_default = auto_route(&model);
+    let auto_tiny = auto_route(&tiny);
+    eprintln!(
+        "auto default: {} (monolithic {:.1} us vs pipelined {:.1} us) | plan {}",
+        auto_default.chosen,
+        auto_default.monolithic_us,
+        auto_default.pipelined_us,
+        auto_default.plan
+    );
+    eprintln!(
+        "auto tiny:    {} (monolithic {:.1} us vs pipelined {:.1} us)",
+        auto_tiny.chosen, auto_tiny.monolithic_us, auto_tiny.pipelined_us
+    );
+    let avoids_counter_case = auto_tiny.chosen == "monolithic";
+
     // Honest counter-case: depth-1 FIFOs on a tiny MLP. Each fc stage
     // computes almost nothing, so the per-item thread handoffs dominate
     // and the monolithic path wins.
-    let tiny = tiny_model();
-    let tiny_queries = trace(&tiny, n.min(500)).queries().to_vec();
     let (tiny_mono_latency_us, tiny_mono_qps) = measure_monolithic(&tiny, &tiny_queries);
     let (tiny_pipe_latency_us, tiny_pipe_qps, _) = measure_pipelined(&tiny, &tiny_queries, 1);
     eprintln!(
@@ -160,6 +252,12 @@ fn main() {
              single-worker path ({mono_qps:.1} qps)"
         );
         assert!(stages.iter().all(|s| s.items as usize >= n), "a stage lost jobs");
+        assert!(
+            avoids_counter_case,
+            "auto-router took the pipeline on the tiny-MLP counter-case \
+             (chose {})",
+            auto_tiny.chosen
+        );
     }
 
     let obj = vec![
@@ -176,6 +274,15 @@ fn main() {
                 s.push(("stages".to_string(), stages.to_json()));
                 s
             }),
+        ),
+        ("lane_sweep".to_string(), Json::Arr(sweep_rows)),
+        (
+            "auto_router".to_string(),
+            Json::Obj(vec![
+                ("default".to_string(), calibration_json(&auto_default)),
+                ("tiny_mlp".to_string(), calibration_json(&auto_tiny)),
+                ("avoids_counter_case".to_string(), avoids_counter_case.to_json()),
+            ]),
         ),
         (
             "counter_case".to_string(),
@@ -195,13 +302,16 @@ fn main() {
         ),
         (
             "notes".to_string(),
-            "Single host thread per stage; on a machine with fewer cores than stages the \
-             sustained-throughput win over the monolithic path comes from the stages' leaner \
-             datapath (pre-quantized packed weights, allocation-free forward) rather than from \
-             stage overlap; multi-core hosts additionally overlap lookup with the FC stages. \
-             Monolithic single-item predict re-quantizes weights on the fly and allocates per \
-             layer. Latency_us for the pipelined path is the full submit-to-result roundtrip \
-             of one job crossing every FIFO."
+            "Single host thread per stage (plus one per extra lane); on a machine with fewer \
+             cores than stages the sustained-throughput win over the monolithic path comes \
+             from the stages' leaner datapath (pre-quantized packed weights, allocation-free \
+             forward) rather than from stage overlap, and extra lanes only add time-slicing — \
+             multi-core hosts additionally overlap lookup with the FC stages and spread lanes \
+             across cores. Monolithic single-item predict re-quantizes weights on the fly and \
+             allocates per layer. Latency_us for the pipelined path is the full \
+             submit-to-result roundtrip of one job crossing every FIFO. The auto_router \
+             section records the startup calibration's measured service times and the \
+             cost-model decision for each model."
                 .to_string()
                 .to_json(),
         ),

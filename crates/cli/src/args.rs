@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use microrec_core::ExecutionMode;
 use microrec_embedding::{ModelSpec, Precision};
 use microrec_placement::AllocStrategy;
 
@@ -167,9 +168,10 @@ pub enum Command {
         queue_depth: usize,
         /// Reject (drop) requests on a full queue instead of blocking.
         reject: bool,
-        /// Run each worker as a staged dataflow pipeline instead of the
-        /// monolithic predict path.
-        pipelined: bool,
+        /// How each worker executes: monolithic (default), `--pipelined`
+        /// staged dataflow, `--replicated` staged dataflow with lookup
+        /// lanes, or `--auto` startup calibration picking the winner.
+        execution: ExecutionMode,
     },
     /// Print usage.
     Help,
@@ -265,7 +267,27 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                 .parse()
                 .map_err(|_| ArgError("bad --queue-depth value".into()))?,
             reject: has("--reject"),
-            pipelined: has("--pipelined"),
+            execution: {
+                let picked: Vec<(&str, ExecutionMode)> = [
+                    ("--pipelined", ExecutionMode::Pipelined),
+                    ("--replicated", ExecutionMode::Replicated),
+                    ("--auto", ExecutionMode::Auto),
+                ]
+                .into_iter()
+                .filter(|(flag, _)| has(flag))
+                .collect();
+                match picked.as_slice() {
+                    [] => ExecutionMode::Monolithic,
+                    [(_, mode)] => *mode,
+                    more => {
+                        let names: Vec<&str> = more.iter().map(|(f, _)| *f).collect();
+                        return Err(ArgError(format!(
+                            "pick one execution mode, got {}",
+                            names.join(" and ")
+                        )));
+                    }
+                }
+            },
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -283,7 +305,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
-  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto]
   microrec help
 ";
 
@@ -403,7 +425,7 @@ mod tests {
                 wait_us,
                 queue_depth,
                 reject,
-                pipelined,
+                execution,
                 ..
             } => {
                 assert!(live);
@@ -414,17 +436,34 @@ mod tests {
                 assert_eq!(wait_us, 1_500);
                 assert_eq!(queue_depth, 64);
                 assert!(reject);
-                assert!(pipelined);
+                assert_eq!(execution, ExecutionMode::Pipelined);
             }
             other => panic!("wrong command {other:?}"),
         }
         // Not passing the flag leaves the monolithic default.
         match parse(&argv("serve --live")).unwrap().command {
-            Command::Serve { pipelined, .. } => assert!(!pipelined),
+            Command::Serve { execution, .. } => {
+                assert_eq!(execution, ExecutionMode::Monolithic);
+            }
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse(&argv("serve --live --workers many")).is_err());
         assert!(parse(&argv("serve --live --wait-us -1")).is_err());
+    }
+
+    #[test]
+    fn execution_mode_flags_parse_and_conflict() {
+        for (flags, want) in
+            [("--replicated", ExecutionMode::Replicated), ("--auto", ExecutionMode::Auto)]
+        {
+            match parse(&argv(&format!("serve --live {flags}"))).unwrap().command {
+                Command::Serve { execution, .. } => assert_eq!(execution, want),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        let err = parse(&argv("serve --live --pipelined --auto")).unwrap_err();
+        assert!(err.0.contains("one execution mode"), "{err}");
+        assert!(parse(&argv("serve --live --replicated --pipelined --auto")).is_err());
     }
 
     #[test]

@@ -216,18 +216,23 @@ pub fn run_serve_live(
     let spec = model.to_spec();
     let trace = RequestTrace::generate(&spec, rate, queries, QueryGenConfig::default())?;
     let mut runtime = ServingRuntime::start(MicroRec::builder(spec.clone()), config)?;
+    let resolved = runtime.resolved_execution();
+    let plan_line = runtime.plan().map(|p| (p.summary(), p.fifo_depth, p.spin_rounds));
+    let calibration = runtime.calibration().cloned();
     let outcome = replay_trace(&runtime, &trace);
     let snap = runtime.shutdown();
     let mut s = String::new();
+    let mode = if config.execution == ExecutionMode::Auto {
+        format!("auto->{}", resolved.as_str())
+    } else {
+        resolved.as_str().to_string()
+    };
     writeln!(
         s,
         "model {} | live runtime: {} {} worker(s), max_batch {}, wait {} us, queue {} ({})",
         spec.name,
         config.workers,
-        match config.execution {
-            ExecutionMode::Monolithic => "monolithic",
-            ExecutionMode::Pipelined => "pipelined",
-        },
+        mode,
         config.max_batch,
         config.max_wait_us,
         config.queue_depth,
@@ -236,6 +241,17 @@ pub fn run_serve_live(
             AdmissionPolicy::Reject => "reject",
         },
     )?;
+    if let Some(cal) = &calibration {
+        writeln!(
+            s,
+            "auto:  monolithic {:.1} us vs pipelined {:.1} us per item \
+             (lookup {:.1} us, hop {:.1} us, {} core(s))",
+            cal.monolithic_us, cal.pipelined_us, cal.lookup_us, cal.hop_us, cal.cores,
+        )?;
+    }
+    if let Some((summary, fifo_depth, spin_rounds)) = &plan_line {
+        writeln!(s, "plan:  {summary} (fifo depth {fifo_depth}, spin {spin_rounds})")?;
+    }
     writeln!(
         s,
         "load:  {:.0} QPS offered, {:.0} QPS sustained ({} of {} completed, drop rate {:.2}%)",
@@ -265,7 +281,7 @@ pub fn run_serve_live(
     )?;
     if let Some(stages) = &snap.stages {
         for stage in stages {
-            writeln!(
+            write!(
                 s,
                 "stage {:>6}: {} items, {} stalls, {} backpressure, mean occupancy {:.2}",
                 stage.name,
@@ -274,6 +290,10 @@ pub fn run_serve_live(
                 stage.backpressure,
                 stage.mean_occupancy(),
             )?;
+            if stage.lanes > 1 {
+                write!(s, ", {} lanes", stage.lanes)?;
+            }
+            writeln!(s)?;
         }
     }
     Ok(s)
@@ -392,6 +412,41 @@ mod tests {
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("stage lookup"), "{out}");
         assert!(out.contains("stage   sink"), "{out}");
+    }
+
+    #[test]
+    fn serve_live_replicated_reports_lanes() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Replicated,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+        assert!(out.contains("replicated worker(s)"), "{out}");
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        assert!(out.contains("plan:  lookup x2"), "{out}");
+        assert!(out.contains("2 lanes"), "{out}");
+    }
+
+    #[test]
+    fn serve_live_auto_calibrates_and_routes() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Auto,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+        assert!(out.contains("auto->"), "{out}");
+        assert!(out.contains("auto:  monolithic"), "{out}");
+        assert!(out.contains("200 of 200 completed"), "{out}");
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn main() -> ExitCode {
             wait_us,
             queue_depth,
             reject,
-            pipelined,
+            execution,
         } => {
             if *live {
                 let config = microrec_core::RuntimeConfig {
@@ -67,11 +67,7 @@ fn main() -> ExitCode {
                     } else {
                         microrec_core::AdmissionPolicy::Block
                     },
-                    execution: if *pipelined {
-                        microrec_core::ExecutionMode::Pipelined
-                    } else {
-                        microrec_core::ExecutionMode::Monolithic
-                    },
+                    execution: *execution,
                 };
                 commands::run_serve_live(model, *rate, *queries, config)
             } else {

@@ -54,12 +54,15 @@ pub use explore::{best_fitting, derated_clock, explore_design_space, DesignPoint
 pub use hybrid_serving::{
     simulate_hybrid_serving, surviving_dram_fraction, HybridConfig, HybridReport,
 };
-pub use pipeline::{ExecutionMode, PipelineConfig, PipelineExecutor, StageSnapshot};
+pub use pipeline::{
+    Calibration, ExecutionMode, FcStage, PipelineConfig, PipelineExecutor, PipelinePlan,
+    StageSnapshot,
+};
 pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
 pub use report::{
-    end_to_end_report, AwsPrices, CostReport, CpuPoint, EmbeddingReport, EndToEndReport, FpgaPoint,
-    LookupCountersRecord, PipelineStageRecord, ServingFrontierRecord,
+    end_to_end_report, AwsPrices, CalibrationRecord, CostReport, CpuPoint, EmbeddingReport,
+    EndToEndReport, FpgaPoint, LookupCountersRecord, PipelineStageRecord, ServingFrontierRecord,
 };
 pub use runtime::{
     plan_batches, replay_trace, AdmissionPolicy, BatchClose, BatchFormerConfig, LatencyHistogram,

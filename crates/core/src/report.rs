@@ -17,7 +17,7 @@ use microrec_memsim::SimTime;
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
-use crate::pipeline::StageSnapshot;
+use crate::pipeline::{Calibration, PipelinePlan, StageSnapshot};
 use crate::runtime::{ReplayOutcome, RuntimeConfig, RuntimeLookupStats};
 
 /// One CPU operating point.
@@ -259,11 +259,15 @@ pub struct PipelineStageRecord {
     pub backpressure: u64,
     /// Mean input-FIFO occupancy observed at pop time.
     pub mean_occupancy: f64,
+    /// Parallel lanes the stage ran as (0 in records written before
+    /// replication existed; treat 0 and 1 the same).
+    pub lanes: u64,
 }
 
 microrec_json::impl_json_struct!(
     PipelineStageRecord,
-    required { stage, items, stalls, backpressure, mean_occupancy }
+    required { stage, items, stalls, backpressure, mean_occupancy },
+    default { lanes }
 );
 
 impl PipelineStageRecord {
@@ -276,6 +280,68 @@ impl PipelineStageRecord {
             stalls: snapshot.stalls,
             backpressure: snapshot.backpressure,
             mean_occupancy: snapshot.mean_occupancy(),
+            lanes: snapshot.lanes,
+        }
+    }
+}
+
+/// The auto-tuner's measured cost model and the topology it solved, in
+/// the form bench records persist (`BENCH_pipeline.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRecord {
+    /// Human-readable lane topology (see [`PipelinePlan::summary`]).
+    pub plan: String,
+    /// FIFO depth the plan settled on.
+    pub fifo_depth: u64,
+    /// SPSC spin budget the plan settled on.
+    pub spin_rounds: u64,
+    /// Measured gather + quantize time of the lookup stage (µs/item).
+    pub lookup_us: f64,
+    /// Measured per-layer packed forward times (µs/item, layer order).
+    pub layer_us: Vec<f64>,
+    /// Measured one-way cross-thread handoff cost (µs).
+    pub hop_us: f64,
+    /// Measured monolithic `predict` time (µs/item).
+    pub monolithic_us: f64,
+    /// Measured pilot run of the solved topology (µs/item).
+    pub pipelined_us: f64,
+    /// Core budget the solver worked with.
+    pub cores: u64,
+    /// The execution mode the cost model chose.
+    pub chosen: String,
+}
+
+microrec_json::impl_json_struct!(
+    CalibrationRecord,
+    required {
+        plan,
+        fifo_depth,
+        spin_rounds,
+        lookup_us,
+        layer_us,
+        hop_us,
+        monolithic_us,
+        pipelined_us,
+        cores,
+        chosen
+    }
+);
+
+impl CalibrationRecord {
+    /// Converts a calibration and its solved plan into the record form.
+    #[must_use]
+    pub fn from_calibration(calibration: &Calibration, plan: &PipelinePlan) -> Self {
+        CalibrationRecord {
+            plan: plan.summary(),
+            fifo_depth: plan.fifo_depth as u64,
+            spin_rounds: plan.spin_rounds as u64,
+            lookup_us: calibration.lookup_us,
+            layer_us: calibration.layer_us.clone(),
+            hop_us: calibration.hop_us,
+            monolithic_us: calibration.monolithic_us,
+            pipelined_us: calibration.pipelined_us,
+            cores: calibration.cores as u64,
+            chosen: calibration.choose(plan).as_str().to_string(),
         }
     }
 }

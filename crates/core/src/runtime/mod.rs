@@ -34,10 +34,15 @@ use std::time::{Duration, Instant};
 use crate::engine::{MicroRec, MicroRecBuilder};
 use crate::error::MicroRecError;
 use crate::pipeline::{
-    ExecutionMode, PipelineConfig, PipelineExecutor, PipelineShared, StageSnapshot,
+    Calibration, ExecutionMode, PipelineConfig, PipelineExecutor, PipelinePlan, PipelineShared,
+    StageSnapshot,
 };
 use crate::sync::{lock_or_recover, recover};
 use queue::{BoundedQueue, PushError};
+
+/// Calibration queries per micro-benchmark when [`ExecutionMode::Auto`]
+/// resolves at startup (a one-time cost before the first worker spawns).
+const AUTO_CALIBRATION_ROUNDS: usize = 48;
 
 /// What to do with a new request when the admission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,7 +68,9 @@ pub struct RuntimeConfig {
     /// Full-queue behavior.
     pub admission: AdmissionPolicy,
     /// How each worker executes inference: the classic monolithic
-    /// predict path, or the staged dataflow pipeline.
+    /// predict path, the staged dataflow pipeline (fixed or replicated
+    /// topology), or [`ExecutionMode::Auto`], which calibrates at
+    /// startup and routes on the measured cost model.
     pub execution: ExecutionMode,
 }
 
@@ -267,8 +274,8 @@ pub struct RuntimeSnapshot {
     pub mean_latency_us: f64,
     /// Enqueue→completion latency percentiles.
     pub latency: LatencyPercentiles,
-    /// Per-stage dataflow counters summed across workers, present only
-    /// under [`ExecutionMode::Pipelined`].
+    /// Per-stage dataflow counters summed across workers, present under
+    /// the staged modes (pipelined / replicated).
     pub stages: Option<Vec<StageSnapshot>>,
 }
 
@@ -296,6 +303,13 @@ pub struct ServingRuntime {
     queue: Arc<BoundedQueue<Request>>,
     stats: Arc<SharedStats>,
     config: RuntimeConfig,
+    /// The mode actually running ([`ExecutionMode::Auto`] resolves to a
+    /// concrete mode at startup).
+    resolved: ExecutionMode,
+    /// The staged topology in use (`None` under monolithic execution).
+    plan: Option<PipelinePlan>,
+    /// The startup cost model, when the runtime calibrated (`Auto` only).
+    calibration: Option<Calibration>,
     expected_arity: usize,
     /// `(arena format, cache rows per worker)` when the engines cache.
     lookup_meta: Option<(&'static str, usize)>,
@@ -328,23 +342,61 @@ impl ServingRuntime {
         // share it read-only across all worker replicas (worker memory no
         // longer scales with the arena size).
         builder.prepare_shared_arena()?;
-        let mut engines = Vec::with_capacity(config.workers);
-        let mut expected_arity = 0;
-        let mut lookup_meta = None;
-        for _ in 0..config.workers {
+        // Pre-warm: one full-width dummy batch builds the packed weights
+        // and sizes the arena, then the stats reset hides it.
+        let warm_engine = |builder: &MicroRecBuilder| -> Result<MicroRec, MicroRecError> {
             let mut engine = builder.clone().build()?;
-            if let Some(cache) = engine.hot_row_cache() {
-                let format = engine.arena().map_or("f32", |a| a.format().as_str());
-                lookup_meta = Some((format, cache.capacity()));
-            }
-            expected_arity =
-                engine.model().num_tables() * engine.model().lookups_per_table as usize;
-            // Pre-warm: one full-width dummy batch builds the packed
-            // weights and sizes the arena, then the stats reset hides it.
-            let warm = vec![vec![0u64; expected_arity]; config.max_batch];
+            let arity = engine.model().num_tables() * engine.model().lookups_per_table as usize;
+            let warm = vec![vec![0u64; arity]; config.max_batch];
             engine.predict_batch(&warm)?;
             engine.reset_stats();
-            engines.push(engine);
+            Ok(engine)
+        };
+        // Resolve what actually runs. `Auto` calibrates one replica up
+        // front and routes on the measured cost model; every already-built
+        // replica is recycled into the worker pool.
+        let mut engines: Vec<MicroRec> = Vec::new();
+        let (resolved, plan, calibration) = match config.execution {
+            ExecutionMode::Monolithic => (ExecutionMode::Monolithic, None, None),
+            ExecutionMode::Pipelined => {
+                let engine = warm_engine(&builder)?;
+                let layers = engine.model().hidden.len() + 1;
+                engines.push(engine);
+                let plan = PipelinePlan::per_layer(layers, PipelineConfig::default().fifo_depth);
+                (ExecutionMode::Pipelined, Some(plan), None)
+            }
+            ExecutionMode::Replicated => {
+                let engine = warm_engine(&builder)?;
+                let layers = engine.model().hidden.len() + 1;
+                engines.push(engine);
+                let plan =
+                    PipelinePlan::replicated_default(layers, PipelineConfig::default().fifo_depth);
+                (ExecutionMode::Replicated, Some(plan), None)
+            }
+            ExecutionMode::Auto => {
+                let probe = warm_engine(&builder)?;
+                let (mut engine, plan, calibration) = PipelinePlan::calibrate(
+                    probe,
+                    microrec_par::default_threads(),
+                    AUTO_CALIBRATION_ROUNDS,
+                )?;
+                engine.reset_stats();
+                engines.push(engine);
+                let mode = calibration.choose(&plan);
+                let plan = if mode == ExecutionMode::Monolithic { None } else { Some(plan) };
+                (mode, plan, Some(calibration))
+            }
+        };
+        let lanes_per_worker = plan.as_ref().map_or(1, |p| p.lookup_lanes.max(1));
+        while engines.len() < config.workers * lanes_per_worker {
+            engines.push(warm_engine(&builder)?);
+        }
+        let expected_arity =
+            engines[0].model().num_tables() * engines[0].model().lookups_per_table as usize;
+        let mut lookup_meta = None;
+        if let Some(cache) = engines[0].hot_row_cache() {
+            let format = engines[0].arena().map_or("f32", |a| a.format().as_str());
+            lookup_meta = Some((format, cache.capacity()));
         }
 
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
@@ -358,31 +410,44 @@ impl ServingRuntime {
         let stats = Arc::new(stats);
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers);
         let mut pipelines = Vec::new();
-        for (id, engine) in engines.into_iter().enumerate() {
+        let mut engine_pool = engines.into_iter();
+        for id in 0..config.workers {
+            let mut lane_engines: Vec<MicroRec> =
+                engine_pool.by_ref().take(lanes_per_worker).collect();
             let spawned =
                 std::thread::Builder::new().name(format!("microrec-worker-{id}")).spawn({
                     let queue = Arc::clone(&queue);
                     let stats = Arc::clone(&stats);
-                    match config.execution {
-                        ExecutionMode::Monolithic => Box::new(move || {
-                            worker_loop_monolithic(engine, &queue, &stats, config);
-                        })
-                            as Box<dyn FnOnce() + Send>,
-                        ExecutionMode::Pipelined => {
-                            // Decompose this worker's replica into its staged
-                            // pipeline before spawning, so spawn failures and
+                    match &plan {
+                        None => {
+                            let Some(engine) = lane_engines.pop() else {
+                                // Unreachable: the pool is sized above.
+                                queue.close();
+                                for worker in workers {
+                                    let _ = worker.join();
+                                }
+                                return Err(MicroRecError::Runtime(
+                                    "worker engine pool exhausted".into(),
+                                ));
+                            };
+                            Box::new(move || {
+                                worker_loop_monolithic(engine, &queue, &stats, config);
+                            }) as Box<dyn FnOnce() + Send>
+                        }
+                        Some(plan) => {
+                            // Decompose this worker's replicas into stage
+                            // lanes before spawning, so spawn failures and
                             // build failures surface here.
-                            let executor =
-                                match PipelineExecutor::new(engine, PipelineConfig::default()) {
-                                    Ok(executor) => executor,
-                                    Err(e) => {
-                                        queue.close();
-                                        for worker in workers {
-                                            let _ = worker.join();
-                                        }
-                                        return Err(e);
+                            let executor = match PipelineExecutor::with_plan(lane_engines, plan) {
+                                Ok(executor) => executor,
+                                Err(e) => {
+                                    queue.close();
+                                    for worker in workers {
+                                        let _ = worker.join();
                                     }
-                                };
+                                    return Err(e);
+                                }
+                            };
                             pipelines.push(Arc::clone(executor.shared()));
                             Box::new(move || {
                                 worker_loop_pipelined(executor, &queue, &stats, config);
@@ -403,13 +468,46 @@ impl ServingRuntime {
                 }
             }
         }
-        Ok(ServingRuntime { queue, stats, config, expected_arity, lookup_meta, pipelines, workers })
+        Ok(ServingRuntime {
+            queue,
+            stats,
+            config,
+            resolved,
+            plan,
+            calibration,
+            expected_arity,
+            lookup_meta,
+            pipelines,
+            workers,
+        })
     }
 
     /// The active configuration (after clamping zero knobs to 1).
     #[must_use]
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// The execution mode actually running. Equal to
+    /// `config().execution` except under [`ExecutionMode::Auto`], which
+    /// resolves to the calibrated winner at startup.
+    #[must_use]
+    pub fn resolved_execution(&self) -> ExecutionMode {
+        self.resolved
+    }
+
+    /// The staged lane topology the workers run, or `None` under
+    /// monolithic execution.
+    #[must_use]
+    pub fn plan(&self) -> Option<&PipelinePlan> {
+        self.plan.as_ref()
+    }
+
+    /// The startup cost model, when the runtime calibrated (only under
+    /// [`ExecutionMode::Auto`]).
+    #[must_use]
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
     }
 
     /// Current admission-queue depth.
@@ -485,8 +583,9 @@ impl ServingRuntime {
     }
 
     /// Per-stage pipeline counters summed across workers (stage `i` of
-    /// every worker contributes to entry `i`), or `None` under
-    /// [`ExecutionMode::Monolithic`].
+    /// every worker contributes to entry `i`), or `None` under monolithic
+    /// execution. `lanes` is a topology fact, identical across workers,
+    /// so it is carried through rather than summed.
     fn merged_stage_stats(&self) -> Option<Vec<StageSnapshot>> {
         let first = self.pipelines.first()?;
         let mut merged = first.snapshots();
@@ -638,11 +737,11 @@ fn worker_loop_monolithic(
 /// it through the staged dataflow executor, deliver results, record
 /// latencies.
 ///
-/// Hot-row-cache counters live inside the lookup stage's engine (it moved
-/// onto the stage thread), so unlike the monolithic loop they cannot be
-/// published per batch; the totals land in the shared stats once, when
-/// the drain completes and [`PipelineExecutor::shutdown`] hands the
-/// engine back.
+/// Hot-row-cache counters live inside the lookup lanes' engines (they
+/// moved onto the stage threads), so unlike the monolithic loop they
+/// cannot be published per batch; each lane's totals land in the shared
+/// stats exactly once, when the drain completes and
+/// [`PipelineExecutor::shutdown_all`] hands every lane engine back.
 fn worker_loop_pipelined(
     mut executor: PipelineExecutor,
     queue: &BoundedQueue<Request>,
@@ -694,10 +793,12 @@ fn worker_loop_pipelined(
             }
         }
     }
-    // Queue drained: stop the stages and publish the cache totals their
-    // engine accumulated (None only if the lookup stage panicked, in
-    // which case its counters died with it).
-    if let Some(engine) = executor.shutdown() {
+    // Queue drained: stop the stages and publish the cache totals each
+    // lookup lane's engine accumulated. Every lane publishes exactly once
+    // here — its own totals, never another lane's — so the shared counts
+    // are a plain sum with no double-counting. A lane that panicked is
+    // absent from the list and its counters died with it.
+    for engine in executor.shutdown_all() {
         if let Some(cache) = engine.hot_row_cache() {
             let mut shared = lock_or_recover(&stats.lookup_tables);
             for (&h, slot) in cache.per_table_hits().iter().zip(&mut shared.hits) {

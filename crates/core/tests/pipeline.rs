@@ -1,11 +1,12 @@
 //! End-to-end tests for the staged dataflow pipeline: bit-identity with
 //! the monolithic predict path across every precision × arena-format ×
-//! cache combination, clean shutdown drain through the serving runtime,
-//! and stage-failure containment.
+//! cache combination (including replicated lane topologies), clean
+//! shutdown drain through the serving runtime, auto-mode calibration,
+//! per-lane cache-counter merging, and stage-failure containment.
 
 use microrec_core::{
-    ExecutionMode, MicroRec, MicroRecBuilder, PipelineConfig, PipelineExecutor, RuntimeConfig,
-    ServingRuntime,
+    ExecutionMode, MicroRec, MicroRecBuilder, PipelineConfig, PipelineExecutor, PipelinePlan,
+    RuntimeConfig, ServingRuntime,
 };
 use microrec_embedding::{ModelSpec, Precision, RowFormat, TableSpec};
 
@@ -195,6 +196,174 @@ fn poisoned_stage_fails_items_without_wedging() {
     assert!(exec.predict(&q).is_err());
     assert!(exec.predict_batch(&[q.clone(), q]).is_err());
     assert!(exec.shutdown().is_some(), "lookup stage survived and returns its engine");
+}
+
+/// A lane topology for the 3-layer small model: `lanes` lookup lanes and
+/// `lanes` lanes on the first fc stage, so the mesh fans out and back in
+/// on both sides of a join.
+fn replicated_plan(lanes: usize) -> PipelinePlan {
+    let mut plan = PipelinePlan::per_layer(3, PipelineConfig::default().fifo_depth);
+    plan.lookup_lanes = lanes;
+    plan.fc[0].lanes = lanes;
+    plan
+}
+
+#[test]
+fn replicated_lanes_are_bit_identical_and_ordered_everywhere() {
+    let queries = small_queries(30);
+    for precision in [Precision::F32, Precision::Fixed16, Precision::Fixed32] {
+        for (label, configure) in [
+            ("no cache", (|b| b) as fn(MicroRecBuilder) -> MicroRecBuilder),
+            ("f16 arena + cache", |b| b.embedding_arena(RowFormat::F16).hot_row_cache(128)),
+        ] {
+            let mut mono = configure(small_builder(precision)).build().unwrap();
+            let want: Vec<f32> = queries.iter().map(|q| mono.predict(q).unwrap()).collect();
+            for lanes in [1usize, 2, 3] {
+                let engines: Vec<MicroRec> = (0..lanes)
+                    .map(|_| configure(small_builder(precision)).build().unwrap())
+                    .collect();
+                let mut exec =
+                    PipelineExecutor::with_plan(engines, &replicated_plan(lanes)).unwrap();
+                // predict_batch checks order restoration too: result i
+                // must belong to query i even though lanes race.
+                let got = exec.predict_batch(&queries).unwrap();
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{precision:?} / {label} / {lanes} lanes: query {i} diverged"
+                    );
+                }
+                let engines = exec.shutdown_all();
+                assert_eq!(engines.len(), lanes, "every lane engine comes back");
+            }
+        }
+    }
+}
+
+#[test]
+fn replicated_runtime_drains_cleanly_and_reports_lanes() {
+    let queries = small_queries(300);
+    let mut mono = small_builder(Precision::Fixed16).build().unwrap();
+    let expected: Vec<f32> = queries.iter().map(|q| mono.predict(q).unwrap()).collect();
+
+    let config = RuntimeConfig {
+        workers: 1,
+        max_batch: 16,
+        max_wait_us: 2_000,
+        execution: ExecutionMode::Replicated,
+        ..RuntimeConfig::default()
+    };
+    let mut runtime = ServingRuntime::start(small_builder(Precision::Fixed16), config).unwrap();
+    assert_eq!(runtime.resolved_execution(), ExecutionMode::Replicated);
+    assert_eq!(runtime.plan().expect("replicated runtime has a plan").lookup_lanes, 2);
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    let snapshot = runtime.shutdown();
+
+    assert_eq!(snapshot.completed, 300);
+    assert_eq!(snapshot.failed, 0);
+    for (p, e) in pending.into_iter().zip(&expected) {
+        let got = p.wait().expect("every admitted request completes");
+        assert_eq!(got.to_bits(), e.to_bits(), "replicated runtime diverged from monolithic");
+    }
+
+    let stages = snapshot.stages.expect("replicated runtime publishes stage counters");
+    assert_eq!(stages[0].name, "lookup");
+    assert_eq!(stages[0].lanes, 2, "lookup runs as two lanes");
+    for stage in &stages {
+        assert_eq!(stage.items, 300, "stage {} lost jobs across its lanes", stage.name);
+    }
+}
+
+#[test]
+fn auto_runtime_calibrates_routes_and_serves() {
+    let queries = small_queries(100);
+    let mut mono = small_builder(Precision::Fixed16).build().unwrap();
+    let expected: Vec<f32> = queries.iter().map(|q| mono.predict(q).unwrap()).collect();
+
+    let config = RuntimeConfig {
+        workers: 1,
+        max_batch: 16,
+        execution: ExecutionMode::Auto,
+        ..RuntimeConfig::default()
+    };
+    let mut runtime = ServingRuntime::start(small_builder(Precision::Fixed16), config).unwrap();
+    let resolved = runtime.resolved_execution();
+    assert_ne!(resolved, ExecutionMode::Auto, "auto resolves to a concrete mode at startup");
+    let calibration = runtime.calibration().expect("auto keeps its cost model").clone();
+    assert!(calibration.monolithic_us > 0.0);
+    assert!(calibration.pipelined_us > 0.0);
+    assert_eq!(calibration.layer_us.len(), 3, "one service time per MLP layer");
+
+    let pending: Vec<_> =
+        queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")).collect();
+    let snapshot = runtime.shutdown();
+    assert_eq!(snapshot.completed, 100);
+    for (p, e) in pending.into_iter().zip(&expected) {
+        let got = p.wait().expect("predict");
+        assert_eq!(got.to_bits(), e.to_bits(), "auto-routed runtime diverged from monolithic");
+    }
+}
+
+#[test]
+fn replicated_cache_counters_merge_without_double_counting() {
+    // The same workload through a single-lane pipelined runtime and a
+    // two-lane replicated one. Each lookup lane owns a private cache, so
+    // hit/miss splits differ, but the merged totals must account for
+    // every row lookup exactly once in both topologies.
+    let queries = small_queries(20);
+    let rows_per_query = 6 * 4; // tables x lookups_per_table
+    let repeats = 5;
+    let expected_lookups = (queries.len() * repeats * rows_per_query) as u64;
+
+    let mut totals = Vec::new();
+    for execution in [ExecutionMode::Pipelined, ExecutionMode::Replicated] {
+        let config = RuntimeConfig { workers: 1, max_batch: 8, execution, ..Default::default() };
+        let builder =
+            small_builder(Precision::Fixed16).embedding_arena(RowFormat::F16).hot_row_cache(256);
+        let mut runtime = ServingRuntime::start(builder, config).unwrap();
+        let pending: Vec<_> = (0..repeats)
+            .flat_map(|_| queries.iter().map(|q| runtime.submit(q.clone()).expect("submit")))
+            .collect();
+        for p in pending {
+            p.wait().expect("predict");
+        }
+        runtime.shutdown();
+        let stats = runtime.lookup_stats().expect("cache-enabled runtime exposes lookup stats");
+        assert!(stats.hits > 0, "{execution:?}: repeated queries must hit the cache");
+        assert_eq!(
+            stats.hits + stats.misses,
+            expected_lookups,
+            "{execution:?}: every lookup counted exactly once"
+        );
+        let per_table: u64 = stats.per_table_hits.iter().chain(&stats.per_table_misses).sum();
+        assert_eq!(per_table, expected_lookups, "{execution:?}: per-table totals agree");
+        totals.push(stats.hits + stats.misses);
+    }
+    assert_eq!(totals[0], totals[1], "lane count must not change the lookup total");
+}
+
+#[test]
+fn replicated_poisoned_lane_fails_items_without_wedging() {
+    let engines: Vec<MicroRec> =
+        (0..2).map(|_| small_builder(Precision::Fixed16).build().unwrap()).collect();
+    let mut exec = PipelineExecutor::with_plan(engines, &replicated_plan(2)).unwrap();
+    let q = small_queries(1).remove(0);
+    assert!(exec.predict(&q).is_ok());
+    assert!(exec.is_healthy());
+
+    // Poison the replicated fc stage: one of its lanes panics on the next
+    // job. The lane guard closes that lane's rings, the close cascades
+    // through the join, and predicts fail instead of hanging.
+    exec.poison_stage(1);
+    assert!(exec.predict(&q).is_err(), "job through a dead lane must fail");
+    assert!(!exec.is_healthy(), "executor reports the poisoning");
+    assert!(exec.predict(&q).is_err());
+    assert!(exec.predict_batch(&[q.clone(), q]).is_err());
+    // The lookup lanes survive the downstream fault and hand their
+    // engines back.
+    assert!(!exec.shutdown_all().is_empty(), "surviving lanes return their engines");
 }
 
 #[test]

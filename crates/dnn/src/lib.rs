@@ -47,7 +47,7 @@ pub use gemm::{
 pub use interaction::{concat, elementwise_mul, weighted_sum, FeatureInteraction};
 pub use layer::{Activation, DenseLayer};
 pub use mlp::Mlp;
-pub use packed::{PackedLayer, PackedMlp};
+pub use packed::{forward_layers, PackedLayer, PackedMlp};
 pub use quant::{QuantScale, QuantizedMlp};
 pub use scratch::ScratchArena;
 pub use tensor::Matrix;

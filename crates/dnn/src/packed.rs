@@ -74,6 +74,32 @@ impl<T: FixedNum> PackedLayer<T> {
     }
 }
 
+/// Forwards `data` through `layers` in order, ping-ponging between
+/// `data` and `scratch`; the final activation ends up back in `data`.
+///
+/// This is the kernel of a *fused* dataflow-pipeline stage: a stage that
+/// owns several consecutive layers runs them back to back on one thread
+/// with a single reusable scratch buffer (one per lane), instead of
+/// paying a FIFO hop between layers. Driving [`PackedLayer::forward_batch`]
+/// per layer keeps it bit-identical to the unfused per-stage path.
+///
+/// # Errors
+///
+/// Returns [`DnnError::ShapeMismatch`] if `data.len()` is not
+/// `batch * input_dim` of the next layer at any step.
+pub fn forward_layers<T: FixedNum>(
+    layers: &[PackedLayer<T>],
+    batch: usize,
+    data: &mut Vec<T>,
+    scratch: &mut Vec<T>,
+) -> Result<(), DnnError> {
+    for layer in layers {
+        layer.forward_batch(data, batch, scratch)?;
+        std::mem::swap(data, scratch);
+    }
+    Ok(())
+}
+
 /// An [`Mlp`] snapshot with per-layer pre-quantized, pre-transposed
 /// weights: the batched inference fast path.
 ///

@@ -1,0 +1,559 @@
+//! Bounded fan-out / fan-in over SPSC rings, with an order-restoring
+//! reorder buffer at the join.
+//!
+//! The software analogue of replicating a pipeline stage across N
+//! parallel lanes: a single producer deals seq-numbered items round-robin
+//! over N rings ([`FanOut`]), each lane consumes its own ring (so every
+//! ring keeps the strict single-producer / single-consumer contract of
+//! [`SpscRing`]), and the join side ([`FanIn`]) re-emits items in global
+//! sequence order. Because dispatch is deterministic round-robin and each
+//! ring is FIFO, the next-expected item is always at the head of a known
+//! ring; the [`ReorderBuffer`] exists to *drain fast lanes early* — items
+//! that arrive ahead of their turn are parked in pre-allocated slots,
+//! freeing their ring slots so a fast lane is not backpressured by a slow
+//! sibling.
+//!
+//! Two stages with different lane counts (P producers, C consumers) are
+//! connected by a P×C ring mesh: producer lane `p` pushes item `q` to
+//! ring `[p][q mod C]`, consumer lane `c` pops its rings following the
+//! deterministic cycle `(c + k·C) mod P`. Both sides are expressed with
+//! the same two primitives by handing them the cyclic ring *schedule*;
+//! with P = C = 1 they degenerate to a single plain ring.
+//!
+//! Everything here is allocation-free at steady state (construction
+//! allocates the schedules and the reorder slots once) and `unsafe`-free
+//! like the rest of the crate.
+
+use std::sync::Arc;
+
+use crate::spsc::{SpscPushError, SpscRing};
+
+/// An item that knows its position in the global submission order.
+///
+/// [`FanIn`] uses the sequence number to restore output order at the
+/// join; [`FanOut`] does not need it (dispatch order *defines* the
+/// sequence) but the two are documented together because the numbers
+/// must agree: the k-th item pushed into a [`FanOut`] must report
+/// `first_seq + k * stride` of the consuming [`FanIn`].
+pub trait Sequenced {
+    /// This item's global sequence number.
+    fn seq(&self) -> u64;
+}
+
+impl Sequenced for u64 {
+    fn seq(&self) -> u64 {
+        *self
+    }
+}
+
+/// Fixed-capacity holding pen for items that arrived ahead of their
+/// turn. Slots are pre-allocated; insert and take are linear scans over
+/// the (small) slot array, so the steady state never allocates.
+#[derive(Debug)]
+pub struct ReorderBuffer<T: Sequenced> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T: Sequenced> ReorderBuffer<T> {
+    /// A buffer holding up to `capacity` out-of-order items (clamped to
+    /// ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(capacity.max(1), || None);
+        ReorderBuffer { slots, len: 0 }
+    }
+
+    /// Maximum number of parked items.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Items currently parked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every slot is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Parks `item` until its sequence number comes up.
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back when the buffer is full.
+    pub fn insert(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        for slot in &mut self.slots {
+            if slot.is_none() {
+                *slot = Some(item);
+                self.len += 1;
+                return Ok(());
+            }
+        }
+        unreachable!("len < capacity implies an empty slot");
+    }
+
+    /// Removes and returns the parked item with sequence `seq`, if any.
+    pub fn take(&mut self, seq: u64) -> Option<T> {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|item| item.seq() == seq) {
+                self.len -= 1;
+                return slot.take();
+            }
+        }
+        None
+    }
+}
+
+/// Single-producer round-robin dispatcher over N SPSC rings.
+///
+/// The k-th pushed item goes to `rings[schedule[k mod schedule.len()]]`;
+/// with the identity schedule `[0, 1, …, N-1]` that is plain round-robin
+/// over the lanes. The producer side of every ring belongs exclusively
+/// to this `FanOut`, preserving the SPSC contract per ring.
+#[derive(Debug)]
+pub struct FanOut<T> {
+    rings: Vec<Arc<SpscRing<T>>>,
+    schedule: Vec<usize>,
+    cursor: usize,
+}
+
+impl<T> FanOut<T> {
+    /// A dispatcher over `rings` following the cyclic `schedule` of ring
+    /// indices. An empty schedule defaults to the identity round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rings` is empty or a schedule entry is out of range
+    /// (construction-time misuse, never data-dependent).
+    #[must_use]
+    pub fn new(rings: Vec<Arc<SpscRing<T>>>, schedule: Vec<usize>) -> Self {
+        assert!(!rings.is_empty(), "FanOut needs at least one ring");
+        let schedule = if schedule.is_empty() { (0..rings.len()).collect() } else { schedule };
+        assert!(
+            schedule.iter().all(|&r| r < rings.len()),
+            "FanOut schedule references a ring that does not exist"
+        );
+        FanOut { rings, schedule, cursor: 0 }
+    }
+
+    /// Number of lanes (rings) this dispatcher feeds.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The ring the next push targets.
+    fn target(&self) -> &SpscRing<T> {
+        &self.rings[self.schedule[self.cursor]]
+    }
+
+    /// Whether the next push would block (target ring at capacity).
+    #[must_use]
+    pub fn would_block(&self) -> bool {
+        let target = self.target();
+        target.len() >= target.capacity()
+    }
+
+    /// Attempts to push without blocking; the cursor advances only on
+    /// success, so a `Full` rejection retries the same lane (dispatch
+    /// order is part of the ordering contract and never skips ahead).
+    ///
+    /// # Errors
+    ///
+    /// [`SpscPushError::Full`] or [`SpscPushError::Closed`], with the
+    /// item riding back.
+    pub fn try_push(&mut self, item: T) -> Result<(), SpscPushError<T>> {
+        self.target().try_push(item)?;
+        self.advance();
+        Ok(())
+    }
+
+    /// Pushes, blocking while the target lane is full.
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back if the target ring is closed.
+    pub fn push_blocking(&mut self, item: T) -> Result<(), T> {
+        self.target().push_blocking(item)?;
+        self.advance();
+        Ok(())
+    }
+
+    /// Closes every lane (idempotent; see [`SpscRing::close`]).
+    pub fn close_all(&self) {
+        for ring in &self.rings {
+            ring.close();
+        }
+    }
+
+    fn advance(&mut self) {
+        self.cursor += 1;
+        if self.cursor == self.schedule.len() {
+            self.cursor = 0;
+        }
+    }
+}
+
+/// Single-consumer order-restoring join over N SPSC rings.
+///
+/// Expects item `first_seq + k * stride` to arrive on ring
+/// `schedule[k mod schedule.len()]` (the mirror of the producer side's
+/// round-robin dispatch). [`FanIn::pop`] emits items in exactly that
+/// sequence order; while the expected lane is empty it eagerly drains
+/// the other lanes into the [`ReorderBuffer`], so a fast lane's ring
+/// never stays full just because a slow sibling holds the next turn.
+#[derive(Debug)]
+pub struct FanIn<T: Sequenced> {
+    rings: Vec<Arc<SpscRing<T>>>,
+    schedule: Vec<usize>,
+    cursor: usize,
+    reorder: ReorderBuffer<T>,
+    next_seq: u64,
+    stride: u64,
+}
+
+impl<T: Sequenced> FanIn<T> {
+    /// A join over `rings` following the cyclic `schedule`, expecting
+    /// sequence numbers `first_seq, first_seq + stride, …`. The reorder
+    /// buffer holds up to `reorder_capacity` early items (clamped ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rings` is empty, a schedule entry is out of range, or
+    /// `stride` is 0 (construction-time misuse, never data-dependent).
+    #[must_use]
+    pub fn new(
+        rings: Vec<Arc<SpscRing<T>>>,
+        schedule: Vec<usize>,
+        first_seq: u64,
+        stride: u64,
+        reorder_capacity: usize,
+    ) -> Self {
+        assert!(!rings.is_empty(), "FanIn needs at least one ring");
+        assert!(stride > 0, "FanIn stride must be positive");
+        let schedule = if schedule.is_empty() { (0..rings.len()).collect() } else { schedule };
+        assert!(
+            schedule.iter().all(|&r| r < rings.len()),
+            "FanIn schedule references a ring that does not exist"
+        );
+        FanIn {
+            rings,
+            schedule,
+            cursor: 0,
+            reorder: ReorderBuffer::new(reorder_capacity),
+            next_seq: first_seq,
+            stride,
+        }
+    }
+
+    /// Number of lanes (rings) this join collects from.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The sequence number the next [`FanIn::pop`] will emit.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether the next item is already available (no blocking needed).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        !self.reorder.take_would_miss(self.next_seq) || !self.expected_ring().is_empty()
+    }
+
+    /// Items visible to the join right now: parked early arrivals plus
+    /// whatever sits in the expected lane (including the next item).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.reorder.len() + self.expected_ring().len()
+    }
+
+    /// Whether the lane the next item is scheduled on has been closed
+    /// (a blocked [`FanIn::pop`] will not wait forever; counters can
+    /// tell a shutdown apart from a genuine stall).
+    #[must_use]
+    pub fn expected_closed(&self) -> bool {
+        self.expected_ring().is_closed()
+    }
+
+    fn expected_ring(&self) -> &SpscRing<T> {
+        &self.rings[self.schedule[self.cursor]]
+    }
+
+    /// Pops the next item in sequence order. Blocks while the expected
+    /// lane is empty and open; returns `None` once the expected lane is
+    /// closed and drained (the lane died or the pipeline shut down —
+    /// order past the break cannot be restored, so parked later items
+    /// are dropped with the join).
+    pub fn pop(&mut self) -> Option<T> {
+        if let Some(item) = self.reorder.take(self.next_seq) {
+            return Some(self.emit(item));
+        }
+        loop {
+            // The next item can only surface at the head of the expected
+            // ring: dispatch was round-robin and each ring is FIFO.
+            if let Some(item) = self.expected_ring().try_pop() {
+                debug_assert_eq!(item.seq(), self.next_seq, "lane delivered out of schedule");
+                return Some(self.emit(item));
+            }
+            // Expected lane empty: drain the other lanes into the
+            // reorder buffer so their producers keep moving.
+            self.drain_early();
+            let ring = self.expected_ring();
+            if ring.is_empty() {
+                if ring.is_closed() {
+                    // One final race check, mirroring SpscRing::pop_blocking.
+                    if let Some(item) = ring.try_pop() {
+                        return Some(self.emit(item));
+                    }
+                    return None;
+                }
+                // Park on the expected ring; it is the only place the
+                // next item can appear.
+                let item = ring.pop_blocking()?;
+                debug_assert_eq!(item.seq(), self.next_seq, "lane delivered out of schedule");
+                return Some(self.emit(item));
+            }
+        }
+    }
+
+    /// Moves early arrivals from non-expected lanes into the reorder
+    /// buffer while there is space for them.
+    fn drain_early(&mut self) {
+        let expected = self.schedule[self.cursor];
+        for (index, ring) in self.rings.iter().enumerate() {
+            if index == expected {
+                continue;
+            }
+            while !self.reorder.is_full() {
+                match ring.try_pop() {
+                    Some(item) => {
+                        // Space was checked above, so insert cannot fail.
+                        let _ = self.reorder.insert(item);
+                    }
+                    None => break,
+                }
+            }
+            if self.reorder.is_full() {
+                break;
+            }
+        }
+    }
+
+    fn emit(&mut self, item: T) -> T {
+        self.cursor += 1;
+        if self.cursor == self.schedule.len() {
+            self.cursor = 0;
+        }
+        self.next_seq += self.stride;
+        item
+    }
+
+    /// Closes every lane (idempotent; see [`SpscRing::close`]).
+    pub fn close_all(&self) {
+        for ring in &self.rings {
+            ring.close();
+        }
+    }
+}
+
+impl<T: Sequenced> ReorderBuffer<T> {
+    /// Whether `take(seq)` would find nothing (helper for
+    /// [`FanIn::is_ready`] without consuming the item).
+    fn take_would_miss(&self, seq: u64) -> bool {
+        !self.slots.iter().any(|slot| slot.as_ref().is_some_and(|item| item.seq() == seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rings(n: usize, depth: usize) -> Vec<Arc<SpscRing<u64>>> {
+        (0..n).map(|_| Arc::new(SpscRing::new(depth))).collect()
+    }
+
+    #[test]
+    fn reorder_buffer_parks_and_releases_by_seq() {
+        let mut buf: ReorderBuffer<u64> = ReorderBuffer::new(3);
+        assert!(buf.is_empty());
+        buf.insert(7).unwrap();
+        buf.insert(5).unwrap();
+        buf.insert(9).unwrap();
+        assert!(buf.is_full());
+        assert_eq!(buf.insert(11).unwrap_err(), 11, "full buffer hands the item back");
+        assert_eq!(buf.take(6), None);
+        assert_eq!(buf.take(5), Some(5));
+        assert_eq!(buf.take(5), None, "taken items leave the buffer");
+        assert_eq!(buf.take(9), Some(9));
+        assert_eq!(buf.take(7), Some(7));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn fanout_round_robin_then_fanin_restores_order() {
+        for lanes in [1usize, 2, 3, 5] {
+            let shared = rings(lanes, 4);
+            let mut out = FanOut::new(shared.clone(), Vec::new());
+            let mut join = FanIn::new(shared, Vec::new(), 0, 1, 8);
+            let mut emitted = Vec::new();
+            let mut next = 0u64;
+            // Interleave pushes and pops so the rings never overflow.
+            while next < 64 || emitted.len() < 64 {
+                while next < 64 && !out.would_block() {
+                    out.try_push(next).unwrap();
+                    next += 1;
+                }
+                if emitted.len() < 64 {
+                    emitted.push(join.pop().unwrap());
+                }
+            }
+            assert_eq!(emitted, (0..64).collect::<Vec<u64>>(), "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn mesh_schedules_cross_lane_counts() {
+        // 3 producers x 2 consumers: producer p pushes item q to mesh
+        // ring [p][q % 2]; consumer c pops ring [(c + 2k) % 3][c].
+        let (producers, consumers) = (3u64, 2u64);
+        let mesh: Vec<Vec<Arc<SpscRing<u64>>>> =
+            (0..producers).map(|_| rings(consumers as usize, 4)).collect();
+        let total = 60u64;
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let row = mesh[p as usize].clone();
+                scope.spawn(move || {
+                    let schedule: Vec<usize> = (0..consumers)
+                        .map(|k| ((p + k * producers) % consumers) as usize)
+                        .collect();
+                    let mut out = FanOut::new(row, schedule);
+                    let mut q = p;
+                    while q < total {
+                        out.push_blocking(q).unwrap();
+                        q += producers;
+                    }
+                    out.close_all();
+                });
+            }
+            for c in 0..consumers {
+                let column: Vec<Arc<SpscRing<u64>>> =
+                    mesh.iter().map(|row| row[c as usize].clone()).collect();
+                scope.spawn(move || {
+                    let period = (producers / gcd(consumers, producers)) as usize;
+                    let schedule: Vec<usize> = (0..period as u64)
+                        .map(|k| ((c + k * consumers) % producers) as usize)
+                        .collect();
+                    let mut join = FanIn::new(column, schedule, c, consumers, 16);
+                    let mut want = c;
+                    while let Some(item) = join.pop() {
+                        assert_eq!(item, want, "consumer {c} out of order");
+                        want += consumers;
+                    }
+                    assert_eq!(want, total + c - (total + c) % consumers + c % consumers,);
+                });
+            }
+        });
+
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_drains_fast_lanes_into_the_reorder_buffer() {
+        let shared = rings(2, 2);
+        let mut out = FanOut::new(shared.clone(), Vec::new());
+        let mut join = FanIn::new(shared.clone(), Vec::new(), 0, 1, 4);
+        // Lane 1 runs ahead: items 1 and 3 arrive; 0 (lane 0) is absent.
+        shared[1].try_push(1).unwrap();
+        shared[1].try_push(3).unwrap();
+        assert!(!join.is_ready());
+        // A pop would block on lane 0; instead push 0 and pop everything.
+        shared[0].try_push(0).unwrap();
+        assert!(join.is_ready());
+        assert_eq!(join.pop(), Some(0));
+        assert_eq!(join.pop(), Some(1));
+        // 2 hasn't arrived; 3 sits parked after the eager drain.
+        shared[0].try_push(2).unwrap();
+        assert_eq!(join.pop(), Some(2));
+        assert_eq!(join.pop(), Some(3));
+        drop(out.try_push(4)); // keep the producer side alive to lane 0
+        out.close_all();
+        assert_eq!(join.pop(), Some(4));
+        assert_eq!(join.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn closed_expected_lane_ends_the_join() {
+        let shared = rings(3, 2);
+        let join_rings = shared.clone();
+        let mut join = FanIn::new(join_rings, Vec::new(), 0, 1, 4);
+        shared[1].try_push(1).unwrap(); // early arrival for a later turn
+        shared[0].close(); // lane 0 dies before delivering item 0
+        assert_eq!(join.pop(), None, "order past the dead lane cannot be restored");
+    }
+
+    #[test]
+    fn fanout_cursor_does_not_advance_on_full() {
+        let shared = rings(2, 1);
+        let mut out = FanOut::new(shared.clone(), Vec::new());
+        out.try_push(0).unwrap();
+        out.try_push(1).unwrap();
+        // Lane 0 (item 2's turn) is full; the rejection must not skip
+        // the lane, or ordering would break.
+        assert!(matches!(out.try_push(2), Err(SpscPushError::Full(2))));
+        assert_eq!(shared[0].try_pop(), Some(0));
+        out.try_push(2).unwrap();
+        assert_eq!(shared[1].try_pop(), Some(1));
+        assert_eq!(shared[0].try_pop(), Some(2), "item 2 landed on its scheduled lane");
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order() {
+        for lanes in [2usize, 3] {
+            let shared = rings(lanes, 4);
+            let total = 20_000u64;
+            std::thread::scope(|scope| {
+                let producer_rings = shared.clone();
+                scope.spawn(move || {
+                    let mut out = FanOut::new(producer_rings, Vec::new());
+                    for i in 0..total {
+                        out.push_blocking(i).unwrap();
+                    }
+                    out.close_all();
+                });
+                let mut join = FanIn::new(shared.clone(), Vec::new(), 0, 1, 8);
+                let mut want = 0u64;
+                while let Some(item) = join.pop() {
+                    assert_eq!(item, want);
+                    want += 1;
+                }
+                assert_eq!(want, total, "{lanes} lanes");
+            });
+        }
+    }
+}

@@ -15,9 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fanout;
 mod spsc;
 
-pub use spsc::{SpscPushError, SpscRing};
+pub use fanout::{FanIn, FanOut, ReorderBuffer, Sequenced};
+pub use spsc::{SpscPushError, SpscRing, DEFAULT_SPIN_ROUNDS};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -63,10 +63,13 @@ impl<T> SpscPushError<T> {
 #[derive(Debug, Default)]
 struct PaddedCounter(AtomicUsize);
 
-/// Spins before parking: long enough to catch a same-instant partner on
-/// another core, short enough to waste nothing measurable when the
-/// partner is descheduled (e.g. a single-core host).
-const SPIN_ROUNDS: usize = 48;
+/// Default spin budget before parking: long enough to catch a
+/// same-instant partner on another core, short enough to waste nothing
+/// measurable when the partner is descheduled (e.g. a single-core host).
+/// Per-ring override via [`SpscRing::with_spin`] — a depth-1 ring feeding
+/// a near-zero-work stage burns its whole budget on every handoff, so an
+/// auto-tuned pipeline plan may want it smaller.
+pub const DEFAULT_SPIN_ROUNDS: usize = 48;
 
 /// Park timeout: a backstop against the (fence-guarded, so in practice
 /// unreachable) lost-wakeup window; bounds any missed notify to ~200 µs.
@@ -81,6 +84,8 @@ const PARK_TIMEOUT: Duration = Duration::from_micros(200);
 #[derive(Debug)]
 pub struct SpscRing<T> {
     slots: Box<[Mutex<Option<T>>]>,
+    /// Spin rounds before a blocking endpoint parks on the condvar.
+    spin_rounds: usize,
     /// Next position to pop; counts monotonically, slot = head % capacity.
     head: PaddedCounter,
     /// Next position to push; counts monotonically, slot = tail % capacity.
@@ -94,12 +99,23 @@ pub struct SpscRing<T> {
 }
 
 impl<T> SpscRing<T> {
-    /// Creates a ring holding up to `capacity` items (clamped to ≥ 1).
+    /// Creates a ring holding up to `capacity` items (clamped to ≥ 1)
+    /// with the default spin budget ([`DEFAULT_SPIN_ROUNDS`]).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_spin(capacity, DEFAULT_SPIN_ROUNDS)
+    }
+
+    /// Creates a ring with an explicit spin budget: how many
+    /// `spin_loop` rounds a blocking endpoint burns before parking on
+    /// the condvar. `0` parks immediately (cheapest when the partner is
+    /// known to be descheduled, e.g. more stages than cores).
+    #[must_use]
+    pub fn with_spin(capacity: usize, spin_rounds: usize) -> Self {
         let slots: Vec<Mutex<Option<T>>> = (0..capacity.max(1)).map(|_| Mutex::new(None)).collect();
         SpscRing {
             slots: slots.into_boxed_slice(),
+            spin_rounds,
             head: PaddedCounter::default(),
             tail: PaddedCounter::default(),
             closed: AtomicBool::new(false),
@@ -109,6 +125,12 @@ impl<T> SpscRing<T> {
             pop_waiters: AtomicUsize::new(0),
             push_waiters: AtomicUsize::new(0),
         }
+    }
+
+    /// The spin budget blocking endpoints use before parking.
+    #[must_use]
+    pub fn spin_rounds(&self) -> usize {
+        self.spin_rounds
     }
 
     /// Maximum number of buffered items.
@@ -204,7 +226,7 @@ impl<T> SpscRing<T> {
                 Err(SpscPushError::Closed(rejected)) => return Err(rejected),
                 Err(SpscPushError::Full(rejected)) => item = rejected,
             }
-            for _ in 0..SPIN_ROUNDS {
+            for _ in 0..self.spin_rounds {
                 std::hint::spin_loop();
                 if self.len() < self.slots.len() || self.is_closed() {
                     break;
@@ -240,7 +262,7 @@ impl<T> SpscRing<T> {
                 // our failed pop and observing the close.
                 return self.try_pop();
             }
-            for _ in 0..SPIN_ROUNDS {
+            for _ in 0..self.spin_rounds {
                 std::hint::spin_loop();
                 if !self.is_empty() || self.is_closed() {
                     break;
@@ -326,6 +348,30 @@ mod tests {
         assert_eq!(ring.pop_blocking(), Some(2));
         assert_eq!(ring.pop_blocking(), None);
         assert_eq!(ring.pop_blocking(), None, "closed-and-empty is sticky");
+    }
+
+    #[test]
+    fn spin_budget_is_configurable_and_defaults_unchanged() {
+        let default: SpscRing<u8> = SpscRing::new(2);
+        assert_eq!(default.spin_rounds(), DEFAULT_SPIN_ROUNDS);
+        // A zero-spin ring still moves items correctly through the
+        // blocking endpoints (it just parks immediately when waiting).
+        let eager: SpscRing<u32> = SpscRing::with_spin(2, 0);
+        assert_eq!(eager.spin_rounds(), 0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..500u32 {
+                    eager.push_blocking(i).unwrap();
+                }
+                eager.close();
+            });
+            let mut next = 0u32;
+            while let Some(v) = eager.pop_blocking() {
+                assert_eq!(v, next);
+                next += 1;
+            }
+            assert_eq!(next, 500);
+        });
     }
 
     #[test]

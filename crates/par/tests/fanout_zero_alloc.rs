@@ -1,0 +1,103 @@
+//! Proves the fan-out/fan-in join is allocation-free at steady state:
+//! after construction, dispatching items over the lanes, parking early
+//! arrivals in the reorder buffer, and re-emitting them in order never
+//! touches the global allocator.
+//!
+//! A single `#[test]` keeps the process to one test thread, so the
+//! counting allocator's delta is attributable to the code under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates verbatim to the `System` allocator and
+// only adds a relaxed atomic increment, so `GlobalAlloc`'s contract holds
+// exactly as it does for `System` itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we pass the
+    // layout through to `System` untouched.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller gave us, forwarded to `System`.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller guarantees `ptr` came from this allocator with this
+    // layout — which means it came from `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` pair is valid for `System` per the above.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; all three
+    // arguments are forwarded to `System` untouched.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was allocated by `System` with `layout`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn reorder_buffer_and_join_never_allocate_at_steady_state() {
+    use microrec_par::{FanIn, FanOut, ReorderBuffer, SpscRing};
+
+    // Construction allocates (slot array); steady state must not.
+    let mut buf: ReorderBuffer<u64> = ReorderBuffer::new(8);
+
+    // Warm-up lap, then park/release cycles with an always-out-of-order
+    // arrival pattern (insert descending, take ascending).
+    for i in 0..8u64 {
+        buf.insert(i).unwrap();
+        assert!(buf.take(i).is_some());
+    }
+    let before = allocation_count();
+    for round in 0..10_000u64 {
+        let base = round * 8;
+        for k in (0..8u64).rev() {
+            buf.insert(base + k).unwrap();
+        }
+        for k in 0..8u64 {
+            assert_eq!(buf.take(base + k), Some(base + k));
+        }
+        assert!(buf.is_empty());
+    }
+    assert_eq!(allocation_count() - before, 0, "reorder buffer allocated at steady state");
+
+    // A full fan-out → fan-in lap with lanes running ahead of their
+    // turn, exercising try_push dispatch, the eager drain into the
+    // reorder buffer, and in-order emission.
+    let rings: Vec<Arc<SpscRing<u64>>> = (0..3).map(|_| Arc::new(SpscRing::new(4))).collect();
+    let mut out = FanOut::new(rings.clone(), Vec::new());
+    let mut join = FanIn::new(rings, Vec::new(), 0, 1, 8);
+    // Warm-up lap.
+    for i in 0..6u64 {
+        out.try_push(i).unwrap();
+    }
+    for i in 0..6u64 {
+        assert_eq!(join.pop(), Some(i));
+    }
+    let before = allocation_count();
+    let mut next_in = 6u64;
+    let mut next_out = 6u64;
+    while next_out < 30_006 {
+        while next_in < 30_006 && !out.would_block() {
+            out.try_push(next_in).unwrap();
+            next_in += 1;
+        }
+        assert_eq!(join.pop(), Some(next_out));
+        next_out += 1;
+    }
+    assert_eq!(allocation_count() - before, 0, "fan-out/fan-in lap allocated at steady state");
+}
