@@ -15,12 +15,12 @@
 use std::time::Instant;
 
 use microrec_core::{
-    AdmissionPolicy, MicroRec, MicroRecBuilder, ReplayOutcome, RuntimeConfig, RuntimeLookupStats,
-    ServingFrontierRecord, ServingRuntime,
+    AdmissionPolicy, MicroRec, MicroRecBuilder, PathKind, PathSet, ReplayOutcome, RuntimeConfig,
+    RuntimeLookupStats, ServingFrontierRecord, ServingRuntime,
 };
-use microrec_embedding::{ModelSpec, RowFormat};
-use microrec_json::ToJson;
-use microrec_workload::{QueryGenConfig, RequestTrace};
+use microrec_embedding::{ModelSpec, RowFormat, TableSpec};
+use microrec_json::{Json, ToJson};
+use microrec_workload::{QueryGenConfig, QueryGenerator, RequestTrace};
 
 /// Full-sweep requests per load point.
 const FULL_POINT_REQUESTS: usize = 2_000;
@@ -112,6 +112,373 @@ fn config(workers: usize, max_batch: usize, max_wait_us: u64) -> RuntimeConfig {
     }
 }
 
+// ---------------------------------------------------------------------
+// Router section: a mixed trace across the path matrix.
+// ---------------------------------------------------------------------
+
+/// Items per routed micro-batch.
+const ROUTER_BATCH_ITEMS: usize = 16;
+/// Items per batch in the tiny-MLP phases. The tiny model answers a
+/// 16-item batch in ~30 µs, where the router's fixed per-dispatch cost
+/// (two mutex hops, sketch update) is a structural ~10% — the gate
+/// would measure bookkeeping, not routing. A tiny model serves at high
+/// throughput, so its realistic batches are larger; 64 items amortizes
+/// the dispatch cost to ~2%.
+const ROUTER_TINY_BATCH_ITEMS: usize = 64;
+/// Timed batches per phase (full sweep / smoke).
+const ROUTER_PHASE_BATCHES: usize = 96;
+const ROUTER_SMOKE_PHASE_BATCHES: usize = 48;
+/// Untimed routed batches before each phase's timed section, enough for
+/// the traffic sketch (1024-lookup windows), the EWMA, and the incumbent
+/// to migrate after a phase change — the timed section measures the
+/// router's steady state on homogeneous traffic.
+const ROUTER_WARMUP_BATCHES: usize = 48;
+
+/// A tiny-MLP model: stage-hop overhead dominates its [16] hidden layer,
+/// so routing it anywhere but monolithic is a predictable mistake.
+fn tiny_model() -> ModelSpec {
+    ModelSpec::new(
+        "tiny-mlp",
+        (0..4).map(|i| TableSpec::new(format!("t{i}"), 1_000, 4)).collect(),
+        vec![16],
+        2,
+    )
+}
+
+/// One homogeneous phase of the mixed trace.
+struct RouterPhase {
+    name: &'static str,
+    /// Index into the per-model `PathSet` list (0 = default, 1 = tiny).
+    set: usize,
+    zipf: f64,
+    seed: u64,
+    /// Items per batch (model-dependent, see [`ROUTER_TINY_BATCH_ITEMS`]).
+    items: usize,
+}
+
+/// Measured outcome of one phase. Totals are reported; the CI gates
+/// compare per-batch medians, which are robust to scheduler-drift
+/// outliers that a sum would absorb wholesale.
+struct RouterPhaseResult {
+    name: &'static str,
+    routed_us: f64,
+    routed_median_us: f64,
+    /// (path name, total µs, per-batch median µs) per static path.
+    statics_us: Vec<(&'static str, f64, f64)>,
+    /// Timed-section dispatch count per path index.
+    dispatches: Vec<u64>,
+}
+
+impl RouterPhaseResult {
+    fn best_static_median_us(&self) -> f64 {
+        self.statics_us.iter().map(|&(_, _, med)| med).fold(f64::INFINITY, f64::min)
+    }
+
+    fn worst_static_median_us(&self) -> f64 {
+        self.statics_us.iter().map(|&(_, _, med)| med).fold(0.0, f64::max)
+    }
+}
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn phase_batches(
+    spec: &ModelSpec,
+    zipf: f64,
+    seed: u64,
+    batches: usize,
+    items: usize,
+) -> Vec<Vec<Vec<u64>>> {
+    let mut gen = QueryGenerator::new(spec, QueryGenConfig { zipf_exponent: zipf, seed })
+        .expect("phase generator");
+    (0..batches).map(|_| (0..items).map(|_| gen.next_query()).collect()).collect()
+}
+
+/// Batches per interleaved measurement round (per arm).
+const ROUTER_ROUND: usize = 8;
+
+/// Replays one phase with the static and routed arms interleaved in
+/// rounds over the same wall-clock window, so thermal and scheduler
+/// drift hit every arm equally instead of whichever ran last.
+fn run_router_phase(
+    phase: &RouterPhase,
+    set: &mut PathSet,
+    spec: &ModelSpec,
+    batches: usize,
+) -> RouterPhaseResult {
+    let trace = phase_batches(spec, phase.zipf, phase.seed, batches, phase.items);
+
+    // Warm every path's caches, then let the router see the phase's
+    // traffic: the sketch windows fill, the EWMA unlearns the previous
+    // phase, and the incumbent migrates. The timed rounds measure the
+    // router's steady state on homogeneous traffic.
+    for path in 0..set.num_paths() {
+        for batch in trace.iter().take(4) {
+            set.predict_batch_on(path, batch).expect("static warmup");
+        }
+    }
+    for batch in trace.iter().cycle().take(ROUTER_WARMUP_BATCHES) {
+        set.run_batch(batch, None, false).expect("routed warmup");
+    }
+
+    let mut static_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(batches); set.num_paths()];
+    let mut routed_samples = Vec::with_capacity(batches);
+    let mut static_totals = vec![0.0f64; set.num_paths()];
+    let mut routed_us = 0.0f64;
+    let mut dispatches = vec![0u64; set.num_paths()];
+    for round in trace.chunks(ROUTER_ROUND) {
+        for (path, samples) in static_samples.iter_mut().enumerate() {
+            let start = Instant::now();
+            for batch in round {
+                let t = Instant::now();
+                set.predict_batch_on(path, batch).expect("static replay");
+                samples.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            static_totals[path] += start.elapsed().as_secs_f64() * 1e6;
+        }
+        let start = Instant::now();
+        for batch in round {
+            let t = Instant::now();
+            let (decision, _) = set.run_batch(batch, None, false).expect("routed replay");
+            routed_samples.push(t.elapsed().as_secs_f64() * 1e6);
+            dispatches[decision.path] += 1;
+        }
+        routed_us += start.elapsed().as_secs_f64() * 1e6;
+    }
+
+    let statics_us = static_samples
+        .iter_mut()
+        .enumerate()
+        .map(|(path, samples)| {
+            let name = set.descriptor(path).expect("descriptor").name;
+            (name, static_totals[path], median_us(samples))
+        })
+        .collect();
+
+    RouterPhaseResult {
+        name: phase.name,
+        routed_us,
+        routed_median_us: median_us(&mut routed_samples),
+        statics_us,
+        dispatches,
+    }
+}
+
+/// Fraction of a phase's dispatches that satisfy `pred` on the path
+/// descriptor.
+fn dispatch_fraction(
+    set: &PathSet,
+    result: &RouterPhaseResult,
+    pred: impl Fn(microrec_core::PathDescriptor) -> bool,
+) -> f64 {
+    let total: u64 = result.dispatches.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let matching: u64 = result
+        .dispatches
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| set.descriptor(i).is_some_and(&pred))
+        .map(|(_, &n)| n)
+        .sum();
+    matching as f64 / total as f64
+}
+
+/// Runs the mixed-trace router section. Returns one JSON object per
+/// phase; in smoke mode also CI-gates the routed-vs-static bounds and
+/// the counter-case avoidance.
+fn run_router_section(smoke: bool) -> Json {
+    let batches = if smoke { ROUTER_SMOKE_PHASE_BATCHES } else { ROUTER_PHASE_BATCHES };
+    let default_spec = ModelSpec::dlrm_rmc2(8, 16);
+    let tiny_spec = tiny_model();
+    let specs = [&default_spec, &tiny_spec];
+    let mut sets = vec![
+        PathSet::build(&builder(&default_spec), ROUTER_BATCH_ITEMS).expect("default path set"),
+        // Uncached on purpose: a 1k-row cache over this 4k-row model
+        // prices the cached and uncached monolithic paths within ~10%
+        // of each other — a near-tie that no router can win reliably
+        // and that turns the CI gate into a coin flip. The cache-vs-
+        // cold routing dimension belongs to the default set's phases;
+        // the tiny set exercises the model-shape dimension.
+        PathSet::build(&MicroRec::builder(tiny_spec.clone()).seed(42), ROUTER_TINY_BATCH_ITEMS)
+            .expect("tiny path set"),
+    ];
+
+    // Alternating model shapes and traffic skews: the router must track
+    // each transition instead of settling on one global winner.
+    let phases = [
+        RouterPhase {
+            name: "default-zipf",
+            set: 0,
+            zipf: 1.05,
+            seed: 11,
+            items: ROUTER_BATCH_ITEMS,
+        },
+        RouterPhase {
+            name: "tiny-zipf",
+            set: 1,
+            zipf: 1.05,
+            seed: 12,
+            items: ROUTER_TINY_BATCH_ITEMS,
+        },
+        RouterPhase {
+            name: "default-uniform",
+            set: 0,
+            zipf: 0.0,
+            seed: 13,
+            items: ROUTER_BATCH_ITEMS,
+        },
+        RouterPhase {
+            name: "tiny-uniform",
+            set: 1,
+            zipf: 0.0,
+            seed: 14,
+            items: ROUTER_TINY_BATCH_ITEMS,
+        },
+    ];
+
+    fn run_and_print(
+        phase: &RouterPhase,
+        sets: &mut [PathSet],
+        specs: &[&ModelSpec],
+        batches: usize,
+    ) -> RouterPhaseResult {
+        // Tiny-model batches run in tens of microseconds, so give those
+        // phases 4x the batches to keep timer noise inside the CI band.
+        let phase_batches = if phase.set == 1 { batches * 4 } else { batches };
+        let result = run_router_phase(phase, &mut sets[phase.set], specs[phase.set], phase_batches);
+        let mix: Vec<String> = result
+            .dispatches
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                format!("{} x{n}", sets[phase.set].descriptor(i).map_or("?", |d| d.name))
+            })
+            .collect();
+        let statics: Vec<String> =
+            result.statics_us.iter().map(|&(name, _, med)| format!("{name} {med:.0}")).collect();
+        eprintln!(
+            "router {:>16}: routed med {:>8.0} us/batch | statics [{}] | {}",
+            result.name,
+            result.routed_median_us,
+            statics.join(", "),
+            mix.join(", "),
+        );
+        result
+    }
+
+    let mut results: Vec<(usize, RouterPhaseResult)> = phases
+        .iter()
+        .map(|phase| (phase.set, run_and_print(phase, &mut sets, &specs, batches)))
+        .collect();
+
+    if smoke {
+        // This host is shared: a multi-ms preemption burst overlapping a
+        // phase's routed rounds inflates its median past any gate a
+        // working router can meet. One retry re-measures the phase in a
+        // fresh window; the gate holds the retry to the full standard,
+        // so only a genuine router defect fails twice.
+        for (i, phase) in phases.iter().enumerate() {
+            let over = results[i].1.routed_median_us > results[i].1.best_static_median_us() * 1.10;
+            if over {
+                eprintln!(
+                    "router {:>16}: over the 10% budget, retrying once (noise guard)",
+                    phase.name
+                );
+                results[i] = (phase.set, run_and_print(phase, &mut sets, &specs, batches));
+            }
+        }
+        let routed_total: f64 = results.iter().map(|(_, r)| r.routed_median_us).sum();
+        let worst_total: f64 = results.iter().map(|(_, r)| r.worst_static_median_us()).sum();
+        assert!(
+            routed_total < worst_total,
+            "routed ({routed_total:.0} us/batch summed) must strictly beat the worst \
+             static ({worst_total:.0} us/batch summed) over the mixed trace"
+        );
+        for (set, result) in &results {
+            assert!(
+                result.routed_median_us <= result.best_static_median_us() * 1.10,
+                "phase {}: routed median {:.0} us exceeds best static median {:.0} us \
+                 by more than 10%",
+                result.name,
+                result.routed_median_us,
+                result.best_static_median_us(),
+            );
+            if result.name.starts_with("tiny") {
+                let mono =
+                    dispatch_fraction(&sets[*set], result, |d| d.kind == PathKind::Monolithic);
+                assert!(
+                    mono > 0.5,
+                    "phase {}: tiny MLP must mostly route monolithic, got {:.0}%",
+                    result.name,
+                    mono * 100.0,
+                );
+            }
+            if result.name == "default-uniform" {
+                let uncached = dispatch_fraction(&sets[*set], result, |d| !d.cached);
+                assert!(
+                    uncached > 0.5,
+                    "phase {}: uniform traffic must mostly avoid the cold-cache paths, \
+                     got {:.0}% uncached",
+                    result.name,
+                    uncached * 100.0,
+                );
+            }
+        }
+        eprintln!("router smoke gates: ok");
+    }
+
+    let json = results
+        .iter()
+        .map(|(set, r)| {
+            let statics: Vec<Json> = r
+                .statics_us
+                .iter()
+                .map(|&(name, us, median)| {
+                    Json::Obj(vec![
+                        ("path".to_string(), name.to_json()),
+                        ("us".to_string(), us.to_json()),
+                        ("median_batch_us".to_string(), median.to_json()),
+                    ])
+                })
+                .collect();
+            let dispatches: Vec<Json> = r
+                .dispatches
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    let name = sets[*set].descriptor(i).map_or("?", |d| d.name);
+                    Json::Obj(vec![
+                        ("path".to_string(), name.to_json()),
+                        ("batches".to_string(), n.to_json()),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("phase".to_string(), r.name.to_json()),
+                ("routed_us".to_string(), r.routed_us.to_json()),
+                ("routed_median_batch_us".to_string(), r.routed_median_us.to_json()),
+                ("best_static_median_batch_us".to_string(), r.best_static_median_us().to_json()),
+                ("worst_static_median_batch_us".to_string(), r.worst_static_median_us().to_json()),
+                ("statics".to_string(), Json::Arr(statics)),
+                ("dispatches".to_string(), Json::Arr(dispatches)),
+            ])
+        })
+        .collect();
+
+    for set in sets {
+        set.shutdown();
+    }
+    Json::Arr(json)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let model = ModelSpec::dlrm_rmc2(8, 16);
@@ -172,11 +539,14 @@ fn main() {
         records.push(record);
     }
 
+    let router = run_router_section(smoke);
+
     let obj = vec![
         ("seq_qps".to_string(), seq_qps.to_json()),
         ("bit_identical".to_string(), identity_ok.to_json()),
         ("requests_per_point".to_string(), n.to_json()),
         ("points".to_string(), records.to_json()),
+        ("router".to_string(), router),
     ];
     println!("{}", microrec_json::to_string_pretty(&microrec_json::Json::Obj(obj)));
 }

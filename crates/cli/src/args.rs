@@ -170,8 +170,13 @@ pub enum Command {
         reject: bool,
         /// How each worker executes: monolithic (default), `--pipelined`
         /// staged dataflow, `--replicated` staged dataflow with lookup
-        /// lanes, or `--auto` startup calibration picking the winner.
+        /// lanes, `--auto` startup calibration picking the winner, or
+        /// `--routed` per-batch cost-model routing across the full path
+        /// matrix.
         execution: ExecutionMode,
+        /// End-to-end latency objective per request in microseconds,
+        /// consulted by the routed mode's SLO guard (0 disables it).
+        slo_us: u64,
     },
     /// Print usage.
     Help,
@@ -272,6 +277,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                     ("--pipelined", ExecutionMode::Pipelined),
                     ("--replicated", ExecutionMode::Replicated),
                     ("--auto", ExecutionMode::Auto),
+                    ("--routed", ExecutionMode::Routed),
                 ]
                 .into_iter()
                 .filter(|(flag, _)| has(flag))
@@ -288,6 +294,10 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                     }
                 }
             },
+            slo_us: flag("--slo-us")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| ArgError("bad --slo-us value".into()))?,
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -305,7 +315,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
-  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto|--routed] [--slo-us US]
   microrec help
 ";
 
@@ -440,22 +450,33 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
-        // Not passing the flag leaves the monolithic default.
+        // Not passing the flag leaves the monolithic default and no SLO.
         match parse(&argv("serve --live")).unwrap().command {
-            Command::Serve { execution, .. } => {
+            Command::Serve { execution, slo_us, .. } => {
                 assert_eq!(execution, ExecutionMode::Monolithic);
+                assert_eq!(slo_us, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
+        match parse(&argv("serve --live --routed --slo-us 2500")).unwrap().command {
+            Command::Serve { execution, slo_us, .. } => {
+                assert_eq!(execution, ExecutionMode::Routed);
+                assert_eq!(slo_us, 2_500);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("serve --live --slo-us soon")).is_err());
         assert!(parse(&argv("serve --live --workers many")).is_err());
         assert!(parse(&argv("serve --live --wait-us -1")).is_err());
     }
 
     #[test]
     fn execution_mode_flags_parse_and_conflict() {
-        for (flags, want) in
-            [("--replicated", ExecutionMode::Replicated), ("--auto", ExecutionMode::Auto)]
-        {
+        for (flags, want) in [
+            ("--replicated", ExecutionMode::Replicated),
+            ("--auto", ExecutionMode::Auto),
+            ("--routed", ExecutionMode::Routed),
+        ] {
             match parse(&argv(&format!("serve --live {flags}"))).unwrap().command {
                 Command::Serve { execution, .. } => assert_eq!(execution, want),
                 other => panic!("wrong command {other:?}"),
@@ -464,6 +485,7 @@ mod tests {
         let err = parse(&argv("serve --live --pipelined --auto")).unwrap_err();
         assert!(err.0.contains("one execution mode"), "{err}");
         assert!(parse(&argv("serve --live --replicated --pipelined --auto")).is_err());
+        assert!(parse(&argv("serve --live --routed --auto")).is_err());
     }
 
     #[test]

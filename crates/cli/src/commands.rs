@@ -220,6 +220,7 @@ pub fn run_serve_live(
     let plan_line = runtime.plan().map(|p| (p.summary(), p.fifo_depth, p.spin_rounds));
     let calibration = runtime.calibration().cloned();
     let outcome = replay_trace(&runtime, &trace);
+    let router = runtime.router_snapshot();
     let snap = runtime.shutdown();
     let mut s = String::new();
     let mode = if config.execution == ExecutionMode::Auto {
@@ -251,6 +252,38 @@ pub fn run_serve_live(
     }
     if let Some((summary, fifo_depth, spin_rounds)) = &plan_line {
         writeln!(s, "plan:  {summary} (fifo depth {fifo_depth}, spin {spin_rounds})")?;
+    }
+    if let Some(router) = &router {
+        let hit_rate = router
+            .traffic_hit_rate
+            .map_or_else(|| "warming".to_string(), |r| format!("{:.0}%", r * 100.0));
+        writeln!(
+            s,
+            "router: {} path(s), {} SLO fallback(s), {} probe(s), traffic hit-rate {}",
+            router.paths.len(),
+            router.slo_fallbacks,
+            router.probes,
+            hit_rate,
+        )?;
+        for path in &router.paths {
+            write!(
+                s,
+                "path {:>20}: {:>5} batches / {:>6} items | cost {:.1} + {:.2}n us",
+                path.descriptor.name,
+                path.dispatches,
+                path.items,
+                path.cost.fixed_us,
+                path.cost.per_item_us,
+            )?;
+            if path.dispatches > 0 {
+                write!(
+                    s,
+                    " | predicted {:.1} vs observed {:.1} us",
+                    path.mean_predicted_us, path.mean_observed_us,
+                )?;
+            }
+            writeln!(s)?;
+        }
     }
     writeln!(
         s,
@@ -387,6 +420,7 @@ mod tests {
             queue_depth: 256,
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Monolithic,
+            slo_us: 0,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
@@ -405,6 +439,7 @@ mod tests {
             queue_depth: 256,
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Pipelined,
+            slo_us: 0,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
@@ -423,6 +458,7 @@ mod tests {
             queue_depth: 256,
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Replicated,
+            slo_us: 0,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
@@ -441,12 +477,44 @@ mod tests {
             queue_depth: 256,
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Auto,
+            slo_us: 0,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
         assert!(out.contains("auto->"), "{out}");
         assert!(out.contains("auto:  monolithic"), "{out}");
         assert!(out.contains("200 of 200 completed"), "{out}");
+    }
+
+    #[test]
+    fn serve_live_routed_reports_dispatch_table() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Routed,
+            slo_us: 50_000,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+        assert!(out.contains("routed worker(s)"), "{out}");
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        assert!(out.contains("router:"), "{out}");
+        assert!(out.contains("SLO fallback(s)"), "{out}");
+        // The full path matrix is registered and priced (default builder
+        // has no hot-row cache, so the monolithic path is the nocache one).
+        for path in ["monolithic-nocache", "pipelined", "pool"] {
+            assert!(out.contains(&format!("path {path:>20}:")), "missing {path} in {out}");
+        }
+        // Every admitted batch was dispatched somewhere.
+        let dispatched: u64 = out
+            .lines()
+            .filter(|l| l.starts_with("path "))
+            .filter_map(|l| l.split_whitespace().nth(2).and_then(|n| n.parse::<u64>().ok()))
+            .sum();
+        assert!(dispatched > 0, "{out}");
     }
 
     #[test]

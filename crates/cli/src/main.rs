@@ -55,6 +55,7 @@ fn main() -> ExitCode {
             queue_depth,
             reject,
             execution,
+            slo_us,
         } => {
             if *live {
                 let config = microrec_core::RuntimeConfig {
@@ -68,6 +69,7 @@ fn main() -> ExitCode {
                         microrec_core::AdmissionPolicy::Block
                     },
                     execution: *execution,
+                    slo_us: *slo_us,
                 };
                 commands::run_serve_live(model, *rate, *queries, config)
             } else {

@@ -179,6 +179,30 @@ impl MicroRecBuilder {
         Ok(())
     }
 
+    /// The model this builder targets.
+    #[must_use]
+    pub fn model_spec(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The datapath precision engines will be built with.
+    #[must_use]
+    pub fn datapath_precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Hot-row cache capacity each built engine will get (0 = disabled).
+    #[must_use]
+    pub fn cache_rows(&self) -> usize {
+        self.cache_rows
+    }
+
+    /// The arena row format the builder will materialize, if configured.
+    #[must_use]
+    pub fn arena_row_format(&self) -> Option<RowFormat> {
+        self.arena_format
+    }
+
     /// Runs the placement search and assembles the engine.
     ///
     /// # Errors

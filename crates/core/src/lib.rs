@@ -43,6 +43,7 @@ mod pipeline;
 mod pool;
 mod ranking;
 mod report;
+mod router;
 mod runtime;
 mod serve;
 mod sync;
@@ -62,7 +63,12 @@ pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
 pub use report::{
     end_to_end_report, AwsPrices, CalibrationRecord, CostReport, CpuPoint, EmbeddingReport,
-    EndToEndReport, FpgaPoint, LookupCountersRecord, PipelineStageRecord, ServingFrontierRecord,
+    EndToEndReport, FpgaPoint, LookupCountersRecord, PipelineStageRecord, RouterPathRecord,
+    RouterRecord, ServingFrontierRecord,
+};
+pub use router::{
+    ExecutionPath, PathCost, PathCostModel, PathDescriptor, PathKind, PathSet, RouteDecision,
+    RouterPathStats, RouterSnapshot, SHAPE_DEFAULT_HOP_US,
 };
 pub use runtime::{
     plan_batches, replay_trace, AdmissionPolicy, BatchClose, BatchFormerConfig, LatencyHistogram,

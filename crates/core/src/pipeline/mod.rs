@@ -67,6 +67,10 @@ pub enum ExecutionMode {
     /// Calibrate at startup ([`PipelinePlan::calibrate`]) and route to
     /// whichever of the other modes the measured cost model picks.
     Auto,
+    /// Build the full path matrix ([`crate::PathSet`]) per worker and
+    /// route every formed batch to its predicted-fastest path, with EWMA
+    /// feedback and the SLO guard (see [`crate::PathCostModel`]).
+    Routed,
 }
 
 impl ExecutionMode {
@@ -78,6 +82,7 @@ impl ExecutionMode {
             ExecutionMode::Pipelined => "pipelined",
             ExecutionMode::Replicated => "replicated",
             ExecutionMode::Auto => "auto",
+            ExecutionMode::Routed => "routed",
         }
     }
 }

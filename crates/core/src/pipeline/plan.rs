@@ -37,7 +37,7 @@ use microrec_par::{SpscRing, DEFAULT_SPIN_ROUNDS};
 
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
-use crate::pipeline::{ExecutionMode, PipelineExecutor};
+use crate::pipeline::PipelineExecutor;
 
 /// One FC stage of a plan: a run of consecutive MLP layers fused onto
 /// one thread (per lane).
@@ -242,20 +242,6 @@ impl Calibration {
             bottleneck.max(serial / threads as f64)
         } else {
             serial / self.cores.max(1) as f64
-        }
-    }
-
-    /// Routes a model shape to its execution mode: the measured
-    /// monolithic time against the measured pilot of `plan`. Ties go to
-    /// monolithic (fewer threads for the same speed).
-    #[must_use]
-    pub fn choose(&self, plan: &PipelinePlan) -> ExecutionMode {
-        if self.monolithic_us <= self.pipelined_us {
-            ExecutionMode::Monolithic
-        } else if plan.is_replicated() {
-            ExecutionMode::Replicated
-        } else {
-            ExecutionMode::Pipelined
         }
     }
 }
@@ -485,6 +471,7 @@ fn calibrate_typed<T: FixedNum + Send + Sync + 'static>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::ExecutionMode;
 
     #[test]
     fn per_layer_plan_matches_legacy_topology() {
@@ -552,7 +539,25 @@ mod tests {
         };
         let plan = PipelinePlan::per_layer(1, 1);
         assert!(cal.estimated_pipelined_us(&plan) > cal.monolithic_us);
-        assert_eq!(cal.choose(&plan), ExecutionMode::Monolithic);
+        let model = crate::PathCostModel::from_calibration(&cal, &plan);
+        assert_eq!(model.choose_mode(), ExecutionMode::Monolithic);
+    }
+
+    #[test]
+    fn unified_cost_model_keeps_choose_tie_semantics() {
+        // Equal measurements tie to monolithic, exactly as the old
+        // `Calibration::choose` did (fewer threads for the same speed).
+        let cal = Calibration {
+            lookup_us: 1.0,
+            layer_us: vec![1.0],
+            hop_us: 1.0,
+            monolithic_us: 100.0,
+            pipelined_us: 100.0,
+            cores: 1,
+        };
+        let plan = PipelinePlan::per_layer(1, 4);
+        let model = crate::PathCostModel::from_calibration(&cal, &plan);
+        assert_eq!(model.choose_mode(), ExecutionMode::Monolithic);
     }
 
     #[test]
@@ -569,9 +574,11 @@ mod tests {
         };
         let plan = PipelinePlan::per_layer(2, 4);
         assert!(cal.estimated_pipelined_us(&plan) < cal.monolithic_us);
-        assert_eq!(cal.choose(&plan), ExecutionMode::Pipelined);
+        let model = crate::PathCostModel::from_calibration(&cal, &plan);
+        assert_eq!(model.choose_mode(), ExecutionMode::Pipelined);
         let mut replicated = plan;
         replicated.lookup_lanes = 2;
-        assert_eq!(cal.choose(&replicated), ExecutionMode::Replicated);
+        let model = crate::PathCostModel::from_calibration(&cal, &replicated);
+        assert_eq!(model.choose_mode(), ExecutionMode::Replicated);
     }
 }

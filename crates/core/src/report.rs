@@ -18,6 +18,7 @@ use microrec_memsim::SimTime;
 use crate::engine::MicroRec;
 use crate::error::MicroRecError;
 use crate::pipeline::{Calibration, PipelinePlan, StageSnapshot};
+use crate::router::RouterSnapshot;
 use crate::runtime::{ReplayOutcome, RuntimeConfig, RuntimeLookupStats};
 
 /// One CPU operating point.
@@ -341,7 +342,105 @@ impl CalibrationRecord {
             monolithic_us: calibration.monolithic_us,
             pipelined_us: calibration.pipelined_us,
             cores: calibration.cores as u64,
-            chosen: calibration.choose(plan).as_str().to_string(),
+            chosen: crate::router::PathCostModel::from_calibration(calibration, plan)
+                .choose_mode()
+                .as_str()
+                .to_string(),
+        }
+    }
+}
+
+/// One path's routing statistics, in the form bench records persist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterPathRecord {
+    /// Path name (`"monolithic"`, `"monolithic-nocache"`, `"pipelined"`,
+    /// `"pool"`…).
+    pub path: String,
+    /// Engine variant (`"monolithic"`, `"pipelined"`, `"replicated"`,
+    /// `"pool"`).
+    pub kind: String,
+    /// Arena row format label.
+    pub format: String,
+    /// Whether a hot-row cache fronts this path.
+    pub cached: bool,
+    /// Batches the router dispatched to this path.
+    pub dispatches: u64,
+    /// Items the router dispatched to this path.
+    pub items: u64,
+    /// Mean predicted batch latency at dispatch time (µs).
+    pub mean_predicted_us: f64,
+    /// Mean observed batch latency (µs).
+    pub mean_observed_us: f64,
+    /// Calibrated per-batch fixed cost (µs).
+    pub fixed_us: f64,
+    /// Calibrated marginal per-item cost (µs).
+    pub per_item_us: f64,
+    /// Calibrated single-item latency (µs) — the SLO guard's metric.
+    pub single_us: f64,
+}
+
+microrec_json::impl_json_struct!(
+    RouterPathRecord,
+    required {
+        path,
+        kind,
+        format,
+        cached,
+        dispatches,
+        items,
+        mean_predicted_us,
+        mean_observed_us,
+        fixed_us,
+        per_item_us,
+        single_us,
+    }
+);
+
+/// Aggregate router statistics for one run (`BENCH_serving.json`'s
+/// optional `router` field and the `serve --live --routed` summary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterRecord {
+    /// One row per registered path, in registration order.
+    pub paths: Vec<RouterPathRecord>,
+    /// Times the SLO guard engaged and took the lowest-latency path.
+    pub slo_fallbacks: u64,
+    /// Staleness re-probe dispatches.
+    pub probes: u64,
+    /// Final traffic-cacheability estimate (-1 when the sketch never
+    /// warmed).
+    pub traffic_hit_rate: f64,
+}
+
+microrec_json::impl_json_struct!(
+    RouterRecord,
+    required { paths, slo_fallbacks, probes, traffic_hit_rate }
+);
+
+impl RouterRecord {
+    /// Converts a router snapshot into the record form.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &RouterSnapshot) -> Self {
+        RouterRecord {
+            paths: snapshot
+                .paths
+                .iter()
+                .map(|p| RouterPathRecord {
+                    path: p.descriptor.name.to_string(),
+                    kind: p.descriptor.kind.as_str().to_string(),
+                    format: p.descriptor.format.to_string(),
+                    cached: p.descriptor.cached,
+                    dispatches: p.dispatches,
+                    items: p.items,
+                    mean_predicted_us: p.mean_predicted_us,
+                    mean_observed_us: p.mean_observed_us,
+                    fixed_us: p.cost.fixed_us,
+                    per_item_us: p.cost.per_item_us,
+                    single_us: p.cost.single_us,
+                })
+                .collect(),
+            slo_fallbacks: snapshot.slo_fallbacks,
+            probes: snapshot.probes,
+            traffic_hit_rate: snapshot.traffic_hit_rate.unwrap_or(-1.0),
         }
     }
 }
@@ -384,6 +483,9 @@ pub struct ServingFrontierRecord {
     /// Embedding-lookup counters, when the run used the arena fast path.
     /// Absent from records written before the fast path existed.
     pub lookup: Option<LookupCountersRecord>,
+    /// Per-path routing counters, when the run used routed execution.
+    /// Absent from records written before the router existed.
+    pub router: Option<RouterRecord>,
 }
 
 microrec_json::impl_json_struct!(
@@ -405,7 +507,7 @@ microrec_json::impl_json_struct!(
         completed,
         rejected,
     },
-    default { lookup }
+    default { lookup, router }
 );
 
 impl ServingFrontierRecord {
@@ -430,6 +532,7 @@ impl ServingFrontierRecord {
             completed: outcome.completed as u64,
             rejected: outcome.rejected as u64,
             lookup: None,
+            router: None,
         }
     }
 
@@ -438,6 +541,14 @@ impl ServingFrontierRecord {
     #[must_use]
     pub fn with_lookup(mut self, stats: &RuntimeLookupStats) -> Self {
         self.lookup = Some(LookupCountersRecord::from_stats(stats));
+        self
+    }
+
+    /// Attaches per-path routing counters from a routed runtime (builder
+    /// style, for use after [`Self::from_run`]).
+    #[must_use]
+    pub fn with_router(mut self, snapshot: &RouterSnapshot) -> Self {
+        self.router = Some(RouterRecord::from_snapshot(snapshot));
         self
     }
 }
@@ -530,7 +641,54 @@ mod tests {
         }"#;
         let rec: ServingFrontierRecord = microrec_json::from_str(old).unwrap();
         assert_eq!(rec.lookup, None);
+        assert_eq!(rec.router, None);
         assert_eq!(rec.completed, 990);
+    }
+
+    #[test]
+    fn serving_record_with_router_round_trips_and_old_records_still_parse() {
+        // A PR 4-era record: has `lookup` but predates `router`.
+        let pre_router = r#"{
+            "offered_qps": 1000.0, "qps": 990.0,
+            "p50_us": 10.0, "p95_us": 20.0, "p99_us": 30.0, "p999_us": 40.0,
+            "mean_latency_us": 12.0, "drop_rate": 0.01, "mean_batch_size": 4.0,
+            "workers": 2, "max_batch": 8, "max_wait_us": 100, "queue_depth": 64,
+            "completed": 990, "rejected": 10,
+            "lookup": {
+                "format": "f16", "cache_rows": 4096, "hits": 900, "misses": 100,
+                "hit_rate": 0.9, "bytes_from_cache": 57600, "bytes_from_memory": 3200,
+                "per_table_hits": [450, 450], "per_table_misses": [50, 50]
+            }
+        }"#;
+        let mut rec: ServingFrontierRecord = microrec_json::from_str(pre_router).unwrap();
+        assert!(rec.lookup.is_some());
+        assert_eq!(rec.router, None);
+
+        rec.router = Some(RouterRecord {
+            paths: vec![RouterPathRecord {
+                path: "monolithic".to_string(),
+                kind: "monolithic".to_string(),
+                format: "f16".to_string(),
+                cached: true,
+                dispatches: 120,
+                items: 1900,
+                mean_predicted_us: 800.0,
+                mean_observed_us: 820.0,
+                fixed_us: 5.0,
+                per_item_us: 50.0,
+                single_us: 55.0,
+            }],
+            slo_fallbacks: 3,
+            probes: 2,
+            traffic_hit_rate: 0.82,
+        });
+        let encoded = microrec_json::to_string(&rec);
+        let back: ServingFrontierRecord = microrec_json::from_str(&encoded).unwrap();
+        assert_eq!(back, rec);
+        let router = back.router.unwrap();
+        assert_eq!(router.paths.len(), 1);
+        assert_eq!(router.paths[0].path, "monolithic");
+        assert_eq!(router.slo_fallbacks, 3);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::pipeline::{
     Calibration, ExecutionMode, PipelineConfig, PipelineExecutor, PipelinePlan, PipelineShared,
     StageSnapshot,
 };
+use crate::router::{PathCostModel, PathSet, RouterSnapshot};
 use crate::sync::{lock_or_recover, recover};
 use queue::{BoundedQueue, PushError};
 
@@ -69,9 +70,14 @@ pub struct RuntimeConfig {
     pub admission: AdmissionPolicy,
     /// How each worker executes inference: the classic monolithic
     /// predict path, the staged dataflow pipeline (fixed or replicated
-    /// topology), or [`ExecutionMode::Auto`], which calibrates at
-    /// startup and routes on the measured cost model.
+    /// topology), [`ExecutionMode::Auto`], which calibrates at startup
+    /// and routes on the measured cost model, or
+    /// [`ExecutionMode::Routed`], which re-routes every formed batch
+    /// across the full path matrix.
     pub execution: ExecutionMode,
+    /// End-to-end latency objective per request (µs), consulted by the
+    /// routed mode's SLO guard; 0 disables the guard.
+    pub slo_us: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -83,6 +89,7 @@ impl Default for RuntimeConfig {
             queue_depth: 1024,
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Monolithic,
+            slo_us: 0,
         }
     }
 }
@@ -316,6 +323,8 @@ pub struct ServingRuntime {
     /// Per-worker pipeline counter blocks (empty under
     /// [`ExecutionMode::Monolithic`]).
     pipelines: Vec<Arc<PipelineShared>>,
+    /// The shared per-batch cost model, under [`ExecutionMode::Routed`].
+    router: Option<Arc<Mutex<PathCostModel>>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -338,6 +347,9 @@ impl ServingRuntime {
             queue_depth: config.queue_depth.max(1),
             ..config
         };
+        if config.execution == ExecutionMode::Routed {
+            return Self::start_routed(builder, config);
+        }
         // When an embedding arena is configured, materialize it once and
         // share it read-only across all worker replicas (worker memory no
         // longer scales with the arena size).
@@ -382,9 +394,15 @@ impl ServingRuntime {
                 )?;
                 engine.reset_stats();
                 engines.push(engine);
-                let mode = calibration.choose(&plan);
+                // Auto is the router restricted to its two measured
+                // paths: argmin over the unified cost model.
+                let mode = PathCostModel::from_calibration(&calibration, &plan).choose_mode();
                 let plan = if mode == ExecutionMode::Monolithic { None } else { Some(plan) };
                 (mode, plan, Some(calibration))
+            }
+            ExecutionMode::Routed => {
+                // Handled by the early return above; nothing resolves here.
+                (ExecutionMode::Monolithic, None, None)
             }
         };
         let lanes_per_worker = plan.as_ref().map_or(1, |p| p.lookup_lanes.max(1));
@@ -478,6 +496,87 @@ impl ServingRuntime {
             expected_arity,
             lookup_meta,
             pipelines,
+            router: None,
+            workers,
+        })
+    }
+
+    /// Starts the routed runtime: each worker owns a full [`PathSet`]
+    /// (the path matrix built from `builder`'s configuration); the first
+    /// worker's startup calibration seeds a [`PathCostModel`] every
+    /// worker shares, and each formed batch is routed to its
+    /// predicted-fastest path with EWMA feedback and the SLO guard.
+    ///
+    /// Cache-backed lookup counters live inside individual paths here
+    /// (split across cache-on and cache-off engines), so
+    /// [`ServingRuntime::lookup_stats`] reports `None` under routed
+    /// execution; [`ServingRuntime::router_snapshot`] carries the
+    /// per-path accounting instead.
+    fn start_routed(
+        mut builder: MicroRecBuilder,
+        config: RuntimeConfig,
+    ) -> Result<Self, MicroRecError> {
+        builder.prepare_shared_arena()?;
+        let spec = builder.model_spec();
+        let expected_arity = spec.num_tables() * spec.lookups_per_table as usize;
+
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let stats = Arc::new(SharedStats::default());
+        let mut sets: Vec<PathSet> = Vec::with_capacity(config.workers);
+        let mut shared_model: Option<Arc<Mutex<PathCostModel>>> = None;
+        let mut pipelines = Vec::new();
+        for _ in 0..config.workers {
+            let set = match &shared_model {
+                None => PathSet::build(&builder, config.max_batch)?,
+                Some(model) => {
+                    PathSet::build_shared(&builder, config.max_batch, Arc::clone(model))?
+                }
+            };
+            if shared_model.is_none() {
+                shared_model = Some(set.model());
+            }
+            pipelines.extend(set.pipeline_shared().iter().map(Arc::clone));
+            sets.push(set);
+        }
+        let router = match shared_model {
+            Some(model) => model,
+            None => Arc::new(Mutex::new(PathCostModel::new(Vec::new()))),
+        };
+
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers);
+        for (id, set) in sets.into_iter().enumerate() {
+            let spawned =
+                std::thread::Builder::new().name(format!("microrec-worker-{id}")).spawn({
+                    let queue = Arc::clone(&queue);
+                    let stats = Arc::clone(&stats);
+                    move || {
+                        worker_loop_routed(set, &queue, &stats, config);
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(MicroRecError::Runtime(format!(
+                        "failed to spawn worker {id}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(ServingRuntime {
+            queue,
+            stats,
+            config,
+            resolved: ExecutionMode::Routed,
+            plan: None,
+            calibration: None,
+            expected_arity,
+            lookup_meta: None,
+            pipelines,
+            router: Some(router),
             workers,
         })
     }
@@ -508,6 +607,14 @@ impl ServingRuntime {
     #[must_use]
     pub fn calibration(&self) -> Option<&Calibration> {
         self.calibration.as_ref()
+    }
+
+    /// Per-path routing statistics (dispatch counts, predicted vs
+    /// observed latency, SLO fallbacks), only under
+    /// [`ExecutionMode::Routed`]. Valid both live and after shutdown.
+    #[must_use]
+    pub fn router_snapshot(&self) -> Option<RouterSnapshot> {
+        self.router.as_ref().map(|model| lock_or_recover(model).snapshot())
     }
 
     /// Current admission-queue depth.
@@ -812,6 +919,85 @@ fn worker_loop_pipelined(
             stats.lookup_bytes_from_memory.fetch_add(cache.bytes_from_memory(), Relaxed);
         }
     }
+}
+
+/// Steady-state loop of one routed worker: pop a micro-batch, ask the
+/// shared cost model for the predicted-fastest path, run the batch
+/// there, and feed the observed latency back.
+///
+/// The SLO guard activates when `config.slo_us > 0`: each batch's
+/// remaining budget is the objective minus the oldest request's queue
+/// age, and a batch whose predicted cost overruns it takes the measured
+/// lowest-latency path instead. Overload (admission queue ≥ 3/4 full)
+/// suppresses probe dispatches and tightens the cold-cache degrade.
+fn worker_loop_routed(
+    mut set: PathSet,
+    queue: &BoundedQueue<Request>,
+    stats: &SharedStats,
+    config: RuntimeConfig,
+) {
+    let wait = Duration::from_micros(config.max_wait_us);
+    let overload_depth = config.queue_depth - config.queue_depth / 4;
+    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(config.max_batch);
+    while let Some((mut batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait)
+    {
+        stats.batches.fetch_add(1, Relaxed);
+        match close {
+            BatchClose::Size => stats.size_closes.fetch_add(1, Relaxed),
+            BatchClose::Deadline => stats.deadline_closes.fetch_add(1, Relaxed),
+            BatchClose::Drain => stats.drain_closes.fetch_add(1, Relaxed),
+        };
+        queries.clear();
+        queries.extend(batch.iter_mut().map(|r| std::mem::take(&mut r.query)));
+        // Remaining SLO budget, from the oldest request in the batch
+        // (pop_batch preserves arrival order).
+        let remaining_us = if config.slo_us > 0 {
+            let age_us = batch.first().map_or(0.0, |r| r.enqueued_at.elapsed().as_secs_f64() * 1e6);
+            Some(config.slo_us as f64 - age_us)
+        } else {
+            None
+        };
+        let overload = queue.len() >= overload_depth;
+        let decision = set.route(&queries, remaining_us, overload);
+        let started = Instant::now();
+        match set.predict_batch_on(decision.path, &queries) {
+            Ok(ctrs) => {
+                set.observe(&decision, queries.len(), started.elapsed().as_secs_f64() * 1e6);
+                let now = Instant::now();
+                let mut hist = lock_or_recover(&stats.hist);
+                for request in &batch {
+                    hist.record_duration(now.saturating_duration_since(request.enqueued_at));
+                }
+                drop(hist);
+                stats.completed.fetch_add(batch.len() as u64, Relaxed);
+                for (request, ctr) in batch.into_iter().zip(ctrs) {
+                    request.slot.fulfill(Ok(ctr));
+                }
+            }
+            Err(_) => {
+                // Same contract as the other loops: one malformed query
+                // fails alone. The per-item fallback runs on path 0 (the
+                // monolithic engine, always registered first); no
+                // feedback is recorded for the failed batch.
+                for (request, query) in batch.into_iter().zip(&queries) {
+                    match set.predict_on(0, query) {
+                        Ok(ctr) => {
+                            let elapsed = request.enqueued_at.elapsed();
+                            lock_or_recover(&stats.hist).record_duration(elapsed);
+                            stats.completed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Ok(ctr));
+                        }
+                        Err(e) => {
+                            stats.failed.fetch_add(1, Relaxed);
+                            request.slot.fulfill(Err(RuntimeError::Failed(e.to_string())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Queue drained: join the staged paths' stage threads.
+    set.shutdown();
 }
 
 #[cfg(test)]

@@ -123,7 +123,14 @@ impl Mlp {
     /// convention).
     #[must_use]
     pub fn flops(&self) -> u64 {
-        self.layers.iter().map(DenseLayer::flops).sum()
+        self.layer_flops().sum()
+    }
+
+    /// Per-layer MAC operations, input-first — the compute profile a
+    /// stage-level cost model scores (the bottleneck layer bounds a
+    /// pipelined plan's throughput).
+    pub fn layer_flops(&self) -> impl Iterator<Item = u64> + '_ {
+        self.layers.iter().map(DenseLayer::flops)
     }
 
     /// Widest activation vector in the network, input included — the
@@ -239,6 +246,8 @@ mod tests {
         assert_eq!(mlp.input_dim(), 32);
         assert_eq!(mlp.output_dim(), 1);
         assert_eq!(mlp.flops(), 2 * (32 * 64 + 64 * 16 + 16));
+        let per_layer: Vec<u64> = mlp.layer_flops().collect();
+        assert_eq!(per_layer, vec![2 * 32 * 64, 2 * 64 * 16, 2 * 16]);
     }
 
     #[test]
