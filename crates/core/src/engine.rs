@@ -346,6 +346,7 @@ struct FastPath<T> {
 
 impl<T: FixedNum> FastPath<T> {
     fn build(mlp: &Mlp) -> Self {
+        // lint: allow(transitive-hot-path-alloc) built once per precision swap; FastPath::run reuses it
         FastPath { packed: PackedMlp::pack(mlp), arena: ScratchArena::new(), staging: Vec::new() }
     }
 
@@ -522,6 +523,7 @@ impl MicroRec {
         let ctr = match self.precision {
             Precision::Fixed16 => self.mlp.predict_ctr_quantized::<Q16>(&features)?,
             Precision::Fixed32 => self.mlp.predict_ctr_quantized::<Q32>(&features)?,
+            // lint: allow(transitive-hot-path-alloc) f32 reference forward allocates per layer; batches use the packed path
             Precision::F32 => self.mlp.predict_ctr(&features)?,
         };
         Ok(ctr)
@@ -544,6 +546,7 @@ impl MicroRec {
             // lint: allow(hot-path-alloc) an empty Vec never touches the allocator
             return Ok(Vec::new());
         }
+        // lint: allow(transitive-hot-path-alloc) drives the memory simulator and reference dense branch; both allocate by design
         let features = self.gather_features_batch(queries)?;
         let mut path = std::mem::replace(&mut self.batch_path, BatchPath::Unbuilt);
         let precision_matches = matches!(
@@ -662,6 +665,7 @@ impl MicroRec {
                             a.source_row_bytes(table)
                         }
                         None => {
+                            // lint: allow(transitive-hot-path-alloc) no-arena fallback clones the row; serving gathers through the arena
                             catalog.logical_tables()[table].read_row(row, slot)?;
                             dim * 4
                         }
@@ -672,6 +676,7 @@ impl MicroRec {
             }
             None => match arena {
                 Some(a) => Ok(a.gather_into(indices, out)?),
+                // lint: allow(transitive-hot-path-alloc) no-arena fallback path; arena gather_into is the serving route
                 None => Ok(catalog.gather(indices, out)?),
             },
         }
@@ -747,6 +752,7 @@ impl MicroRec {
         features.clear();
         // Dense path: the bottom MLP runs on the accelerator's datapath
         // precision (its own small PE group, §Figure 1's dense branch).
+        // lint: allow(transitive-hot-path-alloc) reference bottom-MLP branch builds per-query dense vectors by design
         features.extend(self.dense_features(query)?);
         let mut requests: Vec<AddressedRead> = Vec::with_capacity(tables);
         for round in 0..rounds {
@@ -755,6 +761,7 @@ impl MicroRec {
             // with real byte addresses (so DRAM row-buffer state is
             // modelled under the active page policy).
             requests.clear();
+            // lint: allow(transitive-hot-path-alloc) resolve materializes the round's physical locations (simulator bookkeeping)
             for l in &self.catalog.resolve(indices)? {
                 requests.push(self.addressed_read(l.table, l.row, round));
             }

@@ -329,7 +329,9 @@ fn lookup_loop<T: FixedNum + Send>(
     wiring: LaneWiring<T>,
     shared: &Arc<PipelineShared>,
 ) -> MicroRec {
+    // lint: allow(transitive-hot-path-alloc) lane guard is wired once, before the steady-state loop
     let _guard = wiring.guard(shared);
+    // lint: allow(transitive-hot-path-alloc) fan-in/fan-out construction happens before the first job
     let (mut input, mut output) = wiring.split();
     let stage = &shared.stages[0];
     let mut features: Vec<f32> = Vec::with_capacity(engine.model().feature_len() as usize);
@@ -364,7 +366,9 @@ fn fc_loop<T: FixedNum + Send>(
     wiring: LaneWiring<T>,
     shared: &Arc<PipelineShared>,
 ) {
+    // lint: allow(transitive-hot-path-alloc) lane guard is wired once, before the steady-state loop
     let _guard = wiring.guard(shared);
+    // lint: allow(transitive-hot-path-alloc) fan-in/fan-out construction happens before the first job
     let (mut input, mut output) = wiring.split();
     let stage = &shared.stages[stage_index];
     let width = layers.iter().map(PackedLayer::output_dim).max().unwrap_or(0);
@@ -408,7 +412,9 @@ fn sink_loop<T: FixedNum + Send>(
     output: &Arc<SpscRing<PipeResult<T>>>,
     shared: &Arc<PipelineShared>,
 ) {
+    // lint: allow(transitive-hot-path-alloc) lane guard is wired once, before the steady-state loop
     let _guard = sink_guard(&in_rings, output, shared);
+    // lint: allow(transitive-hot-path-alloc) fan-in construction happens before the first job
     let mut input = FanIn::new(in_rings, in_schedule, 0, 1, reorder_capacity);
     let stage = &shared.stages[index];
     while let Some(mut job) = pop_counted(&mut input, stage) {
@@ -627,7 +633,9 @@ impl<T: FixedNum + Send + Sync + 'static> TypedPipeline<T> {
     fn job_for(&mut self, query: &[u64]) -> PipeJob<T> {
         let mut job = self.free.pop().unwrap_or_else(|| PipeJob {
             seq: 0,
+            // lint: allow(transitive-hot-path-alloc) fresh shell only while the free list warms up; steady state recycles
             query: Vec::new(),
+            // lint: allow(transitive-hot-path-alloc) fresh shell only while the free list warms up; steady state recycles
             data: Vec::new(),
             err: None,
             poison_at: NO_POISON,
@@ -723,6 +731,7 @@ impl<T: FixedNum + Send + Sync + 'static> TypedPipeline<T> {
     }
 
     fn join_all(&mut self) -> Vec<MicroRec> {
+        // lint: allow(transitive-hot-path-alloc) shutdown path: runs once when the executor winds down
         let engines = self.lookups.drain(..).filter_map(|h| h.join().ok()).collect();
         for handle in self.stages.drain(..) {
             let _ = handle.join();

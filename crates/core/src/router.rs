@@ -780,6 +780,7 @@ impl ExecutionPath for EnginePool {
     }
 
     fn predict_batch(&mut self, queries: &[Vec<u64>]) -> Result<Vec<f32>, MicroRecError> {
+        // lint: allow(transitive-hot-path-alloc) replica fan-out owns one result vec per worker thread per batch
         EnginePool::predict_batch(self, queries)
     }
 }
@@ -1020,6 +1021,7 @@ impl PathSet {
     ) -> Result<Vec<f32>, MicroRecError> {
         match self.engines.get_mut(path) {
             Some(engine) => engine.as_path().predict_batch(queries),
+            // lint: allow(transitive-hot-path-alloc) cold arm: an unknown path index is a routing bug, not steady state
             None => Err(MicroRecError::Runtime(format!("unknown path index {path}"))),
         }
     }
@@ -1033,6 +1035,7 @@ impl PathSet {
     pub fn predict_on(&mut self, path: usize, query: &[u64]) -> Result<f32, MicroRecError> {
         match self.engines.get_mut(path) {
             Some(engine) => engine.as_path().predict(query),
+            // lint: allow(transitive-hot-path-alloc) cold arm: an unknown path index is a routing bug, not steady state
             None => Err(MicroRecError::Runtime(format!("unknown path index {path}"))),
         }
     }

@@ -348,6 +348,7 @@ impl<T: FixedNum> PackedB<T> {
     #[must_use]
     pub fn from_transposed(bt: &Matrix) -> Self {
         let (n, k) = (bt.rows(), bt.cols());
+        // lint: allow(transitive-hot-path-alloc) packing is a one-time quantizing copy, amortized across batches
         let data = bt.as_slice().iter().map(|&w| T::from_f32(w)).collect();
         PackedB { k, n, data }
     }

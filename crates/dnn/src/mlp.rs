@@ -116,6 +116,7 @@ impl Mlp {
     /// Output width (1 for a CTR head).
     #[must_use]
     pub fn output_dim(&self) -> usize {
+        // lint: allow(transitive-panic) Mlp::new rejects empty layer stacks; last() cannot fail
         self.layers.last().expect("non-empty").output_dim()
     }
 
@@ -142,6 +143,7 @@ impl Mlp {
             .map(DenseLayer::output_dim)
             .chain(std::iter::once(self.input_dim()))
             .max()
+            // lint: allow(transitive-panic) the once() element makes the iterator non-empty
             .expect("non-empty")
     }
 
@@ -176,6 +178,7 @@ impl Mlp {
         for layer in &self.layers {
             let (front, back) = arena.buffers();
             back.resize(layer.output_dim(), T::ZERO);
+            // lint: allow(transitive-hot-path-alloc) reference per-layer forward; the packed kernels serve the fast path
             layer.forward(front, back)?;
             arena.swap();
         }

@@ -138,9 +138,11 @@ impl<T: FixedNum> PackedMlp<T> {
                 // A dense layer's row-major [out x in] weight matrix *is*
                 // the packed Bᵀ layout, so packing is a quantizing copy.
                 weights: PackedB::from_transposed(layer.weights()),
+                // lint: allow(transitive-hot-path-alloc) one-time pack of the bias vector
                 bias: layer.bias().iter().map(|&b| T::from_f32(b)).collect(),
                 activation: layer.activation(),
             })
+            // lint: allow(transitive-hot-path-alloc) one-time pack of the layer stack
             .collect();
         PackedMlp {
             layers,

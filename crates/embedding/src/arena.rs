@@ -362,7 +362,6 @@ impl EmbeddingArena {
             Some(loc) if row < loc.rows => *loc,
             _ => {
                 return Err(EmbeddingError::IndexOutOfRange {
-                    // lint: allow(hot-path-alloc) cold error path
                     table: self.names.get(table).cloned().unwrap_or_default(),
                     index: row,
                     rows: self.tables.get(table).map_or(0, |l| l.rows),

@@ -9,9 +9,22 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Every lint id the tool knows, in reporting order.
-pub const LINT_IDS: [&str; 5] =
-    ["hot-path-alloc", "no-panic-serving", "unsafe-audit", "determinism", "condvar-loop"];
+/// Every lint id the tool knows, in reporting order. The first five are
+/// the single-file structural lints; the rest are the interprocedural
+/// flow lints added with the call-graph pass.
+pub const LINT_IDS: [&str; 11] = [
+    "hot-path-alloc",
+    "no-panic-serving",
+    "unsafe-audit",
+    "determinism",
+    "condvar-loop",
+    "transitive-hot-path-alloc",
+    "transitive-panic",
+    "lock-order",
+    "blocking-under-lock",
+    "ring-protocol",
+    "unused-allow",
+];
 
 /// Diagnostic id for a broken `lint: allow` comment (always active).
 pub const MALFORMED_ALLOW: &str = "malformed-allow";
@@ -41,7 +54,10 @@ pub struct LintScope {
     /// Path globs (workspace-relative) the lint scans.
     pub paths: Vec<String>,
     /// If non-empty, the lint only fires inside functions with these
-    /// names (the per-function hot-path designation).
+    /// names (the per-function hot-path designation). Entries are bare
+    /// names (`worker_loop`) or qualified `Type::method` paths
+    /// (`HotRowCache::insert`) — a qualified entry only designates that
+    /// impl's method, not every same-named function.
     pub functions: Vec<String>,
     pub severity: Severity,
 }
@@ -80,6 +96,9 @@ impl Config {
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
         let mut config = Config::default();
         let mut section: Vec<String> = Vec::new();
+        // `inherit = "<id>"` requests, resolved after the whole manifest
+        // is read so a section may inherit from one declared later.
+        let mut inherits: Vec<(String, String, usize)> = Vec::new();
         let lines: Vec<&str> = text.lines().collect();
         let mut i = 0usize;
         while i < lines.len() {
@@ -118,7 +137,30 @@ impl Config {
                 value.push_str(strip_toml_comment(lines[i]).trim());
                 i += 1;
             }
+            if section.len() == 2 && key == "inherit" {
+                let target = parse_string(&value, lineno)?;
+                if !LINT_IDS.contains(&target.as_str()) {
+                    return Err(err(lineno, &format!("cannot inherit unknown lint `{target}`")));
+                }
+                inherits.push((section[1].clone(), target, lineno));
+                continue;
+            }
             apply_key(&mut config, &section, &key, &value, lineno)?;
+        }
+        for (id, target, lineno) in inherits {
+            let Some(source) = config.lints.get(&target).cloned() else {
+                return Err(err(
+                    lineno,
+                    &format!("`inherit = \"{target}\"` refers to a lint not configured here"),
+                ));
+            };
+            let scope = config.lints.get_mut(&id).expect("section header inserted the entry");
+            if scope.paths.is_empty() {
+                scope.paths = source.paths;
+            }
+            if scope.functions.is_empty() {
+                scope.functions = source.functions;
+            }
         }
         Ok(config)
     }
@@ -284,6 +326,25 @@ severity = "deny"
         assert!(Config::parse("[lints.no-such-lint]\npaths = []\n").is_err());
         assert!(Config::parse("[wrong]\n").is_err());
         assert!(Config::parse("mystery = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn inherit_copies_scope_from_the_named_lint() {
+        let cfg = Config::parse(
+            "[lints.transitive-hot-path-alloc]\ninherit = \"hot-path-alloc\"\n\n[lints.hot-path-alloc]\npaths = [\"crates/dnn/**\"]\nfunctions = [\"dot\", \"Gemm::run\"]\n",
+        )
+        .unwrap();
+        let t = &cfg.lints["transitive-hot-path-alloc"];
+        assert_eq!(t.paths, vec!["crates/dnn/**"]);
+        assert_eq!(t.functions, vec!["dot", "Gemm::run"]);
+    }
+
+    #[test]
+    fn inherit_from_an_unconfigured_lint_fails() {
+        assert!(
+            Config::parse("[lints.transitive-panic]\ninherit = \"no-panic-serving\"\n").is_err()
+        );
+        assert!(Config::parse("[lints.transitive-panic]\ninherit = \"nope\"\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The one table describing every lint: invariant, rationale, and the
+//! allow-comment grammar. `--explain <id>` prints from here, and the
+//! README's lint table is generated from the same entries
+//! ([`render_markdown_table`]), so the CLI and the docs cannot drift.
+
+use crate::config::MALFORMED_ALLOW;
+
+/// Documentation for one lint id.
+#[derive(Debug, Clone, Copy)]
+pub struct LintDoc {
+    pub id: &'static str,
+    /// The invariant the lint enforces, one line.
+    pub invariant: &'static str,
+    /// Why the MicroRec reproduction needs it.
+    pub rationale: &'static str,
+    /// A well-formed escape-hatch example (empty when not allowable).
+    pub allow_example: &'static str,
+}
+
+/// Every documented lint, in [`LINT_IDS`] order plus `malformed-allow`.
+pub const LINT_DOCS: [LintDoc; 12] = [
+    LintDoc {
+        id: "hot-path-alloc",
+        invariant: "designated hot functions perform no heap allocation (Vec::new, vec!, .to_vec(), .clone(), format!, Box::new, .collect(), String::from)",
+        rationale: "the batched GEMM and lookup paths are measured in microseconds; one allocation is a double-digit-percent latency regression and a jitter source",
+        allow_example: "// lint: allow(hot-path-alloc) one-time buffer, reused across batches",
+    },
+    LintDoc {
+        id: "no-panic-serving",
+        invariant: "the serving runtime never calls .unwrap()/.expect()/panic!/todo!/unimplemented! outside tests",
+        rationale: "a panic in a worker tears down the whole pipeline; serving code must degrade by returning errors",
+        allow_example: "// lint: allow(no-panic-serving) index bounded by the loop above",
+    },
+    LintDoc {
+        id: "unsafe-audit",
+        invariant: "every unsafe block/fn/impl carries an adjacent // SAFETY: comment (or a # Safety doc section)",
+        rationale: "the few unsafe sites (aligned loads, FFI) each need a written argument a reviewer can check",
+        allow_example: "// lint: allow(unsafe-audit) argument lives in the module header",
+    },
+    LintDoc {
+        id: "determinism",
+        invariant: "bit-identity crates avoid HashMap/HashSet iteration order, Instant/SystemTime, and thread_rng",
+        rationale: "placement and memory simulation must reproduce bit-identically across runs and machines",
+        allow_example: "// lint: allow(determinism) map is never iterated, only probed",
+    },
+    LintDoc {
+        id: "condvar-loop",
+        invariant: "Condvar::wait/wait_timeout sits inside a while/loop predicate re-check",
+        rationale: "spurious wakeups are legal; a bare wait is a lost-wakeup deadlock seed",
+        allow_example: "// lint: allow(condvar-loop) single-shot latch, predicate set exactly once",
+    },
+    LintDoc {
+        id: "transitive-hot-path-alloc",
+        invariant: "no function reachable from a designated hot function allocates (reported with the full call chain)",
+        rationale: "the direct lint stops at the function boundary; an allocation buried two helpers deep costs the same microseconds",
+        allow_example: "// lint: allow(transitive-hot-path-alloc) cold error path, hit once per run",
+    },
+    LintDoc {
+        id: "transitive-panic",
+        invariant: "no function reachable from the serving runtime can panic (reported with the full call chain)",
+        rationale: "a helper's .unwrap() in another crate tears down a worker just as surely as one written inline",
+        allow_example: "// lint: allow(transitive-panic) arithmetic cannot overflow: bounded by config",
+    },
+    LintDoc {
+        id: "lock-order",
+        invariant: "the lock-acquisition graph (label held -> label acquired, including through calls) has no cycles",
+        rationale: "two threads taking the same pair of mutexes in opposite orders is the classic ABBA deadlock; the runtime/pool/router web has enough locks to get this wrong silently",
+        allow_example: "// lint: allow(lock-order) both orders run under the scheduler big lock",
+    },
+    LintDoc {
+        id: "blocking-under-lock",
+        invariant: "no blocking operation (SPSC blocking push/pop, condvar wait on another lock's guard, thread::park/sleep, JoinHandle::join) runs while a mutex guard is held, directly or via callees",
+        rationale: "a thread that blocks while holding a lock stalls every other thread that needs it; with rings in the middle this becomes a distributed deadlock",
+        allow_example: "// lint: allow(blocking-under-lock) guard protects only this thread's slot",
+    },
+    LintDoc {
+        id: "ring-protocol",
+        invariant: "ring endpoints follow the close-then-drain protocol: no push after close, no bare try_pop loop without an is_closed check or exit, no reorder-buffer insert without an occupancy check",
+        rationale: "the SPSC rings shut down by close-then-drain; protocol violations manifest as lost items or spin-forever consumers only under load",
+        allow_example: "// lint: allow(ring-protocol) push races close by design: items dropped on shutdown",
+    },
+    LintDoc {
+        id: "unused-allow",
+        invariant: "every // lint: allow(<id>) comment suppresses at least one finding",
+        rationale: "an allow that no longer matches anything is a stale exemption: the code it justified is gone, but the hole in enforcement remains",
+        allow_example: "// lint: allow(unused-allow) kept for the cfg(feature) variant below",
+    },
+    LintDoc {
+        id: MALFORMED_ALLOW,
+        invariant: "every lint: allow comment parses as allow(<known-id>) <non-empty reason>",
+        rationale: "a typoed escape hatch must fail loudly, never silently not-suppress (or worse, silently suppress)",
+        allow_example: "",
+    },
+];
+
+/// Doc entry for one lint id.
+#[must_use]
+pub fn explain(id: &str) -> Option<&'static LintDoc> {
+    LINT_DOCS.iter().find(|d| d.id == id)
+}
+
+/// The README lint table, generated from [`LINT_DOCS`].
+#[must_use]
+pub fn render_markdown_table() -> String {
+    let mut out = String::from("| id | invariant |\n|----|-----------|\n");
+    for doc in &LINT_DOCS {
+        out.push_str(&format!("| `{}` | {} |\n", doc.id, doc.invariant));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LINT_IDS;
+
+    #[test]
+    fn every_lint_id_is_documented() {
+        for id in LINT_IDS {
+            assert!(explain(id).is_some(), "missing doc for `{id}`");
+        }
+        assert!(explain(MALFORMED_ALLOW).is_some());
+        assert_eq!(LINT_DOCS.len(), LINT_IDS.len() + 1);
+    }
+
+    #[test]
+    fn allow_examples_parse_under_the_allow_grammar() {
+        for doc in &LINT_DOCS {
+            if doc.allow_example.is_empty() {
+                continue;
+            }
+            let rest = doc
+                .allow_example
+                .trim_start_matches('/')
+                .trim_start()
+                .strip_prefix("lint:")
+                .and_then(|r| r.trim_start().strip_prefix("allow"))
+                .and_then(|r| r.trim_start().strip_prefix('('))
+                .expect("example must match the grammar");
+            let close = rest.find(')').expect("unterminated id");
+            assert_eq!(rest[..close].trim(), doc.id);
+            assert!(!rest[close + 1..].trim().is_empty(), "example needs a reason");
+        }
+    }
+}

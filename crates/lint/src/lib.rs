@@ -20,15 +20,34 @@
 //! | `determinism` | no `HashMap`/`HashSet`/`Instant`/`SystemTime`/`thread_rng` in bit-identity crates |
 //! | `condvar-loop` | `Condvar::wait`/`wait_timeout` only inside `while`/`loop` predicate re-checks |
 //!
-//! A sixth id, `malformed-allow`, fires on broken escape-hatch comments so
-//! a typo can never silently disable enforcement.
+//! On top of the per-file checks, a workspace-wide flow pass indexes
+//! every function, builds a call graph, and propagates per-function
+//! summaries to a fixpoint ([`crate::summaries`]), powering the
+//! interprocedural lints: `transitive-hot-path-alloc` /
+//! `transitive-panic` (violations buried in callees, reported with the
+//! witness chain), `lock-order` (cycles in the lock-acquisition graph),
+//! `blocking-under-lock`, `ring-protocol` (close-then-drain discipline
+//! on the SPSC rings), and `unused-allow` (stale escape hatches).
+//!
+//! A further id, `malformed-allow`, fires on broken escape-hatch
+//! comments so a typo can never silently disable enforcement. Run
+//! `microrec-lint --explain <id>` for any lint's invariant and
+//! rationale.
 
+mod callgraph;
 mod config;
+mod docs;
+mod index;
 mod lints;
 mod source;
+mod summaries;
 
 pub use config::{glob_match, Config, ConfigError, Severity, LINT_IDS, MALFORMED_ALLOW};
+pub use docs::{explain, render_markdown_table, LintDoc, LINT_DOCS};
 pub use lints::{count_by_lint, lint_source, Diagnostic, FileReport};
+
+use index::FileModel;
+use lints::lint_workspace;
 
 use std::fs;
 use std::io;
@@ -81,17 +100,60 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
     let mut files = Vec::new();
     walk(root, root, config, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+    let mut models = Vec::with_capacity(files.len());
     for rel in files {
         let text = fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let file_report = lint_source(&rel_str, &text, config);
-        report.diagnostics.extend(file_report.diagnostics);
-        report.suppressed += file_report.suppressed;
-        report.files_scanned += 1;
+        models.push(FileModel::build(&rel_str, &text));
     }
-    report.diagnostics.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
-    Ok(report)
+    Ok(lint_workspace(models, config))
+}
+
+/// Renders a report in the stable machine-readable schema
+/// (`microrec-lint-v2`): every diagnostic carries `file`, `line`,
+/// `lint`, `severity`, `message`, and the interprocedural witness
+/// `chain` (possibly empty). Consumed by CI artifacts and the
+/// workspace-clean integration test — field removals or renames are
+/// breaking.
+#[must_use]
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"schema\":\"microrec-lint-v2\",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let chain: Vec<String> =
+            d.chain.iter().map(|hop| format!("\"{}\"", json_escape(hop))).collect();
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"chain\":[{}]}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.lint),
+            d.severity,
+            json_escape(&d.message),
+            chain.join(","),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files_scanned\":{},\"suppressed\":{}}}",
+        report.files_scanned, report.suppressed
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn walk(root: &Path, dir: &Path, config: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {

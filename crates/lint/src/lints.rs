@@ -1,11 +1,29 @@
-//! The lint passes: scope raw scan findings by the manifest, check
-//! `// SAFETY:` adjacency for unsafe sites, and apply the
-//! `// lint: allow(<id>) <reason>` escape hatch.
+//! The lint passes.
+//!
+//! Two layers run over the workspace:
+//!
+//! 1. **Local lints** — the per-file structural checks (allocation,
+//!    panic, unsafe-audit, determinism, condvar-loop), scoped by the
+//!    manifest exactly as before.
+//! 2. **Flow lints** — interprocedural checks over the
+//!    [`crate::index::WorkspaceIndex`] / [`crate::callgraph::CallGraph`]
+//!    / [`crate::summaries::Summaries`] triple: transitive
+//!    allocation/panic reachability with witness chains, lock-order
+//!    cycle detection, blocking-under-lock, and the ring shutdown
+//!    protocol. A final pass flags `lint: allow` comments that
+//!    suppressed nothing.
+//!
+//! Both layers share one [`AllowSet`] so the escape hatch works (and is
+//! usage-counted) uniformly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::callgraph::CallGraph;
 use crate::config::{glob_match, Config, LintScope, Severity, LINT_IDS, MALFORMED_ALLOW};
-use crate::source::{scan, strip, tokenize, Finding, FindingKind, Stripped};
+use crate::index::{FileModel, FnId, WorkspaceIndex};
+use crate::source::{Finding, FindingKind, Stripped};
+use crate::summaries::{RingOpKind, Summaries};
+use crate::Report;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +36,10 @@ pub struct Diagnostic {
     pub lint: String,
     pub severity: Severity,
     pub message: String,
+    /// Call chain for interprocedural findings (`file:line \`fn\``
+    /// entries from the anchoring function to the offending site);
+    /// empty for local lints.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -26,7 +48,7 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Result of linting one file.
+/// Result of linting one file (the single-file entry point's view).
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub diagnostics: Vec<Diagnostic>,
@@ -34,63 +56,117 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// A parsed, well-formed `lint: allow(<id>) <reason>` comment. The reason
-/// is validated as non-empty at parse time; only the anchor is kept.
+/// A parsed, well-formed `lint: allow(<id>) <reason>` comment, with a
+/// use counter so stale ones can be flagged by `unused-allow`.
 #[derive(Debug)]
-struct Allow {
+struct AllowEntry {
+    file: String,
     line: usize,
     id: String,
+    /// Standalone comment (no code on its line): also covers the line
+    /// directly below.
+    covers_next: bool,
+    used: usize,
 }
 
-/// Lints one file's source text against the manifest.
+/// Every allow comment in the workspace, usage-counted.
+#[derive(Debug, Default)]
+struct AllowSet {
+    entries: Vec<AllowEntry>,
+}
+
+impl AllowSet {
+    /// True when an allow for `id` anchors `line` of `file`; counts the
+    /// use.
+    fn suppresses(&mut self, file: &str, id: &str, line: usize) -> bool {
+        for e in &mut self.entries {
+            if e.file == file
+                && e.id == id
+                && (e.line == line || (e.covers_next && e.line + 1 == line))
+            {
+                e.used += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn total_used(&self) -> usize {
+        self.entries.iter().map(|e| e.used).sum()
+    }
+}
+
+/// Lints one file's source text against the manifest (the flow lints run
+/// over the single-file "workspace", so intra-file chains still work).
 #[must_use]
 pub fn lint_source(rel_path: &str, text: &str, config: &Config) -> FileReport {
-    let stripped = strip(text);
-    let tokens = tokenize(&stripped.code_lines);
-    let file_is_test = is_test_file(rel_path);
-    let findings = scan(&tokens, file_is_test);
+    let report = lint_workspace(vec![FileModel::build(rel_path, text)], config);
+    FileReport { diagnostics: report.diagnostics, suppressed: report.suppressed }
+}
 
-    let (allows, mut report) = collect_allows(rel_path, &stripped);
-    // A trailing allow comment covers its own line; a standalone allow
-    // comment (no code on its line) covers the line directly below.
-    let allow_at = |id: &str, line: usize| -> bool {
-        allows.iter().any(|a| {
-            a.id == id
-                && (a.line == line
-                    || (a.line + 1 == line
-                        && stripped
-                            .code_lines
-                            .get(a.line - 1)
-                            .is_none_or(|code| code.trim().is_empty())))
-        })
-    };
+/// Lints a whole workspace of pre-built file models.
+#[must_use]
+pub(crate) fn lint_workspace(files: Vec<FileModel>, config: &Config) -> Report {
+    let index = WorkspaceIndex::build(files);
+    let graph = CallGraph::build(&index);
+    let sums = Summaries::build(&index, &graph);
 
-    for finding in findings {
-        let Some((lint, scope)) = scope_for(&finding, config, rel_path) else {
+    let mut allows = AllowSet::default();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &index.files {
+        collect_allows(&file.rel_path, &file.stripped, &mut allows, &mut diags);
+    }
+
+    for file in &index.files {
+        local_lints(file, config, &mut allows, &mut diags);
+    }
+
+    transitive_lints(&index, &graph, &sums, config, &mut allows, &mut diags);
+    lock_order(&index, &graph, &sums, config, &mut allows, &mut diags);
+    blocking_under_lock(&index, &graph, &sums, config, &mut allows, &mut diags);
+    ring_protocol(&index, &sums, config, &mut allows, &mut diags);
+    unused_allows(config, &mut allows, &mut diags);
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint, &a.message).cmp(&(&b.file, b.line, &b.lint, &b.message))
+    });
+    Report { diagnostics: diags, files_scanned: index.files.len(), suppressed: allows.total_used() }
+}
+
+// ---------------------------------------------------------------------------
+// Local (single-file) lints
+// ---------------------------------------------------------------------------
+
+fn local_lints(
+    file: &FileModel,
+    config: &Config,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    for finding in &file.scan.findings {
+        let Some((lint, scope)) = scope_for(finding, config, &file.rel_path) else {
             continue;
         };
-        if !scope_accepts(scope, &finding) {
+        if !scope_accepts(scope, finding) {
             continue;
         }
         if let FindingKind::UnsafeSite { .. } = finding.kind {
-            if has_safety_comment(&stripped, finding.line) {
+            if has_safety_comment(&file.stripped, finding.line) {
                 continue;
             }
         }
-        if allow_at(lint, finding.line) {
-            report.suppressed += 1;
+        if allows.suppresses(&file.rel_path, lint, finding.line) {
             continue;
         }
-        report.diagnostics.push(Diagnostic {
-            file: rel_path.to_string(),
+        out.push(Diagnostic {
+            file: file.rel_path.clone(),
             line: finding.line,
             lint: lint.to_string(),
             severity: scope.severity,
-            message: message_for(&finding),
+            message: message_for(finding),
+            chain: Vec::new(),
         });
     }
-    report.diagnostics.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
-    report
 }
 
 /// Which lint (if any) a finding kind belongs to, when the file is in
@@ -112,6 +188,13 @@ fn scope_for<'c>(
     scope.paths.iter().any(|p| glob_match(p, rel_path)).then_some((lint, scope))
 }
 
+/// True when a `functions = [...]` entry designates this function: a
+/// bare entry matches by name, a `Type::method` entry only matches that
+/// impl's method.
+fn fn_entry_matches(entries: &[String], name: Option<&str>, qual: Option<&str>) -> bool {
+    entries.iter().any(|e| Some(e.as_str()) == name || Some(e.as_str()) == qual)
+}
+
 /// Per-finding scope rules beyond path matching.
 fn scope_accepts(scope: &LintScope, finding: &Finding) -> bool {
     match finding.kind {
@@ -122,7 +205,7 @@ fn scope_accepts(scope: &LintScope, finding: &Finding) -> bool {
         // only — tests may allocate, unwrap, and time freely.
         _ if finding.in_test => false,
         FindingKind::Alloc { .. } if !scope.functions.is_empty() => {
-            finding.func.as_deref().is_some_and(|f| scope.functions.iter().any(|name| name == f))
+            fn_entry_matches(&scope.functions, finding.func.as_deref(), finding.qual.as_deref())
         }
         _ => true,
     }
@@ -150,15 +233,18 @@ fn message_for(finding: &Finding) -> String {
 }
 
 /// Whole files that are test/bench/demo context by location.
-fn is_test_file(rel_path: &str) -> bool {
+pub(crate) fn is_test_file(rel_path: &str) -> bool {
     rel_path.split('/').any(|segment| matches!(segment, "tests" | "benches" | "examples"))
 }
 
 /// Finds every `lint: allow` comment; malformed ones become diagnostics
 /// immediately (they must never silently fail to suppress).
-fn collect_allows(rel_path: &str, stripped: &Stripped) -> (Vec<Allow>, FileReport) {
-    let mut allows = Vec::new();
-    let mut report = FileReport::default();
+fn collect_allows(
+    rel_path: &str,
+    stripped: &Stripped,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
     for comment in &stripped.comments {
         // A directive must *start* the comment (`// lint: allow(...)`),
         // so prose that merely mentions the grammar never matches. Doc
@@ -172,12 +258,13 @@ fn collect_allows(rel_path: &str, stripped: &Stripped) -> (Vec<Allow>, FileRepor
             continue;
         };
         let mut bad = |why: &str| {
-            report.diagnostics.push(Diagnostic {
+            out.push(Diagnostic {
                 file: rel_path.to_string(),
                 line: comment.line,
                 lint: MALFORMED_ALLOW.to_string(),
                 severity: Severity::Deny,
                 message: format!("malformed `lint: allow` comment: {why}"),
+                chain: Vec::new(),
             });
         };
         let rest = rest.trim_start();
@@ -199,10 +286,16 @@ fn collect_allows(rel_path: &str, stripped: &Stripped) -> (Vec<Allow>, FileRepor
             bad("a justification is required after the `(<lint-id>)`");
             continue;
         }
-        let _justification = reason; // validated non-empty above
-        allows.push(Allow { line: comment.line, id });
+        let covers_next =
+            stripped.code_lines.get(comment.line - 1).is_none_or(|code| code.trim().is_empty());
+        allows.entries.push(AllowEntry {
+            file: rel_path.to_string(),
+            line: comment.line,
+            id,
+            covers_next,
+            used: 0,
+        });
     }
-    (allows, report)
 }
 
 /// True when an unsafe site at `line` carries a SAFETY justification: a
@@ -236,6 +329,510 @@ fn has_safety_comment(stripped: &Stripped, line: usize) -> bool {
     false
 }
 
+// ---------------------------------------------------------------------------
+// Flow lints
+// ---------------------------------------------------------------------------
+
+/// A function the given flow-lint scope applies to: non-test, in the
+/// scope's paths, and (when a `functions` list exists) designated by it.
+fn designated(index: &WorkspaceIndex, id: FnId, scope: &LintScope) -> bool {
+    let (file, def) = index.lookup(id);
+    if def.in_test || file.is_test_file {
+        return false;
+    }
+    if !scope.paths.iter().any(|p| glob_match(p, &file.rel_path)) {
+        return false;
+    }
+    scope.functions.is_empty()
+        || fn_entry_matches(&scope.functions, Some(&def.name), Some(def.display_name()))
+}
+
+/// `transitive-hot-path-alloc` and `transitive-panic`: BFS from every
+/// designated root's call sites to functions *outside* the scope whose
+/// bodies allocate/panic, reporting the full witness chain. Traversal
+/// prunes at designated functions (their own bodies are the direct
+/// lint's job, and their calls are covered when they root their own
+/// search), so every violation is reported exactly once, at the nearest
+/// designated caller.
+fn transitive_lints(
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    sums: &Summaries,
+    config: &Config,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let variants: [(&str, &str, bool); 2] = [
+        ("transitive-hot-path-alloc", "hot-path-alloc", true),
+        ("transitive-panic", "no-panic-serving", false),
+    ];
+    for (lint_id, direct_id, is_alloc) in variants {
+        let Some(scope) = config.lints.get(lint_id) else {
+            continue;
+        };
+        let mut seen: BTreeSet<(String, usize, String, usize)> = BTreeSet::new();
+        for root in index.ids() {
+            if !designated(index, root, scope) {
+                continue;
+            }
+            let (root_file, root_def) = index.lookup(root);
+            for call in graph.of(root) {
+                // BFS with parent pointers for chain reconstruction.
+                let mut parents: BTreeMap<FnId, FnId> = BTreeMap::new();
+                let mut queue: VecDeque<FnId> = VecDeque::new();
+                parents.insert(call.callee, root);
+                queue.push_back(call.callee);
+                while let Some(g) = queue.pop_front() {
+                    let (g_file, g_def) = index.lookup(g);
+                    if g_def.in_test || g_file.is_test_file || designated(index, g, scope) {
+                        continue;
+                    }
+                    let sites =
+                        if is_alloc { &sums.facts[g].allocs } else { &sums.facts[g].panics };
+                    for site in sites {
+                        let key = (
+                            root_file.rel_path.clone(),
+                            call.line,
+                            g_file.rel_path.clone(),
+                            site.line,
+                        );
+                        if !seen.insert(key) {
+                            continue;
+                        }
+                        // The site is justified by an allow at the site
+                        // itself (direct or transitive id) or at the
+                        // root's call line.
+                        if allows.suppresses(&g_file.rel_path, direct_id, site.line)
+                            || allows.suppresses(&g_file.rel_path, lint_id, site.line)
+                            || allows.suppresses(&root_file.rel_path, lint_id, call.line)
+                        {
+                            continue;
+                        }
+                        let mut chain_ids = vec![g];
+                        let mut cur = g;
+                        while let Some(&p) = parents.get(&cur) {
+                            chain_ids.push(p);
+                            if p == root {
+                                break;
+                            }
+                            cur = p;
+                        }
+                        chain_ids.reverse();
+                        let chain_names: Vec<&str> =
+                            chain_ids.iter().map(|&id| index.lookup(id).1.display_name()).collect();
+                        let verb = if is_alloc { "allocates" } else { "can panic" };
+                        let role = if is_alloc { "hot" } else { "serving" };
+                        out.push(Diagnostic {
+                            file: root_file.rel_path.clone(),
+                            line: call.line,
+                            lint: lint_id.to_string(),
+                            severity: scope.severity,
+                            message: format!(
+                                "`{}` {verb} at {}:{}, reached from {role} fn `{}` (chain: {})",
+                                site.what,
+                                g_file.rel_path,
+                                site.line,
+                                root_def.display_name(),
+                                chain_names.join(" -> "),
+                            ),
+                            chain: chain_ids.iter().map(|&id| index.describe(id)).collect(),
+                        });
+                    }
+                    for next in graph.of(g) {
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            parents.entry(next.callee)
+                        {
+                            e.insert(g);
+                            queue.push_back(next.callee);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One `held -> acquired` edge of the lock-acquisition graph.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+    what: String,
+}
+
+/// `lock-order`: collect every ordered pair of lock labels — a direct
+/// acquisition while another guard is held, or a call made under a
+/// guard to a function that (transitively) acquires — and flag cycles.
+fn lock_order(
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    sums: &Summaries,
+    config: &Config,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(scope) = config.lints.get("lock-order") else {
+        return;
+    };
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut edge_seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for f in index.ids() {
+        if !designated(index, f, scope) {
+            continue;
+        }
+        let (file, _) = index.lookup(f);
+        for acq in &sums.facts[f].acquires {
+            for held in &acq.held {
+                if edge_seen.insert((held.clone(), acq.label.clone())) {
+                    edges.push(LockEdge {
+                        from: held.clone(),
+                        to: acq.label.clone(),
+                        file: file.rel_path.clone(),
+                        line: acq.line,
+                        what: format!("acquires `{}`", acq.label),
+                    });
+                }
+            }
+        }
+        for call in graph.of(f) {
+            let Some(held) = sums.facts[f].held_at_call.get(&call.tok) else {
+                continue;
+            };
+            for to in &sums.acquires_all[call.callee] {
+                for from in held {
+                    if from == to {
+                        // The direct re-entrant case is covered above;
+                        // a call-edge self-loop is almost always the
+                        // label of a *different* instance's lock.
+                        continue;
+                    }
+                    if edge_seen.insert((from.clone(), to.clone())) {
+                        edges.push(LockEdge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            file: file.rel_path.clone(),
+                            line: call.line,
+                            what: format!("call to `{}` acquires `{to}`", call.display),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Two-phase: detect cycles, drop edges whose witness line carries an
+    // allow, re-detect. (Allows on acyclic edges stay unused so
+    // `unused-allow` can flag them.)
+    for _ in 0..2 {
+        let cyclic = cyclic_edges(&edges);
+        if cyclic.is_empty() {
+            return;
+        }
+        let before = edges.len();
+        edges.retain(|e| {
+            let on_cycle = cyclic.iter().any(|c| c.from == e.from && c.to == e.to);
+            !(on_cycle && allows.suppresses(&e.file, "lock-order", e.line))
+        });
+        if edges.len() == before {
+            // Nothing suppressed: report each cycle component once.
+            report_cycles(&cyclic, scope, out);
+            return;
+        }
+    }
+    let cyclic = cyclic_edges(&edges);
+    if !cyclic.is_empty() {
+        report_cycles(&cyclic, scope, out);
+    }
+}
+
+/// Edges that participate in a cycle (their target reaches their source).
+fn cyclic_edges(edges: &[LockEdge]) -> Vec<LockEdge> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if visited.insert(n) {
+                if let Some(next) = adj.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    edges.iter().filter(|e| reaches(&e.to, &e.from)).cloned().collect()
+}
+
+/// Groups cyclic edges into connected components and reports one
+/// diagnostic per component, anchored at its first witness.
+fn report_cycles(cyclic: &[LockEdge], scope: &LintScope, out: &mut Vec<Diagnostic>) {
+    let mut remaining: Vec<&LockEdge> = cyclic.iter().collect();
+    while let Some(seed) = remaining.first().copied() {
+        let mut labels: BTreeSet<String> = BTreeSet::new();
+        labels.insert(seed.from.clone());
+        labels.insert(seed.to.clone());
+        // Expand the component to fixpoint.
+        loop {
+            let before = labels.len();
+            for e in &remaining {
+                if labels.contains(&e.from) || labels.contains(&e.to) {
+                    labels.insert(e.from.clone());
+                    labels.insert(e.to.clone());
+                }
+            }
+            if labels.len() == before {
+                break;
+            }
+        }
+        let (component, rest): (Vec<&LockEdge>, Vec<&LockEdge>) =
+            remaining.into_iter().partition(|e| labels.contains(&e.from));
+        remaining = rest;
+        let mut component = component;
+        component.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        let anchor = component[0];
+        let detail: Vec<String> = component
+            .iter()
+            .map(|e| format!("`{}` -> `{}` ({}:{}, {})", e.from, e.to, e.file, e.line, e.what))
+            .collect();
+        let label_list: Vec<String> = labels.iter().map(|l| format!("`{l}`")).collect();
+        out.push(Diagnostic {
+            file: anchor.file.clone(),
+            line: anchor.line,
+            lint: "lock-order".to_string(),
+            severity: scope.severity,
+            message: format!(
+                "lock-order cycle between {}: {}",
+                label_list.join(", "),
+                detail.join("; "),
+            ),
+            chain: component
+                .iter()
+                .map(|e| format!("{}:{} `{}` -> `{}`", e.file, e.line, e.from, e.to))
+                .collect(),
+        });
+    }
+}
+
+/// `blocking-under-lock`: a blocking operation — directly in the body,
+/// or anywhere under a call made while a guard is held — stalls every
+/// thread contending for that lock.
+fn blocking_under_lock(
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    sums: &Summaries,
+    config: &Config,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(scope) = config.lints.get("blocking-under-lock") else {
+        return;
+    };
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for f in index.ids() {
+        if !designated(index, f, scope) {
+            continue;
+        }
+        let (file, _) = index.lookup(f);
+        for b in &sums.facts[f].blocking {
+            if b.held.is_empty() || !seen.insert((file.rel_path.clone(), b.line)) {
+                continue;
+            }
+            if allows.suppresses(&file.rel_path, "blocking-under-lock", b.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: b.line,
+                lint: "blocking-under-lock".to_string(),
+                severity: scope.severity,
+                message: format!("`{}` while holding lock `{}`", b.what, b.held.join("`, `")),
+                chain: Vec::new(),
+            });
+        }
+        for call in graph.of(f) {
+            let Some(held) = sums.facts[f].held_at_call.get(&call.tok) else {
+                continue;
+            };
+            let Some(witness) = &sums.may_block[call.callee] else {
+                continue;
+            };
+            if !seen.insert((file.rel_path.clone(), call.line)) {
+                continue;
+            }
+            if allows.suppresses(&file.rel_path, "blocking-under-lock", call.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: call.line,
+                lint: "blocking-under-lock".to_string(),
+                severity: scope.severity,
+                message: format!(
+                    "call to `{}` may block ({witness}) while holding lock `{}`",
+                    call.display,
+                    held.join("`, `")
+                ),
+                chain: vec![index.describe(call.callee)],
+            });
+        }
+    }
+}
+
+/// `ring-protocol`: per-function state checks over the recorded ring
+/// operations — push after close, bare `try_pop` polling loops without a
+/// close check or exit, and reorder-buffer inserts without an occupancy
+/// check.
+fn ring_protocol(
+    index: &WorkspaceIndex,
+    sums: &Summaries,
+    config: &Config,
+    allows: &mut AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(scope) = config.lints.get("ring-protocol") else {
+        return;
+    };
+    for f in index.ids() {
+        if !designated(index, f, scope) {
+            continue;
+        }
+        let (file, def) = index.lookup(f);
+        let facts = &sums.facts[f];
+        let ops = &facts.ring_ops;
+        let mut emit = |line: usize, message: String, allows: &mut AllowSet| {
+            if allows.suppresses(&file.rel_path, "ring-protocol", line) {
+                return;
+            }
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line,
+                lint: "ring-protocol".to_string(),
+                severity: scope.severity,
+                message,
+                chain: Vec::new(),
+            });
+        };
+        for close in ops.iter().filter(|o| o.kind == RingOpKind::Close) {
+            for push in ops.iter().filter(|o| {
+                o.kind == RingOpKind::Push && o.label == close.label && o.seq > close.seq
+            }) {
+                emit(
+                    push.line,
+                    format!(
+                        "push on `{}` after `close` (line {}) in `{}`: closed rings reject items",
+                        push.label,
+                        close.line,
+                        def.display_name(),
+                    ),
+                    allows,
+                );
+            }
+        }
+        for pop in ops.iter().filter(|o| o.kind == RingOpKind::TryPop) {
+            let Some(li) = pop.loop_idx else {
+                continue;
+            };
+            let info = &facts.loops[li];
+            let has_close_check =
+                ops.iter().any(|o| o.kind == RingOpKind::ClosedCheck && o.loop_idx == Some(li));
+            if info.bare && !info.has_exit && !has_close_check {
+                emit(
+                    pop.line,
+                    format!(
+                        "bare `loop` polls `try_pop` on `{}` without an `is_closed` check, `break`, or `return`: spins forever after shutdown",
+                        pop.label,
+                    ),
+                    allows,
+                );
+            }
+        }
+        // Reorder-buffer rule: only meaningful where the fn actually
+        // moves ring items (avoids flagging ordinary map inserts).
+        let touches_ring = ops.iter().any(|o| {
+            matches!(o.kind, RingOpKind::Push | RingOpKind::TryPop | RingOpKind::BlockingPop)
+        });
+        if touches_ring {
+            for ins in ops.iter().filter(|o| o.kind == RingOpKind::Insert) {
+                let checked = ops
+                    .iter()
+                    .any(|o| o.kind == RingOpKind::OccupancyCheck && o.label == ins.label);
+                if !checked {
+                    emit(
+                        ins.line,
+                        format!(
+                            "`insert` on `{}` without an `is_full`/drain check: slot reuse before drain loses items",
+                            ins.label,
+                        ),
+                        allows,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `unused-allow`: an allow that suppressed nothing is a stale exemption.
+fn unused_allows(config: &Config, allows: &mut AllowSet, out: &mut Vec<Diagnostic>) {
+    let Some(scope) = config.lints.get("unused-allow") else {
+        return;
+    };
+    let scope = scope.clone();
+    // First pass: stale allows of other ids (suppressible by an
+    // adjacent allow(unused-allow)); second pass: stale
+    // allow(unused-allow) comments themselves (not further suppressible).
+    let mut stale: Vec<(String, usize, String)> = Vec::new();
+    for e in &allows.entries {
+        if e.used == 0
+            && e.id != "unused-allow"
+            && scope.paths.iter().any(|p| glob_match(p, &e.file))
+        {
+            stale.push((e.file.clone(), e.line, e.id.clone()));
+        }
+    }
+    for (file, line, id) in stale {
+        if allows.suppresses(&file, "unused-allow", line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file,
+            line,
+            lint: "unused-allow".to_string(),
+            severity: scope.severity,
+            message: format!("`lint: allow({id})` suppresses nothing; remove the stale exemption"),
+            chain: Vec::new(),
+        });
+    }
+    let stale_unused: Vec<(String, usize)> = allows
+        .entries
+        .iter()
+        .filter(|e| {
+            e.used == 0
+                && e.id == "unused-allow"
+                && scope.paths.iter().any(|p| glob_match(p, &e.file))
+        })
+        .map(|e| (e.file.clone(), e.line))
+        .collect();
+    for (file, line) in stale_unused {
+        out.push(Diagnostic {
+            file,
+            line,
+            lint: "unused-allow".to_string(),
+            severity: scope.severity,
+            message: "`lint: allow(unused-allow)` suppresses nothing; remove the stale exemption"
+                .to_string(),
+            chain: Vec::new(),
+        });
+    }
+}
+
 /// Groups diagnostics per lint id (for summaries).
 #[must_use]
 pub fn count_by_lint(diagnostics: &[Diagnostic]) -> BTreeMap<String, usize> {
@@ -261,6 +858,18 @@ mod tests {
         let report = lint_source("src/a.rs", src, &cfg);
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn qualified_function_entry_designates_only_that_impl() {
+        let cfg = config(
+            "[lints.hot-path-alloc]\npaths = [\"src/a.rs\"]\nfunctions = [\"Cache::insert\"]\n",
+        );
+        let src = "impl Cache {\n    fn insert(&self) { let v = Vec::new(); }\n}\nimpl Buffer {\n    fn insert(&self) { let v = Vec::new(); }\n}\nfn insert() { let v = Vec::new(); }\n";
+        let report = lint_source("src/a.rs", src, &cfg);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].line, 2);
+        assert!(report.diagnostics[0].message.contains("fn `insert`"));
     }
 
     #[test]
@@ -315,5 +924,139 @@ mod tests {
         let report = lint_source("crates/memsim/src/lib.rs", src, &cfg);
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn transitive_alloc_reports_the_call_chain() {
+        let cfg = config(
+            "[lints.hot-path-alloc]\npaths = [\"src/hot.rs\"]\nfunctions = [\"dot\"]\n\n[lints.transitive-hot-path-alloc]\ninherit = \"hot-path-alloc\"\n",
+        );
+        let files = vec![
+            FileModel::build("src/hot.rs", "fn dot() {\n    helper();\n}\n"),
+            FileModel::build(
+                "src/helper.rs",
+                "pub fn helper() { deeper(); }\nfn deeper() { let v = Vec::new(); }\n",
+            ),
+        ];
+        let report = lint_workspace(files, &cfg);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let d = &report.diagnostics[0];
+        assert_eq!(
+            (d.file.as_str(), d.line, d.lint.as_str()),
+            ("src/hot.rs", 2, "transitive-hot-path-alloc")
+        );
+        assert!(d.message.contains("dot -> helper -> deeper"), "{}", d.message);
+        assert_eq!(d.chain.len(), 3);
+    }
+
+    #[test]
+    fn transitive_panic_prunes_at_in_scope_callees() {
+        let cfg = config(
+            "[lints.no-panic-serving]\npaths = [\"src/serve/**\"]\n\n[lints.transitive-panic]\ninherit = \"no-panic-serving\"\n",
+        );
+        // `entry` calls `inner` (also in scope: direct lint's job) and
+        // `outside` (out of scope: transitive finding).
+        let files = vec![
+            FileModel::build(
+                "src/serve/a.rs",
+                "fn entry() { inner(); outside(); }\nfn inner() { x.unwrap(); }\n",
+            ),
+            FileModel::build("src/util.rs", "pub fn outside() { y.unwrap(); }\n"),
+        ];
+        let report = lint_workspace(files, &cfg);
+        let lints: Vec<(&str, usize, &str)> =
+            report.diagnostics.iter().map(|d| (d.file.as_str(), d.line, d.lint.as_str())).collect();
+        assert_eq!(
+            lints,
+            vec![
+                ("src/serve/a.rs", 1, "transitive-panic"),
+                ("src/serve/a.rs", 2, "no-panic-serving"),
+            ],
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn lock_order_cycle_is_reported_and_ordered_nesting_is_not() {
+        let cfg = config("[lints.lock-order]\npaths = [\"**\"]\n");
+        let cycle = vec![FileModel::build(
+            "src/a.rs",
+            "fn ab(&self) {\n    let a = lock_or_recover(&self.alpha);\n    let b = lock_or_recover(&self.beta);\n}\nfn ba(&self) {\n    let b = lock_or_recover(&self.beta);\n    let a = lock_or_recover(&self.alpha);\n}\n",
+        )];
+        let report = lint_workspace(cycle, &cfg);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert!(report.diagnostics[0].message.contains("lock-order cycle"));
+
+        let ordered = vec![FileModel::build(
+            "src/a.rs",
+            "fn ab(&self) {\n    let a = lock_or_recover(&self.alpha);\n    let b = lock_or_recover(&self.beta);\n}\nfn ab2(&self) {\n    let a = lock_or_recover(&self.alpha);\n    let b = lock_or_recover(&self.beta);\n}\n",
+        )];
+        assert!(lint_workspace(ordered, &cfg).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn lock_order_sees_through_calls() {
+        let cfg = config("[lints.lock-order]\npaths = [\"**\"]\n");
+        let files = vec![FileModel::build(
+            "src/a.rs",
+            "impl T {\nfn ab(&self) {\n    let a = lock_or_recover(&self.alpha);\n    self.take_beta();\n}\nfn take_beta(&self) {\n    let b = lock_or_recover(&self.beta);\n    let a = lock_or_recover(&self.alpha);\n}\n}\n",
+        )];
+        // ab: alpha -> beta (via call); take_beta: beta -> alpha. Cycle.
+        let report = lint_workspace(files, &cfg);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].lint, "lock-order");
+    }
+
+    #[test]
+    fn blocking_under_lock_direct_and_through_calls() {
+        let cfg = config("[lints.blocking-under-lock]\npaths = [\"**\"]\n");
+        let files = vec![
+            FileModel::build(
+                "src/a.rs",
+                "fn f(&self) {\n    let g = lock_or_recover(&self.state);\n    self.ring.push_blocking(1);\n}\nfn h(&self) {\n    let g = lock_or_recover(&self.state);\n    helper();\n}\n",
+            ),
+            FileModel::build("src/b.rs", "pub fn helper() { std::thread::sleep(d); }\n"),
+        ];
+        let report = lint_workspace(files, &cfg);
+        let lines: Vec<usize> = report.diagnostics.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 7], "{:?}", report.diagnostics);
+        assert!(report.diagnostics[1].message.contains("may block"));
+    }
+
+    #[test]
+    fn ring_protocol_flags_push_after_close_and_spin_loops() {
+        let cfg = config("[lints.ring-protocol]\npaths = [\"**\"]\n");
+        let files = vec![FileModel::build(
+            "src/a.rs",
+            "fn shutdown(&self) {\n    self.ring.close();\n    let _ = self.ring.try_push(1);\n}\nfn consume(&self) {\n    loop {\n        if let Some(x) = self.ring.try_pop() { work(x); }\n    }\n}\n",
+        )];
+        let report = lint_workspace(files, &cfg);
+        let lints: Vec<(usize, &str)> =
+            report.diagnostics.iter().map(|d| (d.line, d.lint.as_str())).collect();
+        assert_eq!(lints, vec![(3, "ring-protocol"), (7, "ring-protocol")]);
+    }
+
+    #[test]
+    fn ring_protocol_accepts_the_close_then_drain_consumer() {
+        let cfg = config("[lints.ring-protocol]\npaths = [\"**\"]\n");
+        let files = vec![FileModel::build(
+            "src/a.rs",
+            "fn consume(&self) {\n    loop {\n        if let Some(x) = self.ring.try_pop() { work(x); continue; }\n        if self.ring.is_closed() { break; }\n    }\n}\n",
+        )];
+        assert!(lint_workspace(files, &cfg).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_flagged_and_used_allow_is_not() {
+        let cfg = config(
+            "[lints.hot-path-alloc]\npaths = [\"**\"]\n\n[lints.unused-allow]\npaths = [\"**\"]\n",
+        );
+        let src = "fn f() {\n    // lint: allow(hot-path-alloc) justified\n    let v = Vec::new();\n    // lint: allow(determinism) nothing here matches\n    let x = 1;\n}\n";
+        let report = lint_source("src/a.rs", src, &cfg);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let d = &report.diagnostics[0];
+        assert_eq!((d.line, d.lint.as_str()), (4, "unused-allow"));
+        assert!(d.message.contains("allow(determinism)"));
     }
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p microrec-lint -- [--root DIR] [--config FILE] [--json] [--deny-all] [--quiet]
+//! cargo run -p microrec-lint -- --explain <lint-id>
 //! ```
 //!
 //! Exit codes: `0` clean (or only tolerated warns), `1` lint failure,
@@ -11,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use microrec_lint::{count_by_lint, load_config, run, Severity};
+use microrec_lint::{count_by_lint, explain, load_config, render_json, run, Severity, LINT_DOCS};
 
 struct Args {
     root: PathBuf,
@@ -19,11 +20,18 @@ struct Args {
     json: bool,
     deny_all: bool,
     quiet: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { root: PathBuf::from("."), config: None, json: false, deny_all: false, quiet: false };
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        deny_all: false,
+        quiet: false,
+        explain: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -36,8 +44,11 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--deny-all" | "-D" => args.deny_all = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a lint id")?);
+            }
             "--help" | "-h" => return Err(String::from(
-                "usage: microrec-lint [--root DIR] [--config FILE] [--json] [--deny-all] [--quiet]",
+                "usage: microrec-lint [--root DIR] [--config FILE] [--json] [--deny-all] [--quiet]\n       microrec-lint --explain <lint-id>",
             )),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -45,19 +56,21 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+fn print_explain(id: &str) -> ExitCode {
+    let Some(doc) = explain(id) else {
+        let known: Vec<&str> = LINT_DOCS.iter().map(|d| d.id).collect();
+        eprintln!("unknown lint id `{id}`; known ids: {}", known.join(", "));
+        return ExitCode::from(2);
+    };
+    println!("{}", doc.id);
+    println!("  invariant: {}", doc.invariant);
+    println!("  rationale: {}", doc.rationale);
+    if doc.allow_example.is_empty() {
+        println!("  allow:     not allowable (always enforced)");
+    } else {
+        println!("  allow:     {}", doc.allow_example);
     }
-    out
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -68,6 +81,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &args.explain {
+        return print_explain(id);
+    }
     let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
     let config = match load_config(&config_path) {
         Ok(config) => config,
@@ -85,25 +101,7 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        let mut out = String::from("{\"diagnostics\":[");
-        for (i, d) in report.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
-                json_escape(&d.file),
-                d.line,
-                json_escape(&d.lint),
-                d.severity,
-                json_escape(&d.message),
-            ));
-        }
-        out.push_str(&format!(
-            "],\"files_scanned\":{},\"suppressed\":{}}}",
-            report.files_scanned, report.suppressed
-        ));
-        println!("{out}");
+        println!("{}", render_json(&report));
     } else {
         for d in &report.diagnostics {
             println!("{d}");

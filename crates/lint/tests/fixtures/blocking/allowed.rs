@@ -1,0 +1,10 @@
+//! The same sleep-under-guard, justified through the escape hatch.
+
+impl Pacer {
+    pub fn drain_one(&self) -> Option<u32> {
+        let mut g = lock_or_recover(&self.queue);
+        // lint: allow(blocking-under-lock) deliberate backoff; the lock is private to this test pacer
+        std::thread::sleep(self.backoff);
+        g.pop()
+    }
+}

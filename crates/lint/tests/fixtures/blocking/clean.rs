@@ -1,0 +1,13 @@
+//! The guard is released (scope exit) before the blocking call: no
+//! contending thread can stall on `items` during the sleep.
+
+impl Backoff {
+    pub fn drain_one(&self) -> Option<u32> {
+        let out = {
+            let mut g = lock_or_recover(&self.items);
+            g.pop()
+        };
+        std::thread::sleep(self.pause);
+        out
+    }
+}

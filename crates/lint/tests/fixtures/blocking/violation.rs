@@ -1,0 +1,20 @@
+//! Seeded violation: sleeping while a mutex guard is held stalls every
+//! thread contending for `state` — directly, and through a call.
+
+impl Throttle {
+    pub fn drain_one(&self) -> Option<u32> {
+        let mut g = lock_or_recover(&self.state);
+        std::thread::sleep(self.backoff);
+        g.pop()
+    }
+
+    pub fn drain_via_helper(&self) -> usize {
+        let g = lock_or_recover(&self.state);
+        nap();
+        g.len()
+    }
+}
+
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,17 @@
+//! The same shape, with one edge of the cycle justified: dropping the
+//! gamma→delta edge leaves the remaining graph acyclic.
+
+impl Gauges {
+    pub fn snapshot(&self) -> u32 {
+        let c = lock_or_recover(&self.gamma);
+        let d = lock_or_recover(&self.delta);
+        *c + *d
+    }
+
+    pub fn reset(&self) -> u32 {
+        let d = lock_or_recover(&self.delta);
+        // lint: allow(lock-order) maintenance path; never runs concurrently with snapshot()
+        let c = lock_or_recover(&self.gamma);
+        *c + *d
+    }
+}

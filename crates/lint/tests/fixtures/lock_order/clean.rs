@@ -1,0 +1,16 @@
+//! Consistent nesting order everywhere: epsilon before zeta in both
+//! callers, so the acquisition graph stays acyclic.
+
+impl Counters {
+    pub fn total(&self) -> u32 {
+        let e = lock_or_recover(&self.epsilon);
+        let z = lock_or_recover(&self.zeta);
+        *e + *z
+    }
+
+    pub fn rebalance(&self) -> u32 {
+        let e = lock_or_recover(&self.epsilon);
+        let z = lock_or_recover(&self.zeta);
+        *e * *z
+    }
+}

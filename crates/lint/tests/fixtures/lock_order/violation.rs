@@ -1,0 +1,16 @@
+//! Seeded ABBA deadlock: `sum_ab` nests alpha→beta while `refresh`
+//! nests beta→alpha, so the lock-acquisition graph has a cycle.
+
+impl Metrics {
+    pub fn sum_ab(&self) -> u32 {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn refresh(&self) -> u32 {
+        let b = lock_or_recover(&self.beta);
+        let a = lock_or_recover(&self.alpha);
+        *a + *b
+    }
+}

@@ -1,0 +1,24 @@
+//! The close-then-drain consumer: polls, then checks `is_closed` before
+//! looping again, and gates reorder inserts on occupancy.
+
+impl Consumer {
+    pub fn consume(&mut self) {
+        loop {
+            if let Some(x) = self.ring.try_pop() {
+                self.seen += x;
+                continue;
+            }
+            if self.ring.is_closed() {
+                break;
+            }
+        }
+    }
+
+    pub fn stash(&mut self, seq: u64) {
+        if let Some(x) = self.ring.try_pop() {
+            if !self.reorder.is_full() {
+                self.reorder.insert(seq, x);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded ring-protocol violations: a push after close, a bare try_pop
+//! spin loop, and a reorder-buffer insert without an occupancy check.
+
+impl Endpoint {
+    pub fn shutdown(&self) {
+        self.ring.close();
+        let _ = self.ring.try_push(SENTINEL);
+    }
+
+    pub fn consume(&mut self) {
+        loop {
+            if let Some(x) = self.ring.try_pop() {
+                self.seen += x;
+            }
+        }
+    }
+
+    pub fn stash(&mut self, seq: u64) {
+        if let Some(x) = self.ring.try_pop() {
+            self.reorder.insert(seq, x);
+        }
+    }
+}

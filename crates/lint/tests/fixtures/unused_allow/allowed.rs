@@ -1,0 +1,8 @@
+//! A stale exemption that is itself exempted: the allow(unused-allow)
+//! suppresses the staleness finding on the line below it.
+
+pub fn tidy() -> u32 {
+    // lint: allow(unused-allow) retained on purpose: documents the next quantization pass
+    // lint: allow(determinism) placeholder for the planned table-shuffle rework
+    7
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: an escape hatch that suppresses nothing — the
+//! determinism lint is not scoped to this directory, so the exemption
+//! is stale.
+
+pub fn tidy() -> u32 {
+    // lint: allow(determinism) left behind after a refactor
+    7
+}

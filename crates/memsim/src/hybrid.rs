@@ -211,15 +211,18 @@ impl HybridMemory {
         reads: &[AddressedRead],
     ) -> Result<BatchTiming, MemsimError> {
         for read in reads {
-            if !self.banks.contains_key(&read.bank) {
+            if !self.banks.contains_key(&read.bank) || !self.row_states.contains_key(&read.bank) {
                 return Err(MemsimError::UnknownBank(read.bank));
             }
         }
         let mut per_bank: BTreeMap<BankId, (SimTime, usize)> = BTreeMap::new();
         for read in reads {
-            let timing = self.banks[&read.bank].timing().clone();
-            let state = self.row_states.get_mut(&read.bank).expect("state per bank");
-            let (t, hit) = state.service(read, &timing, self.policy);
+            let timing = self.banks[&read.bank].timing();
+            let Some(state) = self.row_states.get_mut(&read.bank) else {
+                // Unreachable: both maps were validated before any mutation.
+                return Err(MemsimError::UnknownBank(read.bank));
+            };
+            let (t, hit) = state.service(read, timing, self.policy);
             self.stats.record_with_hit(read.bank, read.bytes, t, hit);
             let entry = per_bank.entry(read.bank).or_insert((SimTime::ZERO, 0));
             entry.0 += t;

@@ -81,12 +81,14 @@ where
                     local.push((i, f(i, &items[i])));
                 }
                 if !local.is_empty() {
+                    // lint: allow(transitive-panic) poisoned only if a sibling worker panicked; re-raising preserves fail-fast
                     out.lock().expect("result mutex poisoned").extend(local);
                 }
             });
         }
     });
 
+    // lint: allow(transitive-panic) poisoned only if a sibling worker panicked; re-raising preserves fail-fast
     let mut pairs = out.into_inner().expect("result mutex poisoned");
     pairs.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), items.len());
