@@ -76,6 +76,21 @@ pub fn parse_strategy(s: &str) -> Result<AllocStrategy, ArgError> {
     }
 }
 
+/// Parses a byte-count flag value: a plain integer with an optional
+/// `k`/`m`/`g` (binary) suffix, case-insensitive.
+pub fn parse_bytes(s: &str) -> Result<u64, ArgError> {
+    let (digits, shift) = match s.as_bytes().last().map(u8::to_ascii_lowercase) {
+        Some(b'k') => (&s[..s.len() - 1], 10),
+        Some(b'm') => (&s[..s.len() - 1], 20),
+        Some(b'g') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n = digits.parse::<u64>().map_err(|_| ArgError(format!("bad byte count `{s}`")))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| ArgError(format!("byte count `{s}` overflows")))
+}
+
 /// A parsing error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArgError(pub String);
@@ -177,6 +192,11 @@ pub enum Command {
         /// End-to-end latency objective per request in microseconds,
         /// consulted by the routed mode's SLO guard (0 disables it).
         slo_us: u64,
+        /// Resident embedding budget in bytes for the tiered parameter
+        /// store (0 = keep every table resident; `k`/`m`/`g` suffixes
+        /// accepted). Tables that do not fit are served from a
+        /// file-backed cold tier.
+        resident_bytes: u64,
     },
     /// Print usage.
     Help,
@@ -298,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                 .unwrap_or("0")
                 .parse()
                 .map_err(|_| ArgError("bad --slo-us value".into()))?,
+            resident_bytes: flag("--resident-bytes").map_or(Ok(0), parse_bytes)?,
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -315,7 +336,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
-  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto|--routed] [--slo-us US]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto|--routed] [--slo-us US] [--resident-bytes N[k|m|g]]
   microrec help
 ";
 
@@ -450,11 +471,13 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
-        // Not passing the flag leaves the monolithic default and no SLO.
+        // Not passing the flag leaves the monolithic default, no SLO, and
+        // the all-resident (untiered) store.
         match parse(&argv("serve --live")).unwrap().command {
-            Command::Serve { execution, slo_us, .. } => {
+            Command::Serve { execution, slo_us, resident_bytes, .. } => {
                 assert_eq!(execution, ExecutionMode::Monolithic);
                 assert_eq!(slo_us, 0);
+                assert_eq!(resident_bytes, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -486,6 +509,23 @@ mod tests {
         assert!(err.0.contains("one execution mode"), "{err}");
         assert!(parse(&argv("serve --live --replicated --pipelined --auto")).is_err());
         assert!(parse(&argv("serve --live --routed --auto")).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_flag_parses_with_suffixes() {
+        for (arg, want) in
+            [("131072", 131_072u64), ("512k", 512 << 10), ("64m", 64 << 20), ("2G", 2 << 30)]
+        {
+            match parse(&argv(&format!("serve --live --resident-bytes {arg}"))).unwrap().command {
+                Command::Serve { resident_bytes, .. } => assert_eq!(resident_bytes, want, "{arg}"),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        assert_eq!(parse_bytes("0").unwrap(), 0);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err());
+        assert!(parse(&argv("serve --live --resident-bytes big")).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use microrec_core::{
     RuntimeConfig, ServingRuntime,
 };
 use microrec_cpu::CpuTimingModel;
-use microrec_embedding::Precision;
+use microrec_embedding::{Precision, RowFormat};
 use microrec_memsim::{MemoryConfig, SimTime};
 use microrec_placement::{heuristic_search, AllocStrategy, HeuristicOptions};
 use microrec_workload::{PoissonArrivals, QueryGenConfig, QueryGenerator, RequestTrace};
@@ -206,22 +206,31 @@ pub fn run_serve(
 }
 
 /// `microrec serve --live`: drives the real micro-batching runtime with a
-/// paced wall-clock replay of a seeded Poisson trace.
+/// paced wall-clock replay of a seeded Poisson trace. A non-zero
+/// `resident_bytes` serves the embeddings through the tiered parameter
+/// store, keeping at most that many bytes of tables resident (f32 rows,
+/// bit-identical to the all-resident engine) and the rest file-backed.
 pub fn run_serve_live(
     model: &ModelArg,
     rate: f64,
     queries: usize,
     config: RuntimeConfig,
+    resident_bytes: u64,
 ) -> CliResult {
     let spec = model.to_spec();
     let trace = RequestTrace::generate(&spec, rate, queries, QueryGenConfig::default())?;
-    let mut runtime = ServingRuntime::start(MicroRec::builder(spec.clone()), config)?;
+    let mut builder = MicroRec::builder(spec.clone());
+    if resident_bytes > 0 {
+        builder = builder.tiered_storage(resident_bytes, RowFormat::F32);
+    }
+    let mut runtime = ServingRuntime::start(builder, config)?;
     let resolved = runtime.resolved_execution();
     let plan_line = runtime.plan().map(|p| (p.summary(), p.fifo_depth, p.spin_rounds));
     let calibration = runtime.calibration().cloned();
     let outcome = replay_trace(&runtime, &trace);
     let router = runtime.router_snapshot();
     let snap = runtime.shutdown();
+    let lookup = runtime.lookup_stats();
     let mut s = String::new();
     let mode = if config.execution == ExecutionMode::Auto {
         format!("auto->{}", resolved.as_str())
@@ -312,6 +321,18 @@ pub fn run_serve_live(
         snap.deadline_closes,
         snap.drain_closes,
     )?;
+    if let Some(lookup) = lookup.as_ref().filter(|l| l.tiered) {
+        writeln!(
+            s,
+            "tier:  {} resident hits, {} cold reads ({} prefetched, {:.1} KiB from disk), \
+             cold tier {}",
+            lookup.resident_hits,
+            lookup.cold_reads,
+            lookup.prefetch_hits,
+            lookup.bytes_from_cold as f64 / 1024.0,
+            if lookup.cold_tier_healthy() { "healthy" } else { "UNHEALTHY" },
+        )?;
+    }
     if let Some(stages) = &snap.stages {
         for stage in stages {
             write!(
@@ -423,7 +444,7 @@ mod tests {
             slo_us: 0,
         };
         let out =
-            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("p99"), "{out}");
         assert!(out.contains("mean size"), "{out}");
@@ -442,7 +463,7 @@ mod tests {
             slo_us: 0,
         };
         let out =
-            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
         assert!(out.contains("pipelined worker(s)"), "{out}");
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("stage lookup"), "{out}");
@@ -461,7 +482,7 @@ mod tests {
             slo_us: 0,
         };
         let out =
-            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
         assert!(out.contains("replicated worker(s)"), "{out}");
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("plan:  lookup x2"), "{out}");
@@ -480,7 +501,7 @@ mod tests {
             slo_us: 0,
         };
         let out =
-            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
         assert!(out.contains("auto->"), "{out}");
         assert!(out.contains("auto:  monolithic"), "{out}");
         assert!(out.contains("200 of 200 completed"), "{out}");
@@ -498,7 +519,7 @@ mod tests {
             slo_us: 50_000,
         };
         let out =
-            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config).unwrap();
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
         assert!(out.contains("routed worker(s)"), "{out}");
         assert!(out.contains("200 of 200 completed"), "{out}");
         assert!(out.contains("router:"), "{out}");
@@ -515,6 +536,29 @@ mod tests {
             .filter_map(|l| l.split_whitespace().nth(2).and_then(|n| n.parse::<u64>().ok()))
             .sum();
         assert!(dispatched > 0, "{out}");
+    }
+
+    #[test]
+    fn serve_live_tiered_reports_tier_counters() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Monolithic,
+            slo_us: 0,
+        };
+        // dlrm:4x4 is 32 MiB of f32 rows; an 8 MiB budget keeps one table
+        // resident and serves the other three from the cold file.
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 8 << 20)
+                .unwrap();
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        assert!(out.contains("tier:"), "{out}");
+        assert!(out.contains("resident hits"), "{out}");
+        assert!(out.contains("cold reads"), "{out}");
+        assert!(out.contains("cold tier healthy"), "{out}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() -> ExitCode {
             reject,
             execution,
             slo_us,
+            resident_bytes,
         } => {
             if *live {
                 let config = microrec_core::RuntimeConfig {
@@ -71,7 +72,7 @@ fn main() -> ExitCode {
                     execution: *execution,
                     slo_us: *slo_us,
                 };
-                commands::run_serve_live(model, *rate, *queries, config)
+                commands::run_serve_live(model, *rate, *queries, config, *resident_bytes)
             } else {
                 commands::run_serve(model, *rate, *queries, *sla_ms, *hybrid)
             }

@@ -8,7 +8,8 @@ use std::sync::Arc;
 use microrec_accel::{estimate_usage, AccelConfig, Pipeline, ResourceUsage, U280_CAPACITY};
 use microrec_dnn::{FixedNum, Mlp, PackedMlp, ScratchArena, Q16, Q32};
 use microrec_embedding::{
-    synthetic_dense_features, Catalog, EmbeddingArena, HotRowCache, ModelSpec, Precision, RowFormat,
+    synthetic_dense_features, Catalog, EmbeddingArena, HotRowCache, ModelSpec, Precision,
+    RowFormat, TierCounters, TieredBacking, TieredStore,
 };
 use microrec_memsim::{AddressedRead, HybridMemory, MemoryConfig, RowPolicy, SimTime};
 use microrec_placement::{heuristic_search, HeuristicOptions, Plan, PlanCost};
@@ -46,6 +47,9 @@ pub struct MicroRecBuilder {
     cache_rows: usize,
     cache_ways: usize,
     shared_arena: Option<Arc<EmbeddingArena>>,
+    tiered_budget: Option<u64>,
+    prefetch_workers: usize,
+    shared_tiered: Option<Arc<TieredBacking>>,
 }
 
 impl MicroRecBuilder {
@@ -68,6 +72,9 @@ impl MicroRecBuilder {
             cache_rows: 0,
             cache_ways: 8,
             shared_arena: None,
+            tiered_budget: None,
+            prefetch_workers: 2,
+            shared_tiered: None,
         }
     }
 
@@ -161,6 +168,53 @@ impl MicroRecBuilder {
         self
     }
 
+    /// Serves embeddings through the three-tier parameter store instead of
+    /// a single all-resident arena: whole tables are admitted to a
+    /// budget-capped resident [`EmbeddingArena`] (smallest first — the
+    /// greedy optimum for once-per-round table traffic) and the rest are
+    /// written to a file-backed cold tier read via positioned `pread`,
+    /// with misses overlapped by an async prefetcher. Output is
+    /// bit-identical to [`MicroRecBuilder::embedding_arena`] with the same
+    /// `format` at any budget.
+    #[must_use]
+    pub fn tiered_storage(mut self, budget_bytes: u64, format: RowFormat) -> Self {
+        self.tiered_budget = Some(budget_bytes);
+        self.arena_format = Some(format);
+        self
+    }
+
+    /// Number of async cold-tier prefetch threads each engine spawns on
+    /// its first cold miss (default 2; 0 reads cold rows synchronously).
+    #[must_use]
+    pub fn prefetch_workers(mut self, workers: usize) -> Self {
+        self.prefetch_workers = workers;
+        self
+    }
+
+    /// Uses an existing tiered backing (resident arena + cold store)
+    /// instead of materializing a new one per engine, the tiered twin of
+    /// [`MicroRecBuilder::shared_arena`]: replica engines share one
+    /// resident allocation and one cold file.
+    #[must_use]
+    pub fn shared_tiered_backing(mut self, backing: Arc<TieredBacking>) -> Self {
+        self.arena_format = Some(backing.format());
+        self.tiered_budget = Some(backing.budget_bytes());
+        self.shared_tiered = Some(backing);
+        self
+    }
+
+    /// Whether this builder serves through the tiered parameter store.
+    #[must_use]
+    pub fn is_tiered(&self) -> bool {
+        self.tiered_budget.is_some() || self.shared_tiered.is_some()
+    }
+
+    /// The configured resident byte budget, when tiered.
+    #[must_use]
+    pub fn tiered_budget_bytes(&self) -> Option<u64> {
+        self.tiered_budget
+    }
+
     /// Builds this configuration's arena once and installs it as the
     /// shared arena, so every subsequent [`MicroRecBuilder::build`] (on
     /// this builder or its clones) reuses the same allocation. No-op when
@@ -171,6 +225,15 @@ impl MicroRecBuilder {
     /// Returns [`MicroRecError`] if the placement search or arena
     /// materialization fails.
     pub fn prepare_shared_arena(&mut self) -> Result<(), MicroRecError> {
+        if self.tiered_budget.is_some() {
+            // Tiered twin: build once, share the backing (resident arena +
+            // cold store) across every engine built from this builder.
+            if self.shared_tiered.is_none() {
+                let engine = self.clone().build()?;
+                self.shared_tiered = engine.tiered_store().map(|t| Arc::clone(t.backing()));
+            }
+            return Ok(());
+        }
         if self.arena_format.is_none() || self.shared_arena.is_some() {
             return Ok(());
         }
@@ -235,40 +298,62 @@ impl MicroRecBuilder {
 
         let catalog = Catalog::build(&self.model, &plan.merge, self.seed)?;
 
-        // Embedding fast path: a shared or freshly materialized arena, and
-        // an optional hot-row cache in front of it.
-        let arena = match (&self.shared_arena, self.arena_format) {
-            (Some(shared), _) => {
-                if !shared.matches(catalog.logical_tables()) {
-                    return Err(MicroRecError::Runtime(
-                        "shared embedding arena does not match the model's tables".into(),
-                    ));
-                }
-                Some(Arc::clone(shared))
-            }
-            (None, Some(format)) => {
-                // Channel assignment: each logical table inherits the
-                // memory channel (bank) its physical table was placed on.
-                let mut banks = Vec::new();
-                let channel_of: Vec<usize> = (0..catalog.logical_tables().len())
-                    .map(|lidx| {
-                        let (pidx, _) = catalog.locate(lidx);
-                        let bank = plan.placed[pidx].banks[0];
-                        banks.iter().position(|&b| b == bank).unwrap_or_else(|| {
-                            banks.push(bank);
-                            banks.len() - 1
-                        })
+        // Channel assignment: each logical table inherits the memory
+        // channel (bank) its physical table was placed on.
+        let compute_channels = |catalog: &Catalog| -> Vec<usize> {
+            let mut banks = Vec::new();
+            (0..catalog.logical_tables().len())
+                .map(|lidx| {
+                    let (pidx, _) = catalog.locate(lidx);
+                    let bank = plan.placed[pidx].banks[0];
+                    banks.iter().position(|&b| b == bank).unwrap_or_else(|| {
+                        banks.push(bank);
+                        banks.len() - 1
                     })
-                    .collect();
-                Some(Arc::new(EmbeddingArena::build(
-                    catalog.logical_tables(),
-                    format,
-                    &channel_of,
-                    self.arena_limit_bytes,
-                )?))
-            }
-            (None, None) => None,
+                })
+                .collect()
         };
+
+        // Embedding fast path: a tiered parameter store, a shared or
+        // freshly materialized all-resident arena, and an optional hot-row
+        // cache in front of either.
+        let mut arena: Option<Arc<EmbeddingArena>> = None;
+        let mut tiered: Option<TieredStore> = None;
+        if let Some(shared) = &self.shared_tiered {
+            if !shared.matches(catalog.logical_tables()) {
+                return Err(MicroRecError::Runtime(
+                    "shared tiered backing does not match the model's tables".into(),
+                ));
+            }
+            tiered = Some(TieredStore::new(Arc::clone(shared), self.prefetch_workers));
+        } else if let Some(budget) = self.tiered_budget {
+            let format = self.arena_format.unwrap_or(RowFormat::F32);
+            let channel_of = compute_channels(&catalog);
+            let backing =
+                TieredBacking::build(catalog.logical_tables(), format, &channel_of, budget)?;
+            tiered = Some(TieredStore::new(backing, self.prefetch_workers));
+        } else {
+            arena = match (&self.shared_arena, self.arena_format) {
+                (Some(shared), _) => {
+                    if !shared.matches(catalog.logical_tables()) {
+                        return Err(MicroRecError::Runtime(
+                            "shared embedding arena does not match the model's tables".into(),
+                        ));
+                    }
+                    Some(Arc::clone(shared))
+                }
+                (None, Some(format)) => {
+                    let channel_of = compute_channels(&catalog);
+                    Some(Arc::new(EmbeddingArena::build(
+                        catalog.logical_tables(),
+                        format,
+                        &channel_of,
+                        self.arena_limit_bytes,
+                    )?))
+                }
+                (None, None) => None,
+            };
+        }
         let cache = if self.cache_rows > 0 {
             let dims: Vec<u32> = catalog
                 .logical_tables()
@@ -321,6 +406,7 @@ impl MicroRecBuilder {
             region_offsets,
             catalog,
             arena,
+            tiered,
             cache,
             feature_offsets,
             miss_scratch,
@@ -386,6 +472,7 @@ pub struct MicroRec {
     region_offsets: Vec<Vec<u64>>,
     catalog: Catalog,
     arena: Option<Arc<EmbeddingArena>>,
+    tiered: Option<TieredStore>,
     cache: Option<HotRowCache>,
     feature_offsets: Vec<usize>,
     miss_scratch: Vec<usize>,
@@ -470,6 +557,25 @@ impl MicroRec {
     #[must_use]
     pub fn hot_row_cache(&self) -> Option<&HotRowCache> {
         self.cache.as_ref()
+    }
+
+    /// The tiered parameter store serving embedding reads, when this
+    /// engine was built with [`MicroRecBuilder::tiered_storage`].
+    #[must_use]
+    pub fn tiered_store(&self) -> Option<&TieredStore> {
+        self.tiered.as_ref()
+    }
+
+    /// Whether embeddings are served through the tiered parameter store.
+    #[must_use]
+    pub fn is_tiered(&self) -> bool {
+        self.tiered.is_some()
+    }
+
+    /// Per-tier serving counters (zeros when the engine is not tiered).
+    #[must_use]
+    pub fn tier_counters(&self) -> TierCounters {
+        self.tiered.as_ref().map(TieredStore::counters).unwrap_or_default()
     }
 
     /// End-to-end single-item inference latency.
@@ -646,6 +752,26 @@ impl MicroRec {
     /// a procedural/materialized table read — never what they are, so all
     /// combinations are bit-identical for `RowFormat::F32` storage.
     fn gather_round_into(&mut self, indices: &[u64], out: &mut [f32]) -> Result<(), MicroRecError> {
+        // Tiered parameter store: the round is classified per tier before
+        // any miss is serviced, with cold reads overlapped by the
+        // prefetcher. With a cache, only the probe misses reach the tiers
+        // and every served row is admitted through the `on_row` hook.
+        if let Some(tiered) = self.tiered.as_mut() {
+            return match self.cache.as_mut() {
+                Some(cache) => {
+                    cache.probe_round(indices, out, &mut self.miss_scratch);
+                    tiered.serve_rows(
+                        indices,
+                        &self.miss_scratch,
+                        &self.feature_offsets,
+                        out,
+                        |t, slot, bytes| cache.insert(t, indices[t], slot, bytes),
+                    )?;
+                    Ok(())
+                }
+                None => Ok(tiered.gather_round(indices, &self.feature_offsets, out)?),
+            };
+        }
         let arena = self.arena.as_deref();
         let catalog = &self.catalog;
         match self.cache.as_mut() {
@@ -813,6 +939,9 @@ impl MicroRec {
         self.memory.reset_stats();
         if let Some(cache) = &mut self.cache {
             cache.reset_stats();
+        }
+        if let Some(tiered) = &mut self.tiered {
+            tiered.reset_stats();
         }
     }
 }
@@ -1024,6 +1153,77 @@ mod tests {
                 // the cache is a host-side structure, not a DRAM model.
                 assert_eq!(engine.memory().stats().total().reads, (queries.len() * 6 * 4) as u64);
             }
+        }
+    }
+
+    /// Encoded row bytes of the 6×2000×8 small model in `format`.
+    fn small_model_bytes(format: RowFormat) -> u64 {
+        let per_row = 8 * format.bytes_per_elem() + if format == RowFormat::I8 { 4 } else { 0 };
+        (6 * 2000 * per_row) as u64
+    }
+
+    #[test]
+    fn tiered_engine_is_bit_identical_to_all_resident() {
+        // A tiered engine at a 1/3 budget (cold tier guaranteed) must
+        // predict the same bits as the all-resident arena at every row
+        // format, with and without the hot-row cache in front, through
+        // both predict and predict_batch.
+        for format in [RowFormat::F32, RowFormat::F16, RowFormat::I8] {
+            let budget = small_model_bytes(format) / 3;
+            let mut full =
+                small_builder(Precision::Fixed16).embedding_arena(format).build().unwrap();
+            let queries = small_queries(30);
+            let want: Vec<f32> = queries.iter().map(|q| full.predict(q).unwrap()).collect();
+            for cache_rows in [0usize, 128] {
+                let mut engine = small_builder(Precision::Fixed16)
+                    .tiered_storage(budget, format)
+                    .hot_row_cache(cache_rows)
+                    .build()
+                    .unwrap();
+                let backing = engine.tiered_store().unwrap().backing();
+                assert!(backing.num_resident_tables() < 6, "cold tier must exist");
+                assert!(backing.resident_bytes() <= budget, "residency respects the budget");
+                for (i, q) in queries.iter().enumerate() {
+                    let got = engine.predict(q).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        want[i].to_bits(),
+                        "{format} cache {cache_rows} q{i}"
+                    );
+                }
+                let got = engine.predict_batch(&queries).unwrap();
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{format} cache {cache_rows} batch {i}");
+                }
+                let counters = engine.tier_counters();
+                assert!(counters.resident_hits > 0 && counters.cold_reads > 0);
+                assert_eq!(counters.cold_errors, 0);
+                engine.reset_stats();
+                assert_eq!(engine.tier_counters(), microrec_embedding::TierCounters::default());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_tiered_backing_is_one_allocation_across_builds() {
+        let budget = small_model_bytes(RowFormat::F16) / 3;
+        let mut builder = small_builder(Precision::Fixed16).tiered_storage(budget, RowFormat::F16);
+        builder.prepare_shared_arena().unwrap();
+        let a = builder.clone().build().unwrap();
+        let b = builder.clone().build().unwrap();
+        assert!(
+            Arc::ptr_eq(a.tiered_store().unwrap().backing(), b.tiered_store().unwrap().backing()),
+            "replicas must share one tiered backing"
+        );
+        let mut own = small_builder(Precision::Fixed16)
+            .tiered_storage(budget, RowFormat::F16)
+            .build()
+            .unwrap();
+        let (mut a, mut b) = (a, b);
+        for q in small_queries(5) {
+            let want = own.predict(&q).unwrap();
+            assert_eq!(a.predict(&q).unwrap().to_bits(), want.to_bits());
+            assert_eq!(b.predict(&q).unwrap().to_bits(), want.to_bits());
         }
     }
 

@@ -210,6 +210,16 @@ pub struct LookupCountersRecord {
     pub per_table_hits: Vec<u64>,
     /// Cache misses per logical table.
     pub per_table_misses: Vec<u64>,
+    /// Rows served by the tiered store's resident arena; `None` for runs
+    /// that predate the tiered store or did not use it (records written
+    /// without these per-tier keys still parse).
+    pub resident_hits: Option<u64>,
+    /// Rows read from the file-backed cold tier.
+    pub cold_reads: Option<u64>,
+    /// Cold reads fully overlapped by the async prefetcher.
+    pub prefetch_hits: Option<u64>,
+    /// Bytes moved off the cold store.
+    pub bytes_from_cold: Option<u64>,
 }
 
 microrec_json::impl_json_struct!(
@@ -224,11 +234,13 @@ microrec_json::impl_json_struct!(
         bytes_from_memory,
         per_table_hits,
         per_table_misses,
-    }
+    },
+    default { resident_hits, cold_reads, prefetch_hits, bytes_from_cold }
 );
 
 impl LookupCountersRecord {
     /// Converts the runtime's aggregated lookup stats into the record form.
+    /// Per-tier fields are populated only for tiered runs.
     #[must_use]
     pub fn from_stats(stats: &RuntimeLookupStats) -> Self {
         LookupCountersRecord {
@@ -241,6 +253,10 @@ impl LookupCountersRecord {
             bytes_from_memory: stats.bytes_from_memory,
             per_table_hits: stats.per_table_hits.clone(),
             per_table_misses: stats.per_table_misses.clone(),
+            resident_hits: stats.tiered.then_some(stats.resident_hits),
+            cold_reads: stats.tiered.then_some(stats.cold_reads),
+            prefetch_hits: stats.tiered.then_some(stats.prefetch_hits),
+            bytes_from_cold: stats.tiered.then_some(stats.bytes_from_cold),
         }
     }
 }
@@ -711,6 +727,10 @@ mod tests {
             bytes_from_memory: 3200,
             per_table_hits: vec![450, 450],
             per_table_misses: vec![50, 50],
+            resident_hits: Some(80),
+            cold_reads: Some(20),
+            prefetch_hits: Some(18),
+            bytes_from_cold: Some(640),
         });
         let encoded = microrec_json::to_string(&rec);
         let back: ServingFrontierRecord = microrec_json::from_str(&encoded).unwrap();
@@ -718,6 +738,35 @@ mod tests {
         let lookup = back.lookup.unwrap();
         assert_eq!(lookup.format, "f16");
         assert_eq!(lookup.per_table_hits, vec![450, 450]);
+        assert_eq!(lookup.cold_reads, Some(20));
+    }
+
+    #[test]
+    fn lookup_record_without_tier_fields_still_parses() {
+        // A PR 4-era `lookup` block predates the tiered parameter store:
+        // no per-tier keys; decoding must default each of them to `None`.
+        let pre_tiered = r#"{
+            "format": "f16", "cache_rows": 4096, "hits": 900, "misses": 100,
+            "hit_rate": 0.9, "bytes_from_cache": 57600, "bytes_from_memory": 3200,
+            "per_table_hits": [450, 450], "per_table_misses": [50, 50]
+        }"#;
+        let rec: LookupCountersRecord = microrec_json::from_str(pre_tiered).unwrap();
+        assert_eq!(rec.resident_hits, None);
+        assert_eq!(rec.cold_reads, None);
+        assert_eq!(rec.prefetch_hits, None);
+        assert_eq!(rec.bytes_from_cold, None);
+        assert_eq!(rec.hits, 900);
+        // And the tier-extended form round-trips.
+        let tiered = LookupCountersRecord {
+            resident_hits: Some(700),
+            cold_reads: Some(200),
+            prefetch_hits: Some(180),
+            bytes_from_cold: Some(6400),
+            ..rec
+        };
+        let encoded = microrec_json::to_string(&tiered);
+        let back: LookupCountersRecord = microrec_json::from_str(&encoded).unwrap();
+        assert_eq!(back, tiered);
     }
 
     #[test]

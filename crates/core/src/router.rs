@@ -838,7 +838,10 @@ impl PathSet {
     /// traffic escape path); a per-layer staged pipeline; and a two-
     /// replica cache-off [`EnginePool`]. Replicated staged plans remain
     /// routable through the [`ExecutionPath`] seam but are not part of
-    /// the default matrix on single-core hosts.
+    /// the default matrix on single-core hosts. A tiered builder
+    /// registers its monolithic paths as `"tiered"`/`"tiered-nocache"`
+    /// (every path shares one tiered backing), so the cost model learns
+    /// the tiered store's real cost rather than an all-resident estimate.
     ///
     /// # Errors
     ///
@@ -874,6 +877,7 @@ impl PathSet {
         let spec = base.model_spec().clone();
         let arity = spec.lookups_per_item() as usize;
         let cached = base.cache_rows() > 0;
+        let tiered = base.is_tiered();
         let format = base.arena_row_format().map_or("legacy", RowFormat::as_str);
 
         let warm = |b: MicroRecBuilder| -> Result<MicroRec, MicroRecError> {
@@ -887,8 +891,18 @@ impl PathSet {
         let mut engines = Vec::new();
         let mut pipeline_shared = Vec::new();
 
+        // Tiered builders register their engines under tiered path names:
+        // the cost model then learns the tiered store's real cost (cold
+        // reads included) instead of inheriting an all-resident estimate.
+        // Every path in the matrix shares the same tiered backing (it was
+        // prepared above), so the names track the whole matrix's storage.
         descriptors.push(PathDescriptor {
-            name: if cached { "monolithic" } else { "monolithic-nocache" },
+            name: match (tiered, cached) {
+                (true, true) => "tiered",
+                (true, false) => "tiered-nocache",
+                (false, true) => "monolithic",
+                (false, false) => "monolithic-nocache",
+            },
             kind: PathKind::Monolithic,
             format,
             cached,
@@ -897,7 +911,7 @@ impl PathSet {
 
         if cached {
             descriptors.push(PathDescriptor {
-                name: "monolithic-nocache",
+                name: if tiered { "tiered-nocache" } else { "monolithic-nocache" },
                 kind: PathKind::Monolithic,
                 format,
                 cached: false,

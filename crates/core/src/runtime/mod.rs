@@ -211,6 +211,13 @@ struct SharedStats {
     /// Per-table hot-row-cache hit/miss totals across all workers (empty
     /// when the engines run without a cache).
     lookup_tables: Mutex<LookupTableCounters>,
+    /// Per-tier totals across all workers, populated when the engines
+    /// serve through the tiered parameter store.
+    tier_resident_hits: AtomicU64,
+    tier_cold_reads: AtomicU64,
+    tier_prefetch_hits: AtomicU64,
+    tier_bytes_from_cold: AtomicU64,
+    tier_cold_errors: AtomicU64,
 }
 
 /// Aggregated per-table cache counters (one entry per logical table).
@@ -241,6 +248,20 @@ pub struct RuntimeLookupStats {
     pub per_table_hits: Vec<u64>,
     /// Cache misses per logical table.
     pub per_table_misses: Vec<u64>,
+    /// Whether the engines serve through the tiered parameter store (the
+    /// per-tier counters below are meaningful only when set).
+    pub tiered: bool,
+    /// Rows served by the resident arena (L2) across all workers.
+    pub resident_hits: u64,
+    /// Rows read from the file-backed cold store (L3).
+    pub cold_reads: u64,
+    /// Cold reads whose async response was already complete when
+    /// collected (fully overlapped with resident-tier work).
+    pub prefetch_hits: u64,
+    /// Bytes moved off the cold store.
+    pub bytes_from_cold: u64,
+    /// Cold reads that failed (truncated/unreadable store file).
+    pub cold_errors: u64,
 }
 
 impl RuntimeLookupStats {
@@ -253,6 +274,14 @@ impl RuntimeLookupStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Whether the cold tier has served every read it was asked for. A
+    /// runtime keeps draining while this is `false` — only the affected
+    /// lookups fail — but the tier needs operator attention.
+    #[must_use]
+    pub fn cold_tier_healthy(&self) -> bool {
+        self.cold_errors == 0
     }
 }
 
@@ -318,8 +347,9 @@ pub struct ServingRuntime {
     /// The startup cost model, when the runtime calibrated (`Auto` only).
     calibration: Option<Calibration>,
     expected_arity: usize,
-    /// `(arena format, cache rows per worker)` when the engines cache.
-    lookup_meta: Option<(&'static str, usize)>,
+    /// `(row format, cache rows per worker, tiered)` when the engines run
+    /// a hot-row cache and/or the tiered parameter store.
+    lookup_meta: Option<(&'static str, usize, bool)>,
     /// Per-worker pipeline counter blocks (empty under
     /// [`ExecutionMode::Monolithic`]).
     pipelines: Vec<Arc<PipelineShared>>,
@@ -412,9 +442,14 @@ impl ServingRuntime {
         let expected_arity =
             engines[0].model().num_tables() * engines[0].model().lookups_per_table as usize;
         let mut lookup_meta = None;
-        if let Some(cache) = engines[0].hot_row_cache() {
-            let format = engines[0].arena().map_or("f32", |a| a.format().as_str());
-            lookup_meta = Some((format, cache.capacity()));
+        let tiered = engines[0].is_tiered();
+        if engines[0].hot_row_cache().is_some() || tiered {
+            let format = match engines[0].tiered_store() {
+                Some(t) => t.backing().format().as_str(),
+                None => engines[0].arena().map_or("f32", |a| a.format().as_str()),
+            };
+            let cache_rows = engines[0].hot_row_cache().map_or(0, |c| c.capacity());
+            lookup_meta = Some((format, cache_rows, tiered));
         }
 
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
@@ -718,7 +753,7 @@ impl ServingRuntime {
     /// `None` when the engines run without a hot-row cache.
     #[must_use]
     pub fn lookup_stats(&self) -> Option<RuntimeLookupStats> {
-        let (format, cache_rows) = self.lookup_meta?;
+        let (format, cache_rows, tiered) = self.lookup_meta?;
         let tables = lock_or_recover(&self.stats.lookup_tables).clone();
         Some(RuntimeLookupStats {
             format,
@@ -729,6 +764,12 @@ impl ServingRuntime {
             bytes_from_memory: self.stats.lookup_bytes_from_memory.load(Relaxed),
             per_table_hits: tables.hits,
             per_table_misses: tables.misses,
+            tiered,
+            resident_hits: self.stats.tier_resident_hits.load(Relaxed),
+            cold_reads: self.stats.tier_cold_reads.load(Relaxed),
+            prefetch_hits: self.stats.tier_prefetch_hits.load(Relaxed),
+            bytes_from_cold: self.stats.tier_bytes_from_cold.load(Relaxed),
+            cold_errors: self.stats.tier_cold_errors.load(Relaxed),
         })
     }
 
@@ -771,6 +812,7 @@ fn worker_loop_monolithic(
     prev_hits.resize(tables, 0);
     prev_misses.resize(tables, 0);
     let mut prev_bytes = (0u64, 0u64);
+    let mut prev_tier = microrec_embedding::TierCounters::default();
     while let Some((mut batch, close)) = queue.pop_batch(config.max_batch, |r| r.enqueued_at + wait)
     {
         stats.batches.fetch_add(1, Relaxed);
@@ -836,6 +878,25 @@ fn worker_loop_monolithic(
             stats.lookup_bytes_from_cache.fetch_add(bc - prev_bytes.0, Relaxed);
             stats.lookup_bytes_from_memory.fetch_add(bm - prev_bytes.1, Relaxed);
             prev_bytes = (bc, bm);
+        }
+        // Tiered engines additionally publish per-tier deltas. Without a
+        // cache the tier counters are also the only source of the total
+        // bytes-from-memory figure (with one, the cache block above
+        // already counted every miss's source bytes).
+        if engine.is_tiered() {
+            let now = engine.tier_counters();
+            let delta = now.delta_since(&prev_tier);
+            stats.tier_resident_hits.fetch_add(delta.resident_hits, Relaxed);
+            stats.tier_cold_reads.fetch_add(delta.cold_reads, Relaxed);
+            stats.tier_prefetch_hits.fetch_add(delta.prefetch_hits, Relaxed);
+            stats.tier_bytes_from_cold.fetch_add(delta.bytes_from_cold, Relaxed);
+            stats.tier_cold_errors.fetch_add(delta.cold_errors, Relaxed);
+            if engine.hot_row_cache().is_none() {
+                stats
+                    .lookup_bytes_from_memory
+                    .fetch_add(delta.bytes_from_resident + delta.bytes_from_cold, Relaxed);
+            }
+            prev_tier = now;
         }
     }
 }
@@ -917,6 +978,19 @@ fn worker_loop_pipelined(
             drop(shared);
             stats.lookup_bytes_from_cache.fetch_add(cache.bytes_from_cache(), Relaxed);
             stats.lookup_bytes_from_memory.fetch_add(cache.bytes_from_memory(), Relaxed);
+        }
+        if engine.is_tiered() {
+            let tier = engine.tier_counters();
+            stats.tier_resident_hits.fetch_add(tier.resident_hits, Relaxed);
+            stats.tier_cold_reads.fetch_add(tier.cold_reads, Relaxed);
+            stats.tier_prefetch_hits.fetch_add(tier.prefetch_hits, Relaxed);
+            stats.tier_bytes_from_cold.fetch_add(tier.bytes_from_cold, Relaxed);
+            stats.tier_cold_errors.fetch_add(tier.cold_errors, Relaxed);
+            if engine.hot_row_cache().is_none() {
+                stats
+                    .lookup_bytes_from_memory
+                    .fetch_add(tier.bytes_from_resident + tier.bytes_from_cold, Relaxed);
+            }
         }
     }
 }

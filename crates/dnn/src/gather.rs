@@ -268,6 +268,54 @@ unsafe fn i8_dequant_slice_avx2(src: &[i8], scale: f32, dst: &mut [f32]) {
     }
 }
 
+/// Decodes a little-endian `f32` row from a borrowed byte buffer (the
+/// cold tier's on-disk layout) into the destination activation slice.
+/// Byte-for-byte the same values the arena stores, so the cold path stays
+/// bit-identical to the resident one.
+///
+/// # Panics
+///
+/// Panics if `src.len() != 4 * dst.len()`.
+#[inline]
+pub fn f32_decode_le_slice(src: &[u8], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len() * 4);
+    for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
+        *d = f32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+    }
+}
+
+/// Decodes a little-endian `f16` row from a borrowed byte buffer into
+/// `f32`, fused with the copy. Each element routes through the same
+/// [`f16_decode`] the in-memory arena path uses, so cold reads are
+/// bit-identical to resident ones.
+///
+/// # Panics
+///
+/// Panics if `src.len() != 2 * dst.len()`.
+#[inline]
+pub fn f16_decode_le_slice(src: &[u8], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len() * 2);
+    for (d, s) in dst.iter_mut().zip(src.chunks_exact(2)) {
+        *d = f16_decode(u16::from_le_bytes([s[0], s[1]]));
+    }
+}
+
+/// Dequantizes an `i8` row from a borrowed byte buffer (`real = q · scale`),
+/// fused with the copy. Same exact `int → f32` conversion and single-rounded
+/// multiply as [`i8_dequant_slice`], so cold reads are bit-identical to
+/// resident ones.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn i8_dequant_le_slice(src: &[u8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32::from(s as i8) * scale;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +418,42 @@ mod tests {
             i8_dequant_slice_scalar(&q, scale, &mut slow);
             for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_slice_decodes_match_in_memory_decodes_bitwise() {
+        for &n in &LENGTHS {
+            let values = det_values(n, 0.527);
+            // f32: encode to LE bytes, decode back — must be the identity.
+            let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut back = vec![0.0f32; n];
+            f32_decode_le_slice(&bytes, &mut back);
+            for (i, (a, b)) in values.iter().zip(&back).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "f32 n={n} i={i}");
+            }
+            // f16: byte-buffer decode must match the u16-slice decode.
+            let mut half = vec![0u16; n];
+            f16_encode_slice(&values, &mut half);
+            let half_bytes: Vec<u8> = half.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut from_bytes = vec![0.0f32; n];
+            let mut from_u16 = vec![0.0f32; n];
+            f16_decode_le_slice(&half_bytes, &mut from_bytes);
+            f16_decode_slice(&half, &mut from_u16);
+            for (i, (a, b)) in from_bytes.iter().zip(&from_u16).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "f16 n={n} i={i}");
+            }
+            // i8: byte-buffer dequant must match the i8-slice dequant.
+            let mut q = vec![0i8; n];
+            let scale = i8_quant_slice(&values, &mut q);
+            let q_bytes: Vec<u8> = q.iter().map(|&v| v as u8).collect();
+            let mut from_q_bytes = vec![0.0f32; n];
+            let mut from_q = vec![0.0f32; n];
+            i8_dequant_le_slice(&q_bytes, scale, &mut from_q_bytes);
+            i8_dequant_slice(&q, scale, &mut from_q);
+            for (i, (a, b)) in from_q_bytes.iter().zip(&from_q).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "i8 n={n} i={i}");
             }
         }
     }

@@ -37,8 +37,9 @@ mod tensor;
 pub use error::DnnError;
 pub use fixed::{FixedNum, Q16, Q32};
 pub use gather::{
-    f16_decode, f16_decode_slice, f16_decode_slice_scalar, f16_encode, f16_encode_slice,
-    i8_dequant_slice, i8_dequant_slice_scalar, i8_quant_slice,
+    f16_decode, f16_decode_le_slice, f16_decode_slice, f16_decode_slice_scalar, f16_encode,
+    f16_encode_slice, f32_decode_le_slice, i8_dequant_le_slice, i8_dequant_slice,
+    i8_dequant_slice_scalar, i8_quant_slice,
 };
 pub use gemm::{
     dot, dot_quantizing, dot_scalar, gemm_auto, gemm_blocked, gemm_flops, gemm_naive, gemm_packed,

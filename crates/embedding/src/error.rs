@@ -40,6 +40,17 @@ pub enum EmbeddingError {
         /// The configured limit.
         limit: u64,
     },
+    /// A cold-tier read or write against the file-backed row store failed.
+    ///
+    /// Carries the OS error text rather than the `std::io::Error` itself so
+    /// the enum stays `Clone + PartialEq + Eq` (serving workers clone errors
+    /// into per-request results).
+    ColdTierIo {
+        /// Name of the table being served from the cold tier.
+        table: String,
+        /// What the I/O layer reported.
+        detail: String,
+    },
     /// A Cartesian product was requested over fewer than two tables.
     DegenerateProduct,
     /// A merge plan referenced a logical table that does not exist or used
@@ -63,6 +74,9 @@ impl fmt::Display for EmbeddingError {
                 f,
                 "materializing `{table}` needs {bytes} bytes, over the {limit}-byte limit"
             ),
+            EmbeddingError::ColdTierIo { table, detail } => {
+                write!(f, "cold-tier I/O failure on table `{table}`: {detail}")
+            }
             EmbeddingError::DegenerateProduct => {
                 write!(f, "a cartesian product needs at least two source tables")
             }

@@ -39,6 +39,7 @@ mod gen;
 mod precision;
 mod spec;
 mod table;
+mod tiered;
 
 pub use arena::{EmbeddingArena, RowFormat};
 pub use cache::HotRowCache;
@@ -48,3 +49,4 @@ pub use gen::{synthetic_model, SyntheticModelConfig};
 pub use precision::Precision;
 pub use spec::{ModelSpec, TableSpec};
 pub use table::{synthetic_dense_features, EmbeddingTable};
+pub use tiered::{ColdStore, ResidencyPlan, Tier, TierCounters, TieredBacking, TieredStore};
