@@ -12,15 +12,17 @@
 //! Run with `cargo run --release -p microrec-bench --bin serving`
 //! (`-- --smoke` for the time-bounded CI variant).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use microrec_core::{
-    AdmissionPolicy, MicroRec, MicroRecBuilder, PathKind, PathSet, ReplayOutcome, RuntimeConfig,
-    RuntimeLookupStats, ServingFrontierRecord, ServingRuntime,
+    AdmissionPolicy, MicroRec, MicroRecBuilder, MigrationRecord, PathKind, PathSet, ReplayOutcome,
+    ReshardingPolicy, RuntimeConfig, RuntimeLookupStats, ServingFrontierRecord, ServingRuntime,
 };
 use microrec_embedding::{ModelSpec, RowFormat, TableSpec};
 use microrec_json::{Json, ToJson};
-use microrec_workload::{QueryGenConfig, QueryGenerator, RequestTrace};
+use microrec_memsim::MemoryConfig;
+use microrec_placement::HeuristicOptions;
+use microrec_workload::{PoissonArrivals, QueryGenConfig, QueryGenerator, RequestTrace};
 
 /// Full-sweep requests per load point.
 const FULL_POINT_REQUESTS: usize = 2_000;
@@ -479,6 +481,270 @@ fn run_router_section(smoke: bool) -> Json {
     Json::Arr(json)
 }
 
+// ---------------------------------------------------------------------
+// Adaptive section: phase-shifted skew with online re-sharding.
+// ---------------------------------------------------------------------
+
+/// Requests per adaptive phase (full sweep / smoke).
+const ADAPTIVE_PHASE_REQUESTS: usize = 1_024;
+const ADAPTIVE_SMOKE_PHASE_REQUESTS: usize = 512;
+/// Offered load for the adaptive phases: comfortably inside capacity, so
+/// phase qps measures serving health around a migration rather than the
+/// saturation frontier.
+const ADAPTIVE_RATE_QPS: f64 = 10_000.0;
+/// Hot-row cache capacity for the adaptive engines: tiny against the hot
+/// tables' row space. Every query touches every table exactly once, so
+/// per-table access counts carry no signal; the skew shows up as
+/// per-table cache-MISS rate divergence.
+const ADAPTIVE_CACHE_ROWS: usize = 64;
+/// Row counts of [`adaptive_model`], indexed by logical table.
+const ADAPTIVE_ROWS: [u64; 4] = [200_000, 100_000, 200_000, 100_000];
+
+/// Two hot and two cold tables on a two-channel DDR platform: the
+/// uniform-traffic placement co-locates pairs, so a skewed phase always
+/// leaves the re-sharder a strictly better layout to find.
+fn adaptive_model() -> ModelSpec {
+    ModelSpec::new(
+        "adaptive-skew",
+        vec![
+            TableSpec::new("t0-big", ADAPTIVE_ROWS[0], 16),
+            TableSpec::new("t1-small", ADAPTIVE_ROWS[1], 8),
+            TableSpec::new("t2-big", ADAPTIVE_ROWS[2], 16),
+            TableSpec::new("t3-small", ADAPTIVE_ROWS[3], 8),
+        ],
+        vec![32, 16],
+        1,
+    )
+}
+
+fn adaptive_builder() -> MicroRecBuilder {
+    MicroRec::builder(adaptive_model())
+        .memory(MemoryConfig::fpga_without_hbm(2))
+        .search_options(HeuristicOptions { allow_merge: false, ..Default::default() })
+        .embedding_arena(RowFormat::F32)
+        .hot_row_cache(ADAPTIVE_CACHE_ROWS)
+        .seed(13)
+}
+
+fn adaptive_runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 2,
+        max_batch: 16,
+        max_wait_us: 1_000,
+        queue_depth: 512,
+        admission: AdmissionPolicy::Block,
+        adaptive: true,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A paced phase whose `hot` pair walks its full row space (every lookup
+/// misses the cache) while the other tables repeat row 7 and hit after
+/// the first probe.
+fn adaptive_phase_trace(hot: [usize; 2], n: usize, offset: u64, seed: u64) -> RequestTrace {
+    let queries = (0..n as u64)
+        .map(|i| {
+            let i = i + offset;
+            let mut q = vec![7u64; 4];
+            q[hot[0]] = (i * 7_919) % ADAPTIVE_ROWS[hot[0]];
+            q[hot[1]] = (i * 104_729) % ADAPTIVE_ROWS[hot[1]];
+            q
+        })
+        .collect();
+    let arrivals =
+        PoissonArrivals::new(ADAPTIVE_RATE_QPS, seed).expect("adaptive arrivals").take(n);
+    RequestTrace::from_parts(arrivals, queries).expect("adaptive trace")
+}
+
+/// Polls until the runtime has published at least `count` migrations or
+/// the deadline passes. The background driver re-evaluates every few
+/// milliseconds, so on settled counters this is a bounded wait for a
+/// deterministic decision.
+fn wait_for_migrations(runtime: &ServingRuntime, count: usize, timeout: Duration) -> usize {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let n = runtime.migration_records().len();
+        if n >= count || Instant::now() >= deadline {
+            return n;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Measured outcome of one pass over the three-phase shifted trace.
+struct AdaptiveAttempt {
+    records: Vec<MigrationRecord>,
+    identical: bool,
+    qps_skewed: f64,
+    qps_rotated_pre: f64,
+    qps_rotated_post: f64,
+    record: ServingFrontierRecord,
+}
+
+impl AdaptiveAttempt {
+    /// Post-migration steady state must hold the pre-migration rate on
+    /// the rotated hot set (0.95 tolerance for scheduler drift on a
+    /// shared host; both phases are paced identical work).
+    fn qps_held(&self) -> bool {
+        self.qps_rotated_post >= self.qps_rotated_pre * 0.95
+    }
+
+    fn gates_ok(&self) -> bool {
+        self.records.len() >= 2
+            && self.identical
+            && self.records.iter().all(|m| m.tables_moved > 0)
+            && self.qps_held()
+    }
+}
+
+fn run_adaptive_attempt(n: usize) -> AdaptiveAttempt {
+    // Static reference: the same engine configuration served
+    // sequentially, with no runtime and no migrations.
+    let mut sequential = adaptive_builder().build().expect("static engine");
+    let mut expect = |trace: &RequestTrace| -> Vec<f32> {
+        trace.queries().iter().map(|q| sequential.predict(q).expect("predict")).collect()
+    };
+
+    let mut runtime =
+        ServingRuntime::start(adaptive_builder(), adaptive_runtime_config()).expect("runtime");
+    // Eager gates: the phase skew, not wall-clock luck, decides.
+    runtime.set_resharding_policy(ReshardingPolicy {
+        divergence_threshold: 0.01,
+        min_traffic: n as u64 / 4,
+        cooldown_ms: 0,
+    });
+
+    // Phase 1 skews onto {t0, t1}, co-located by the as-built layout.
+    let phase1 = adaptive_phase_trace([0, 1], n, 0, 31);
+    let want1 = expect(&phase1);
+    let skewed = replay(&runtime, &phase1);
+    wait_for_migrations(&runtime, 1, Duration::from_secs(2));
+
+    // Phases 2 and 3 rotate the hot set onto whichever table the
+    // migrated layout co-locates with t0 (the cold-table tie-break moves
+    // with counter noise, so the pair is observed, not predicted),
+    // forcing the driver to adapt a second time.
+    let channels = runtime.resharding_channels().expect("adaptive runtime exposes channels");
+    let partner = (1..4).find(|&t| channels[t] == channels[0]).expect("co-located partner");
+    let rotated = [0, partner];
+    // qps on the rotated hot set while the second migration triggers and
+    // swaps underneath.
+    let phase2 = adaptive_phase_trace(rotated, n, 1_000_000, 32);
+    let want2 = expect(&phase2);
+    let pre = replay(&runtime, &phase2);
+    wait_for_migrations(&runtime, 2, Duration::from_secs(2));
+    // Steady state on the re-adapted layout.
+    let phase3 = adaptive_phase_trace(rotated, n, 2_000_000, 33);
+    let want3 = expect(&phase3);
+    let mut post = replay(&runtime, &phase3);
+    post.snapshot = runtime.shutdown();
+    let lookup = runtime.lookup_stats();
+    let records = runtime.migration_records();
+
+    let identical = [(&skewed, &want1), (&pre, &want2), (&post, &want3)].iter().all(
+        |(outcome, exp)| {
+            outcome.results.len() == exp.len()
+                && outcome
+                    .results
+                    .iter()
+                    .zip(exp.iter())
+                    .all(|(got, e)| got.is_some_and(|g| g.to_bits() == e.to_bits()))
+        },
+    );
+
+    let mut record =
+        ServingFrontierRecord::from_run(&adaptive_runtime_config(), &post).with_migrations(&records);
+    if let Some(stats) = &lookup {
+        record = record.with_lookup(stats);
+    }
+
+    AdaptiveAttempt {
+        records,
+        identical,
+        qps_skewed: skewed.qps,
+        qps_rotated_pre: pre.qps,
+        qps_rotated_post: post.qps,
+        record,
+    }
+}
+
+/// Runs the phase-shifted adaptive section. In smoke mode, CI-gates that
+/// serving stayed bit-identical across at least one online migration and
+/// that the post-migration steady state held the pre-migration rate.
+fn run_adaptive_section(smoke: bool) -> Json {
+    let n = if smoke { ADAPTIVE_SMOKE_PHASE_REQUESTS } else { ADAPTIVE_PHASE_REQUESTS };
+    let mut attempt = run_adaptive_attempt(n);
+    if smoke && !attempt.gates_ok() {
+        // One retry re-measures in a fresh window (shared-host noise
+        // guard, same policy as the router gates); the retry is held to
+        // the full standard, so only a genuine defect fails twice.
+        eprintln!("adaptive: smoke gates missed, retrying once (noise guard)");
+        attempt = run_adaptive_attempt(n);
+    }
+
+    for m in &attempt.records {
+        eprintln!(
+            "adaptive gen {:>2}: {} table(s) moved | divergence {:>5.1}% | weighted lookup \
+             {:.2} -> {:.2} us | build {:>6} us, swap {:>3} us",
+            m.generation,
+            m.tables_moved,
+            m.divergence * 100.0,
+            m.old_weighted_us,
+            m.new_weighted_us,
+            m.build_us,
+            m.swap_us,
+        );
+    }
+    eprintln!(
+        "adaptive: {} migration(s) | qps skewed {:.0}, rotated pre {:.0} -> post {:.0} | \
+         bit-identity {}",
+        attempt.records.len(),
+        attempt.qps_skewed,
+        attempt.qps_rotated_pre,
+        attempt.qps_rotated_post,
+        if attempt.identical { "ok" } else { "FAILED" },
+    );
+
+    if smoke {
+        assert!(
+            attempt.records.len() >= 2,
+            "both skew phases must publish an online migration, got {}",
+            attempt.records.len()
+        );
+        assert!(attempt.identical, "adaptive runtime diverged from the static engine");
+        for m in &attempt.records {
+            assert!(m.tables_moved > 0, "gen {}: a migration must move tables", m.generation);
+            assert!(
+                m.new_weighted_us < m.old_weighted_us,
+                "gen {}: migration must improve the traffic-weighted lookup cost \
+                 ({} -> {} us)",
+                m.generation,
+                m.old_weighted_us,
+                m.new_weighted_us,
+            );
+        }
+        assert!(
+            attempt.qps_held(),
+            "post-migration steady state ({:.0} qps) fell below the pre-migration rate \
+             ({:.0} qps) on the rotated hot set",
+            attempt.qps_rotated_post,
+            attempt.qps_rotated_pre,
+        );
+        eprintln!("adaptive smoke gates: ok");
+    }
+
+    Json::Obj(vec![
+        ("model".to_string(), "adaptive-skew".to_json()),
+        ("requests_per_phase".to_string(), n.to_json()),
+        ("bit_identical".to_string(), attempt.identical.to_json()),
+        ("migrations_published".to_string(), attempt.records.len().to_json()),
+        ("qps_skewed".to_string(), attempt.qps_skewed.to_json()),
+        ("qps_rotated_pre".to_string(), attempt.qps_rotated_pre.to_json()),
+        ("qps_rotated_post".to_string(), attempt.qps_rotated_post.to_json()),
+        ("post_migration_point".to_string(), attempt.record.to_json()),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let model = ModelSpec::dlrm_rmc2(8, 16);
@@ -540,6 +806,7 @@ fn main() {
     }
 
     let router = run_router_section(smoke);
+    let adaptive = run_adaptive_section(smoke);
 
     let obj = vec![
         ("seq_qps".to_string(), seq_qps.to_json()),
@@ -547,6 +814,7 @@ fn main() {
         ("requests_per_point".to_string(), n.to_json()),
         ("points".to_string(), records.to_json()),
         ("router".to_string(), router),
+        ("adaptive".to_string(), adaptive),
     ];
     println!("{}", microrec_json::to_string_pretty(&microrec_json::Json::Obj(obj)));
 }

@@ -197,6 +197,10 @@ pub enum Command {
         /// accepted). Tables that do not fit are served from a
         /// file-backed cold tier.
         resident_bytes: u64,
+        /// Traffic-adaptive online re-sharding for the live runtime:
+        /// observed per-table counters drive epoch-based arena
+        /// generations published while serving.
+        adaptive: bool,
     },
     /// Print usage.
     Help,
@@ -319,6 +323,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ArgError> {
                 .parse()
                 .map_err(|_| ArgError("bad --slo-us value".into()))?,
             resident_bytes: flag("--resident-bytes").map_or(Ok(0), parse_bytes)?,
+            adaptive: has("--adaptive"),
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ArgError(format!("unknown command `{other}` (try `help`)"))),
@@ -336,7 +341,7 @@ USAGE:
   microrec compare [--model ...] [--batch N] [--precision ...]
   microrec explore [--model ...] [--precision ...] [--top N]
   microrec serve   [--model ...] [--rate QPS] [--queries N] [--sla-ms MS] [--hybrid]
-  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto|--routed] [--slo-us US] [--resident-bytes N[k|m|g]]
+  microrec serve --live [--model ...] [--rate QPS] [--queries N] [--workers N] [--max-batch N] [--wait-us US] [--queue-depth N] [--reject] [--pipelined|--replicated|--auto|--routed] [--slo-us US] [--resident-bytes N[k|m|g]] [--adaptive]
   microrec help
 ";
 
@@ -471,14 +476,19 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
-        // Not passing the flag leaves the monolithic default, no SLO, and
-        // the all-resident (untiered) store.
+        // Not passing the flag leaves the monolithic default, no SLO, the
+        // all-resident (untiered) store, and static placement.
         match parse(&argv("serve --live")).unwrap().command {
-            Command::Serve { execution, slo_us, resident_bytes, .. } => {
+            Command::Serve { execution, slo_us, resident_bytes, adaptive, .. } => {
                 assert_eq!(execution, ExecutionMode::Monolithic);
                 assert_eq!(slo_us, 0);
                 assert_eq!(resident_bytes, 0);
+                assert!(!adaptive);
             }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("serve --live --adaptive")).unwrap().command {
+            Command::Serve { adaptive, .. } => assert!(adaptive),
             other => panic!("wrong command {other:?}"),
         }
         match parse(&argv("serve --live --routed --slo-us 2500")).unwrap().command {

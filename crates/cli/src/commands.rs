@@ -205,11 +205,18 @@ pub fn run_serve(
     Ok(s)
 }
 
+/// Hot-row cache capacity used when `--adaptive` asks for per-table
+/// traffic counters but the command line did not otherwise request one.
+const ADAPTIVE_CACHE_ROWS: usize = 4096;
+
 /// `microrec serve --live`: drives the real micro-batching runtime with a
 /// paced wall-clock replay of a seeded Poisson trace. A non-zero
 /// `resident_bytes` serves the embeddings through the tiered parameter
 /// store, keeping at most that many bytes of tables resident (f32 rows,
 /// bit-identical to the all-resident engine) and the rest file-backed.
+/// `--adaptive` additionally equips the engine with a shared embedding
+/// arena and a hot-row cache so the re-sharding driver has per-table
+/// counters to distill and a store generation to republish.
 pub fn run_serve_live(
     model: &ModelArg,
     rate: f64,
@@ -222,6 +229,11 @@ pub fn run_serve_live(
     let mut builder = MicroRec::builder(spec.clone());
     if resident_bytes > 0 {
         builder = builder.tiered_storage(resident_bytes, RowFormat::F32);
+    } else if config.adaptive {
+        builder = builder.embedding_arena(RowFormat::F32);
+    }
+    if config.adaptive {
+        builder = builder.hot_row_cache(ADAPTIVE_CACHE_ROWS);
     }
     let mut runtime = ServingRuntime::start(builder, config)?;
     let resolved = runtime.resolved_execution();
@@ -231,6 +243,7 @@ pub fn run_serve_live(
     let router = runtime.router_snapshot();
     let snap = runtime.shutdown();
     let lookup = runtime.lookup_stats();
+    let migrations = runtime.migration_records();
     let mut s = String::new();
     let mode = if config.execution == ExecutionMode::Auto {
         format!("auto->{}", resolved.as_str())
@@ -332,6 +345,23 @@ pub fn run_serve_live(
             lookup.bytes_from_cold as f64 / 1024.0,
             if lookup.cold_tier_healthy() { "healthy" } else { "UNHEALTHY" },
         )?;
+    }
+    if config.adaptive {
+        writeln!(s, "adapt: {} online migration(s)", migrations.len())?;
+        for m in &migrations {
+            writeln!(
+                s,
+                "  gen {:>3}: {} table(s) moved | divergence {:.1}% | weighted lookup \
+                 {:.2} -> {:.2} us | build {} us, swap {} us",
+                m.generation,
+                m.tables_moved,
+                m.divergence * 100.0,
+                m.old_weighted_us,
+                m.new_weighted_us,
+                m.build_us,
+                m.swap_us,
+            )?;
+        }
     }
     if let Some(stages) = &snap.stages {
         for stage in stages {
@@ -442,6 +472,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Monolithic,
             slo_us: 0,
+            adaptive: false,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
@@ -449,6 +480,27 @@ mod tests {
         assert!(out.contains("p99"), "{out}");
         assert!(out.contains("mean size"), "{out}");
         assert!(!out.contains("stage "), "{out}");
+        assert!(!out.contains("adapt:"), "{out}");
+    }
+
+    #[test]
+    fn serve_live_adaptive_reports_migrations() {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+            admission: AdmissionPolicy::Block,
+            execution: ExecutionMode::Monolithic,
+            slo_us: 0,
+            adaptive: true,
+        };
+        let out =
+            run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
+        assert!(out.contains("200 of 200 completed"), "{out}");
+        // The default trace is near-uniform, so the line reports the
+        // machinery is live even when no migration fires.
+        assert!(out.contains("online migration(s)"), "{out}");
     }
 
     #[test]
@@ -461,6 +513,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Pipelined,
             slo_us: 0,
+            adaptive: false,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
@@ -480,6 +533,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Replicated,
             slo_us: 0,
+            adaptive: false,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
@@ -499,6 +553,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Auto,
             slo_us: 0,
+            adaptive: false,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
@@ -517,6 +572,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Routed,
             slo_us: 50_000,
+            adaptive: false,
         };
         let out =
             run_serve_live(&ModelArg::Dlrm { tables: 4, dim: 4 }, 2_000.0, 200, config, 0).unwrap();
@@ -548,6 +604,7 @@ mod tests {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Monolithic,
             slo_us: 0,
+            adaptive: false,
         };
         // dlrm:4x4 is 32 MiB of f32 rows; an 8 MiB budget keeps one table
         // resident and serves the other three from the cold file.

@@ -57,6 +57,7 @@ fn main() -> ExitCode {
             execution,
             slo_us,
             resident_bytes,
+            adaptive,
         } => {
             if *live {
                 let config = microrec_core::RuntimeConfig {
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
                     },
                     execution: *execution,
                     slo_us: *slo_us,
+                    adaptive: *adaptive,
                 };
                 commands::run_serve_live(model, *rate, *queries, config, *resident_bytes)
             } else {

@@ -36,6 +36,7 @@
 
 mod cluster;
 mod engine;
+mod epoch;
 mod error;
 mod explore;
 mod hybrid_serving;
@@ -50,6 +51,7 @@ mod sync;
 
 pub use cluster::{InterconnectConfig, MicroRecCluster};
 pub use engine::{MicroRec, MicroRecBuilder};
+pub use epoch::{build_generation_shielded, ArenaGeneration, GenerationCell};
 pub use error::MicroRecError;
 pub use explore::{best_fitting, derated_clock, explore_design_space, DesignPoint};
 pub use hybrid_serving::{
@@ -63,8 +65,8 @@ pub use pool::EnginePool;
 pub use ranking::{kendall_tau, rank_descending, ranking_fidelity, top_k_overlap, RankingFidelity};
 pub use report::{
     end_to_end_report, AwsPrices, CalibrationRecord, CostReport, CpuPoint, EmbeddingReport,
-    EndToEndReport, FpgaPoint, LookupCountersRecord, PipelineStageRecord, RouterPathRecord,
-    RouterRecord, ServingFrontierRecord,
+    EndToEndReport, FpgaPoint, LookupCountersRecord, MigrationRecord, PipelineStageRecord,
+    RouterPathRecord, RouterRecord, ServingFrontierRecord,
 };
 pub use router::{
     ExecutionPath, PathCost, PathCostModel, PathDescriptor, PathKind, PathSet, RouteDecision,
@@ -72,7 +74,8 @@ pub use router::{
 };
 pub use runtime::{
     plan_batches, replay_trace, AdmissionPolicy, BatchClose, BatchFormerConfig, LatencyHistogram,
-    LatencyPercentiles, PendingPrediction, PlannedBatch, ReplayOutcome, RuntimeConfig,
-    RuntimeError, RuntimeLookupStats, RuntimeSnapshot, ServingRuntime,
+    LatencyPercentiles, PendingPrediction, PlannedBatch, ReplayOutcome, Resharder,
+    ReshardingPolicy, RuntimeConfig, RuntimeError, RuntimeLookupStats, RuntimeSnapshot,
+    ServingRuntime,
 };
 pub use serve::{simulate_cpu_serving, simulate_microrec_serving, ServingReport};

@@ -999,6 +999,46 @@ mod tests {
     }
 
     #[test]
+    fn lookup_lanes_observe_a_published_generation() {
+        use crate::epoch::{ArenaGeneration, GenerationCell};
+        use microrec_embedding::RowFormat;
+        use std::sync::Arc;
+        // The gather runs on the lookup stage threads; a generation
+        // published mid-serve must be adopted there at the next batch
+        // boundary, on every lane, without changing any bits.
+        let mut builder =
+            MicroRec::builder(ModelSpec::dlrm_rmc2(4, 4)).seed(11).embedding_arena(RowFormat::F32);
+        builder.prepare_shared_arena().unwrap();
+        let arena = Arc::clone(builder.shared_arena_handle().unwrap());
+        let cell = GenerationCell::new(ArenaGeneration::from_arena(Arc::clone(&arena)));
+        let builder = builder.epoch_cell(Arc::clone(&cell));
+        let plan = PipelinePlan {
+            fifo_depth: 2,
+            spin_rounds: 8,
+            lookup_lanes: 2,
+            fc: vec![FcStage { layers: 4, lanes: 1 }],
+        };
+        let engines = vec![builder.clone().build().unwrap(), builder.clone().build().unwrap()];
+        let mut exec = PipelineExecutor::with_plan(engines, &plan).unwrap();
+        let queries: Vec<Vec<u64>> = (0..24u64)
+            .map(|k| (0..16).map(|j| (k * 7919 + j * 104_729) % 500_000).collect())
+            .collect();
+        let want = exec.predict_batch(&queries).unwrap();
+
+        let channels: Vec<usize> = (0..arena.num_tables()).map(|i| (i + 1) % 2).collect();
+        let rebuilt = arena.rebuild_with_channels(&channels, 1).unwrap();
+        cell.publish(ArenaGeneration::from_arena(Arc::new(rebuilt)));
+
+        let got = exec.predict_batch(&queries).unwrap();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "query {i} changed bits across the swap");
+        }
+        for engine in exec.shutdown_all() {
+            assert_eq!(engine.store_generation(), 1, "a lookup lane missed the swap");
+        }
+    }
+
+    #[test]
     fn malformed_query_fails_item_not_pipeline() {
         let mut exec = PipelineExecutor::new(toy_engine(), PipelineConfig::default()).unwrap();
         assert!(exec.predict(&[0u64; 3]).is_err(), "wrong arity must fail");

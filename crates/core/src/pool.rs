@@ -301,6 +301,48 @@ mod tests {
     }
 
     #[test]
+    fn every_replica_observes_a_published_generation() {
+        use crate::epoch::{ArenaGeneration, GenerationCell};
+        use microrec_embedding::RowFormat;
+        // A generation published through the epoch cell must reach every
+        // pooled replica at its next prediction — and change no bits.
+        let mut builder = MicroRecBuilder::new(ModelSpec::dlrm_rmc2(4, 8))
+            .precision(Precision::Fixed16)
+            .seed(5)
+            .embedding_arena(RowFormat::F16);
+        builder.prepare_shared_arena().unwrap();
+        let arena = Arc::clone(builder.shared_arena_handle().unwrap());
+        let cell = GenerationCell::new(ArenaGeneration::from_arena(Arc::clone(&arena)));
+        let p = EnginePool::from_builder(builder.epoch_cell(Arc::clone(&cell)), 3).unwrap();
+
+        let queries: Vec<Vec<u64>> = (0..12)
+            .map(|i| (0..16).map(|j| ((i * 211 + j * 37) % 500_000) as u64).collect())
+            .collect();
+        let expected: Vec<u32> =
+            queries.iter().map(|q| p.predict(q).unwrap().to_bits()).collect();
+
+        // Re-shard the shared arena onto a different channel layout and
+        // publish it as generation 1.
+        let channels: Vec<usize> = (0..arena.num_tables()).map(|i| (i + 1) % 2).collect();
+        let rebuilt = arena.rebuild_with_channels(&channels, 1).unwrap();
+        cell.publish(ArenaGeneration::from_arena(Arc::new(rebuilt)));
+
+        // Drive each replica directly: all of them adopt, bits unchanged.
+        for engine in &p.engines {
+            let mut guard = lock_or_recover(engine);
+            for (q, e) in queries.iter().zip(&expected) {
+                assert_eq!(guard.predict(q).unwrap().to_bits(), *e, "bits changed across swap");
+            }
+            assert_eq!(guard.store_generation(), 1, "replica missed the published generation");
+        }
+        // The sharded batch path sees the same generation and bits.
+        let batched = p.predict_batch(&queries).unwrap();
+        for (b, e) in batched.iter().zip(&expected) {
+            assert_eq!(b.to_bits(), *e);
+        }
+    }
+
+    #[test]
     fn sharded_batch_matches_item_by_item() {
         let p = pool();
         let queries: Vec<Vec<u64>> = (0..23)

@@ -461,6 +461,53 @@ impl RouterRecord {
     }
 }
 
+/// One online placement migration: what triggered it, the plan delta, and
+/// how long the shielded rebuild and the publish took. Attached to
+/// [`ServingFrontierRecord`] as the optional `migrations` field, so
+/// records written before traffic-adaptive placement existed still parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Layout generation published by this migration (the as-built layout
+    /// is generation 0).
+    pub generation: u64,
+    /// Total hot-row-cache hits in the trigger window (since the previous
+    /// migration, or startup).
+    pub trigger_hits: u64,
+    /// Total hot-row-cache misses in the trigger window — the counts the
+    /// traffic profile was distilled from.
+    pub trigger_misses: u64,
+    /// Predicted fractional improvement of the weighted lookup score
+    /// (`(old - new) / old`) that cleared the policy threshold.
+    pub divergence: f64,
+    /// Traffic-weighted lookup score of the old layout (µs).
+    pub old_weighted_us: f64,
+    /// Traffic-weighted lookup score of the new layout (µs).
+    pub new_weighted_us: f64,
+    /// Logical tables whose channel assignment changed.
+    pub tables_moved: u64,
+    /// Wall-clock time of the off-thread arena rebuild (µs).
+    pub build_us: f64,
+    /// Wall-clock time of the publish itself (µs) — the only step the
+    /// serving path can observe, and it is one mutex store plus an atomic
+    /// bump.
+    pub swap_us: f64,
+}
+
+microrec_json::impl_json_struct!(
+    MigrationRecord,
+    required {
+        generation,
+        trigger_hits,
+        trigger_misses,
+        divergence,
+        old_weighted_us,
+        new_weighted_us,
+        tables_moved,
+        build_us,
+        swap_us,
+    }
+);
+
 /// One point on the serving runtime's QPS/tail-latency frontier: the
 /// outcome of replaying one offered load through one runtime
 /// configuration. Serializes to the `BENCH_serving.json` row format.
@@ -502,6 +549,10 @@ pub struct ServingFrontierRecord {
     /// Per-path routing counters, when the run used routed execution.
     /// Absent from records written before the router existed.
     pub router: Option<RouterRecord>,
+    /// Online placement migrations the run performed, when it served with
+    /// `--adaptive`. Absent from records written before traffic-adaptive
+    /// placement existed.
+    pub migrations: Option<Vec<MigrationRecord>>,
 }
 
 microrec_json::impl_json_struct!(
@@ -523,7 +574,7 @@ microrec_json::impl_json_struct!(
         completed,
         rejected,
     },
-    default { lookup, router }
+    default { lookup, router, migrations }
 );
 
 impl ServingFrontierRecord {
@@ -549,6 +600,7 @@ impl ServingFrontierRecord {
             rejected: outcome.rejected as u64,
             lookup: None,
             router: None,
+            migrations: None,
         }
     }
 
@@ -565,6 +617,14 @@ impl ServingFrontierRecord {
     #[must_use]
     pub fn with_router(mut self, snapshot: &RouterSnapshot) -> Self {
         self.router = Some(RouterRecord::from_snapshot(snapshot));
+        self
+    }
+
+    /// Attaches the online migrations an adaptive run performed (builder
+    /// style, for use after [`Self::from_run`]).
+    #[must_use]
+    pub fn with_migrations(mut self, records: &[MigrationRecord]) -> Self {
+        self.migrations = Some(records.to_vec());
         self
     }
 }
@@ -705,6 +765,48 @@ mod tests {
         assert_eq!(router.paths.len(), 1);
         assert_eq!(router.paths[0].path, "monolithic");
         assert_eq!(router.slo_fallbacks, 3);
+    }
+
+    #[test]
+    fn serving_record_without_migrations_field_still_parses() {
+        // A PR 7-era record: has `lookup` and `router` semantics but
+        // predates traffic-adaptive placement, so no `migrations` key;
+        // decoding must default it to `None`.
+        let pre_adaptive = r#"{
+            "offered_qps": 1000.0, "qps": 990.0,
+            "p50_us": 10.0, "p95_us": 20.0, "p99_us": 30.0, "p999_us": 40.0,
+            "mean_latency_us": 12.0, "drop_rate": 0.01, "mean_batch_size": 4.0,
+            "workers": 2, "max_batch": 8, "max_wait_us": 100, "queue_depth": 64,
+            "completed": 990, "rejected": 10,
+            "lookup": {
+                "format": "f16", "cache_rows": 4096, "hits": 900, "misses": 100,
+                "hit_rate": 0.9, "bytes_from_cache": 57600, "bytes_from_memory": 3200,
+                "per_table_hits": [450, 450], "per_table_misses": [50, 50]
+            }
+        }"#;
+        let rec: ServingFrontierRecord = microrec_json::from_str(pre_adaptive).unwrap();
+        assert_eq!(rec.migrations, None);
+        assert!(rec.lookup.is_some());
+
+        // And the migration-extended form round-trips.
+        let extended = rec.with_migrations(&[MigrationRecord {
+            generation: 1,
+            trigger_hits: 42_000,
+            trigger_misses: 18_000,
+            divergence: 0.12,
+            old_weighted_us: 1.9,
+            new_weighted_us: 1.67,
+            tables_moved: 3,
+            build_us: 5200.0,
+            swap_us: 4.0,
+        }]);
+        let encoded = microrec_json::to_string(&extended);
+        let back: ServingFrontierRecord = microrec_json::from_str(&encoded).unwrap();
+        assert_eq!(back, extended);
+        let migrations = back.migrations.unwrap();
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].generation, 1);
+        assert_eq!(migrations[0].tables_moved, 3);
     }
 
     #[test]

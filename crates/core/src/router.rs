@@ -484,6 +484,29 @@ impl PathCostModel {
         }
     }
 
+    /// Re-seeds the model after an online arena re-shard: every path's
+    /// observed history (EWMA, median window, probe bookkeeping) belongs
+    /// to the *old* layout generation and must not vote on the new one.
+    /// Calibrated cost lines are kept — the datapath shape is unchanged,
+    /// only the embedding channel layout moved — so the first post-swap
+    /// batches route on calibration until fresh feedback accumulates,
+    /// exactly like startup.
+    pub fn reseed_after_swap(&mut self) {
+        for p in &mut self.paths {
+            p.ewma_us = 0.0;
+            p.clear_recent();
+            p.transient = false;
+            p.refresh = false;
+            // Startup state, not probe-eligible: an immediate probe would
+            // send the first post-swap batch to a non-winner. Paths earn
+            // probe eligibility again after REPROBE_IDLE dispatches.
+            p.idle = 0;
+        }
+        self.last_choice = None;
+        self.pending_probe = None;
+        self.since_probe = PROBE_SPACING;
+    }
+
     /// True once every registered path has a calibrated cost.
     #[must_use]
     pub fn is_seeded(&self) -> bool {
@@ -1148,6 +1171,26 @@ mod tests {
             model.observe(&decision, 32, 3200.0);
         }
         assert_eq!(model.route(32, None, false).path, 1);
+    }
+
+    #[test]
+    fn reseed_after_swap_drops_observed_history_but_keeps_calibration() {
+        let mut model = seeded_two_path();
+        let decision = model.route(32, None, false);
+        assert_eq!(decision.path, 0);
+        // Pre-swap feedback poisons the pipelined path's estimate far
+        // above its calibrated line (old-layout measurements).
+        for _ in 0..8 {
+            model.observe(&decision, 32, 3200.0);
+        }
+        assert_eq!(model.route(32, None, false).path, 1, "EWMA overrode calibration");
+        model.reseed_after_swap();
+        let snap = model.snapshot();
+        assert!(snap.paths.iter().all(|p| p.ewma_us.is_none()), "observed history cleared");
+        assert!(model.is_seeded(), "calibrated cost lines survive the swap");
+        // Routing falls back to the calibrated lines: the pipelined path
+        // wins batch 32 again, exactly like startup.
+        assert_eq!(model.route(32, None, false).path, 0);
     }
 
     #[test]

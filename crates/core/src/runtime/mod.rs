@@ -19,20 +19,24 @@
 
 mod batcher;
 mod histogram;
+mod migrate;
 mod queue;
 mod replay;
 
 pub use batcher::{plan_batches, BatchClose, BatchFormerConfig, PlannedBatch};
 pub use histogram::{LatencyHistogram, LatencyPercentiles};
+pub use migrate::{Resharder, ReshardingPolicy};
 pub use replay::{replay_trace, ReplayOutcome};
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::{MicroRec, MicroRecBuilder};
+use crate::epoch::{ArenaGeneration, GenerationCell};
 use crate::error::MicroRecError;
+use crate::report::MigrationRecord;
 use crate::pipeline::{
     Calibration, ExecutionMode, PipelineConfig, PipelineExecutor, PipelinePlan, PipelineShared,
     StageSnapshot,
@@ -44,6 +48,10 @@ use queue::{BoundedQueue, PushError};
 /// Calibration queries per micro-benchmark when [`ExecutionMode::Auto`]
 /// resolves at startup (a one-time cost before the first worker spawns).
 const AUTO_CALIBRATION_ROUNDS: usize = 48;
+
+/// How often the adaptive driver re-reads the shared lookup counters and
+/// re-evaluates the [`ReshardingPolicy`] gates.
+const RESHARD_POLL_MS: u64 = 10;
 
 /// What to do with a new request when the admission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +86,15 @@ pub struct RuntimeConfig {
     /// End-to-end latency objective per request (µs), consulted by the
     /// routed mode's SLO guard; 0 disables the guard.
     pub slo_us: u64,
+    /// Enables traffic-adaptive online re-sharding: a background driver
+    /// distills the workers' per-table cache counters into a
+    /// [`TrafficProfile`](microrec_placement::TrafficProfile), and when
+    /// the [`ReshardingPolicy`] gates pass, rebuilds the shared embedding
+    /// store under a traffic-aware channel layout and publishes it as a
+    /// new generation (workers adopt at batch boundaries, bit-identical).
+    /// Requires monolithic execution with a hot-row cache and a shared
+    /// arena or tiered store.
+    pub adaptive: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -90,6 +107,7 @@ impl Default for RuntimeConfig {
             admission: AdmissionPolicy::Block,
             execution: ExecutionMode::Monolithic,
             slo_us: 0,
+            adaptive: false,
         }
     }
 }
@@ -355,6 +373,13 @@ pub struct ServingRuntime {
     pipelines: Vec<Arc<PipelineShared>>,
     /// The shared per-batch cost model, under [`ExecutionMode::Routed`].
     router: Option<Arc<Mutex<PathCostModel>>>,
+    /// The online re-sharding coordinator, when `config.adaptive` is set.
+    resharder: Option<Arc<Mutex<Resharder>>>,
+    /// Stop flag for the adaptive driver thread.
+    reshard_stop: Option<Arc<AtomicBool>>,
+    /// The adaptive driver thread, joined at shutdown before the queue
+    /// closes (no migration may race the drain).
+    reshard_driver: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -384,6 +409,19 @@ impl ServingRuntime {
         // share it read-only across all worker replicas (worker memory no
         // longer scales with the arena size).
         builder.prepare_shared_arena()?;
+        // Epoch seam: publish the shared store as generation 0 and hand
+        // every replica the cell, so an online migration reaches all of
+        // them at their next batch boundary.
+        let epoch = if let Some(backing) = builder.shared_tiered_handle() {
+            Some(GenerationCell::new(ArenaGeneration::from_backing(Arc::clone(backing))))
+        } else {
+            builder
+                .shared_arena_handle()
+                .map(|arena| GenerationCell::new(ArenaGeneration::from_arena(Arc::clone(arena))))
+        };
+        if let Some(cell) = &epoch {
+            builder = builder.epoch_cell(Arc::clone(cell));
+        }
         // Pre-warm: one full-width dummy batch builds the packed weights
         // and sizes the arena, then the stats reset hides it.
         let warm_engine = |builder: &MicroRecBuilder| -> Result<MicroRec, MicroRecError> {
@@ -451,6 +489,34 @@ impl ServingRuntime {
             let cache_rows = engines[0].hot_row_cache().map_or(0, |c| c.capacity());
             lookup_meta = Some((format, cache_rows, tiered));
         }
+        let resharder = if config.adaptive {
+            let cell = epoch.as_ref().ok_or_else(|| {
+                MicroRecError::Runtime(
+                    "adaptive re-sharding needs a shared embedding store: enable the \
+                     embedding arena or tiered storage on the builder"
+                        .into(),
+                )
+            })?;
+            if plan.is_some() {
+                return Err(MicroRecError::Runtime(
+                    "adaptive re-sharding requires monolithic execution (the staged modes \
+                     publish lookup counters only at drain)"
+                        .into(),
+                ));
+            }
+            if !lookup_meta.is_some_and(|(_, cache_rows, _)| cache_rows > 0) {
+                return Err(MicroRecError::Runtime(
+                    "adaptive re-sharding needs the hot-row cache's per-table counters: \
+                     enable hot_row_cache on the builder"
+                        .into(),
+                ));
+            }
+            let resharder =
+                Resharder::from_builder(&builder, Arc::clone(cell), ReshardingPolicy::default())?;
+            Some(Arc::new(Mutex::new(resharder)))
+        } else {
+            None
+        };
 
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
         let mut stats = SharedStats::default();
@@ -521,6 +587,45 @@ impl ServingRuntime {
                 }
             }
         }
+        // The adaptive driver: periodically snapshot the shared counters
+        // (lock dropped before the resharder lock — the two are never held
+        // together in the other order) and let the resharder decide. A
+        // failed rebuild leaves the old generation serving and the driver
+        // keeps watching the next window.
+        let mut reshard_stop = None;
+        let mut reshard_driver = None;
+        if let Some(resharder) = &resharder {
+            let stop = Arc::new(AtomicBool::new(false));
+            let spawned = std::thread::Builder::new().name("microrec-reshard".into()).spawn({
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let resharder = Arc::clone(resharder);
+                move || {
+                    while !stop.load(Relaxed) {
+                        std::thread::sleep(Duration::from_millis(RESHARD_POLL_MS));
+                        let counters = lock_or_recover(&stats.lookup_tables).clone();
+                        let mut resharder = lock_or_recover(&resharder);
+                        // lint: allow(blocking-under-lock) a migration build blocks only this driver; engines read the epoch cell lock-free
+                        let _ = resharder.evaluate(&counters.hits, &counters.misses);
+                    }
+                }
+            });
+            match spawned {
+                Ok(handle) => {
+                    reshard_driver = Some(handle);
+                    reshard_stop = Some(stop);
+                }
+                Err(e) => {
+                    queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(MicroRecError::Runtime(format!(
+                        "failed to spawn the re-shard driver: {e}"
+                    )));
+                }
+            }
+        }
         Ok(ServingRuntime {
             queue,
             stats,
@@ -532,6 +637,9 @@ impl ServingRuntime {
             lookup_meta,
             pipelines,
             router: None,
+            resharder,
+            reshard_stop,
+            reshard_driver,
             workers,
         })
     }
@@ -551,6 +659,13 @@ impl ServingRuntime {
         mut builder: MicroRecBuilder,
         config: RuntimeConfig,
     ) -> Result<Self, MicroRecError> {
+        if config.adaptive {
+            return Err(MicroRecError::Runtime(
+                "adaptive re-sharding is not available under routed execution: per-table \
+                 lookup counters live inside individual paths"
+                    .into(),
+            ));
+        }
         builder.prepare_shared_arena()?;
         let spec = builder.model_spec();
         let expected_arity = spec.num_tables() * spec.lookups_per_table as usize;
@@ -612,6 +727,9 @@ impl ServingRuntime {
             lookup_meta: None,
             pipelines,
             router: Some(router),
+            resharder: None,
+            reshard_stop: None,
+            reshard_driver: None,
             workers,
         })
     }
@@ -773,10 +891,61 @@ impl ServingRuntime {
         })
     }
 
-    /// Shuts down: closes the queue (new submits fail, blocked producers
-    /// wake), waits for workers to drain every admitted request, and joins
-    /// them. Idempotent. Returns the final snapshot.
+    /// Every migration the adaptive driver (or [`Self::migrate_now`])
+    /// performed so far, oldest first. Empty when the runtime is not
+    /// adaptive.
+    #[must_use]
+    pub fn migration_records(&self) -> Vec<MigrationRecord> {
+        self.resharder.as_ref().map_or_else(Vec::new, |r| lock_or_recover(r).records().to_vec())
+    }
+
+    /// Memory channel of each logical table under the plan the adaptive
+    /// driver currently serves, or `None` when adaptive re-sharding is
+    /// disabled. The cold-table tie-breaks move with counter noise, so a
+    /// workload that wants to stress the co-located pair must observe the
+    /// assignment rather than predict it.
+    #[must_use]
+    pub fn resharding_channels(&self) -> Option<Vec<usize>> {
+        self.resharder.as_ref().map(|r| lock_or_recover(r).channels().to_vec())
+    }
+
+    /// Replaces the adaptive driver's [`ReshardingPolicy`] (applies from
+    /// its next evaluation). A no-op on a non-adaptive runtime.
+    pub fn set_resharding_policy(&self, policy: ReshardingPolicy) {
+        if let Some(resharder) = &self.resharder {
+            lock_or_recover(resharder).set_policy(policy);
+        }
+    }
+
+    /// Forces one re-shard evaluation from the current counters with the
+    /// traffic, divergence, and cooldown gates skipped. Returns whether a
+    /// migration was published (`Ok(false)` when the observed profile
+    /// changes nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`MicroRecError::Runtime`] when the runtime is not adaptive, or if
+    /// the rebuild fails (the old generation keeps serving).
+    pub fn migrate_now(&self) -> Result<bool, MicroRecError> {
+        let resharder = self.resharder.as_ref().ok_or_else(|| {
+            MicroRecError::Runtime("adaptive re-sharding is not enabled on this runtime".into())
+        })?;
+        let counters = lock_or_recover(&self.stats.lookup_tables).clone();
+        // lint: allow(blocking-under-lock) a forced migration build blocks only the caller; engines read the epoch cell lock-free
+        lock_or_recover(resharder).force_migrate(&counters.hits, &counters.misses)
+    }
+
+    /// Shuts down: stops and joins the adaptive driver, closes the queue
+    /// (new submits fail, blocked producers wake), waits for workers to
+    /// drain every admitted request, and joins them. Idempotent. Returns
+    /// the final snapshot.
     pub fn shutdown(&mut self) -> RuntimeSnapshot {
+        if let Some(stop) = &self.reshard_stop {
+            stop.store(true, Relaxed);
+        }
+        if let Some(driver) = self.reshard_driver.take() {
+            let _ = driver.join();
+        }
         self.queue.close();
         for worker in self.workers.drain(..) {
             // A worker that panicked already abandoned its requests; the

@@ -92,6 +92,18 @@ impl ChannelBuf {
             ChannelBuf::I8(v) => v.as_ptr() as usize + idx,
         }
     }
+
+    /// Appends `len` encoded elements starting at `start` in `src`. Both
+    /// buffers come from the same arena format by construction; a
+    /// mismatched pair appends nothing (debug-asserted).
+    fn extend_from_range(&mut self, src: &ChannelBuf, start: usize, len: usize) {
+        match (self, src) {
+            (ChannelBuf::F32(d), ChannelBuf::F32(s)) => d.extend_from_slice(&s[start..start + len]),
+            (ChannelBuf::F16(d), ChannelBuf::F16(s)) => d.extend_from_slice(&s[start..start + len]),
+            (ChannelBuf::I8(d), ChannelBuf::I8(s)) => d.extend_from_slice(&s[start..start + len]),
+            _ => debug_assert!(false, "channel format mismatch"),
+        }
+    }
 }
 
 /// Where one logical table lives inside the arena.
@@ -136,6 +148,9 @@ pub struct EmbeddingArena {
     scales: Vec<f32>,
     feature_len: usize,
     total_bytes: u64,
+    /// Layout generation: 0 for a freshly built arena, bumped by
+    /// [`EmbeddingArena::rebuild_with_channels`] during online re-sharding.
+    generation: u64,
 }
 
 /// Rounds `n` elements up so the next table base lands on a 64-byte
@@ -273,7 +288,110 @@ impl EmbeddingArena {
             scales,
             feature_len,
             total_bytes,
+            generation: 0,
         })
+    }
+
+    /// Re-materializes this arena under a new channel assignment without
+    /// touching the source tables: every table's already-encoded bytes are
+    /// relocated verbatim (per-row `i8` scales shared untouched), so each
+    /// row of the new arena decodes bit-identically to the old one — the
+    /// invariant the online re-sharding swap depends on. The new arena is
+    /// tagged with `generation`.
+    ///
+    /// Relocation is a raw copy, not a decode/re-encode round trip: it
+    /// costs one memcpy per table and cannot drift quantized values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::BufferSizeMismatch`] if `channel_of` does
+    /// not have one entry per table.
+    pub fn rebuild_with_channels(
+        &self,
+        channel_of: &[usize],
+        generation: u64,
+    ) -> Result<Self, EmbeddingError> {
+        if channel_of.len() != self.tables.len() {
+            return Err(EmbeddingError::BufferSizeMismatch {
+                expected: self.tables.len(),
+                actual: channel_of.len(),
+            });
+        }
+        let num_channels = channel_of.iter().map(|&c| c + 1).max().unwrap_or(1);
+        let elem_bytes = self.format.bytes_per_elem();
+
+        let mut channel_elems = vec![0usize; num_channels];
+        for (loc, &ch) in self.tables.iter().zip(channel_of) {
+            let elems = loc.rows as usize * loc.dim;
+            channel_elems[ch] = align_up(channel_elems[ch] + elems, elem_bytes);
+        }
+        let scale_bytes = (self.scales.len() as u64) * 4;
+        let total_bytes = channel_elems
+            .iter()
+            .map(|&e| (e * elem_bytes) as u64)
+            .sum::<u64>()
+            .saturating_add(scale_bytes);
+
+        let slack = ALIGN / elem_bytes;
+        let mut channels: Vec<ChannelBuf> = channel_elems
+            .iter()
+            .map(|&elems| match self.format {
+                RowFormat::F32 => ChannelBuf::F32(Vec::with_capacity(elems + slack)),
+                RowFormat::F16 => ChannelBuf::F16(Vec::with_capacity(elems + slack)),
+                RowFormat::I8 => ChannelBuf::I8(Vec::with_capacity(elems + slack)),
+            })
+            .collect();
+        let mut pads = vec![0usize; num_channels];
+        for (buf, pad) in channels.iter_mut().zip(&mut pads) {
+            let misalign = buf.addr_of(0) % ALIGN;
+            let pad_bytes = (ALIGN - misalign) % ALIGN;
+            debug_assert_eq!(pad_bytes % elem_bytes, 0);
+            *pad = pad_bytes / elem_bytes;
+            match buf {
+                ChannelBuf::F32(v) => v.resize(*pad, 0.0),
+                ChannelBuf::F16(v) => v.resize(*pad, 0),
+                ChannelBuf::I8(v) => v.resize(*pad, 0),
+            }
+        }
+
+        let mut locs = Vec::with_capacity(self.tables.len());
+        for (loc, &ch) in self.tables.iter().zip(channel_of) {
+            let elems = loc.rows as usize * loc.dim;
+            let src = &self.channels[loc.channel];
+            let buf = &mut channels[ch];
+            let base = buf.len() - pads[ch];
+            buf.extend_from_range(src, loc.base, elems);
+            let padded = align_up(buf.len() - pads[ch], elem_bytes) + pads[ch];
+            match buf {
+                ChannelBuf::F32(v) => v.resize(padded, 0.0),
+                ChannelBuf::F16(v) => v.resize(padded, 0),
+                ChannelBuf::I8(v) => v.resize(padded, 0),
+            }
+            locs.push(TableLoc {
+                channel: ch,
+                base: base + pads[ch],
+                rows: loc.rows,
+                dim: loc.dim,
+                scale_base: loc.scale_base,
+            });
+        }
+
+        Ok(EmbeddingArena {
+            format: self.format,
+            channels,
+            tables: locs,
+            names: self.names.clone(),
+            scales: self.scales.clone(),
+            feature_len: self.feature_len,
+            total_bytes,
+            generation,
+        })
+    }
+
+    /// The layout generation this arena belongs to (0 = as built).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The row storage format.
@@ -503,6 +621,57 @@ mod tests {
         assert_eq!(f32a.source_row_bytes(0), 32);
         assert_eq!(f16a.source_row_bytes(0), 16);
         assert_eq!(i8a.source_row_bytes(0), 12); // 8 elems + 4-byte scale
+    }
+
+    #[test]
+    fn rebuild_relocates_bit_identically_in_every_format() {
+        let tabs = tables();
+        for format in [RowFormat::F32, RowFormat::F16, RowFormat::I8] {
+            let old = EmbeddingArena::build(&tabs, format, &[0, 1, 0], u64::MAX).unwrap();
+            // Rotate the channel assignment: table moves across channels.
+            let new = old.rebuild_with_channels(&[1, 0, 0], 3).unwrap();
+            assert_eq!(new.generation(), 3);
+            assert_eq!(old.generation(), 0);
+            assert!(new.is_aligned(), "{format} rebuilt arena misaligned");
+            assert_eq!(new.feature_len(), old.feature_len());
+            let mut got = vec![0.0f32; 12];
+            let mut want = vec![0.0f32; 12];
+            for (t, table) in tabs.iter().enumerate() {
+                let dim = table.dim() as usize;
+                for row in 0..table.rows() {
+                    new.read_row_into(t, row, &mut got[..dim]).unwrap();
+                    old.read_row_into(t, row, &mut want[..dim]).unwrap();
+                    assert_eq!(
+                        got[..dim].iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        want[..dim].iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        "{format}: table {t} row {row} drifted across relocation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_to_fewer_channels_compacts() {
+        let tabs = tables();
+        let spread = EmbeddingArena::build(&tabs, RowFormat::F16, &[0, 1, 2], u64::MAX).unwrap();
+        let packed = spread.rebuild_with_channels(&[0, 0, 0], 1).unwrap();
+        let direct = EmbeddingArena::build(&tabs, RowFormat::F16, &[0, 0, 0], u64::MAX).unwrap();
+        assert_eq!(packed.total_bytes(), direct.total_bytes());
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 8];
+        packed.read_row_into(0, 5, &mut a).unwrap();
+        direct.read_row_into(0, 5, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebuild_rejects_wrong_arity() {
+        let arena = EmbeddingArena::build(&tables(), RowFormat::F32, &[0, 0, 0], u64::MAX).unwrap();
+        assert!(matches!(
+            arena.rebuild_with_channels(&[0, 0], 1),
+            Err(EmbeddingError::BufferSizeMismatch { .. })
+        ));
     }
 
     #[test]

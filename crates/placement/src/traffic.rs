@@ -1,0 +1,137 @@
+//! Observed-traffic profiles for re-scoring placement plans.
+//!
+//! The static search (Algorithm 1) weighs every logical table equally:
+//! each inference issues `lookups_per_table` reads per table, so under a
+//! uniform workload all tables load their banks identically. Live serving
+//! breaks that symmetry — the hot-row cache absorbs accesses to skewed
+//! tables while cold tables hit the backing store on every read. A
+//! [`TrafficProfile`] captures that asymmetry as per-logical-table access
+//! counts distilled from the runtime's lookup counters, and
+//! [`Plan::cost_with_traffic`](crate::Plan::cost_with_traffic) re-scores a
+//! plan under those weights.
+//!
+//! Everything here is integer arithmetic over explicit snapshots: two
+//! processes distilling the same counter values produce byte-identical
+//! profiles and identical re-scored plans.
+
+/// Per-logical-table access weights distilled from observed counters.
+///
+/// An empty profile (from [`TrafficProfile::uniform`]) means "no
+/// information": every consumer must treat it exactly as the uniform
+/// workload the static search assumes, so the uniform profile is the
+/// bit-identical default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficProfile {
+    counts: Vec<u64>,
+}
+
+impl TrafficProfile {
+    /// The uniform (no-information) profile.
+    #[must_use]
+    pub fn uniform() -> Self {
+        TrafficProfile { counts: Vec::new() }
+    }
+
+    /// Builds a profile from raw per-logical-table access counts.
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        TrafficProfile { counts }
+    }
+
+    /// Distills a profile from per-table hot-row cache counters.
+    ///
+    /// Cache hits never reach the backing banks, so the load a table puts
+    /// on memory is its *miss* count. When no misses were recorded at all
+    /// (e.g. the cache is disabled and every access is counted as a hit,
+    /// or traffic has not started) the total access count `hits + misses`
+    /// is used instead so the profile still reflects relative demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits` and `misses` have different lengths.
+    #[must_use]
+    pub fn from_lookup_counts(hits: &[u64], misses: &[u64]) -> Self {
+        assert_eq!(hits.len(), misses.len(), "per-table counter slices must align");
+        if misses.iter().any(|&m| m > 0) {
+            TrafficProfile { counts: misses.to_vec() }
+        } else {
+            TrafficProfile {
+                counts: hits.iter().zip(misses).map(|(&h, &m)| h.saturating_add(m)).collect(),
+            }
+        }
+    }
+
+    /// `true` when the profile carries no skew: empty, or every table has
+    /// the same count. Consumers must fall back to the exact uniform cost
+    /// path in this case so default behaviour stays bit-identical.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        match self.counts.first() {
+            None => true,
+            Some(&first) => self.counts.iter().all(|&c| c == first),
+        }
+    }
+
+    /// The raw per-logical-table counts (empty for the uniform profile).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count for logical table `idx` (`0` when out of range).
+    #[must_use]
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counts.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c))
+    }
+
+    /// Number of tables the profile covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if the profile is empty (uniform sentinel).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_profile_is_uniform() {
+        assert!(TrafficProfile::uniform().is_uniform());
+        assert!(TrafficProfile::from_counts(vec![7, 7, 7]).is_uniform());
+        assert!(TrafficProfile::from_counts(vec![0, 0]).is_uniform());
+        assert!(!TrafficProfile::from_counts(vec![1, 2]).is_uniform());
+    }
+
+    #[test]
+    fn distill_prefers_misses() {
+        let p = TrafficProfile::from_lookup_counts(&[100, 100], &[5, 50]);
+        assert_eq!(p.counts(), &[5, 50]);
+    }
+
+    #[test]
+    fn distill_falls_back_to_totals_without_misses() {
+        let p = TrafficProfile::from_lookup_counts(&[100, 300], &[0, 0]);
+        assert_eq!(p.counts(), &[100, 300]);
+        assert_eq!(p.total(), 400);
+    }
+
+    #[test]
+    fn count_out_of_range_is_zero() {
+        let p = TrafficProfile::from_counts(vec![3]);
+        assert_eq!(p.count(0), 3);
+        assert_eq!(p.count(9), 0);
+    }
+}

@@ -14,7 +14,9 @@ use std::process::Command;
 
 use microrec_embedding::{synthetic_model, Precision, SyntheticModelConfig};
 use microrec_memsim::MemoryConfig;
-use microrec_placement::{heuristic_search, HeuristicOptions};
+use microrec_placement::{
+    heuristic_search, heuristic_search_with_traffic, HeuristicOptions, TrafficProfile,
+};
 
 const CHILD_ENV: &str = "MICROREC_DETERMINISM_CHILD";
 const TAG_ENV: &str = "MICROREC_DETERMINISM_TAG";
@@ -42,6 +44,85 @@ fn search_digest() -> u64 {
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+fn fnv(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of the traffic-adaptive pipeline: distill a profile from a fixed
+/// counter snapshot (the same numbers both processes would read from
+/// `lookup_stats()`), then run the traffic-weighted search and hash the
+/// profile together with the full re-scored outcome.
+fn traffic_digest() -> u64 {
+    let model = synthetic_model(&SyntheticModelConfig {
+        tables: 24,
+        target_bytes: 400_000_000,
+        seed: 0xD15C,
+        ..Default::default()
+    })
+    .unwrap();
+    // A fixed counter snapshot: skewed per-table hits and misses as the
+    // runtime's hot-row cache counters would report them.
+    let n = model.num_tables();
+    let hits: Vec<u64> = (0..n).map(|i| 1_000 + (i as u64 * 37) % 500).collect();
+    let misses: Vec<u64> = (0..n).map(|i| (i as u64 * i as u64 * 13) % 900).collect();
+    let profile = TrafficProfile::from_lookup_counts(&hits, &misses);
+    let outcome = heuristic_search_with_traffic(
+        &model,
+        &MemoryConfig::u280(),
+        Precision::F32,
+        &HeuristicOptions::default(),
+        &profile,
+    )
+    .unwrap();
+    fnv(format!("{profile:?}|{outcome:?}").bytes())
+}
+
+#[test]
+fn traffic_profile_and_rescored_plan_are_bit_identical_across_processes() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        println!("DIGEST={:016x}", traffic_digest());
+        return;
+    }
+
+    let exe = std::env::current_exe().unwrap();
+    let run_child = |tag: &str| -> String {
+        let output = Command::new(&exe)
+            .args([
+                "traffic_profile_and_rescored_plan_are_bit_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(CHILD_ENV, "1")
+            .env(TAG_ENV, tag)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "child process failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let at = stdout
+            .find("DIGEST=")
+            .unwrap_or_else(|| panic!("no DIGEST marker in child output:\n{stdout}"));
+        stdout[at + "DIGEST=".len()..][..16].to_string()
+    };
+
+    let first = run_child("b");
+    let second = run_child("b-much-longer-tag-value-to-shift-the-environment-block");
+    assert_eq!(first, second, "traffic-adaptive outcome differs between two fresh processes");
+    assert_eq!(
+        first,
+        format!("{:016x}", traffic_digest()),
+        "child digest differs from the parent's in-process digest"
+    );
 }
 
 #[test]
